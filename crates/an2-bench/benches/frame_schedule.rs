@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks: Slepian–Duguid frame-schedule updates.
+//!
+//! §4 notes that "computing a new schedule may require a number of steps
+//! proportional to the size of the reservation × N". These benches
+//! measure reservation insertion cost into an empty and into a nearly
+//! full schedule, across switch sizes and frame lengths.
+
+use an2_sched::rng::{SelectRng, Xoshiro256};
+use an2_sched::{FrameSchedule, InputPort, OutputPort};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+/// Fills a schedule to the given fraction with random 1-cell reservations.
+fn filled(n: usize, frame: usize, fraction: f64, seed: u64) -> FrameSchedule {
+    let mut fs = FrameSchedule::new(n, frame);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let target = (n as f64 * frame as f64 * fraction) as usize;
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < target && attempts < target * 20 {
+        attempts += 1;
+        let i = InputPort::new(rng.index(n));
+        let j = OutputPort::new(rng.index(n));
+        if fs.reserve(i, j, 1).is_ok() {
+            placed += 1;
+        }
+    }
+    fs
+}
+
+fn bench_reserve_into_empty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_reserve_empty");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || FrameSchedule::new(n, 100),
+                |mut fs| {
+                    fs.reserve(InputPort::new(0), OutputPort::new(n - 1), 10)
+                        .unwrap();
+                    fs
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_reserve_into_nearly_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_reserve_90pct_full");
+    for n in [4usize, 16, 64] {
+        let base = filled(n, 100, 0.90, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = Xoshiro256::seed_from(99);
+            b.iter_batched(
+                || {
+                    // Find a pair that still has capacity.
+                    let fs = base.clone();
+                    let pair = loop {
+                        let i = InputPort::new(rng.index(n));
+                        let j = OutputPort::new(rng.index(n));
+                        if fs.admits(i, j, 1) {
+                            break (i, j);
+                        }
+                    };
+                    (fs, pair)
+                },
+                |(mut fs, (i, j))| {
+                    fs.reserve(i, j, 1).unwrap();
+                    fs
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame_length_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_reserve_by_frame_len");
+    for frame in [100usize, 1000] {
+        let base = filled(16, frame, 0.5, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(frame), &frame, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut fs| {
+                    let i = InputPort::new(7);
+                    let j = OutputPort::new(9);
+                    if fs.admits(i, j, 1) {
+                        fs.reserve(i, j, 1).unwrap();
+                    }
+                    fs
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast criterion configuration: the full default sampling budget (3 s
+/// warmup + 5 s measurement per case) would take the suite past an hour;
+/// these settings keep statistical quality adequate for the regression
+/// role these benches play.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_reserve_into_empty,
+    bench_reserve_into_nearly_full,
+    bench_frame_length_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Criterion microbenchmarks: scheduler decision time.
+//!
+//! The paper's feasibility argument is that PIM schedules a 16×16 switch
+//! within one 53-byte cell time (424 ns) in FPGA hardware — over 37
+//! million cells per second aggregate. These benches measure the software
+//! analogue: time per scheduling decision vs switch size, request density,
+//! iteration budget and algorithm (PIM, iSLIP, RRM, Hopcroft–Karp,
+//! statistical matching).
+
+use an2_sched::islip::RoundRobinMatching;
+use an2_sched::maximum::MaximumMatching;
+use an2_sched::rng::Xoshiro256;
+use an2_sched::stat::{ReservationTable, StatisticalMatcher};
+use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Pre-generates a pool of random request matrices so RNG cost stays out
+/// of the measured region.
+fn matrices(n: usize, p: f64, count: usize, seed: u64) -> Vec<RequestMatrix> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..count)
+        .map(|_| RequestMatrix::random(n, p, &mut rng))
+        .collect()
+}
+
+fn bench_pim_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pim4_by_size");
+    for n in [4usize, 8, 16, 32, 64] {
+        let pool = matrices(n, 0.5, 64, 1);
+        // Cells scheduled per decision ~ n at density 0.5; report per-port
+        // throughput so the 37 Mcells/s target is directly comparable.
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut pim = Pim::new(n, 7);
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % pool.len();
+                pim.schedule(&pool[k])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pim_by_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pim4_16x16_by_density");
+    for p in [0.1f64, 0.25, 0.5, 0.75, 1.0] {
+        let pool = matrices(16, p, 64, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            let mut pim = Pim::new(16, 9);
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % pool.len();
+                pim.schedule(&pool[k])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pim_by_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pim_16x16_by_iterations");
+    let pool = matrices(16, 1.0, 64, 3);
+    for iters in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let mut pim = Pim::with_options(
+                16,
+                11,
+                IterationLimit::Fixed(iters),
+                AcceptPolicy::Random,
+            );
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % pool.len();
+                pim.schedule(&pool[k])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers_16x16_p50");
+    let pool = matrices(16, 0.5, 64, 4);
+    let mut bench = |name: &str, mut s: Box<dyn Scheduler>| {
+        group.bench_function(name, |b| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % pool.len();
+                s.schedule(&pool[k])
+            });
+        });
+    };
+    bench("pim4", Box::new(Pim::new(16, 5)));
+    bench("islip4", Box::new(RoundRobinMatching::islip(16, 4)));
+    bench("rrm4", Box::new(RoundRobinMatching::rrm(16, 4)));
+    bench("hopcroft-karp", Box::new(MaximumMatching::new()));
+    group.finish();
+}
+
+fn bench_statistical_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statistical_matching_16x16");
+    for x in [16usize, 64, 256] {
+        let table = ReservationTable::from_fn(16, x, |_, _| x / 16);
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, _| {
+            let mut sm = StatisticalMatcher::new(table.clone(), 13);
+            b.iter(|| sm.next_match());
+        });
+    }
+    group.finish();
+}
+
+fn bench_statistical_rate_update(c: &mut Criterion) {
+    // The §5 selling point: changing one pair's allocation touches only
+    // that input's and output's state (vs recomputing a frame schedule).
+    let mut group = c.benchmark_group("rate_update");
+    let x = 256;
+    group.bench_function("stat_set_units_16x16", |b| {
+        let table = ReservationTable::from_fn(16, x, |_, _| x / 32);
+        let mut sm = StatisticalMatcher::new(table, 17);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            sm.set_units(3, 7, if flip { x / 16 } else { x / 32 }).unwrap();
+        });
+    });
+    group.bench_function("frame_re_reserve_16x1000", |b| {
+        use an2_sched::{FrameSchedule, InputPort, OutputPort};
+        let mut fs = FrameSchedule::new(16, 1000);
+        for i in 0..16 {
+            for j in 0..16 {
+                fs.reserve(InputPort::new(i), OutputPort::new(j), 30).unwrap();
+            }
+        }
+        b.iter(|| {
+            fs.release(InputPort::new(3), OutputPort::new(7), 10).unwrap();
+            fs.reserve(InputPort::new(3), OutputPort::new(7), 10).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_kgrant_pim(c: &mut Criterion) {
+    use an2_sched::kgrant::KGrantPim;
+    let mut group = c.benchmark_group("kgrant_pim_16x16_p50");
+    let pool = matrices(16, 0.5, 64, 6);
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut s = KGrantPim::new(16, k, 4, 19);
+            let mut idx = 0;
+            b.iter(|| {
+                idx = (idx + 1) % pool.len();
+                s.schedule(&pool[idx])
+            });
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast criterion configuration: the full default sampling budget (3 s
+/// warmup + 5 s measurement per case) would take the suite past an hour;
+/// these settings keep statistical quality adequate for the regression
+/// role these benches play.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_pim_by_size,
+    bench_pim_by_density,
+    bench_pim_by_iterations,
+    bench_scheduler_comparison,
+    bench_statistical_matching,
+    bench_statistical_rate_update,
+    bench_kgrant_pim
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks: simulation throughput.
+//!
+//! Measures slots simulated per second for each switch organization —
+//! useful for sizing the `--full` experiment runs and as a regression
+//! guard on the simulator's hot paths (VOQ push/pop, request-matrix
+//! construction, scheduling).
+
+use an2_sched::fifo::FifoPriority;
+use an2_sched::Pim;
+use an2_sim::fifo_switch::FifoSwitch;
+use an2_sim::model::SwitchModel;
+use an2_sim::output_queued::OutputQueuedSwitch;
+use an2_sim::switch::CrossbarSwitch;
+use an2_sim::traffic::{RateMatrixTraffic, Traffic};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn drive_slots(model: &mut dyn SwitchModel, traffic: &mut dyn Traffic, slots: u64) {
+    let mut buf = Vec::new();
+    for s in 0..slots {
+        buf.clear();
+        traffic.arrivals(s, &mut buf);
+        model.step(&buf);
+    }
+}
+
+fn bench_switch_models(c: &mut Criterion) {
+    const SLOTS: u64 = 1000;
+    let mut group = c.benchmark_group("simulate_1000_slots_16x16_load80");
+    group.throughput(Throughput::Elements(SLOTS));
+    group.bench_function("pim4", |b| {
+        b.iter(|| {
+            let mut sw = CrossbarSwitch::new(Pim::new(16, 1));
+            let mut t = RateMatrixTraffic::uniform(16, 0.8, 2);
+            drive_slots(&mut sw, &mut t, SLOTS);
+            sw.report().departures
+        });
+    });
+    group.bench_function("fifo", |b| {
+        b.iter(|| {
+            let mut sw = FifoSwitch::new(16, FifoPriority::Random, 1);
+            let mut t = RateMatrixTraffic::uniform(16, 0.8, 2);
+            drive_slots(&mut sw, &mut t, SLOTS);
+            sw.report().departures
+        });
+    });
+    group.bench_function("output-queued", |b| {
+        b.iter(|| {
+            let mut sw = OutputQueuedSwitch::new(16);
+            let mut t = RateMatrixTraffic::uniform(16, 0.8, 2);
+            drive_slots(&mut sw, &mut t, SLOTS);
+            sw.report().departures
+        });
+    });
+    group.finish();
+}
+
+fn bench_network_chain(c: &mut Criterion) {
+    use an2_net::fairness::build_figure_9_chain;
+    let mut group = c.benchmark_group("network_chain_1000_slots");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("figure9-chain", |b| {
+        b.iter(|| {
+            let (mut net, flows, _) = build_figure_9_chain(5);
+            net.run(1000);
+            net.delivered(flows.a)
+        });
+    });
+    group.finish();
+}
+
+
+/// Fast criterion configuration: the full default sampling budget (3 s
+/// warmup + 5 s measurement per case) would take the suite past an hour;
+/// these settings keep statistical quality adequate for the regression
+/// role these benches play.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_switch_models, bench_network_chain
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Appendix A: parallel iterative matching completes in `O(log N)`
+//! expected iterations.
+//!
+//! Two claims are measured across switch sizes:
+//!
+//! * the mean number of iterations to completion is at most
+//!   `log2(N) + 4/3`, and
+//! * each iteration resolves, on average, at least 3/4 of the remaining
+//!   unresolved requests (measured on the first iteration of dense
+//!   matrices, the worst case for the bound).
+
+use crate::Effort;
+use an2_sched::rng::Xoshiro256;
+use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
+use std::fmt::Write as _;
+
+/// Measurements for one switch size.
+#[derive(Clone, Debug)]
+pub struct AppendixARow {
+    /// Switch radix.
+    pub n: usize,
+    /// Mean iterations to completion on dense (p = 1) matrices.
+    pub mean_iterations: f64,
+    /// Largest iteration count observed.
+    pub max_iterations: usize,
+    /// The Appendix A bound `log2(N) + 4/3`.
+    pub bound: f64,
+    /// Mean fraction of unresolved requests resolved by iteration 1.
+    pub first_iter_resolution: f64,
+}
+
+/// The full Appendix A scaling experiment.
+#[derive(Clone, Debug)]
+pub struct AppendixAResult {
+    /// One row per switch size.
+    pub rows: Vec<AppendixARow>,
+}
+
+impl AppendixAResult {
+    /// Formats the result.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# Appendix A: PIM iterations to completion (dense requests, p = 1.0)"
+        );
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10} {:>6} {:>14} {:>18}",
+            "N", "mean iter", "max", "log2(N)+4/3", "iter-1 resolution"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>10.3} {:>6} {:>14.3} {:>17.1}%",
+                r.n,
+                r.mean_iterations,
+                r.max_iterations,
+                r.bound,
+                r.first_iter_resolution * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Runs the Appendix A experiment for the given switch sizes.
+pub fn run(sizes: &[usize], effort: Effort, seed: u64) -> AppendixAResult {
+    let trials = effort.scale(500, 20_000);
+    let rows = sizes
+        .iter()
+        .map(|&n| {
+            let mut gen = Xoshiro256::seed_from(seed ^ n as u64);
+            let mut pim = Pim::with_options(
+                n,
+                seed ^ 0xAAAA ^ n as u64,
+                IterationLimit::ToCompletion,
+                AcceptPolicy::Random,
+            );
+            let mut total_iters = 0u64;
+            let mut max_iters = 0usize;
+            let mut resolved_frac_sum = 0.0;
+            for _ in 0..trials {
+                let reqs = RequestMatrix::random(n, 1.0, &mut gen);
+                let before = reqs.len() as f64;
+                let (_, stats) = pim.schedule_with_stats(&reqs);
+                total_iters += stats.iterations_run as u64;
+                max_iters = max_iters.max(stats.iterations_run);
+                if before > 0.0 {
+                    resolved_frac_sum +=
+                        1.0 - stats.unresolved_after[0] as f64 / before;
+                }
+            }
+            AppendixARow {
+                n,
+                mean_iterations: total_iters as f64 / trials as f64,
+                max_iterations: max_iters,
+                bound: (n as f64).log2() + 4.0 / 3.0,
+                first_iter_resolution: resolved_frac_sum / trials as f64,
+            }
+        })
+        .collect();
+    AppendixAResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_bound_holds_across_sizes() {
+        let r = run(&[4, 8, 16, 32, 64], Effort::Quick, 9);
+        for row in &r.rows {
+            assert!(
+                row.mean_iterations <= row.bound,
+                "N={}: mean {} > bound {}",
+                row.n,
+                row.mean_iterations,
+                row.bound
+            );
+            assert!(
+                row.first_iter_resolution >= 0.75,
+                "N={}: resolution {}",
+                row.n,
+                row.first_iter_resolution
+            );
+        }
+        // Growth is logarithmic-ish: doubling N adds well under 1.5
+        // iterations on average.
+        for w in r.rows.windows(2) {
+            assert!(w[1].mean_iterations - w[0].mean_iterations < 1.5);
+        }
+        assert!(r.render().contains("log2(N)"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Appendix B: CBR latency and buffer bounds under clock drift.
+//!
+//! Sweeps path length and clock adversary, checking the Formula 3 latency
+//! bound and Formula 5 buffer bound empirically.
+
+use crate::Effort;
+use an2_net::cbr::{simulate_cbr_chain, CbrChainConfig, CbrChainReport};
+use an2_net::clock::ClockPolicy;
+use std::fmt::Write as _;
+
+/// One configuration's measurement against its bounds.
+#[derive(Clone, Debug)]
+pub struct AppendixBRow {
+    /// Hops in the path.
+    pub hops: usize,
+    /// Reserved cells per frame.
+    pub cells_per_frame: usize,
+    /// Label of the clock adversary used.
+    pub policy: &'static str,
+    /// The simulated report (observations and bounds).
+    pub report: CbrChainReport,
+}
+
+/// The full Appendix B sweep.
+#[derive(Clone, Debug)]
+pub struct AppendixBResult {
+    /// One row per (hops, policy, k) combination.
+    pub rows: Vec<AppendixBRow>,
+}
+
+impl AppendixBResult {
+    /// Formats the result.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# Appendix B: CBR latency/buffer bounds under unsynchronized clocks"
+        );
+        let _ = writeln!(
+            out,
+            "{:>4} {:>3} {:>14} {:>12} {:>12} {:>10} {:>12} {:>6}",
+            "hops", "k", "policy", "max latency", "bound (F3)", "peak buf", "bound (F5)", "ok"
+        );
+        for r in &self.rows {
+            let peak = r.report.peak_buffer.iter().max().copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:>4} {:>3} {:>14} {:>12.1} {:>12.1} {:>10} {:>12.2} {:>6}",
+                r.hops,
+                r.cells_per_frame,
+                r.policy,
+                r.report.max_adjusted_latency,
+                r.report.latency_bound,
+                peak,
+                r.report.buffer_bound,
+                if r.report.within_bounds() { "yes" } else { "NO" }
+            );
+        }
+        out
+    }
+
+    /// `true` if every row is within both bounds.
+    pub fn all_within_bounds(&self) -> bool {
+        self.rows.iter().all(|r| r.report.within_bounds())
+    }
+}
+
+/// Runs the Appendix B sweep.
+pub fn run(effort: Effort, seed: u64) -> AppendixBResult {
+    let frames = effort.scale(300, 5_000);
+    let policies: [(&'static str, ClockPolicy); 3] = [
+        ("constant", ClockPolicy::Constant(0.5)),
+        ("random", ClockPolicy::Random),
+        (
+            "slow-then-fast",
+            ClockPolicy::SlowThenFast {
+                slow_frames: 25,
+                fast_frames: 25,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for hops in [1usize, 2, 4, 8] {
+        for (label, policy) in &policies {
+            for k in [1usize, 4] {
+                let mut cfg = CbrChainConfig {
+                    hops,
+                    cells_per_frame: k,
+                    switch_frame_slots: 100,
+                    controller_stuffing: 0,
+                    slot_time: 1.0,
+                    tolerance: 0.01,
+                    link_latency: 3.0,
+                    frames,
+                };
+                cfg.controller_stuffing = cfg.min_stuffing();
+                let report = simulate_cbr_chain(
+                    &cfg,
+                    policy.clone(),
+                    policy.clone(),
+                    seed ^ (hops as u64) << 8 ^ k as u64,
+                );
+                rows.push(AppendixBRow {
+                    hops,
+                    cells_per_frame: k,
+                    policy: label,
+                    report,
+                });
+            }
+        }
+    }
+    AppendixBResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_configuration_respects_the_bounds() {
+        let r = run(Effort::Quick, 17);
+        assert!(r.all_within_bounds(), "{}", r.render());
+        assert_eq!(r.rows.len(), 4 * 3 * 2);
+        // Latency observations grow with hops within each policy/k group.
+        let one_hop = &r.rows[0].report;
+        let eight_hop = &r.rows[r.rows.len() - 6].report;
+        assert!(eight_hop.max_adjusted_latency > one_hop.max_adjusted_latency);
+        // Bounds are not vacuous: observed latency reaches a decent
+        // fraction of the bound somewhere in the sweep.
+        let tightest = r
+            .rows
+            .iter()
+            .map(|row| row.report.max_adjusted_latency / row.report.latency_bound)
+            .fold(0.0f64, f64::max);
+        assert!(tightest > 0.3, "latency bound slack everywhere: {tightest}");
+    }
+}

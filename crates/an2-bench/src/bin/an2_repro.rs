@@ -1,0 +1,217 @@
+//! `an2-repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! an2-repro <experiment> [--full] [--seed N]
+//! ```
+//!
+//! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig67 fig8 fig9
+//! karol latency95 appendix-a appendix-b appendix-c ablate-sched
+//! ablate-rng all`.
+//!
+//! By default runs at `--quick` statistics (seconds per experiment); pass
+//! `--full` for paper-scale sample counts.
+
+use an2_bench::{
+    appendix_a, appendix_b, appendix_c, delay_curves, fairness_exp, fig1, frames_demo, karol,
+    latency95, rng_ablation, stat_fairness, subframes, table1, table2, Effort,
+};
+use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
+
+const USAGE: &str = "usage: an2-repro <experiment> [--full] [--seed N] [--out DIR]
+experiments:
+  table1       % of matches found within K PIM iterations (Table 1)
+  table2       AN2 component cost breakdown (Table 2)
+  fig1         FIFO stationary blocking vs PIM (Figure 1)
+  fig2         one traced PIM run on the paper's 4x4 pattern (Figure 2)
+  fig3         delay vs load: fifo/pim4/output-queued, uniform (Figure 3)
+  fig4         delay vs load, client-server workload (Figure 4)
+  fig5         delay vs load by PIM iteration count (Figure 5)
+  fig67        CBR frame schedule + rearrangement demo (Figures 6-7)
+  fig8         PIM single-switch unfairness (Figure 8)
+  fig9         chain-of-switches unfairness (Figure 9)
+  karol        FIFO saturation throughput vs N (~58%)
+  latency95    the <13us mean delay at 95% load claim
+  appendix-a   O(log N) iterations bound
+  appendix-b   CBR latency/buffer bounds under clock drift
+  appendix-c   statistical matching 63%/72% throughput
+  ablate-sched PIM vs iSLIP vs RRM vs maximum matching
+  ablate-rng   PIM sensitivity to RNG quality
+  ablate-speedup  fabric speedup k (k-grant PIM + output buffers)
+  stat-fairness   statistical matching repairing Figure 8's unfairness
+  subframes    frame subdivision latency/granularity trade-off (§4)
+  all          everything above";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let mut effort = Effort::Quick;
+    let mut seed = 0xA52_1992u64;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--full" => effort = Effort::Full,
+            "--quick" => effort = Effort::Quick,
+            "--seed" => {
+                i += 1;
+                seed = rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                let dir = rest.get(i).unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                });
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let known = [
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig67",
+        "fig8",
+        "fig9",
+        "karol",
+        "latency95",
+        "appendix-a",
+        "appendix-b",
+        "appendix-c",
+        "ablate-sched",
+        "ablate-rng",
+        "ablate-speedup",
+        "stat-fairness",
+        "subframes",
+    ];
+    match cmd.as_str() {
+        "all" => {
+            for name in known {
+                run_one(name, effort, seed, out_dir.as_deref());
+                println!();
+            }
+        }
+        name if known.contains(&name) => run_one(name, effort, seed, out_dir.as_deref()),
+        "-h" | "--help" | "help" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown experiment {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_one(name: &str, effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
+    let started = std::time::Instant::now();
+    let out = match name {
+        "table1" => table1::run(16, effort, seed).render(),
+        "table2" => table2::render(),
+        "fig1" => fig1::run(16, effort, seed).render(),
+        "fig2" => fig2_trace(seed),
+        "fig3" => delay_curves::figure_3(effort).render(),
+        "fig4" => delay_curves::figure_4(effort).render(),
+        "fig5" => delay_curves::figure_5(effort).render(),
+        "fig67" => frames_demo::run(),
+        "fig8" => fairness_exp::figure_8(effort, seed).render(),
+        "fig9" => fairness_exp::figure_9(effort, seed).render(),
+        "karol" => karol::run(&[4, 8, 16, 32, 64], effort, seed).render(),
+        "latency95" => latency95::run(effort, seed).render(),
+        "appendix-a" => appendix_a::run(&[4, 8, 16, 32, 64, 128], effort, seed).render(),
+        "appendix-b" => appendix_b::run(effort, seed).render(),
+        "appendix-c" => appendix_c::run(effort, seed).render(),
+        "ablate-sched" => delay_curves::ablate_schedulers(effort).render(),
+        "ablate-rng" => rng_ablation::run(effort, seed).render(),
+        "ablate-speedup" => delay_curves::ablate_speedup(effort).render(),
+        "stat-fairness" => stat_fairness::run(effort, seed).render(),
+        "subframes" => subframes::run(effort, seed).render(),
+        _ => unreachable!("validated by caller"),
+    };
+    print!("{out}");
+    if let Some(dir) = out_dir {
+        let path = dir.join(format!("{name}.txt"));
+        if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!("[{name} finished in {:.1?}]", started.elapsed());
+}
+
+/// Figure 2: trace one PIM scheduling decision on the paper's request
+/// pattern (also available as the `pim_trace` example with commentary).
+fn fig2_trace(seed: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 2: one PIM run on the paper's 4x4 pattern (1-based ports)"
+    );
+    let reqs = RequestMatrix::from_pairs(4, [(0, 1), (0, 3), (1, 1), (2, 1), (3, 3)]);
+    let mut pim = Pim::with_options(4, seed, IterationLimit::ToCompletion, AcceptPolicy::Random);
+    let (m, _) = pim.schedule_traced(&reqs, &mut |rec| {
+        let _ = writeln!(out, "iteration {}:", rec.iteration);
+        for (j, reqs) in rec.requests.iter().enumerate() {
+            if !reqs.is_empty() {
+                let from: Vec<String> = reqs.iter().map(|i| (i + 1).to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  output {} requested by inputs {}",
+                    j + 1,
+                    from.join(",")
+                );
+            }
+        }
+        for (i, grants) in rec.grants.iter().enumerate() {
+            if !grants.is_empty() {
+                let from: Vec<String> = grants.iter().map(|j| (j + 1).to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  input {} granted by outputs {}",
+                    i + 1,
+                    from.join(",")
+                );
+            }
+        }
+        for (i, j) in &rec.accepts {
+            let _ = writeln!(
+                out,
+                "  accept: input {} -> output {}",
+                i.index() + 1,
+                j.index() + 1
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  unresolved requests remaining: {}",
+            rec.unresolved_after
+        );
+    });
+    let pairs: Vec<String> = m
+        .pairs()
+        .map(|(i, j)| format!("{}->{}", i.index() + 1, j.index() + 1))
+        .collect();
+    let _ = writeln!(out, "final matching: {}", pairs.join(", "));
+    out
+}

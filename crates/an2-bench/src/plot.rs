@@ -1,0 +1,169 @@
+//! Minimal ASCII scatter plots for the delay-vs-load figures.
+//!
+//! The paper presents Figures 3–5 as log-scale delay curves; the harness
+//! prints the numeric tables (exact) plus these plots (shape at a
+//! glance). No plotting dependency — the renderer is ~a hundred lines of
+//! character placement.
+
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// Renders a scatter plot of `series` (label, points) into a text block.
+///
+/// `log_y` plots `log10(y)` (points with `y <= 0` are clamped to the
+/// bottom row). Overlapping points keep the glyph drawn first (series
+/// order = legend priority).
+///
+/// # Panics
+///
+/// Panics if `width < 16`, `height < 4`, or any coordinate is non-finite.
+pub fn ascii_plot(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) -> String {
+    assert!(width >= 16, "plot width must be at least 16");
+    assert!(height >= 4, "plot height must be at least 4");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    assert!(
+        all.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+        "plot coordinates must be finite"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if all.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let map_y = |y: f64| if log_y { y.max(1e-3).log10() } else { y };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(map_y(y));
+        y_max = y_max.max(map_y(y));
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (s_idx, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[s_idx % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((map_y(y) - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            if grid[row][cx] == ' ' {
+                grid[row][cx] = glyph;
+            }
+        }
+    }
+    // Y-axis labels at top, middle, bottom (in original units).
+    let unmap = |v: f64| if log_y { 10f64.powf(v) } else { v };
+    let label_for_row = |row: usize| {
+        let frac = (height - 1 - row) as f64 / (height - 1) as f64;
+        unmap(y_min + frac * (y_max - y_min))
+    };
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row == 0 || row == height / 2 || row == height - 1 {
+            format!("{:>9.2}", label_for_row(row))
+        } else {
+            " ".repeat(9)
+        };
+        let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{}{:<10}{}{:>10}",
+        " ".repeat(11),
+        format!("{x_min:.2}"),
+        " ".repeat(width.saturating_sub(20)),
+        format!("{x_max:.2}")
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+        .collect();
+    let _ = writeln!(out, "{} {}", " ".repeat(10), legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_axes_and_glyphs() {
+        let s = ascii_plot(
+            "demo",
+            &[
+                ("a", vec![(0.0, 1.0), (1.0, 10.0)]),
+                ("b", vec![(0.5, 5.0)]),
+            ],
+            40,
+            10,
+            true,
+        );
+        assert!(s.contains("demo"));
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+        assert!(s.contains("* a"));
+        assert!(s.contains("+ b"));
+        assert!(s.contains("0.00"));
+        assert!(s.contains("1.00"));
+    }
+
+    #[test]
+    fn empty_series_say_so() {
+        let s = ascii_plot("empty", &[("a", vec![])], 40, 8, false);
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn extremes_land_on_plot_corners() {
+        let s = ascii_plot(
+            "corners",
+            &[("a", vec![(0.0, 0.0), (1.0, 1.0)])],
+            20,
+            5,
+            false,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        // Row 1 (top of grid) ends with the high point; the bottom grid
+        // row starts with the low point right after the axis margin.
+        assert!(lines[1].ends_with('*'), "{s}");
+        assert!(lines[5].contains("|*"), "{s}");
+    }
+
+    #[test]
+    fn log_scale_compresses_large_values() {
+        // With log scaling, 1 -> 0 and 1000 -> 3: a midpoint of 31.6
+        // lands mid-grid rather than hugging the bottom.
+        let s = ascii_plot(
+            "log",
+            &[("a", vec![(0.0, 1.0), (0.5, 31.6), (1.0, 1000.0)])],
+            21,
+            7,
+            true,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        let mid_row = 1 + 3; // title + half of 7 rows
+        assert!(lines[mid_row].contains('*'), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_panics() {
+        let _ = ascii_plot("bad", &[("a", vec![(0.0, f64::NAN)])], 20, 5, false);
+    }
+}

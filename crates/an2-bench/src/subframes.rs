@@ -1,0 +1,148 @@
+//! Frame subdivision — §4's proposed latency/granularity trade-off.
+//!
+//! "A smaller frame size would provide lower CBR latency, but ... it
+//! would entail a larger granularity in bandwidth reservations. We are
+//! considering schemes in which a large frame is subdivided into smaller
+//! frames."
+//!
+//! Two measurements:
+//!
+//! 1. **End-to-end**: the same reserved rate carried as `k` cells per
+//!    large frame vs 1 cell per small (sub)frame across a multi-hop chain
+//!    with drifting clocks — the latency bound and the observed worst
+//!    case both shrink by the subdivision factor.
+//! 2. **Per-switch service gap**: a [`SubframeSchedule`] with spread vs
+//!    packed placement of the same cells-per-frame reservation.
+
+use crate::Effort;
+use an2_net::cbr::{simulate_cbr_chain, CbrChainConfig};
+use an2_net::clock::ClockPolicy;
+use an2_sched::subframe::{Placement, SubframeSchedule};
+use an2_sched::{InputPort, OutputPort};
+use std::fmt::Write as _;
+
+/// Result of the subdivision experiment.
+#[derive(Clone, Debug)]
+pub struct SubframesResult {
+    /// (label, observed max adjusted latency, Formula 3 bound) for the
+    /// coarse and subdivided realizations of the same rate.
+    pub chain: [(String, f64, f64); 2],
+    /// (subframes, spread max service gap, packed max service gap).
+    pub gaps: (usize, usize, usize),
+}
+
+impl SubframesResult {
+    /// Formats the result.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# Frame subdivision (§4): same reserved rate, smaller scheduling frames"
+        );
+        for (label, obs, bound) in &self.chain {
+            let _ = writeln!(
+                out,
+                "{label:<42} max adjusted latency {obs:>8.1} (bound {bound:>8.1})"
+            );
+        }
+        let (s, spread, packed) = self.gaps;
+        let _ = writeln!(
+            out,
+            "per-switch service gap, {s}-way subdivision: spread {spread} slots vs packed {packed} slots"
+        );
+        let _ = writeln!(
+            out,
+            "(lower latency costs granularity: spread reservations must be multiples of {s} cells/frame)"
+        );
+        out
+    }
+}
+
+/// Runs the experiment.
+pub fn run(effort: Effort, seed: u64) -> SubframesResult {
+    let frames = effort.scale(300, 3_000);
+    // The same reserved rate: 5 cells per 500-slot frame, or 1 cell per
+    // 100-slot frame (a 5-way subdivision).
+    let mk = |frame_slots: usize, k: usize, n_frames: u64| {
+        let mut cfg = CbrChainConfig {
+            hops: 4,
+            cells_per_frame: k,
+            switch_frame_slots: frame_slots,
+            controller_stuffing: 0,
+            slot_time: 1.0,
+            tolerance: 0.01,
+            link_latency: 3.0,
+            frames: n_frames,
+        };
+        cfg.controller_stuffing = cfg.min_stuffing();
+        let r = simulate_cbr_chain(
+            &cfg,
+            ClockPolicy::Random,
+            ClockPolicy::SlowThenFast {
+                slow_frames: 20,
+                fast_frames: 20,
+            },
+            seed,
+        );
+        assert!(r.within_bounds(), "{r}");
+        (r.max_adjusted_latency, r.latency_bound)
+    };
+    let (coarse_obs, coarse_bound) = mk(500, 5, frames);
+    let (fine_obs, fine_bound) = mk(100, 1, frames * 5);
+
+    // Per-switch service gaps.
+    let subframes = 5;
+    let mut spread_fs = SubframeSchedule::new(4, 500, subframes);
+    spread_fs
+        .reserve(InputPort::new(0), OutputPort::new(1), 5, Placement::Spread)
+        .expect("empty schedule admits the reservation");
+    let mut packed_fs = SubframeSchedule::new(4, 500, subframes);
+    packed_fs
+        .reserve(InputPort::new(0), OutputPort::new(1), 5, Placement::Packed)
+        .expect("empty schedule admits the reservation");
+    let spread_gap = spread_fs
+        .max_service_gap(InputPort::new(0), OutputPort::new(1))
+        .expect("reservation present");
+    let packed_gap = packed_fs
+        .max_service_gap(InputPort::new(0), OutputPort::new(1))
+        .expect("reservation present");
+
+    SubframesResult {
+        chain: [
+            (
+                "5 cells / 500-slot frame (coarse):".to_string(),
+                coarse_obs,
+                coarse_bound,
+            ),
+            (
+                "1 cell / 100-slot frame (5-way subdivision):".to_string(),
+                fine_obs,
+                fine_bound,
+            ),
+        ],
+        gaps: (subframes, spread_gap, packed_gap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subdivision_shrinks_latency_by_its_factor() {
+        let r = run(Effort::Quick, 3);
+        let (_, coarse_obs, coarse_bound) = &r.chain[0];
+        let (_, fine_obs, fine_bound) = &r.chain[1];
+        // Bounds scale with frame duration: 5x smaller frames, ~5x bound.
+        let bound_ratio = coarse_bound / fine_bound;
+        assert!((bound_ratio - 5.0).abs() < 0.5, "bound ratio {bound_ratio}");
+        // Observed worst case improves by a similar factor.
+        let obs_ratio = coarse_obs / fine_obs;
+        assert!(obs_ratio > 3.0, "observed ratio {obs_ratio}");
+        // Service gaps: spread is sub-frame scale; packed is frame scale.
+        let (s, spread, packed) = r.gaps;
+        assert!(spread <= 2 * 500 / s, "spread gap {spread}");
+        assert!(packed > 500 / s, "packed gap {packed}");
+        assert!(r.render().contains("subdivision"));
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end tests of the `an2-repro` command-line interface.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_an2-repro"))
+}
+
+#[test]
+fn help_lists_every_experiment() {
+    let out = repro().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig67",
+        "fig9",
+        "karol",
+        "latency95",
+        "appendix-a",
+        "appendix-b",
+        "appendix-c",
+        "ablate-sched",
+        "ablate-rng",
+        "ablate-speedup",
+        "stat-fairness",
+        "subframes",
+    ] {
+        assert!(text.contains(name), "usage is missing {name}");
+    }
+}
+
+#[test]
+fn unknown_experiment_exits_with_usage_error() {
+    let out = repro().arg("frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn missing_experiment_exits_with_usage_error() {
+    let out = repro().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = repro()
+        .args(["table2", "--frob"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn table2_renders_instantly() {
+    let out = repro().arg("table2").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Optoelectronics"));
+    assert!(text.contains("48%"));
+}
+
+#[test]
+fn fig2_trace_is_deterministic_per_seed() {
+    let run = |seed: &str| {
+        let out = repro()
+            .args(["fig2", "--seed", seed])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(run("7"), run("7"));
+    assert!(run("7").contains("final matching"));
+}
+
+#[test]
+fn out_dir_receives_experiment_files() {
+    let dir = std::env::temp_dir().join(format!("an2-repro-cli-{}", std::process::id()));
+    let out = repro()
+        .args(["table2", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(dir.join("table2.txt")).expect("file written");
+    assert!(written.contains("Optoelectronics"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

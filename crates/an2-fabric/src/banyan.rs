@@ -1,0 +1,291 @@
+//! Self-routing banyan (omega) networks and the batcher-banyan (§2.2).
+//!
+//! A banyan network routes each cell by its destination bits through
+//! `log2 N` stages of 2×2 elements — no central control, `O(N log N)`
+//! hardware. The price is *internal blocking*: two cells bound for
+//! different outputs can still need the same internal link.
+//!
+//! "Internal blocking can be avoided by observing that banyan networks
+//! are internally non-blocking if cells are sorted according to output
+//! destination and then shuffled before being placed into the network"
+//! — the [`BatcherBanyan`] combination.
+
+use crate::batcher::BatcherSorter;
+use crate::{validate_cells, Fabric, FabricCell, RouteOutcome};
+
+/// A bare omega-topology banyan network: self-routing, internally
+/// blocking for general traffic.
+///
+/// Routing model: `log2 N` stages; before each stage the lanes are
+/// perfect-shuffled, then each 2×2 element forwards by the next
+/// most-significant destination bit. Two cells needing the same element
+/// output in the same stage conflict; the one from the lower current lane
+/// wins, the other is dropped (counted in
+/// [`RouteOutcome::blocked`]).
+///
+/// # Examples
+///
+/// ```
+/// use an2_fabric::{Banyan, Fabric};
+/// let banyan = Banyan::new(8);
+/// // A single cell always routes cleanly.
+/// assert!(banyan.route(&[(3, 6)]).is_clean());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Banyan {
+    n: usize,
+    k: u32,
+}
+
+impl Banyan {
+    /// Creates an `n`-port banyan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is `< 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "banyan size {n} must be a power of two >= 2"
+        );
+        Self {
+            n,
+            k: n.trailing_zeros(),
+        }
+    }
+
+    /// Number of 2×2 switching elements, `(N/2)·log2 N`.
+    pub fn elements(&self) -> usize {
+        self.n / 2 * self.k as usize
+    }
+
+    /// Routes cells injected at explicit network lanes (used by the
+    /// batcher-banyan, whose sorter decides the lanes). `cells[k] =
+    /// (lane, destination, tag)`.
+    fn route_from_lanes(&self, mut cells: Vec<(usize, usize, usize)>) -> (Vec<usize>, Vec<usize>) {
+        let mask = self.n - 1;
+        let mut delivered_tags = Vec::new();
+        let mut blocked_tags = Vec::new();
+        for s in 0..self.k {
+            // Per-stage target lanes; conflicts resolved lowest-lane-first.
+            cells.sort_unstable_by_key(|&(lane, _, _)| lane);
+            let mut used = vec![false; self.n];
+            let mut survivors = Vec::with_capacity(cells.len());
+            for (lane, dst, tag) in cells {
+                let bit = (dst >> (self.k - 1 - s)) & 1;
+                let next = ((lane << 1) & mask) | bit;
+                if used[next] {
+                    blocked_tags.push(tag);
+                } else {
+                    used[next] = true;
+                    survivors.push((next, dst, tag));
+                }
+            }
+            cells = survivors;
+        }
+        for (lane, dst, tag) in cells {
+            debug_assert_eq!(lane, dst, "banyan self-routing must land on the destination");
+            delivered_tags.push(tag);
+        }
+        (delivered_tags, blocked_tags)
+    }
+}
+
+impl Fabric for Banyan {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &'static str {
+        "banyan"
+    }
+
+    fn route(&self, cells: &[FabricCell]) -> RouteOutcome {
+        validate_cells(self.n, cells);
+        let tagged: Vec<(usize, usize, usize)> = cells
+            .iter()
+            .enumerate()
+            .map(|(tag, &(i, j))| (i, j, tag))
+            .collect();
+        let (delivered, blocked) = self.route_from_lanes(tagged);
+        RouteOutcome {
+            delivered: delivered.into_iter().map(|t| cells[t]).collect(),
+            blocked: blocked.into_iter().map(|t| cells[t]).collect(),
+        }
+    }
+}
+
+/// The internally non-blocking batcher-banyan: a Batcher bitonic sorter
+/// concentrates and orders the cells by destination, after which the
+/// banyan routes them without conflict — for *any* partial permutation.
+///
+/// # Examples
+///
+/// ```
+/// use an2_fabric::{BatcherBanyan, Fabric};
+/// let fabric = BatcherBanyan::new(8);
+/// // The bit-reversal permutation blocks a bare banyan, but not this.
+/// let cells: Vec<(usize, usize)> =
+///     (0..8).map(|i| (i, (i as u32).reverse_bits() as usize >> 29)).collect();
+/// assert!(fabric.route(&cells).is_clean());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatcherBanyan {
+    banyan: Banyan,
+    sorter: BatcherSorter,
+}
+
+impl BatcherBanyan {
+    /// Creates an `n`-port batcher-banyan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is `< 2`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            banyan: Banyan::new(n),
+            sorter: BatcherSorter::new(n),
+        }
+    }
+
+    /// Total switching hardware: sorter comparators + banyan elements,
+    /// `O(N log² N)` — the cost the paper weighs against the crossbar's
+    /// `O(N²)`.
+    pub fn elements(&self) -> usize {
+        self.sorter.comparators() + self.banyan.elements()
+    }
+}
+
+impl Fabric for BatcherBanyan {
+    fn ports(&self) -> usize {
+        self.banyan.ports()
+    }
+
+    fn name(&self) -> &'static str {
+        "batcher-banyan"
+    }
+
+    fn route(&self, cells: &[FabricCell]) -> RouteOutcome {
+        let n = self.ports();
+        validate_cells(n, cells);
+        // Sorter keys: destination for occupied lanes, +inf (n) for idle
+        // lanes, so real cells exit concentrated at the top, monotone.
+        let mut keys = vec![n; n];
+        let mut tag_of_input = vec![usize::MAX; n];
+        for (tag, &(i, j)) in cells.iter().enumerate() {
+            keys[i] = j;
+            tag_of_input[i] = tag;
+        }
+        let final_lane = self.sorter.sort_tracked(&mut keys);
+        let lanes: Vec<(usize, usize, usize)> = cells
+            .iter()
+            .enumerate()
+            .map(|(tag, &(i, j))| (final_lane[i], j, tag))
+            .collect();
+        let (delivered, blocked) = self.banyan.route_from_lanes(lanes);
+        debug_assert!(
+            blocked.is_empty(),
+            "batcher-banyan must be internally non-blocking"
+        );
+        RouteOutcome {
+            delivered: delivered.into_iter().map(|t| cells[t]).collect(),
+            blocked: blocked.into_iter().map(|t| cells[t]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A partial permutation strategy on `0..n`.
+    fn partial_permutation(n: usize) -> impl Strategy<Value = Vec<FabricCell>> {
+        (
+            Just((0..n).collect::<Vec<usize>>()).prop_shuffle(),
+            proptest::collection::vec(proptest::bool::ANY, n),
+        )
+            .prop_map(move |(outs, present)| {
+                (0..n)
+                    .filter(|&i| present[i])
+                    .map(|i| (i, outs[i]))
+                    .collect()
+            })
+    }
+
+    #[test]
+    fn element_counts() {
+        let b = Banyan::new(16);
+        assert_eq!(b.elements(), 8 * 4);
+        let bb = BatcherBanyan::new(16);
+        assert_eq!(bb.elements(), 8 * 10 + 32);
+        assert_eq!(bb.name(), "batcher-banyan");
+        assert_eq!(b.name(), "banyan");
+    }
+
+    #[test]
+    fn banyan_delivers_concentrated_monotone_traffic() {
+        // Cells at lanes 0..m with increasing destinations: never blocks.
+        let b = Banyan::new(16);
+        let cells: Vec<FabricCell> = (0..10).map(|i| (i, i + 3)).collect();
+        let out = b.route(&cells);
+        assert!(out.is_clean(), "blocked: {:?}", out.blocked);
+        assert_eq!(out.delivered.len(), 10);
+    }
+
+    #[test]
+    fn bare_banyan_blocks_some_permutations() {
+        // Among random full permutations of a 16-port banyan, internal
+        // blocking is the norm; find at least one (bit-reversal is the
+        // classic example and is checked explicitly).
+        let b = Banyan::new(8);
+        let bit_reverse =
+            |i: usize| ((i & 1) << 2) | (i & 2) | ((i & 4) >> 2);
+        let cells: Vec<FabricCell> = (0..8).map(|i| (i, bit_reverse(i))).collect();
+        let out = b.route(&cells);
+        assert!(
+            !out.is_clean(),
+            "bit-reversal should block a bare banyan: {out:?}"
+        );
+        // Conservation: every cell is either delivered or blocked.
+        assert_eq!(out.delivered.len() + out.blocked.len(), 8);
+    }
+
+    #[test]
+    fn single_cells_always_route() {
+        let b = Banyan::new(16);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!(b.route(&[(i, j)]).is_clean(), "({i},{j})");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn batcher_banyan_is_internally_non_blocking(cells in partial_permutation(16)) {
+            let fabric = BatcherBanyan::new(16);
+            let out = fabric.route(&cells);
+            prop_assert!(out.is_clean(), "blocked: {:?}", out.blocked);
+            prop_assert_eq!(out.delivered.len(), cells.len());
+        }
+
+        #[test]
+        fn batcher_banyan_32_ports(cells in partial_permutation(32)) {
+            let fabric = BatcherBanyan::new(32);
+            let out = fabric.route(&cells);
+            prop_assert!(out.is_clean(), "blocked: {:?}", out.blocked);
+        }
+
+        #[test]
+        fn banyan_outcome_conserves_cells(cells in partial_permutation(16)) {
+            let b = Banyan::new(16);
+            let out = b.route(&cells);
+            prop_assert_eq!(out.delivered.len() + out.blocked.len(), cells.len());
+            // Delivered cells really were requested.
+            for c in &out.delivered {
+                prop_assert!(cells.contains(c));
+            }
+        }
+    }
+}

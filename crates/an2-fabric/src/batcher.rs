@@ -1,0 +1,189 @@
+//! Batcher's bitonic sorting network (Batcher 1968), the front half of
+//! the batcher-banyan fabric.
+//!
+//! A sorting network is a fixed schedule of compare-exchange elements —
+//! exactly what a hardware sorter is. Cells are sorted by destination;
+//! idle inputs sort to the end, so the sorter's output is a *concentrated,
+//! monotone* sequence, which is the precondition for conflict-free banyan
+//! routing.
+
+/// A bitonic sorting network over `n = 2^k` lanes.
+///
+/// # Examples
+///
+/// ```
+/// use an2_fabric::BatcherSorter;
+/// let sorter = BatcherSorter::new(8);
+/// let mut lanes = vec![5u32, 1, 7, 0, 3, 2, 6, 4];
+/// sorter.sort(&mut lanes);
+/// assert_eq!(lanes, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatcherSorter {
+    n: usize,
+    /// Compare-exchange schedule: stages of disjoint `(lo, hi)` lane pairs.
+    stages: Vec<Vec<(usize, usize)>>,
+}
+
+impl BatcherSorter {
+    /// Builds the network for `n` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "lane count {n} must be a power of two");
+        let mut stages = Vec::new();
+        // Standard iterative bitonic sort: block size k doubles; within a
+        // block, sub-stages with stride j halving.
+        let mut k = 2;
+        while k <= n {
+            let mut j = k / 2;
+            while j >= 1 {
+                let mut stage = Vec::with_capacity(n / 2);
+                for i in 0..n {
+                    let partner = i ^ j;
+                    if partner > i {
+                        // Direction: ascending when bit `k` of i is 0.
+                        if i & k == 0 {
+                            stage.push((i, partner));
+                        } else {
+                            stage.push((partner, i));
+                        }
+                    }
+                }
+                stages.push(stage);
+                j /= 2;
+            }
+            k *= 2;
+        }
+        Self { n, stages }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// Total compare-exchange elements — the hardware cost,
+    /// `(n/2)·k·(k+1)/2` for `n = 2^k`.
+    pub fn comparators(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Network depth in stages (the latency), `k·(k+1)/2`.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Sorts `lanes` in place, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != self.lanes()`.
+    pub fn sort<T: Ord + Copy>(&self, lanes: &mut [T]) {
+        assert_eq!(lanes.len(), self.n, "need exactly one value per lane");
+        for stage in &self.stages {
+            for &(lo, hi) in stage {
+                // Compare-exchange: smaller value to `lo`.
+                if lanes[lo] > lanes[hi] {
+                    lanes.swap(lo, hi);
+                }
+            }
+        }
+    }
+
+    /// Sorts and additionally returns, for each original lane, the lane it
+    /// ended up in (the permutation a physical cell would follow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != self.lanes()`.
+    pub fn sort_tracked<T: Ord + Copy>(&self, lanes: &mut [T]) -> Vec<usize> {
+        assert_eq!(lanes.len(), self.n, "need exactly one value per lane");
+        let mut position: Vec<usize> = (0..self.n).collect();
+        // Track (value, original lane) pairs through the network; ties
+        // break by original lane, keeping the network deterministic.
+        let mut tagged: Vec<(T, usize)> =
+            lanes.iter().copied().zip(0..self.n).collect();
+        for stage in &self.stages {
+            for &(lo, hi) in stage {
+                if tagged[lo] > tagged[hi] {
+                    tagged.swap(lo, hi);
+                }
+            }
+        }
+        for (final_lane, &(v, orig)) in tagged.iter().enumerate() {
+            lanes[final_lane] = v;
+            position[orig] = final_lane;
+        }
+        position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_every_rotation() {
+        let sorter = BatcherSorter::new(16);
+        for rot in 0..16 {
+            let mut v: Vec<u32> = (0..16).map(|i| ((i + rot) % 16) as u32).collect();
+            sorter.sort(&mut v);
+            assert_eq!(v, (0..16).map(|x| x as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn comparator_and_depth_formulas() {
+        for k in 1..=6 {
+            let n = 1 << k;
+            let s = BatcherSorter::new(n);
+            assert_eq!(s.lanes(), n);
+            assert_eq!(s.depth(), k * (k + 1) / 2);
+            assert_eq!(s.comparators(), n / 2 * k * (k + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn sort_tracked_reports_final_lanes() {
+        let sorter = BatcherSorter::new(8);
+        let original = vec![30u32, 10, 20, 70, 50, 40, 60, 0];
+        let mut lanes = original.clone();
+        let pos = sorter.sort_tracked(&mut lanes);
+        assert_eq!(lanes, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        for (orig_lane, &final_lane) in pos.iter().enumerate() {
+            assert_eq!(lanes[final_lane], original[orig_lane]);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_sort_stably_by_tag() {
+        let sorter = BatcherSorter::new(4);
+        let mut lanes = vec![1u32, 0, 1, 0];
+        let pos = sorter.sort_tracked(&mut lanes);
+        assert_eq!(lanes, vec![0, 0, 1, 1]);
+        // Equal keys keep original-lane order (ties break by tag).
+        assert!(pos[1] < pos[3]);
+        assert!(pos[0] < pos[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = BatcherSorter::new(6);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn sorts_arbitrary_inputs(v in proptest::collection::vec(0u32..1000, 32)) {
+            let sorter = BatcherSorter::new(32);
+            let mut lanes = v.clone();
+            sorter.sort(&mut lanes);
+            let mut expect = v;
+            expect.sort_unstable();
+            proptest::prop_assert_eq!(lanes, expect);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Switch data-path fabrics — the §2.2 design space.
+//!
+//! The paper's scheduler assumes "that data can be forwarded through the
+//! switch with no internal blocking; this can be implemented using either
+//! a crossbar or a batcher-banyan network." This crate models that design
+//! space at the level the paper discusses it:
+//!
+//! * [`Crossbar`] — trivially non-blocking, `O(N²)` crosspoints (AN2's
+//!   choice: "simpler and has lower latency").
+//! * [`Banyan`] — a self-routing multistage network, `O(N log N)`
+//!   elements, but subject to *internal blocking*: "a cell destined for
+//!   one output can be delayed (or even dropped) because of contention at
+//!   the internal switches with cells destined for other outputs."
+//! * [`BatcherSorter`] — Batcher's bitonic sorting network (Batcher 1968).
+//! * [`BatcherBanyan`] — sorter + banyan: "banyan networks are internally
+//!   non-blocking if cells are sorted according to output destination and
+//!   then shuffled before being placed into the network."
+//!
+//! [`Fabric::route`] takes the conflict-free cell set a scheduler chose
+//! for one slot and reports whether the fabric can transport it without
+//! internal contention — so the test suite can demonstrate that PIM's
+//! matchings always traverse a crossbar or batcher-banyan, while a bare
+//! banyan drops/blocks cells on many of the very same matchings.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod banyan;
+mod batcher;
+mod crossbar;
+
+pub use banyan::{Banyan, BatcherBanyan};
+pub use batcher::BatcherSorter;
+pub use crossbar::Crossbar;
+
+use an2_sched::Matching;
+
+/// One cell presented to the fabric: `(input port, output port)`.
+pub type FabricCell = (usize, usize);
+
+/// Outcome of trying to transport one slot's cells through a fabric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Cells that reached their outputs.
+    pub delivered: Vec<FabricCell>,
+    /// Cells lost to contention at internal elements (never non-empty for
+    /// internally non-blocking fabrics).
+    pub blocked: Vec<FabricCell>,
+}
+
+impl RouteOutcome {
+    /// `true` if every presented cell was delivered.
+    pub fn is_clean(&self) -> bool {
+        self.blocked.is_empty()
+    }
+}
+
+/// A switch data path: transports a set of cells, at most one per input
+/// and one per output, in a single cell slot.
+pub trait Fabric {
+    /// Number of ports.
+    fn ports(&self) -> usize;
+
+    /// A short label for reports.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to transport `cells` (a partial permutation) in one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not a partial permutation of `0..ports()`
+    /// (duplicate input or output, or port out of range) — schedulers
+    /// guarantee conflict-freedom at the ports; the fabric question is
+    /// purely about *internal* contention.
+    fn route(&self, cells: &[FabricCell]) -> RouteOutcome;
+
+    /// Routes a scheduler's [`Matching`] (convenience wrapper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matching size differs from the fabric's port count.
+    fn route_matching(&self, m: &Matching) -> RouteOutcome {
+        assert_eq!(m.n(), self.ports(), "matching size must equal fabric size");
+        let cells: Vec<FabricCell> =
+            m.pairs().map(|(i, j)| (i.index(), j.index())).collect();
+        self.route(&cells)
+    }
+}
+
+/// Validates that `cells` is a partial permutation on `0..n`.
+pub(crate) fn validate_cells(n: usize, cells: &[FabricCell]) {
+    let mut in_seen = vec![false; n];
+    let mut out_seen = vec![false; n];
+    for &(i, j) in cells {
+        assert!(i < n && j < n, "cell ({i},{j}) outside {n}-port fabric");
+        assert!(!in_seen[i], "two cells share input {i}");
+        assert!(!out_seen[j], "two cells share output {j}");
+        in_seen[i] = true;
+        out_seen[j] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "share input")]
+    fn duplicate_input_rejected() {
+        validate_cells(4, &[(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share output")]
+    fn duplicate_output_rejected() {
+        validate_cells(4, &[(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_rejected() {
+        validate_cells(4, &[(0, 4)]);
+    }
+
+    #[test]
+    fn route_matching_wrapper() {
+        use an2_sched::{InputPort, OutputPort};
+        let mut m = Matching::new(4);
+        m.pair(InputPort::new(0), OutputPort::new(3)).unwrap();
+        let fabric = Crossbar::new(4);
+        let out = fabric.route_matching(&m);
+        assert!(out.is_clean());
+        assert_eq!(out.delivered, vec![(0, 3)]);
+    }
+}

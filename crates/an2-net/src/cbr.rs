@@ -1,0 +1,450 @@
+//! End-to-end CBR guarantees under clock drift — §4 and Appendix B.
+//!
+//! A CBR flow reserves `k` cells per frame along a path of `p` switches.
+//! Every node times its frames with its own (drifting) clock; the
+//! controller's frame is padded with extra empty slots so that even the
+//! fastest controller frame outlasts the slowest switch frame
+//! (`F_c-min > F_s-max`). Under the paper's operating rules — at most `k`
+//! cells of the flow per frame, FIFO order, no needless delays — Appendix B
+//! proves two bounds that this module's simulation checks empirically:
+//!
+//! * **Latency** (Formula 3): the adjusted end-to-end latency of every cell
+//!   is at most `2p(F_s-max + l)`.
+//! * **Buffering** (Formula 5): the per-switch queue of the flow never
+//!   exceeds `k` times
+//!   `4 + ((F_s-max − F_s-min)/F_s-min)·(2 + ((2F_s-max + l)p + F_c-max)/(F_c-min − F_s-max))`.
+//!
+//! Because reserved flows are mutually independent ("each flow has its own
+//! reserved buffer space and bandwidth, the behavior of each flow is
+//! independent of the behavior of other flows"), a single flow on a chain
+//! is the exact object of study.
+
+use crate::clock::{ClockPolicy, FrameClock};
+use std::fmt;
+
+/// Configuration of a single-flow CBR chain experiment.
+#[derive(Clone, Debug)]
+pub struct CbrChainConfig {
+    /// Number of switches on the path (`p`); the controller is hop 0.
+    pub hops: usize,
+    /// Reserved cells per frame (`k`).
+    pub cells_per_frame: usize,
+    /// Nominal slots per *switch* frame (1000 in the AN2 prototype).
+    pub switch_frame_slots: usize,
+    /// Extra empty slots appended to each *controller* frame so that
+    /// `F_c-min > F_s-max` even under worst-case clock skew.
+    pub controller_stuffing: usize,
+    /// Nominal wall-clock duration of one slot (any unit; 1.0 is fine).
+    pub slot_time: f64,
+    /// Fractional clock-rate tolerance (`ε`): frame durations vary over
+    /// `nominal · (1 ± ε)`.
+    pub tolerance: f64,
+    /// Maximum link latency plus switch overhead (`l`), wall-clock.
+    pub link_latency: f64,
+    /// Controller frames to simulate.
+    pub frames: u64,
+}
+
+impl CbrChainConfig {
+    /// A small default: 4 hops, 1 cell/frame, 100-slot frames, ±0.5%
+    /// clocks, enough stuffing, 200 frames.
+    pub fn example() -> Self {
+        let mut cfg = Self {
+            hops: 4,
+            cells_per_frame: 1,
+            switch_frame_slots: 100,
+            controller_stuffing: 0,
+            slot_time: 1.0,
+            tolerance: 5e-3,
+            link_latency: 2.0,
+            frames: 200,
+        };
+        cfg.controller_stuffing = cfg.min_stuffing();
+        cfg
+    }
+
+    /// Nominal switch frame duration.
+    fn switch_nominal(&self) -> f64 {
+        self.switch_frame_slots as f64 * self.slot_time
+    }
+
+    /// Nominal controller frame duration (with stuffing).
+    fn controller_nominal(&self) -> f64 {
+        (self.switch_frame_slots + self.controller_stuffing) as f64 * self.slot_time
+    }
+
+    /// Slowest possible switch frame, `F_s-max`.
+    pub fn f_s_max(&self) -> f64 {
+        self.switch_nominal() * (1.0 + self.tolerance)
+    }
+
+    /// Fastest possible switch frame, `F_s-min`.
+    pub fn f_s_min(&self) -> f64 {
+        self.switch_nominal() * (1.0 - self.tolerance)
+    }
+
+    /// Slowest possible controller frame, `F_c-max`.
+    pub fn f_c_max(&self) -> f64 {
+        self.controller_nominal() * (1.0 + self.tolerance)
+    }
+
+    /// Fastest possible controller frame, `F_c-min`.
+    pub fn f_c_min(&self) -> f64 {
+        self.controller_nominal() * (1.0 - self.tolerance)
+    }
+
+    /// The smallest stuffing (extra controller slots) that guarantees
+    /// `F_c-min > F_s-max`. The paper's rule for constraining controllers
+    /// to be slower than the slowest downstream switch.
+    pub fn min_stuffing(&self) -> usize {
+        let f = self.switch_frame_slots as f64;
+        let need = f * (1.0 + self.tolerance) / (1.0 - self.tolerance) - f;
+        need.floor() as usize + 1
+    }
+
+    /// The Appendix B latency bound `2p(F_s-max + l)` (Formula 3).
+    pub fn latency_bound(&self) -> f64 {
+        2.0 * self.hops as f64 * (self.f_s_max() + self.link_latency)
+    }
+
+    /// The Appendix B per-switch buffer bound (Formula 5), in cells, for
+    /// the whole flow (`k` classes of one cell per frame each).
+    pub fn buffer_bound(&self) -> f64 {
+        let skew = (self.f_s_max() - self.f_s_min()) / self.f_s_min();
+        let chain = (2.0 * self.f_s_max() + self.link_latency) * self.hops as f64 + self.f_c_max();
+        let per_class = 4.0 + skew * (2.0 + chain / (self.f_c_min() - self.f_s_max()));
+        per_class * self.cells_per_frame as f64
+    }
+
+    fn validate(&self) {
+        assert!(self.hops >= 1, "the path must contain at least one switch");
+        assert!(self.cells_per_frame >= 1, "reserve at least one cell per frame");
+        assert!(
+            self.cells_per_frame <= self.switch_frame_slots,
+            "cannot reserve more cells than a frame has slots"
+        );
+        assert!(self.switch_frame_slots >= 1, "frames must contain slots");
+        assert!(
+            self.slot_time.is_finite() && self.slot_time > 0.0,
+            "slot time must be positive"
+        );
+        assert!(
+            self.link_latency.is_finite() && self.link_latency >= 0.0,
+            "link latency must be non-negative"
+        );
+        assert!(self.frames >= 1, "simulate at least one frame");
+        assert!(
+            self.f_c_min() > self.f_s_max(),
+            "controller stuffing too small: F_c-min ({:.3}) must exceed F_s-max ({:.3}); \
+             need at least {} stuffed slots",
+            self.f_c_min(),
+            self.f_s_max(),
+            self.min_stuffing()
+        );
+    }
+}
+
+/// Result of one CBR chain run.
+#[derive(Clone, Debug)]
+pub struct CbrChainReport {
+    /// Cells delivered end-to-end.
+    pub cells_delivered: u64,
+    /// Largest adjusted latency observed, `max_i L(c_i, s_p)`.
+    pub max_adjusted_latency: f64,
+    /// The Formula 3 bound the observation must respect.
+    pub latency_bound: f64,
+    /// Peak queued cells at each switch (index 0 = first switch).
+    pub peak_buffer: Vec<usize>,
+    /// The Formula 5 bound the peaks must respect.
+    pub buffer_bound: f64,
+    /// Delivered long-run throughput in cells per wall-clock unit.
+    pub throughput: f64,
+}
+
+impl CbrChainReport {
+    /// `true` if every observation is within its Appendix B bound.
+    pub fn within_bounds(&self) -> bool {
+        self.max_adjusted_latency <= self.latency_bound + 1e-9
+            && self
+                .peak_buffer
+                .iter()
+                .all(|&b| (b as f64) <= self.buffer_bound + 1e-9)
+    }
+}
+
+impl fmt::Display for CbrChainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delivered={} max_latency={:.2} (bound {:.2}) peak_buffers={:?} (bound {:.2})",
+            self.cells_delivered,
+            self.max_adjusted_latency,
+            self.latency_bound,
+            self.peak_buffer,
+            self.buffer_bound
+        )
+    }
+}
+
+/// Simulates one always-backlogged CBR flow across a chain of switches
+/// with independently drifting clocks and returns the observed latencies
+/// and buffer peaks alongside their Appendix B bounds.
+///
+/// `controller_policy` drives the controller's clock; `switch_policy` is
+/// instantiated (with distinct seeds) at every switch.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent — in particular if the
+/// controller stuffing does not guarantee `F_c-min > F_s-max` (see
+/// [`CbrChainConfig::min_stuffing`]).
+///
+/// # Examples
+///
+/// ```
+/// use an2_net::cbr::{simulate_cbr_chain, CbrChainConfig};
+/// use an2_net::clock::ClockPolicy;
+///
+/// let cfg = CbrChainConfig::example();
+/// let report = simulate_cbr_chain(
+///     &cfg,
+///     ClockPolicy::Random,
+///     ClockPolicy::SlowThenFast { slow_frames: 20, fast_frames: 20 },
+///     42,
+/// );
+/// assert!(report.within_bounds());
+/// ```
+pub fn simulate_cbr_chain(
+    cfg: &CbrChainConfig,
+    controller_policy: ClockPolicy,
+    switch_policy: ClockPolicy,
+    seed: u64,
+) -> CbrChainReport {
+    cfg.validate();
+    let k = cfg.cells_per_frame;
+    let total_cells = cfg.frames as usize * k;
+
+    // Controller departures: k cells at the end of each controller frame.
+    let mut ctrl_clock = FrameClock::new(
+        cfg.controller_nominal(),
+        cfg.tolerance,
+        controller_policy,
+        seed,
+    );
+    let mut dep_prev: Vec<f64> = Vec::with_capacity(total_cells);
+    let mut t = 0.0;
+    for _ in 0..cfg.frames {
+        t += ctrl_clock.next_frame();
+        for _ in 0..k {
+            dep_prev.push(t);
+        }
+    }
+    let controller_end = t;
+
+    let mut peak_buffer = Vec::with_capacity(cfg.hops);
+    let mut max_adjusted = 0.0f64;
+    let dep_ctrl = dep_prev.clone();
+
+    for hop in 1..=cfg.hops {
+        // Arrivals at this switch.
+        let arrivals: Vec<f64> = dep_prev.iter().map(|d| d + cfg.link_latency).collect();
+        let mut clock = FrameClock::new(
+            cfg.switch_nominal(),
+            cfg.tolerance,
+            switch_policy.clone(),
+            seed ^ (hop as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // Process frames until every cell departs. "If a cell has arrived
+        // ... at the beginning of a frame, then either that cell or an
+        // earlier queued cell from the same flow is forwarded during the
+        // frame" — with at most k per frame, FIFO.
+        let mut dep: Vec<f64> = Vec::with_capacity(total_cells);
+        let mut frame_start = 0.0f64;
+        let mut next_cell = 0usize; // first not-yet-departed cell
+        let mut peak = 0usize;
+        while next_cell < total_cells {
+            let frame_end = frame_start + clock.next_frame();
+            // Cells eligible at the start of this frame.
+            let mut sent = 0;
+            while sent < k
+                && next_cell < total_cells
+                && arrivals[next_cell] <= frame_start
+            {
+                dep.push(frame_end);
+                next_cell += 1;
+                sent += 1;
+            }
+            // Peak occupancy within this frame: cells arrived by frame end
+            // minus cells departed by frame end. (Departures are counted at
+            // frame end — the conservative accounting.)
+            let arrived_by_end = arrivals.partition_point(|&a| a <= frame_end);
+            peak = peak.max(arrived_by_end - next_cell + sent);
+            frame_start = frame_end;
+        }
+        peak_buffer.push(peak);
+        for (i, d) in dep.iter().enumerate() {
+            let adj = d - dep_ctrl[i];
+            max_adjusted = max_adjusted.max(adj);
+        }
+        dep_prev = dep;
+    }
+
+    let last = *dep_prev.last().expect("at least one cell simulated");
+    CbrChainReport {
+        cells_delivered: total_cells as u64,
+        max_adjusted_latency: max_adjusted,
+        latency_bound: cfg.latency_bound(),
+        peak_buffer,
+        buffer_bound: cfg.buffer_bound(),
+        throughput: total_cells as f64 / last.max(controller_end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> CbrChainConfig {
+        let mut cfg = CbrChainConfig {
+            hops: 5,
+            cells_per_frame: 1,
+            switch_frame_slots: 100,
+            controller_stuffing: 0,
+            slot_time: 1.0,
+            tolerance: 1e-2,
+            link_latency: 3.0,
+            frames: 400,
+        };
+        cfg.controller_stuffing = cfg.min_stuffing();
+        cfg
+    }
+
+    #[test]
+    fn min_stuffing_guarantees_ordering() {
+        for slots in [10usize, 100, 1000] {
+            for tol in [1e-4, 1e-3, 1e-2, 0.05] {
+                let mut cfg = base_cfg();
+                cfg.switch_frame_slots = slots;
+                cfg.tolerance = tol;
+                cfg.controller_stuffing = cfg.min_stuffing();
+                assert!(
+                    cfg.f_c_min() > cfg.f_s_max(),
+                    "slots={slots} tol={tol}: {} !> {}",
+                    cfg.f_c_min(),
+                    cfg.f_s_max()
+                );
+                // And one less slot would not suffice.
+                if cfg.controller_stuffing > 0 {
+                    cfg.controller_stuffing -= 1;
+                    assert!(
+                        cfg.f_c_min() <= cfg.f_s_max(),
+                        "min_stuffing not minimal for slots={slots} tol={tol}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_hold_under_constant_clocks() {
+        let cfg = base_cfg();
+        for frac in [0.0, 0.5, 1.0] {
+            let r = simulate_cbr_chain(
+                &cfg,
+                ClockPolicy::Constant(frac),
+                ClockPolicy::Constant(1.0 - frac),
+                7,
+            );
+            assert!(r.within_bounds(), "frac {frac}: {r}");
+            assert_eq!(r.cells_delivered, 400);
+        }
+    }
+
+    #[test]
+    fn bounds_hold_under_random_clocks() {
+        let cfg = base_cfg();
+        for seed in 0..10 {
+            let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, seed);
+            assert!(r.within_bounds(), "seed {seed}: {r}");
+        }
+    }
+
+    #[test]
+    fn bounds_hold_under_adversarial_clocks() {
+        // The slow-then-fast adversary of Appendix B: backlogs build and
+        // dump, but the bounds still hold.
+        let cfg = base_cfg();
+        for (slow, fast) in [(10, 10), (50, 50), (100, 10), (1, 100)] {
+            let r = simulate_cbr_chain(
+                &cfg,
+                ClockPolicy::SlowThenFast {
+                    slow_frames: slow,
+                    fast_frames: fast,
+                },
+                ClockPolicy::SlowThenFast {
+                    slow_frames: fast,
+                    fast_frames: slow,
+                },
+                99,
+            );
+            assert!(r.within_bounds(), "cycle ({slow},{fast}): {r}");
+        }
+    }
+
+    #[test]
+    fn bounds_scale_with_cells_per_frame() {
+        let mut cfg = base_cfg();
+        cfg.cells_per_frame = 5;
+        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 3);
+        assert!(r.within_bounds(), "{r}");
+        assert_eq!(r.cells_delivered, 400 * 5);
+    }
+
+    #[test]
+    fn delivered_throughput_tracks_controller_rate() {
+        let cfg = base_cfg();
+        let r = simulate_cbr_chain(
+            &cfg,
+            ClockPolicy::Constant(0.5),
+            ClockPolicy::Constant(0.5),
+            1,
+        );
+        // k cells per controller frame of ~103 slots.
+        let expect = cfg.cells_per_frame as f64
+            / ((cfg.switch_frame_slots + cfg.controller_stuffing) as f64 * cfg.slot_time);
+        assert!(
+            (r.throughput - expect).abs() < expect * 0.05,
+            "throughput {} vs {expect}",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn adjusted_latency_grows_with_hops() {
+        let mut short = base_cfg();
+        short.hops = 1;
+        let mut long = base_cfg();
+        long.hops = 8;
+        let a = simulate_cbr_chain(&short, ClockPolicy::Random, ClockPolicy::Random, 5);
+        let b = simulate_cbr_chain(&long, ClockPolicy::Random, ClockPolicy::Random, 5);
+        assert!(b.max_adjusted_latency > a.max_adjusted_latency);
+        assert!(b.latency_bound > a.latency_bound);
+        assert!(a.within_bounds() && b.within_bounds());
+    }
+
+    #[test]
+    #[should_panic(expected = "stuffing too small")]
+    fn insufficient_stuffing_panics() {
+        let mut cfg = base_cfg();
+        cfg.controller_stuffing = 0;
+        let _ = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 0);
+    }
+
+    #[test]
+    fn report_display() {
+        let cfg = base_cfg();
+        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 0);
+        let s = r.to_string();
+        assert!(s.contains("max_latency"), "{s}");
+    }
+}

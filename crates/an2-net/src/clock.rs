@@ -1,0 +1,180 @@
+//! Unsynchronized clocks — the Appendix B threat model.
+//!
+//! Every switch and controller times its frames with a local crystal whose
+//! rate is "within some tolerance of the same rate". A slow clock
+//! stretches frames; a fast clock compresses them. Worse, a clock may
+//! drift *within* tolerance over time: "a switch may run more slowly for a
+//! time, building up a backlog of cells, then run faster, dumping the
+//! backlog onto the downstream switch". [`ClockPolicy`] models constant,
+//! random and exactly that adversarial behaviour.
+
+use an2_sched::rng::{SelectRng, Xoshiro256};
+
+/// How a node's frame durations vary within `[min, max]` wall-clock time.
+#[derive(Clone, Debug)]
+pub enum ClockPolicy {
+    /// Every frame takes the same wall-clock time, the given fraction of
+    /// the way from the minimum (0.0) to the maximum (1.0).
+    Constant(f64),
+    /// Each frame's duration is drawn uniformly from `[min, max]`.
+    Random,
+    /// The Appendix B adversary: `slow_frames` frames at the maximum
+    /// duration (clock running slow, backlog builds upstream of the next
+    /// node), then `fast_frames` at the minimum (backlog dumped), repeated.
+    SlowThenFast {
+        /// Frames spent at the maximum duration per cycle.
+        slow_frames: u64,
+        /// Frames spent at the minimum duration per cycle.
+        fast_frames: u64,
+    },
+}
+
+/// Generates successive frame durations for one node.
+///
+/// # Examples
+///
+/// ```
+/// use an2_net::clock::{ClockPolicy, FrameClock};
+/// // Frames of 1000 slots, slot time 1.0, clock tolerance +/-0.01%.
+/// let mut c = FrameClock::new(1000.0, 1e-4, ClockPolicy::Constant(1.0), 0);
+/// let d = c.next_frame();
+/// assert!((d - 1000.1).abs() < 1e-9); // slowest clock: max duration
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameClock {
+    min: f64,
+    max: f64,
+    policy: ClockPolicy,
+    frame_no: u64,
+    rng: Xoshiro256,
+}
+
+impl FrameClock {
+    /// Creates a clock for frames of nominal duration `nominal` (wall-clock
+    /// units) with fractional rate tolerance `tolerance` (e.g. `1e-4` for
+    /// ±0.01%): durations range over `nominal * (1 ± tolerance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal <= 0`, or `tolerance` is not in `[0, 1)`.
+    pub fn new(nominal: f64, tolerance: f64, policy: ClockPolicy, seed: u64) -> Self {
+        assert!(
+            nominal.is_finite() && nominal > 0.0,
+            "nominal frame duration must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&tolerance),
+            "tolerance must be in [0, 1)"
+        );
+        if let ClockPolicy::SlowThenFast {
+            slow_frames,
+            fast_frames,
+        } = policy
+        {
+            assert!(
+                slow_frames + fast_frames > 0,
+                "adversarial cycle must contain at least one frame"
+            );
+        }
+        Self {
+            min: nominal * (1.0 - tolerance),
+            max: nominal * (1.0 + tolerance),
+            policy,
+            frame_no: 0,
+            rng: Xoshiro256::seed_from(seed),
+        }
+    }
+
+    /// The minimum possible frame duration (fastest clock).
+    pub fn min_duration(&self) -> f64 {
+        self.min
+    }
+
+    /// The maximum possible frame duration (slowest clock).
+    pub fn max_duration(&self) -> f64 {
+        self.max
+    }
+
+    /// Returns the wall-clock duration of the next frame.
+    pub fn next_frame(&mut self) -> f64 {
+        let d = match &self.policy {
+            ClockPolicy::Constant(frac) => self.min + (self.max - self.min) * frac.clamp(0.0, 1.0),
+            ClockPolicy::Random => self.min + (self.max - self.min) * self.rng.uniform_f64(),
+            ClockPolicy::SlowThenFast {
+                slow_frames,
+                fast_frames,
+            } => {
+                let pos = self.frame_no % (slow_frames + fast_frames);
+                if pos < *slow_frames {
+                    self.max
+                } else {
+                    self.min
+                }
+            }
+        };
+        self.frame_no += 1;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_policy_is_constant() {
+        let mut c = FrameClock::new(100.0, 0.01, ClockPolicy::Constant(0.0), 0);
+        assert!((c.min_duration() - 99.0).abs() < 1e-9);
+        assert!((c.max_duration() - 101.0).abs() < 1e-9);
+        for _ in 0..10 {
+            assert!((c.next_frame() - 99.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_policy_stays_in_range() {
+        let mut c = FrameClock::new(100.0, 0.05, ClockPolicy::Random, 7);
+        for _ in 0..1000 {
+            let d = c.next_frame();
+            assert!((95.0..=105.0).contains(&d), "duration {d}");
+        }
+    }
+
+    #[test]
+    fn slow_then_fast_alternates() {
+        let mut c = FrameClock::new(
+            100.0,
+            0.1,
+            ClockPolicy::SlowThenFast {
+                slow_frames: 2,
+                fast_frames: 3,
+            },
+            0,
+        );
+        let ds: Vec<f64> = (0..10).map(|_| c.next_frame()).collect();
+        let want = [110.0, 110.0, 90.0, 90.0, 90.0, 110.0, 110.0, 90.0, 90.0, 90.0];
+        for (got, want) in ds.iter().zip(want) {
+            assert!((got - want).abs() < 1e-9, "{ds:?}");
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_pins_duration() {
+        let mut c = FrameClock::new(42.0, 0.0, ClockPolicy::Random, 1);
+        for _ in 0..10 {
+            assert!((c.next_frame() - 42.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_nominal_panics() {
+        let _ = FrameClock::new(0.0, 0.01, ClockPolicy::Random, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn bad_tolerance_panics() {
+        let _ = FrameClock::new(10.0, 1.0, ClockPolicy::Random, 0);
+    }
+}

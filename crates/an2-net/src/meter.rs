@@ -1,0 +1,218 @@
+//! CBR admission metering — §4's policing mechanism.
+//!
+//! "The host controller or the first switch on the flow's path can meter
+//! the rate at which cells enter the network; if the application exceeds
+//! its reservation, the excess cells may be dropped. Alternatively, excess
+//! cells may be allowed into the network, and any switch may drop cells
+//! for a flow that exceeds its allocation of buffers."
+//!
+//! [`FrameMeter`] enforces a reservation of `k` cells per frame of `f`
+//! slots, per flow, with a configurable [`ExcessPolicy`].
+
+use an2_sim::cell::FlowId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What happens to cells beyond the reservation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExcessPolicy {
+    /// Drop excess cells at the meter (the paper's first option).
+    Drop,
+    /// Admit excess cells but mark them; downstream buffers may drop
+    /// marked cells under pressure (the paper's second option).
+    Mark,
+}
+
+/// Verdict for one offered cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MeterVerdict {
+    /// Within the reservation; forward normally.
+    Conforming,
+    /// Beyond the reservation and dropped at the meter.
+    Dropped,
+    /// Beyond the reservation but admitted, marked droppable.
+    Marked,
+}
+
+/// Per-flow frame-based rate meter.
+///
+/// Frames are timed on the meter's local slot counter; a flow may send up
+/// to its reserved cells in each frame, with no carry-over between frames
+/// (matching the frame-schedule service model of §4).
+///
+/// # Examples
+///
+/// ```
+/// use an2_net::meter::{ExcessPolicy, FrameMeter, MeterVerdict};
+/// use an2_sim::cell::FlowId;
+///
+/// let mut m = FrameMeter::new(4, ExcessPolicy::Drop);
+/// m.set_reservation(FlowId(1), 2);
+/// // Slot 0..3 form a frame; the third cell in the frame is excess.
+/// assert_eq!(m.offer(FlowId(1), 0), MeterVerdict::Conforming);
+/// assert_eq!(m.offer(FlowId(1), 1), MeterVerdict::Conforming);
+/// assert_eq!(m.offer(FlowId(1), 2), MeterVerdict::Dropped);
+/// // A new frame refreshes the budget.
+/// assert_eq!(m.offer(FlowId(1), 4), MeterVerdict::Conforming);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameMeter {
+    frame_len: u64,
+    policy: ExcessPolicy,
+    /// Reserved cells per frame, per flow.
+    reservations: HashMap<FlowId, u64>,
+    /// (frame index, cells sent in that frame) per flow.
+    usage: HashMap<FlowId, (u64, u64)>,
+    /// Counters.
+    conforming: u64,
+    excess: u64,
+}
+
+impl FrameMeter {
+    /// Creates a meter with `frame_len` slots per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len == 0`.
+    pub fn new(frame_len: u64, policy: ExcessPolicy) -> Self {
+        assert!(frame_len > 0, "frames must contain at least one slot");
+        Self {
+            frame_len,
+            policy,
+            reservations: HashMap::new(),
+            usage: HashMap::new(),
+            conforming: 0,
+            excess: 0,
+        }
+    }
+
+    /// Sets a flow's reservation in cells per frame (0 = everything is
+    /// excess — a flow with no reservation).
+    pub fn set_reservation(&mut self, flow: FlowId, cells_per_frame: u64) {
+        self.reservations.insert(flow, cells_per_frame);
+    }
+
+    /// The reservation in force for `flow`.
+    pub fn reservation(&self, flow: FlowId) -> u64 {
+        self.reservations.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Offers one cell of `flow` at `slot`; returns the verdict.
+    pub fn offer(&mut self, flow: FlowId, slot: u64) -> MeterVerdict {
+        let frame = slot / self.frame_len;
+        let budget = self.reservation(flow);
+        let entry = self.usage.entry(flow).or_insert((frame, 0));
+        if entry.0 != frame {
+            *entry = (frame, 0);
+        }
+        if entry.1 < budget {
+            entry.1 += 1;
+            self.conforming += 1;
+            MeterVerdict::Conforming
+        } else {
+            self.excess += 1;
+            match self.policy {
+                ExcessPolicy::Drop => MeterVerdict::Dropped,
+                ExcessPolicy::Mark => MeterVerdict::Marked,
+            }
+        }
+    }
+
+    /// Cells admitted as conforming so far.
+    pub fn conforming(&self) -> u64 {
+        self.conforming
+    }
+
+    /// Cells found in excess of their reservation so far.
+    pub fn excess(&self) -> u64 {
+        self.excess
+    }
+}
+
+impl fmt::Display for FrameMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FrameMeter(frame={}, {:?}): {} conforming, {} excess",
+            self.frame_len, self.policy, self.conforming, self.excess
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conforming_flow_passes_untouched() {
+        let mut m = FrameMeter::new(10, ExcessPolicy::Drop);
+        m.set_reservation(FlowId(1), 3);
+        // 3 cells per 10-slot frame, for 10 frames: all conforming.
+        for frame in 0..10u64 {
+            for c in 0..3u64 {
+                let v = m.offer(FlowId(1), frame * 10 + c);
+                assert_eq!(v, MeterVerdict::Conforming);
+            }
+        }
+        assert_eq!(m.conforming(), 30);
+        assert_eq!(m.excess(), 0);
+    }
+
+    #[test]
+    fn violating_flow_is_clipped_to_its_rate() {
+        let mut m = FrameMeter::new(10, ExcessPolicy::Drop);
+        m.set_reservation(FlowId(2), 2);
+        // Offer one cell every slot: only 2 per frame conform.
+        let mut ok = 0;
+        for slot in 0..100u64 {
+            if m.offer(FlowId(2), slot) == MeterVerdict::Conforming {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 20);
+        assert_eq!(m.excess(), 80);
+    }
+
+    #[test]
+    fn mark_policy_admits_but_marks() {
+        let mut m = FrameMeter::new(4, ExcessPolicy::Mark);
+        m.set_reservation(FlowId(3), 1);
+        assert_eq!(m.offer(FlowId(3), 0), MeterVerdict::Conforming);
+        assert_eq!(m.offer(FlowId(3), 1), MeterVerdict::Marked);
+        assert!(m.to_string().contains("1 excess"), "{m}");
+    }
+
+    #[test]
+    fn unreserved_flow_is_all_excess() {
+        let mut m = FrameMeter::new(4, ExcessPolicy::Drop);
+        assert_eq!(m.offer(FlowId(9), 0), MeterVerdict::Dropped);
+        assert_eq!(m.reservation(FlowId(9)), 0);
+    }
+
+    #[test]
+    fn unused_budget_does_not_carry_over() {
+        let mut m = FrameMeter::new(4, ExcessPolicy::Drop);
+        m.set_reservation(FlowId(1), 2);
+        // Frame 0: silent. Frame 1: still only 2 conforming cells.
+        assert_eq!(m.offer(FlowId(1), 4), MeterVerdict::Conforming);
+        assert_eq!(m.offer(FlowId(1), 5), MeterVerdict::Conforming);
+        assert_eq!(m.offer(FlowId(1), 6), MeterVerdict::Dropped);
+    }
+
+    #[test]
+    fn flows_are_metered_independently() {
+        let mut m = FrameMeter::new(4, ExcessPolicy::Drop);
+        m.set_reservation(FlowId(1), 1);
+        m.set_reservation(FlowId(2), 1);
+        assert_eq!(m.offer(FlowId(1), 0), MeterVerdict::Conforming);
+        assert_eq!(m.offer(FlowId(2), 0), MeterVerdict::Conforming);
+        assert_eq!(m.offer(FlowId(1), 1), MeterVerdict::Dropped);
+        assert_eq!(m.offer(FlowId(2), 1), MeterVerdict::Dropped);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_frame_panics() {
+        let _ = FrameMeter::new(0, ExcessPolicy::Drop);
+    }
+}

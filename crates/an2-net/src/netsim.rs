@@ -1,0 +1,786 @@
+//! A multi-switch, arbitrary-topology datagram network simulator.
+//!
+//! The AN2 network is "a collection of switches, links, and host network
+//! controllers" in any topology (§2); routing is per-flow and static. This
+//! module simulates such a network slot-synchronously: hosts inject cells,
+//! each switch runs its own scheduler over its random-access input buffers
+//! (PIM by default), and departed cells propagate over links with latency
+//! toward per-flow sinks.
+//!
+//! This substrate powers the Figure 9 fairness experiment (flows merging
+//! through a chain of switches toward one bottleneck link) and is general
+//! enough for arbitrary topologies.
+
+use an2_sched::rng::SelectRng as _;
+use an2_sched::{InputPort, OutputPort, Pim, Scheduler};
+use an2_sim::cell::{Cell, FlowId};
+use an2_sim::voq::{ServiceDiscipline, VoqBuffers};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifier of a switch within a [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(usize);
+
+/// A configuration problem detected by [`Network::validate`] or
+/// [`Network::path_of`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A switch id does not exist in this network.
+    UnknownSwitch {
+        /// The offending switch id.
+        switch: SwitchId,
+    },
+    /// A flow reaches a switch that has no route entry for it.
+    MissingRoute {
+        /// The flow without a route.
+        flow: FlowId,
+        /// The switch where the route is missing.
+        switch: SwitchId,
+    },
+    /// A flow's route revisits a switch.
+    RoutingLoop {
+        /// The looping flow.
+        flow: FlowId,
+        /// The first switch revisited.
+        switch: SwitchId,
+    },
+    /// No link path exists between two switches.
+    Unreachable {
+        /// The starting switch.
+        from: SwitchId,
+        /// The unreachable switch.
+        to: SwitchId,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownSwitch { switch } => write!(f, "switch {switch} does not exist"),
+            Self::MissingRoute { flow, switch } => {
+                write!(f, "flow {flow} has no route at {switch}")
+            }
+            Self::RoutingLoop { flow, switch } => {
+                write!(f, "flow {flow} loops back to {switch}")
+            }
+            Self::Unreachable { from, to } => {
+                write!(f, "no link path from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+
+/// Where a switch output port leads.
+#[derive(Clone, Copy, Debug)]
+enum PortTarget {
+    /// A link to another switch's input port, with latency in slots.
+    Link {
+        to: SwitchId,
+        port: InputPort,
+        latency: u64,
+    },
+    /// Delivery to the destination host (cells are counted per flow).
+    Sink,
+}
+
+struct SwitchNode {
+    voq: VoqBuffers,
+    scheduler: Box<dyn Scheduler>,
+    /// Flow → output port at this switch.
+    routes: HashMap<FlowId, OutputPort>,
+    /// Wiring of output ports; unwired ports are sinks.
+    targets: Vec<PortTarget>,
+}
+
+impl fmt::Debug for SwitchNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwitchNode")
+            .field("n", &self.voq.n())
+            .field("scheduler", &self.scheduler.name())
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+/// A traffic source attached to one switch input port.
+#[derive(Clone, Debug)]
+struct Source {
+    switch: SwitchId,
+    port: InputPort,
+    /// Flows injected round-robin by this source.
+    flows: Vec<FlowId>,
+    next_flow: usize,
+    /// Cells offered per slot (1.0 = saturating).
+    rate: f64,
+    rng: an2_sched::rng::Xoshiro256,
+}
+
+/// A slot-synchronous multi-switch network.
+///
+/// # Examples
+///
+/// Two switches in a row; a flow crosses both:
+///
+/// ```
+/// use an2_net::netsim::Network;
+/// use an2_sched::{InputPort, OutputPort};
+/// use an2_sim::cell::FlowId;
+///
+/// let mut net = Network::new(7);
+/// let a = net.add_switch(2);
+/// let b = net.add_switch(2);
+/// net.connect(a, OutputPort::new(1), b, InputPort::new(0), 1);
+/// let flow = FlowId(1);
+/// net.add_route(a, flow, OutputPort::new(1));
+/// net.add_route(b, flow, OutputPort::new(1));
+/// net.add_source(a, InputPort::new(0), vec![flow], 1.0);
+/// net.run(100);
+/// assert!(net.delivered(flow) > 90);
+/// ```
+pub struct Network {
+    switches: Vec<SwitchNode>,
+    sources: Vec<Source>,
+    /// Cells in flight on links, keyed by delivery slot.
+    in_flight: BTreeMap<u64, Vec<(SwitchId, InputPort, FlowId, u64)>>,
+    /// Cells delivered end-to-end, per flow.
+    delivered: HashMap<FlowId, u64>,
+    /// Sum of end-to-end latencies (slots), per flow.
+    latency_sum: HashMap<FlowId, u64>,
+    slot: u64,
+    seed: u64,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("switches", &self.switches.len())
+            .field("sources", &self.sources.len())
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network; `seed` drives every random choice.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            switches: Vec::new(),
+            sources: Vec::new(),
+            in_flight: BTreeMap::new(),
+            delivered: HashMap::new(),
+            latency_sum: HashMap::new(),
+            slot: 0,
+            seed,
+        }
+    }
+
+    /// Adds an `n`-port switch scheduled by PIM with the AN2 default of
+    /// four iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn add_switch(&mut self, n: usize) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        let seed = self.seed ^ (id.0 as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        self.add_switch_with(
+            n,
+            Box::new(Pim::new(n, seed)),
+            ServiceDiscipline::RoundRobin,
+        )
+    }
+
+    /// Adds an `n`-port switch with an explicit scheduler and flow-service
+    /// discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn add_switch_with(
+        &mut self,
+        n: usize,
+        scheduler: Box<dyn Scheduler>,
+        discipline: ServiceDiscipline,
+    ) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        self.switches.push(SwitchNode {
+            voq: VoqBuffers::with_discipline(n, discipline),
+            scheduler,
+            routes: HashMap::new(),
+            targets: vec![PortTarget::Sink; n],
+        });
+        id
+    }
+
+    /// Wires output `out` of switch `from` to input `inp` of switch `to`
+    /// with the given link latency in slots (minimum 1: a cell departs one
+    /// slot and is eligible downstream the next).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either switch id or port is out of range, or `latency == 0`.
+    pub fn connect(
+        &mut self,
+        from: SwitchId,
+        out: OutputPort,
+        to: SwitchId,
+        inp: InputPort,
+        latency: u64,
+    ) {
+        assert!(latency >= 1, "link latency must be at least one slot");
+        assert!(to.0 < self.switches.len(), "unknown switch {to}");
+        assert!(
+            inp.index() < self.switches[to.0].voq.n(),
+            "input {inp} outside {to}"
+        );
+        let node = self
+            .switches
+            .get_mut(from.0)
+            .unwrap_or_else(|| panic!("unknown switch {from}"));
+        assert!(
+            out.index() < node.voq.n(),
+            "output {out} outside {from}"
+        );
+        node.targets[out.index()] = PortTarget::Link {
+            to,
+            port: inp,
+            latency,
+        };
+    }
+
+    /// Declares that at switch `sw`, cells of `flow` leave via output
+    /// `out`. Every switch a flow traverses needs a route entry ("a
+    /// routing table in each switch ... determines the output port for
+    /// each flow").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch or port is out of range, or the flow already
+    /// has a different route at this switch.
+    pub fn add_route(&mut self, sw: SwitchId, flow: FlowId, out: OutputPort) {
+        let node = self
+            .switches
+            .get_mut(sw.0)
+            .unwrap_or_else(|| panic!("unknown switch {sw}"));
+        assert!(out.index() < node.voq.n(), "output {out} outside {sw}");
+        let prev = node.routes.insert(flow, out);
+        assert!(
+            prev.is_none_or(|p| p == out),
+            "flow {flow} re-routed at {sw}; routes are static"
+        );
+    }
+
+    /// Attaches a host source to input `port` of switch `sw`, injecting the
+    /// given flows round-robin at `rate` cells per slot (1.0 = the link is
+    /// saturated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch or port is out of range, `flows` is empty,
+    /// `rate` is outside `[0, 1]`, or the port already has a source.
+    pub fn add_source(&mut self, sw: SwitchId, port: InputPort, flows: Vec<FlowId>, rate: f64) {
+        assert!(sw.0 < self.switches.len(), "unknown switch {sw}");
+        assert!(
+            port.index() < self.switches[sw.0].voq.n(),
+            "input {port} outside {sw}"
+        );
+        assert!(!flows.is_empty(), "a source must inject at least one flow");
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        assert!(
+            !self
+                .sources
+                .iter()
+                .any(|s| s.switch == sw && s.port == port),
+            "input {port} of {sw} already has a source"
+        );
+        let seed = self.seed
+            ^ (self.sources.len() as u64 + 1).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+        self.sources.push(Source {
+            switch: sw,
+            port,
+            flows,
+            next_flow: 0,
+            rate,
+            rng: an2_sched::rng::Xoshiro256::seed_from(seed),
+        });
+    }
+
+    /// The current slot number.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Cells delivered end-to-end for `flow` so far.
+    pub fn delivered(&self, flow: FlowId) -> u64 {
+        self.delivered.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Mean end-to-end latency (slots) of delivered cells of `flow`, if any
+    /// were delivered.
+    pub fn mean_latency(&self, flow: FlowId) -> Option<f64> {
+        let n = self.delivered(flow);
+        (n > 0).then(|| *self.latency_sum.get(&flow).unwrap_or(&0) as f64 / n as f64)
+    }
+
+    /// Total cells buffered across all switches.
+    pub fn queued(&self) -> usize {
+        self.switches.iter().map(|s| s.voq.len()).sum()
+    }
+
+    /// Resets the delivery counters (warmup truncation); queues and
+    /// scheduler state are preserved.
+    pub fn reset_counters(&mut self) {
+        self.delivered.clear();
+        self.latency_sum.clear();
+    }
+
+    /// Advances the network by `slots` time slots.
+    pub fn run(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Advances one slot: deliver in-flight link cells, inject from
+    /// sources, schedule and forward at every switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell reaches a switch with no route for its flow.
+    pub fn step(&mut self) {
+        let now = self.slot;
+        // 1. Link deliveries scheduled for this slot enter downstream VOQs.
+        if let Some(batch) = self.in_flight.remove(&now) {
+            for (sw, port, flow, injected_at) in batch {
+                self.enqueue(sw, port, flow, injected_at);
+            }
+        }
+        // 2. Sources inject (at most one cell per input port per slot).
+        for si in 0..self.sources.len() {
+            let (go, sw, port, flow) = {
+                let s = &mut self.sources[si];
+                let go = s.rate >= 1.0 || s.rng.bernoulli(s.rate);
+                let flow = s.flows[s.next_flow % s.flows.len()];
+                if go {
+                    s.next_flow = (s.next_flow + 1) % s.flows.len();
+                }
+                (go, s.switch, s.port, flow)
+            };
+            if go {
+                self.enqueue(sw, port, flow, now);
+            }
+        }
+        // 3. Every switch schedules and forwards independently ("there is
+        //    no centralized scheduler").
+        for sw_idx in 0..self.switches.len() {
+            let (requests, matching) = {
+                let node = &mut self.switches[sw_idx];
+                let requests = node.voq.requests();
+                let matching = node.scheduler.schedule(&requests);
+                (requests, matching)
+            };
+            debug_assert!(matching.respects(&requests));
+            for (i, j) in matching.pairs() {
+                let cell = self.switches[sw_idx]
+                    .voq
+                    .pop(i, j)
+                    .expect("scheduler contract: matched pairs have queued cells");
+                match self.switches[sw_idx].targets[j.index()] {
+                    PortTarget::Link { to, port, latency } => {
+                        self.in_flight
+                            .entry(now + latency)
+                            .or_default()
+                            .push((to, port, cell.flow, cell.arrival_slot));
+                    }
+                    PortTarget::Sink => {
+                        *self.delivered.entry(cell.flow).or_insert(0) += 1;
+                        *self.latency_sum.entry(cell.flow).or_insert(0) +=
+                            now - cell.arrival_slot;
+                    }
+                }
+            }
+        }
+        self.slot += 1;
+    }
+
+    /// Installs routes for `flow` along a minimum-hop link path from
+    /// switch `entry` to switch `exit`, delivering there via `exit_port`
+    /// (which should be a sink port). Ties between equal-length paths
+    /// break deterministically by switch and port order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Unreachable`] if no link path exists;
+    /// no routes are installed in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a switch id or port is out of range, or if the flow
+    /// already has a conflicting route on the chosen path (routes are
+    /// static).
+    pub fn route_shortest(
+        &mut self,
+        flow: FlowId,
+        entry: SwitchId,
+        exit: SwitchId,
+        exit_port: OutputPort,
+    ) -> Result<(), TopologyError> {
+        assert!(entry.0 < self.switches.len(), "unknown switch {entry}");
+        assert!(exit.0 < self.switches.len(), "unknown switch {exit}");
+        // BFS over link edges.
+        let mut prev: Vec<Option<(SwitchId, OutputPort)>> = vec![None; self.switches.len()];
+        let mut seen = vec![false; self.switches.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[entry.0] = true;
+        queue.push_back(entry);
+        while let Some(here) = queue.pop_front() {
+            if here == exit {
+                break;
+            }
+            for (out, target) in self.switches[here.0].targets.iter().enumerate() {
+                if let PortTarget::Link { to, .. } = target {
+                    if !seen[to.0] {
+                        seen[to.0] = true;
+                        prev[to.0] = Some((here, OutputPort::new(out)));
+                        queue.push_back(*to);
+                    }
+                }
+            }
+        }
+        if !seen[exit.0] {
+            return Err(TopologyError::Unreachable {
+                from: entry,
+                to: exit,
+            });
+        }
+        // Reconstruct hops and install routes.
+        let mut hops = vec![(exit, exit_port)];
+        let mut cursor = exit;
+        while cursor != entry {
+            let (from, out) = prev[cursor.0].expect("BFS predecessor recorded");
+            hops.push((from, out));
+            cursor = from;
+        }
+        for (sw, out) in hops {
+            self.add_route(sw, flow, out);
+        }
+        Ok(())
+    }
+
+    /// Traces the path a flow injected at switch `start` will follow:
+    /// the sequence of `(switch, output port)` hops ending at a sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if a switch on the path lacks a route
+    /// for the flow, or if the path loops.
+    pub fn path_of(&self, flow: FlowId, start: SwitchId) -> Result<Vec<(SwitchId, OutputPort)>, TopologyError> {
+        let mut path = Vec::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut here = start;
+        loop {
+            if !visited.insert(here) {
+                return Err(TopologyError::RoutingLoop { flow, switch: here });
+            }
+            let node = self
+                .switches
+                .get(here.0)
+                .ok_or(TopologyError::UnknownSwitch { switch: here })?;
+            let out = *node
+                .routes
+                .get(&flow)
+                .ok_or(TopologyError::MissingRoute { flow, switch: here })?;
+            path.push((here, out));
+            match node.targets[out.index()] {
+                PortTarget::Link { to, .. } => here = to,
+                PortTarget::Sink => return Ok(path),
+            }
+        }
+    }
+
+    /// Validates the whole configuration: every source's flows have a
+    /// complete, loop-free route from their entry switch to a sink.
+    ///
+    /// Call after building the topology; [`step`](Self::step) would
+    /// otherwise surface the first violation as a panic mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TopologyError`] found.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        for s in &self.sources {
+            for &flow in &s.flows {
+                self.path_of(flow, s.switch)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes a cell of `flow` into switch `sw` at input `port`, looking up
+    /// the flow's output there. `injected_at` is preserved end-to-end for
+    /// latency accounting.
+    fn enqueue(&mut self, sw: SwitchId, port: InputPort, flow: FlowId, injected_at: u64) {
+        let node = &mut self.switches[sw.0];
+        let out = *node
+            .routes
+            .get(&flow)
+            .unwrap_or_else(|| panic!("flow {flow} has no route at {sw}"));
+        node.voq.push(Cell {
+            flow,
+            input: port,
+            output: out,
+            arrival_slot: injected_at,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_delivers() {
+        let mut net = Network::new(1);
+        let s = net.add_switch(4);
+        let f = FlowId(9);
+        net.add_route(s, f, OutputPort::new(2));
+        net.add_source(s, InputPort::new(0), vec![f], 0.5);
+        net.run(2000);
+        let d = net.delivered(f);
+        assert!((d as f64 - 1000.0).abs() < 100.0, "delivered {d}");
+        assert!(net.mean_latency(f).unwrap() < 1.5);
+    }
+
+    #[test]
+    fn two_hop_latency_includes_link() {
+        let mut net = Network::new(2);
+        let a = net.add_switch(2);
+        let b = net.add_switch(2);
+        net.connect(a, OutputPort::new(1), b, InputPort::new(0), 3);
+        let f = FlowId(1);
+        net.add_route(a, f, OutputPort::new(1));
+        net.add_route(b, f, OutputPort::new(0));
+        net.add_source(a, InputPort::new(0), vec![f], 1.0);
+        net.run(50);
+        assert!(net.delivered(f) > 40);
+        // Uncontended path: latency = 3 (link) + 0 queueing at each hop.
+        let lat = net.mean_latency(f).unwrap();
+        assert!((lat - 3.0).abs() < 0.5, "latency {lat}");
+    }
+
+    #[test]
+    fn contention_shares_a_bottleneck_roughly_evenly() {
+        // Two saturated sources into one switch, both routed to output 3:
+        // each should get about half the link.
+        let mut net = Network::new(5);
+        let s = net.add_switch(4);
+        let (f1, f2) = (FlowId(1), FlowId(2));
+        net.add_route(s, f1, OutputPort::new(3));
+        net.add_route(s, f2, OutputPort::new(3));
+        net.add_source(s, InputPort::new(0), vec![f1], 1.0);
+        net.add_source(s, InputPort::new(1), vec![f2], 1.0);
+        net.run(4000);
+        net.reset_counters();
+        net.run(10_000);
+        let (d1, d2) = (net.delivered(f1) as f64, net.delivered(f2) as f64);
+        assert!((d1 + d2 - 10_000.0).abs() < 100.0, "bottleneck not saturated");
+        let share = d1 / (d1 + d2);
+        assert!((share - 0.5).abs() < 0.05, "share {share}");
+    }
+
+    #[test]
+    fn source_round_robins_flows() {
+        let mut net = Network::new(3);
+        let s = net.add_switch(2);
+        let (f1, f2) = (FlowId(1), FlowId(2));
+        net.add_route(s, f1, OutputPort::new(0));
+        net.add_route(s, f2, OutputPort::new(1));
+        net.add_source(s, InputPort::new(0), vec![f1, f2], 1.0);
+        net.run(1000);
+        let (d1, d2) = (net.delivered(f1), net.delivered(f2));
+        assert!((d1 as i64 - d2 as i64).abs() <= 2, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn queued_and_reset() {
+        let mut net = Network::new(4);
+        let s = net.add_switch(2);
+        let (f1, f2) = (FlowId(1), FlowId(2));
+        // Both flows to output 0: overload (2 cells/slot offered, 1 served).
+        net.add_route(s, f1, OutputPort::new(0));
+        net.add_route(s, f2, OutputPort::new(0));
+        net.add_source(s, InputPort::new(0), vec![f1], 1.0);
+        net.add_source(s, InputPort::new(1), vec![f2], 1.0);
+        net.run(100);
+        assert!(net.queued() > 80, "queued {}", net.queued());
+        net.reset_counters();
+        assert_eq!(net.delivered(f1), 0);
+        assert_eq!(net.slot(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut net = Network::new(0);
+        let s = net.add_switch(2);
+        net.add_source(s, InputPort::new(0), vec![FlowId(1)], 1.0);
+        net.run(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a source")]
+    fn duplicate_source_panics() {
+        let mut net = Network::new(0);
+        let s = net.add_switch(2);
+        net.add_route(s, FlowId(1), OutputPort::new(0));
+        net.add_source(s, InputPort::new(0), vec![FlowId(1)], 1.0);
+        net.add_source(s, InputPort::new(0), vec![FlowId(1)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-routed")]
+    fn conflicting_route_panics() {
+        let mut net = Network::new(0);
+        let s = net.add_switch(2);
+        net.add_route(s, FlowId(1), OutputPort::new(0));
+        net.add_route(s, FlowId(1), OutputPort::new(1));
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_complete_configurations() {
+        let mut net = Network::new(1);
+        let a = net.add_switch(2);
+        let b = net.add_switch(2);
+        net.connect(a, OutputPort::new(1), b, InputPort::new(0), 1);
+        let f = FlowId(4);
+        net.add_route(a, f, OutputPort::new(1));
+        net.add_route(b, f, OutputPort::new(0));
+        net.add_source(a, InputPort::new(0), vec![f], 1.0);
+        net.validate().unwrap();
+        let path = net.path_of(f, a).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0], (a, OutputPort::new(1)));
+        assert_eq!(path[1], (b, OutputPort::new(0)));
+    }
+
+    #[test]
+    fn validate_reports_missing_downstream_route() {
+        let mut net = Network::new(1);
+        let a = net.add_switch(2);
+        let b = net.add_switch(2);
+        net.connect(a, OutputPort::new(1), b, InputPort::new(0), 1);
+        let f = FlowId(4);
+        net.add_route(a, f, OutputPort::new(1)); // but not at b
+        net.add_source(a, InputPort::new(0), vec![f], 1.0);
+        let e = net.validate().unwrap_err();
+        assert_eq!(e, TopologyError::MissingRoute { flow: f, switch: b });
+        assert!(e.to_string().contains("no route"), "{e}");
+    }
+
+    #[test]
+    fn validate_detects_routing_loops() {
+        let mut net = Network::new(1);
+        let a = net.add_switch(2);
+        let b = net.add_switch(2);
+        net.connect(a, OutputPort::new(0), b, InputPort::new(0), 1);
+        net.connect(b, OutputPort::new(0), a, InputPort::new(1), 1);
+        let f = FlowId(9);
+        net.add_route(a, f, OutputPort::new(0));
+        net.add_route(b, f, OutputPort::new(0));
+        net.add_source(a, InputPort::new(0), vec![f], 1.0);
+        let e = net.validate().unwrap_err();
+        assert!(matches!(e, TopologyError::RoutingLoop { .. }), "{e}");
+    }
+
+    #[test]
+    fn path_of_unknown_switch_errors() {
+        let net = Network::new(1);
+        let e = net.path_of(FlowId(1), SwitchId(3)).unwrap_err();
+        assert!(matches!(e, TopologyError::UnknownSwitch { .. }));
+        assert!(e.to_string().contains("does not exist"));
+    }
+}
+
+#[cfg(test)]
+mod routing_tests {
+    use super::*;
+
+    /// A 2x2 grid of 4-port switches, links in both row/column directions.
+    fn grid() -> (Network, [SwitchId; 4]) {
+        let mut net = Network::new(3);
+        let s: Vec<SwitchId> = (0..4).map(|_| net.add_switch(4)).collect();
+        // s0 - s1
+        // |     |
+        // s2 - s3     (one-directional links, port 2 = east, port 3 = south)
+        net.connect(s[0], OutputPort::new(2), s[1], InputPort::new(0), 1);
+        net.connect(s[0], OutputPort::new(3), s[2], InputPort::new(0), 1);
+        net.connect(s[1], OutputPort::new(3), s[3], InputPort::new(1), 1);
+        net.connect(s[2], OutputPort::new(2), s[3], InputPort::new(2), 1);
+        (net, [s[0], s[1], s[2], s[3]])
+    }
+
+    #[test]
+    fn shortest_route_is_installed_and_works() {
+        let (mut net, s) = grid();
+        let f = FlowId(5);
+        net.route_shortest(f, s[0], s[3], OutputPort::new(1)).unwrap();
+        let path = net.path_of(f, s[0]).unwrap();
+        // Two hops to cross the grid plus the delivery hop = 3 entries.
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].0, s[0]);
+        assert_eq!(path[2], (s[3], OutputPort::new(1)));
+        net.add_source(s[0], InputPort::new(1), vec![f], 1.0);
+        net.validate().unwrap();
+        net.run(100);
+        assert!(net.delivered(f) > 90);
+    }
+
+    #[test]
+    fn trivial_route_at_the_exit_switch() {
+        let (mut net, s) = grid();
+        let f = FlowId(6);
+        net.route_shortest(f, s[3], s[3], OutputPort::new(0)).unwrap();
+        let path = net.path_of(f, s[3]).unwrap();
+        assert_eq!(path, vec![(s[3], OutputPort::new(0))]);
+    }
+
+    #[test]
+    fn unreachable_exit_is_reported() {
+        let (mut net, s) = grid();
+        // Links only go east/south: s3 cannot reach s0.
+        let e = net
+            .route_shortest(FlowId(7), s[3], s[0], OutputPort::new(0))
+            .unwrap_err();
+        assert_eq!(e, TopologyError::Unreachable { from: s[3], to: s[0] });
+        assert!(e.to_string().contains("no link path"));
+        // Nothing was installed.
+        assert!(matches!(
+            net.path_of(FlowId(7), s[3]),
+            Err(TopologyError::MissingRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn shortest_route_prefers_fewest_hops() {
+        let (mut net, s) = grid();
+        // s0 -> s1 is direct (1 link); the alternative via s2/s3 is longer.
+        let f = FlowId(8);
+        net.route_shortest(f, s[0], s[1], OutputPort::new(1)).unwrap();
+        let path = net.path_of(f, s[0]).unwrap();
+        assert_eq!(path.len(), 2, "{path:?}");
+    }
+}

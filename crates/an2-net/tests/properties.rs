@@ -1,0 +1,123 @@
+//! Property-based tests for the network substrate.
+
+use an2_net::cbr::{simulate_cbr_chain, CbrChainConfig};
+use an2_net::clock::ClockPolicy;
+use an2_net::netsim::Network;
+use an2_sched::{InputPort, OutputPort};
+use an2_sim::cell::FlowId;
+use proptest::prelude::*;
+
+fn any_policy(which: u8, a: u64, b: u64) -> ClockPolicy {
+    match which % 3 {
+        0 => ClockPolicy::Constant((a % 101) as f64 / 100.0),
+        1 => ClockPolicy::Random,
+        _ => ClockPolicy::SlowThenFast {
+            slow_frames: 1 + a % 50,
+            fast_frames: 1 + b % 50,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Appendix B bounds hold for arbitrary valid configurations and
+    /// clock adversaries.
+    #[test]
+    fn cbr_bounds_hold_for_random_configs(
+        hops in 1usize..6,
+        k in 1usize..4,
+        frame_slots in 20usize..200,
+        tol_bp in 1u32..300,         // tolerance in basis points (0.01%..3%)
+        latency in 0.0f64..20.0,
+        ctrl_which in any::<u8>(),
+        sw_which in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = CbrChainConfig {
+            hops,
+            cells_per_frame: k.min(frame_slots),
+            switch_frame_slots: frame_slots,
+            controller_stuffing: 0,
+            slot_time: 1.0,
+            tolerance: tol_bp as f64 / 10_000.0,
+            link_latency: latency,
+            frames: 150,
+        };
+        cfg.controller_stuffing = cfg.min_stuffing();
+        let report = simulate_cbr_chain(
+            &cfg,
+            any_policy(ctrl_which, a, b),
+            any_policy(sw_which, b, a),
+            seed,
+        );
+        prop_assert!(report.within_bounds(), "{report}");
+        prop_assert_eq!(report.cells_delivered, 150 * cfg.cells_per_frame as u64);
+    }
+
+    /// In any linear chain, total deliveries never exceed bottleneck
+    /// capacity and all flows make progress (no starvation under PIM).
+    #[test]
+    fn chain_flows_all_progress(
+        seed in any::<u64>(),
+        chain_len in 1usize..4,
+        latency in 1u64..4,
+    ) {
+        let mut net = Network::new(seed);
+        // chain_len switches; each has a local source at input 1; chain
+        // runs through input 0 / output 0.
+        let switches: Vec<_> = (0..chain_len).map(|_| net.add_switch(2)).collect();
+        for w in switches.windows(2) {
+            net.connect(w[0], OutputPort::new(0), w[1], InputPort::new(0), latency);
+        }
+        let mut flows = Vec::new();
+        for (idx, &sw) in switches.iter().enumerate() {
+            let f = FlowId(idx as u64 + 1);
+            // Route through every switch from its entry onward.
+            for &later in &switches[idx..] {
+                net.add_route(later, f, OutputPort::new(0));
+            }
+            net.add_source(sw, InputPort::new(1), vec![f], 1.0);
+            flows.push(f);
+        }
+        let slots = 3_000u64;
+        net.run(slots);
+        let total: u64 = flows.iter().map(|&f| net.delivered(f)).sum();
+        prop_assert!(total <= slots, "bottleneck overdelivered: {total} > {slots}");
+        for &f in &flows {
+            prop_assert!(net.delivered(f) > 0, "flow {f} starved");
+        }
+    }
+
+    /// Uncontended paths deliver at full rate with latency equal to the
+    /// sum of link latencies.
+    #[test]
+    fn uncontended_path_full_rate(
+        seed in any::<u64>(),
+        hops in 1usize..5,
+        latency in 1u64..5,
+    ) {
+        let mut net = Network::new(seed);
+        let switches: Vec<_> = (0..hops).map(|_| net.add_switch(2)).collect();
+        for w in switches.windows(2) {
+            net.connect(w[0], OutputPort::new(1), w[1], InputPort::new(0), latency);
+        }
+        let f = FlowId(9);
+        for &sw in &switches {
+            net.add_route(sw, f, OutputPort::new(1));
+        }
+        net.add_source(switches[0], InputPort::new(0), vec![f], 1.0);
+        let slots = 500u64;
+        net.run(slots);
+        let expected_latency = (hops as u64 - 1) * latency;
+        prop_assert!(net.delivered(f) >= slots - expected_latency - 2);
+        if let Some(lat) = net.mean_latency(f) {
+            prop_assert!(
+                (lat - expected_latency as f64).abs() < 0.5,
+                "latency {lat} vs expected {expected_latency}"
+            );
+        }
+    }
+}

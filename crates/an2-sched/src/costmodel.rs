@@ -1,0 +1,198 @@
+//! AN2 switch component-cost model — Table 2.
+//!
+//! Table 2 of the paper is a hardware bill-of-materials breakdown; it is
+//! not measurable in software. This module encodes the published
+//! proportions as a small cost model so the bench harness can regenerate
+//! the table, and so the paper's cost *arguments* (optoelectronics
+//! dominate; the crossbar and scheduling logic are cheap, §2.2/§3.3) can be
+//! asserted in tests rather than merely quoted.
+
+use std::fmt;
+
+/// Functional units of the AN2 switch costed in Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Receivers/transmitters driving the fiber links.
+    Optoelectronics,
+    /// The N×N crossbar data path.
+    Crossbar,
+    /// Cell buffer RAM plus queue-management logic.
+    BufferRamLogic,
+    /// The parallel-iterative-matching scheduling logic.
+    SchedulingLogic,
+    /// The routing-table / frame-schedule control processor.
+    RoutingControlCpu,
+}
+
+impl Component {
+    /// All components, in Table 2's row order.
+    pub const ALL: [Component; 5] = [
+        Component::Optoelectronics,
+        Component::Crossbar,
+        Component::BufferRamLogic,
+        Component::SchedulingLogic,
+        Component::RoutingControlCpu,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::Optoelectronics => "Optoelectronics",
+            Component::Crossbar => "Crossbar",
+            Component::BufferRamLogic => "Buffer RAM/Logic",
+            Component::SchedulingLogic => "Scheduling Logic",
+            Component::RoutingControlCpu => "Routing/Control CPU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cost breakdown over the five functional units, in arbitrary cost units.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::costmodel::{Component, CostBreakdown};
+/// let proto = CostBreakdown::an2_prototype();
+/// let shares = proto.proportions();
+/// // Optoelectronics dominate (48% in the prototype).
+/// assert_eq!(shares[0].0, Component::Optoelectronics);
+/// assert!((shares[0].1 - 0.48).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostBreakdown {
+    costs: [f64; 5],
+}
+
+impl CostBreakdown {
+    /// Creates a breakdown from per-component absolute costs, in Table 2's
+    /// row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or non-finite, or if all are zero.
+    pub fn new(costs: [f64; 5]) -> Self {
+        assert!(
+            costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "costs must be finite and non-negative"
+        );
+        assert!(costs.iter().sum::<f64>() > 0.0, "total cost must be positive");
+        Self { costs }
+    }
+
+    /// The prototype switch's measured proportions (Table 2, column 1),
+    /// normalized to 100 cost units.
+    pub fn an2_prototype() -> Self {
+        Self::new([48.0, 4.0, 21.0, 10.0, 17.0])
+    }
+
+    /// The estimated production-switch proportions (Table 2, column 2).
+    pub fn an2_production_estimate() -> Self {
+        Self::new([63.0, 5.0, 19.0, 3.0, 10.0])
+    }
+
+    /// Absolute cost of a component.
+    pub fn cost(&self, c: Component) -> f64 {
+        self.costs[Self::idx(c)]
+    }
+
+    /// Total switch cost.
+    pub fn total(&self) -> f64 {
+        self.costs.iter().sum()
+    }
+
+    /// Each component's share of the total, in Table 2 row order.
+    pub fn proportions(&self) -> [(Component, f64); 5] {
+        let total = self.total();
+        let mut out = [(Component::Optoelectronics, 0.0); 5];
+        for (k, &c) in Component::ALL.iter().enumerate() {
+            out[k] = (c, self.costs[k] / total);
+        }
+        out
+    }
+
+    /// Returns a breakdown with one component's cost scaled by `factor` —
+    /// e.g. moving the scheduling logic from FPGAs to custom CMOS (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn with_scaled(&self, c: Component, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        let mut costs = self.costs;
+        costs[Self::idx(c)] *= factor;
+        Self::new(costs)
+    }
+
+    fn idx(c: Component) -> usize {
+        Component::ALL.iter().position(|&x| x == c).expect("ALL is exhaustive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_table_2() {
+        let p = CostBreakdown::an2_prototype();
+        let want = [0.48, 0.04, 0.21, 0.10, 0.17];
+        for ((_, got), want) in p.proportions().iter().zip(want) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn production_matches_table_2() {
+        let p = CostBreakdown::an2_production_estimate();
+        let want = [0.63, 0.05, 0.19, 0.03, 0.10];
+        for ((_, got), want) in p.proportions().iter().zip(want) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_cost_claims_hold() {
+        // §2.2: "the crossbar accounts for less than 5% of the overall cost".
+        let p = CostBreakdown::an2_prototype();
+        assert!(p.cost(Component::Crossbar) / p.total() < 0.05);
+        // "the cost of the optoelectronics dominates" in both versions.
+        for b in [p, CostBreakdown::an2_production_estimate()] {
+            let opto = b.cost(Component::Optoelectronics);
+            for c in &Component::ALL[1..] {
+                assert!(opto > b.cost(*c));
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_scheduling_logic_toward_production() {
+        // §3.3: custom CMOS reduces the scheduling logic's share from 10%
+        // to about 3%. Scaling the prototype's scheduling cost down and the
+        // opto share up should move the breakdown toward the estimate.
+        let p = CostBreakdown::an2_prototype().with_scaled(Component::SchedulingLogic, 0.25);
+        let share = p.cost(Component::SchedulingLogic) / p.total();
+        assert!(share < 0.04, "scheduling share {share}");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Component::BufferRamLogic.to_string(), "Buffer RAM/Logic");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_panics() {
+        let _ = CostBreakdown::new([1.0, -1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_total_panics() {
+        let _ = CostBreakdown::new([0.0; 5]);
+    }
+}

@@ -1,0 +1,224 @@
+//! FIFO head-of-line arbitration — the paper's main baseline (§2.4).
+//!
+//! With a single FIFO queue per input, only the head cell of each input is
+//! eligible each slot. When several heads target the same output, an
+//! arbiter picks one winner per output. The loser's entire queue stalls —
+//! *head-of-line blocking* — which caps uniform-workload throughput at
+//! ≈58% (Karol et al. 1987) and collapses to as little as one link's worth
+//! under Li's periodic traffic (Figure 1).
+//!
+//! The arbiter here is deliberately simple because the queueing discipline,
+//! not the arbiter, causes the loss. Two priority policies are provided:
+//! rotating priority reproduces Figure 1's worst case ("scheduling priority
+//! rotates among inputs so that the first cell from each input is scheduled
+//! in turn"); random priority is the neutral choice used for the delay
+//! curves.
+
+use crate::matching::Matching;
+use crate::port::{InputPort, OutputPort, PortSet};
+use crate::rng::{SelectRng, Xoshiro256};
+
+/// How a [`FifoArbiter`] breaks ties among inputs whose head-of-line cells
+/// target the same output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FifoPriority {
+    /// Each output independently picks a uniformly random contending input.
+    Random,
+    /// A single global priority pointer rotates by one input per slot; each
+    /// output picks the contending input closest at-or-after the pointer.
+    /// This is the discipline in the paper's Figure 1 worst case.
+    Rotating,
+}
+
+/// Arbiter for a FIFO input-buffered switch.
+///
+/// Unlike [`crate::Scheduler`] implementations, the arbiter sees only the
+/// *head* destination of each input queue — that information hiding is the
+/// whole point of the FIFO baseline.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::fifo::{FifoArbiter, FifoPriority};
+/// use an2_sched::OutputPort;
+/// let mut arb = FifoArbiter::new(4, FifoPriority::Random, 7);
+/// // Inputs 0 and 1 both want output 2; input 3 wants output 0.
+/// let heads = [Some(OutputPort::new(2)), Some(OutputPort::new(2)), None, Some(OutputPort::new(0))];
+/// let m = arb.arbitrate(&heads);
+/// assert_eq!(m.len(), 2); // one winner for output 2, plus input 3
+/// ```
+#[derive(Clone, Debug)]
+pub struct FifoArbiter<R: SelectRng = Xoshiro256> {
+    n: usize,
+    priority: FifoPriority,
+    rng: R,
+    /// Rotating priority pointer (input index with top priority this slot).
+    pointer: usize,
+}
+
+impl FifoArbiter<Xoshiro256> {
+    /// Creates an arbiter for an `n`-input switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn new(n: usize, priority: FifoPriority, seed: u64) -> Self {
+        Self::with_rng(n, priority, Xoshiro256::seed_from(seed))
+    }
+}
+
+impl<R: SelectRng> FifoArbiter<R> {
+    /// Creates an arbiter with an explicit random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn with_rng(n: usize, priority: FifoPriority, rng: R) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        Self {
+            n,
+            priority,
+            rng,
+            pointer: 0,
+        }
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Chooses the winning input for every contended output.
+    ///
+    /// `heads[i]` is the destination of input `i`'s head-of-line cell, or
+    /// `None` if the queue is empty. Every input with a head cell contends
+    /// only for that one output; each output admits at most one winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads.len() != n` or any destination index is `>= n`.
+    pub fn arbitrate(&mut self, heads: &[Option<OutputPort>]) -> Matching {
+        assert_eq!(heads.len(), self.n, "need one head entry per input");
+        let n = self.n;
+        // contenders[j] = inputs whose head cell targets output j.
+        let mut contenders: Vec<PortSet> = vec![PortSet::new(); n];
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(j) = head {
+                assert!(
+                    j.index() < n,
+                    "head destination {j} outside {n}x{n} switch"
+                );
+                contenders[j.index()].insert(i);
+            }
+        }
+        let mut m = Matching::new(n);
+        for j in 0..n {
+            let set = &contenders[j];
+            if set.is_empty() {
+                continue;
+            }
+            let winner = match self.priority {
+                FifoPriority::Random => self.rng.choose(set).expect("non-empty contender set"),
+                FifoPriority::Rotating => first_at_or_after(set, self.pointer, n),
+            };
+            m.pair(InputPort::new(winner), OutputPort::new(j))
+                .expect("each input contends for exactly one output");
+        }
+        if self.priority == FifoPriority::Rotating {
+            self.pointer = (self.pointer + 1) % n;
+        }
+        m
+    }
+}
+
+fn first_at_or_after(set: &PortSet, start: usize, n: usize) -> usize {
+    for off in 0..n {
+        let i = (start + off) % n;
+        if set.contains(i) {
+            return i;
+        }
+    }
+    unreachable!("caller guarantees a non-empty set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heads(n: usize, pairs: &[(usize, usize)]) -> Vec<Option<OutputPort>> {
+        let mut v = vec![None; n];
+        for &(i, j) in pairs {
+            v[i] = Some(OutputPort::new(j));
+        }
+        v
+    }
+
+    #[test]
+    fn uncontended_heads_all_win() {
+        let mut arb = FifoArbiter::new(4, FifoPriority::Random, 1);
+        let m = arb.arbitrate(&heads(4, &[(0, 3), (1, 2), (2, 1), (3, 0)]));
+        assert_eq!(m.len(), 4);
+        assert!(m.is_perfect());
+    }
+
+    #[test]
+    fn contention_admits_one_winner_per_output() {
+        let mut arb = FifoArbiter::new(4, FifoPriority::Random, 1);
+        let m = arb.arbitrate(&heads(4, &[(0, 0), (1, 0), (2, 0), (3, 0)]));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.input_of(OutputPort::new(0)).is_some(), true);
+    }
+
+    #[test]
+    fn empty_heads_empty_match() {
+        let mut arb = FifoArbiter::new(4, FifoPriority::Rotating, 0);
+        let m = arb.arbitrate(&vec![None; 4]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn rotating_priority_visits_every_input() {
+        // All four inputs permanently contend for output 0; the rotating
+        // pointer must serve each input within 4 slots (this is the Figure 1
+        // "first cell from each input is scheduled in turn" behaviour).
+        let mut arb = FifoArbiter::new(4, FifoPriority::Rotating, 0);
+        let h = heads(4, &[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let winners: Vec<usize> = (0..4)
+            .map(|_| {
+                arb.arbitrate(&h)
+                    .input_of(OutputPort::new(0))
+                    .unwrap()
+                    .index()
+            })
+            .collect();
+        assert_eq!(winners, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_priority_is_not_persistently_biased() {
+        let mut arb = FifoArbiter::new(2, FifoPriority::Random, 42);
+        let h = heads(2, &[(0, 0), (1, 0)]);
+        let mut wins = [0usize; 2];
+        for _ in 0..2000 {
+            let w = arb.arbitrate(&h).input_of(OutputPort::new(0)).unwrap();
+            wins[w.index()] += 1;
+        }
+        let frac = wins[0] as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "win fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one head entry per input")]
+    fn wrong_head_len_panics() {
+        let mut arb = FifoArbiter::new(4, FifoPriority::Random, 0);
+        let _ = arb.arbitrate(&[None; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_destination_panics() {
+        let mut arb = FifoArbiter::new(2, FifoPriority::Random, 0);
+        let _ = arb.arbitrate(&heads(2, &[(0, 5)]));
+    }
+}

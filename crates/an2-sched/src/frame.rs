@@ -1,0 +1,607 @@
+//! Frame schedules for guaranteed (CBR) traffic — §4.
+//!
+//! Bandwidth reservations are made in *cells per frame*, where a frame is a
+//! fixed number of slots (1000 in the AN2 prototype). Each switch keeps an
+//! explicit schedule: for every slot of the frame, a conflict-free pairing
+//! of inputs to outputs. The Slepian–Duguid theorem guarantees such a
+//! schedule exists whenever no input or output link is over-committed, and
+//! the constructive swap algorithm (Hui 1990, reproduced in the paper)
+//! inserts a new reservation one cell at a time, rearranging at most one
+//! chain of existing connections between two slots per inserted cell.
+//!
+//! The schedule is purely about *which* input-output pairs connect in each
+//! slot; "our guarantees depend only on delivering the reserved number of
+//! cells per frame for each flow, not on which slot in the frame is
+//! assigned to each flow."
+
+use crate::matching::Matching;
+use crate::port::{InputPort, OutputPort};
+use std::fmt;
+
+/// Error returned when a reservation cannot be added or released.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReservationError {
+    /// The input link lacks unreserved slots for the request.
+    InputOverCommitted {
+        /// The input whose capacity is insufficient.
+        input: InputPort,
+        /// Slots still unreserved on that input.
+        free_slots: usize,
+        /// Slots the request needed.
+        requested: usize,
+    },
+    /// The output link lacks unreserved slots for the request.
+    OutputOverCommitted {
+        /// The output whose capacity is insufficient.
+        output: OutputPort,
+        /// Slots still unreserved on that output.
+        free_slots: usize,
+        /// Slots the request needed.
+        requested: usize,
+    },
+    /// A release asked for more cells than the pair has reserved.
+    NotReserved {
+        /// The input of the pair being released.
+        input: InputPort,
+        /// The output of the pair being released.
+        output: OutputPort,
+        /// Cells per frame currently reserved for the pair.
+        reserved: usize,
+        /// Cells the release asked to remove.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InputOverCommitted {
+                input,
+                free_slots,
+                requested,
+            } => write!(
+                f,
+                "input {input} has {free_slots} free slots per frame, cannot reserve {requested}"
+            ),
+            Self::OutputOverCommitted {
+                output,
+                free_slots,
+                requested,
+            } => write!(
+                f,
+                "output {output} has {free_slots} free slots per frame, cannot reserve {requested}"
+            ),
+            Self::NotReserved {
+                input,
+                output,
+                reserved,
+                requested,
+            } => write!(
+                f,
+                "pair ({input},{output}) has {reserved} cells/frame reserved, cannot release {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReservationError {}
+
+/// A per-switch frame schedule for CBR reservations.
+///
+/// Maintains, for every slot `t` in `0..frame_len`, a [`Matching`] giving the
+/// crossbar configuration reserved for that slot, together with the demand
+/// matrix (cells per frame per input–output pair) it realizes.
+///
+/// # Examples
+///
+/// Reproduces the paper's Figure 6 (frame of 3 slots, 4×4 switch):
+///
+/// ```
+/// use an2_sched::{FrameSchedule, InputPort, OutputPort};
+/// let mut fs = FrameSchedule::new(4, 3);
+/// // Reservations (cells per frame): rows = inputs 1..4 of the figure.
+/// for (i, j, cells) in [
+///     (0, 0, 1), (0, 1, 2),
+///     (1, 1, 1), (1, 2, 1),
+///     (2, 0, 2), (2, 3, 1),
+///     (3, 3, 1),
+/// ] {
+///     fs.reserve(InputPort::new(i), OutputPort::new(j), cells)?;
+/// }
+/// // Every admitted cell appears in exactly the reserved number of slots.
+/// assert_eq!(fs.scheduled_cells(InputPort::new(0), OutputPort::new(1)), 2);
+/// // Figure 7 adds one more cell per frame from input 2 to output 4
+/// // (0-based: 1 -> 3); the schedule rearranges as needed to admit it:
+/// fs.reserve(InputPort::new(1), OutputPort::new(3), 1)?;
+/// assert_eq!(fs.scheduled_cells(InputPort::new(1), OutputPort::new(3)), 1);
+/// # Ok::<(), an2_sched::ReservationError>(())
+/// ```
+#[derive(Clone)]
+pub struct FrameSchedule {
+    n: usize,
+    frame_len: usize,
+    slots: Vec<Matching>,
+    /// demand[i][j] = reserved cells per frame from input i to output j.
+    demand: Vec<Vec<usize>>,
+    /// Total reserved cells per frame on each input link.
+    input_load: Vec<usize>,
+    /// Total reserved cells per frame on each output link.
+    output_load: Vec<usize>,
+}
+
+impl FrameSchedule {
+    /// Creates an empty schedule for an `n`×`n` switch with `frame_len`
+    /// slots per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `n > MAX_PORTS`, or `frame_len == 0`.
+    pub fn new(n: usize, frame_len: usize) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        assert!(frame_len > 0, "frame must contain at least one slot");
+        Self {
+            n,
+            frame_len,
+            slots: vec![Matching::new(n); frame_len],
+            demand: vec![vec![0; n]; n],
+            input_load: vec![0; n],
+            output_load: vec![0; n],
+        }
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Slots per frame.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// The reserved crossbar configuration for slot `t` of the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= frame_len`.
+    pub fn slot(&self, t: usize) -> &Matching {
+        assert!(t < self.frame_len, "slot {t} outside frame");
+        &self.slots[t]
+    }
+
+    /// Reserved cells per frame for the pair `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    pub fn demand(&self, i: InputPort, j: OutputPort) -> usize {
+        self.check(i, j);
+        self.demand[i.index()][j.index()]
+    }
+
+    /// Total reserved cells per frame entering at input `i`.
+    pub fn input_load(&self, i: InputPort) -> usize {
+        assert!(i.index() < self.n, "input {i} outside switch");
+        self.input_load[i.index()]
+    }
+
+    /// Total reserved cells per frame leaving at output `j`.
+    pub fn output_load(&self, j: OutputPort) -> usize {
+        assert!(j.index() < self.n, "output {j} outside switch");
+        self.output_load[j.index()]
+    }
+
+    /// Unreserved slots per frame on input `i`.
+    pub fn input_free(&self, i: InputPort) -> usize {
+        self.frame_len - self.input_load(i)
+    }
+
+    /// Unreserved slots per frame on output `j`.
+    pub fn output_free(&self, j: OutputPort) -> usize {
+        self.frame_len - self.output_load(j)
+    }
+
+    /// Returns whether a reservation of `cells` per frame from `i` to `j`
+    /// would be admitted. This is the paper's simple admission test: "it is
+    /// possible so long as the input and output link each have adequate
+    /// unreserved capacity."
+    pub fn admits(&self, i: InputPort, j: OutputPort, cells: usize) -> bool {
+        self.check(i, j);
+        self.input_free(i) >= cells && self.output_free(j) >= cells
+    }
+
+    /// Number of slots in which `(i, j)` is actually scheduled; equals
+    /// [`demand`](Self::demand) for every admitted reservation.
+    pub fn scheduled_cells(&self, i: InputPort, j: OutputPort) -> usize {
+        self.check(i, j);
+        self.slots
+            .iter()
+            .filter(|m| m.output_of(i) == Some(j))
+            .count()
+    }
+
+    /// Adds a reservation of `cells` per frame from input `i` to output `j`,
+    /// rearranging existing slot assignments as needed (Slepian–Duguid).
+    ///
+    /// The whole reservation is admitted or rejected atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReservationError::InputOverCommitted`] or
+    /// [`ReservationError::OutputOverCommitted`] if the corresponding link
+    /// lacks capacity; the schedule is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    pub fn reserve(
+        &mut self,
+        i: InputPort,
+        j: OutputPort,
+        cells: usize,
+    ) -> Result<(), ReservationError> {
+        self.check(i, j);
+        if self.input_free(i) < cells {
+            return Err(ReservationError::InputOverCommitted {
+                input: i,
+                free_slots: self.input_free(i),
+                requested: cells,
+            });
+        }
+        if self.output_free(j) < cells {
+            return Err(ReservationError::OutputOverCommitted {
+                output: j,
+                free_slots: self.output_free(j),
+                requested: cells,
+            });
+        }
+        for _ in 0..cells {
+            self.insert_one(i, j);
+        }
+        self.demand[i.index()][j.index()] += cells;
+        self.input_load[i.index()] += cells;
+        self.output_load[j.index()] += cells;
+        Ok(())
+    }
+
+    /// Releases `cells` per frame of the reservation from `i` to `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReservationError::NotReserved`] if the pair has fewer than
+    /// `cells` reserved; the schedule is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    pub fn release(
+        &mut self,
+        i: InputPort,
+        j: OutputPort,
+        cells: usize,
+    ) -> Result<(), ReservationError> {
+        self.check(i, j);
+        let reserved = self.demand[i.index()][j.index()];
+        if reserved < cells {
+            return Err(ReservationError::NotReserved {
+                input: i,
+                output: j,
+                reserved,
+                requested: cells,
+            });
+        }
+        let mut remaining = cells;
+        for slot in &mut self.slots {
+            if remaining == 0 {
+                break;
+            }
+            if slot.output_of(i) == Some(j) {
+                slot.unpair_input(i);
+                remaining -= 1;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "demand bookkeeping out of sync with slots");
+        self.demand[i.index()][j.index()] -= cells;
+        self.input_load[i.index()] -= cells;
+        self.output_load[j.index()] -= cells;
+        Ok(())
+    }
+
+    /// Inserts a single cell/frame connection from `p` to `q`.
+    ///
+    /// Implements the algorithm of §4: find a slot where both ports are
+    /// free; otherwise take a slot `a` where `p` is free and a slot `b`
+    /// where `q` is free and swap a chain of connections between them until
+    /// no conflict remains. Capacity was already checked by the caller, so
+    /// slots `a` and `b` must exist.
+    fn insert_one(&mut self, p: InputPort, q: OutputPort) {
+        // Fast path: a slot with both endpoints free.
+        if let Some(t) = self
+            .slots
+            .iter()
+            .position(|m| !m.input_matched(p) && !m.output_matched(q))
+        {
+            self.slots[t].pair(p, q).expect("both endpoints free");
+            return;
+        }
+        let a = self
+            .slots
+            .iter()
+            .position(|m| !m.input_matched(p))
+            .expect("input capacity was checked: a slot with p free exists");
+        let b = self
+            .slots
+            .iter()
+            .position(|m| !m.output_matched(q))
+            .expect("output capacity was checked: a slot with q free exists");
+
+        // Bounce displaced connections between slots a and b. Loop
+        // invariants (maintained by construction, per the §4 example):
+        //   * inserting (x, y) into a: input x is free in a, only the
+        //     output side can conflict;
+        //   * re-homing a displaced (w, y) into b: output y is free in b,
+        //     only the input side can conflict.
+        let mut x = p;
+        let mut y = q;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            assert!(
+                steps <= 2 * self.n + 2,
+                "Slepian-Duguid swap chain failed to terminate (bug)"
+            );
+            // Insert (x, y) into slot a; x is free there.
+            let Some(w) = self.slots[a].input_of(y) else {
+                self.slots[a].pair(x, y).expect("both endpoints free in a");
+                return;
+            };
+            // Output y is busy in a with (w, y): displace it to b.
+            self.slots[a].unpair_input(w);
+            self.slots[a]
+                .pair(x, y)
+                .expect("endpoints vacated in slot a");
+            // Re-home (w, y) in slot b; y is free there.
+            let Some(u) = self.slots[b].output_of(w) else {
+                self.slots[b].pair(w, y).expect("both endpoints free in b");
+                return;
+            };
+            // Input w is busy in b with (w, u): displace (w, u) back to a,
+            // where w was just vacated; output u is now vacated in b, which
+            // re-establishes the invariant for the next round.
+            self.slots[b].unpair_input(w);
+            self.slots[b]
+                .pair(w, y)
+                .expect("endpoints vacated in slot b");
+            x = w;
+            y = u;
+        }
+    }
+
+    /// Checks internal consistency: every slot is a legal matching (by
+    /// construction of [`Matching`]) and the per-pair scheduled counts equal
+    /// the demand matrix. Intended for tests and debug assertions.
+    pub fn verify(&self) -> bool {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let want = self.demand[i][j];
+                let got = self.scheduled_cells(InputPort::new(i), OutputPort::new(j));
+                if want != got {
+                    return false;
+                }
+            }
+        }
+        let in_ok = (0..self.n)
+            .all(|i| self.input_load[i] == self.demand[i].iter().sum::<usize>());
+        let out_ok = (0..self.n).all(|j| {
+            self.output_load[j] == (0..self.n).map(|i| self.demand[i][j]).sum::<usize>()
+        });
+        in_ok && out_ok
+    }
+
+    #[inline]
+    fn check(&self, i: InputPort, j: OutputPort) {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "pair ({i},{j}) outside {0}x{0} switch",
+            self.n
+        );
+    }
+}
+
+impl fmt::Debug for FrameSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FrameSchedule({}x{}, {} slots/frame)",
+            self.n, self.n, self.frame_len
+        )?;
+        for (t, m) in self.slots.iter().enumerate() {
+            writeln!(f, "  slot {t}: {m:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{SelectRng, Xoshiro256};
+
+    fn ip(i: usize) -> InputPort {
+        InputPort::new(i)
+    }
+    fn op(j: usize) -> OutputPort {
+        OutputPort::new(j)
+    }
+
+    /// The reservation matrix of the paper's Figure 6 (4x4, 3-slot frame).
+    fn figure_6() -> FrameSchedule {
+        let mut fs = FrameSchedule::new(4, 3);
+        for (i, j, c) in [
+            (0, 0, 1),
+            (0, 1, 2),
+            (1, 1, 1),
+            (1, 2, 1),
+            (2, 0, 2),
+            (2, 3, 1),
+            (3, 3, 2),
+        ] {
+            fs.reserve(ip(i), op(j), c).unwrap();
+        }
+        fs
+    }
+
+    #[test]
+    fn figure_6_schedule_realizes_all_reservations() {
+        let fs = figure_6();
+        assert!(fs.verify());
+        assert_eq!(fs.input_load(ip(0)), 3);
+        assert_eq!(fs.input_load(ip(1)), 2);
+        assert_eq!(fs.output_load(op(3)), 3);
+        assert_eq!(fs.scheduled_cells(ip(2), op(0)), 2);
+    }
+
+    #[test]
+    fn figure_7_added_reservation_forces_rearrangement() {
+        let mut fs = figure_6();
+        // In this variant of the Figure 6 matrix, output 3 is fully
+        // committed (3 cells/frame), so a further reservation to it must be
+        // rejected with the schedule left intact; a reservation to the
+        // partially-free output 2 must then succeed, rearranging if needed.
+        assert_eq!(fs.output_free(op(3)), 0);
+        let e = fs.reserve(ip(1), op(3), 1).unwrap_err();
+        assert!(matches!(e, ReservationError::OutputOverCommitted { .. }));
+        // Schedule unchanged on error.
+        assert!(fs.verify());
+        // Now a feasible add: input 1 and output 2 each have free slots.
+        fs.reserve(ip(1), op(2), 1).unwrap();
+        assert!(fs.verify());
+        assert_eq!(fs.scheduled_cells(ip(1), op(2)), 2);
+    }
+
+    #[test]
+    fn admits_matches_reserve_outcome() {
+        let mut fs = FrameSchedule::new(2, 2);
+        assert!(fs.admits(ip(0), op(0), 2));
+        fs.reserve(ip(0), op(0), 2).unwrap();
+        assert!(!fs.admits(ip(0), op(1), 1));
+        assert!(fs.admits(ip(1), op(1), 2));
+    }
+
+    #[test]
+    fn fully_loaded_switch_is_schedulable() {
+        // Slepian-Duguid: 100% of link bandwidth can be reserved. A doubly
+        // stochastic demand (every row and column sums to frame_len) must be
+        // admitted in full.
+        let n = 8;
+        let f = 16;
+        let mut fs = FrameSchedule::new(n, f);
+        // demand[i][j] = 2 everywhere: row/col sums = 16 = frame_len.
+        for i in 0..n {
+            for j in 0..n {
+                fs.reserve(ip(i), op(j), 2).unwrap();
+            }
+        }
+        assert!(fs.verify());
+        for t in 0..f {
+            assert!(fs.slot(t).is_perfect(), "slot {t} not perfect");
+        }
+    }
+
+    #[test]
+    fn random_admissible_demands_always_schedule() {
+        let mut rng = Xoshiro256::seed_from(31);
+        for trial in 0..50 {
+            let n = 2 + (trial % 7);
+            let f = 4 + (trial % 9);
+            let mut fs = FrameSchedule::new(n, f);
+            // Insert random single-cell reservations while capacity remains.
+            for _ in 0..n * f * 2 {
+                let i = rng.index(n);
+                let j = rng.index(n);
+                let can = fs.admits(ip(i), op(j), 1);
+                let got = fs.reserve(ip(i), op(j), 1);
+                assert_eq!(can, got.is_ok(), "admits() disagreed with reserve()");
+            }
+            assert!(fs.verify(), "trial {trial} produced inconsistent schedule");
+        }
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut fs = FrameSchedule::new(2, 3);
+        fs.reserve(ip(0), op(0), 3).unwrap();
+        assert!(!fs.admits(ip(0), op(1), 1));
+        fs.release(ip(0), op(0), 2).unwrap();
+        assert!(fs.verify());
+        assert_eq!(fs.demand(ip(0), op(0)), 1);
+        fs.reserve(ip(0), op(1), 2).unwrap();
+        assert!(fs.verify());
+    }
+
+    #[test]
+    fn release_more_than_reserved_errors() {
+        let mut fs = FrameSchedule::new(2, 3);
+        fs.reserve(ip(0), op(0), 1).unwrap();
+        let e = fs.release(ip(0), op(0), 2).unwrap_err();
+        assert!(matches!(e, ReservationError::NotReserved { reserved: 1, .. }));
+        assert!(fs.verify());
+        let msg = e.to_string();
+        assert!(msg.contains("cannot release"), "{msg}");
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let mut fs = FrameSchedule::new(2, 2);
+        fs.reserve(ip(0), op(0), 2).unwrap();
+        let e = fs.reserve(ip(0), op(1), 1).unwrap_err();
+        assert!(e.to_string().contains("input 0"), "{e}");
+        let e = fs.reserve(ip(1), op(0), 1).unwrap_err();
+        assert!(e.to_string().contains("output 0"), "{e}");
+    }
+
+    #[test]
+    fn rearrangement_preserves_existing_demands() {
+        // Build a schedule where the swap path must run, then check no
+        // reservation lost a slot.
+        let mut fs = FrameSchedule::new(3, 2);
+        fs.reserve(ip(0), op(0), 1).unwrap();
+        fs.reserve(ip(1), op(1), 1).unwrap();
+        fs.reserve(ip(0), op(1), 1).unwrap();
+        fs.reserve(ip(1), op(0), 1).unwrap();
+        // Inputs 0,1 full. Now input 2 wants outputs 0 and 1... those are
+        // full too. Reserve 2 -> 2 twice instead and verify.
+        fs.reserve(ip(2), op(2), 2).unwrap();
+        assert!(fs.verify());
+        assert_eq!(fs.demand(ip(0), op(1)), 1);
+        assert_eq!(fs.scheduled_cells(ip(1), op(0)), 1);
+    }
+
+    #[test]
+    fn slot_accessor_bounds() {
+        let fs = FrameSchedule::new(2, 2);
+        let _ = fs.slot(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside frame")]
+    fn slot_out_of_range_panics() {
+        let fs = FrameSchedule::new(2, 2);
+        let _ = fs.slot(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_frame_len_panics() {
+        let _ = FrameSchedule::new(2, 0);
+    }
+
+    #[test]
+    fn debug_output_lists_slots() {
+        let fs = figure_6();
+        let s = format!("{fs:?}");
+        assert!(s.contains("slot 0"));
+        assert!(s.contains("3 slots/frame"));
+    }
+}

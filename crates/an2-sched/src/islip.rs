@@ -1,0 +1,273 @@
+//! iSLIP and RRM — round-robin descendants of PIM (extension/ablation).
+//!
+//! These algorithms are *not* in the 1992 paper; they are the
+//! deterministic-pointer successors that PIM inspired (McKeown's iSLIP,
+//! 1995, and the simpler round-robin matching RRM). They are included as
+//! documented extensions so the benches can ablate PIM's use of randomness:
+//! same request/grant/accept skeleton, pointers instead of dice.
+//!
+//! * **RRM**: each output grants the requesting input nearest at-or-after
+//!   its grant pointer, each input accepts the granting output nearest
+//!   at-or-after its accept pointer; pointers advance one past the chosen
+//!   port after every grant/accept. RRM synchronizes badly under uniform
+//!   load (pointers move in lockstep).
+//! * **iSLIP**: identical, except pointers advance **only when the grant is
+//!   accepted, and only in the first iteration** — the one-line change that
+//!   de-synchronizes the pointers and restores ~100% throughput.
+
+use crate::matching::Matching;
+use crate::port::{InputPort, OutputPort, PortSet};
+use crate::requests::RequestMatrix;
+use crate::scheduler::Scheduler;
+
+/// Pointer-update discipline distinguishing RRM from iSLIP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PointerUpdate {
+    /// Advance pointers after every grant/accept (RRM).
+    Always,
+    /// Advance pointers only for grants that are accepted, and only in the
+    /// first iteration (iSLIP).
+    OnAcceptFirstIteration,
+}
+
+/// A round-robin iterative matching scheduler (RRM or iSLIP).
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::{islip::RoundRobinMatching, RequestMatrix, Scheduler};
+/// let mut islip = RoundRobinMatching::islip(4, 4);
+/// let reqs = RequestMatrix::from_fn(4, |_, _| true);
+/// let m = islip.schedule(&reqs);
+/// assert!(m.respects(&reqs));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoundRobinMatching {
+    n: usize,
+    iterations: usize,
+    update: PointerUpdate,
+    /// Grant pointer per output.
+    grant_ptr: Vec<usize>,
+    /// Accept pointer per input.
+    accept_ptr: Vec<usize>,
+}
+
+impl RoundRobinMatching {
+    /// Creates an iSLIP scheduler running `iterations` iterations per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `n > MAX_PORTS`, or `iterations == 0`.
+    pub fn islip(n: usize, iterations: usize) -> Self {
+        Self::with_update(n, iterations, PointerUpdate::OnAcceptFirstIteration)
+    }
+
+    /// Creates an RRM scheduler running `iterations` iterations per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `n > MAX_PORTS`, or `iterations == 0`.
+    pub fn rrm(n: usize, iterations: usize) -> Self {
+        Self::with_update(n, iterations, PointerUpdate::Always)
+    }
+
+    /// Creates a scheduler with an explicit pointer-update discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `n > MAX_PORTS`, or `iterations == 0`.
+    pub fn with_update(n: usize, iterations: usize, update: PointerUpdate) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        assert!(iterations > 0, "iteration count must be at least 1");
+        Self {
+            n,
+            iterations,
+            update,
+            grant_ptr: vec![0; n],
+            accept_ptr: vec![0; n],
+        }
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-slot iteration budget.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn first_at_or_after(set: &PortSet, start: usize, n: usize) -> usize {
+        for off in 0..n {
+            let p = (start + off) % n;
+            if set.contains(p) {
+                return p;
+            }
+        }
+        unreachable!("caller guarantees a non-empty set")
+    }
+}
+
+impl Scheduler for RoundRobinMatching {
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+        assert_eq!(
+            requests.n(),
+            self.n,
+            "request matrix size {} does not match scheduler size {}",
+            requests.n(),
+            self.n
+        );
+        let n = self.n;
+        let mut matching = Matching::new(n);
+        let mut unmatched_inputs = PortSet::all(n);
+        let mut unmatched_outputs = PortSet::all(n);
+
+        for iter_no in 1..=self.iterations {
+            // Grant phase: each unmatched output grants the requesting
+            // unmatched input nearest its pointer.
+            let mut grants_to: Vec<PortSet> = vec![PortSet::new(); n];
+            let mut granted_input: Vec<Option<usize>> = vec![None; n];
+            let mut any = false;
+            for j in 0..n {
+                if !unmatched_outputs.contains(j) {
+                    continue;
+                }
+                let reqs = requests
+                    .col(OutputPort::new(j))
+                    .intersection(&unmatched_inputs);
+                if reqs.is_empty() {
+                    continue;
+                }
+                any = true;
+                let i = Self::first_at_or_after(&reqs, self.grant_ptr[j], n);
+                grants_to[i].insert(j);
+                granted_input[j] = Some(i);
+                if self.update == PointerUpdate::Always && iter_no == 1 {
+                    self.grant_ptr[j] = (i + 1) % n;
+                }
+            }
+            if !any {
+                break;
+            }
+
+            // Accept phase.
+            for i in 0..n {
+                let grants = &grants_to[i];
+                if grants.is_empty() {
+                    continue;
+                }
+                let j = Self::first_at_or_after(grants, self.accept_ptr[i], n);
+                matching
+                    .pair(InputPort::new(i), OutputPort::new(j))
+                    .expect("grant/accept produced a conflicting pair");
+                unmatched_inputs.remove(i);
+                unmatched_outputs.remove(j);
+                if iter_no == 1 {
+                    match self.update {
+                        PointerUpdate::Always => {
+                            self.accept_ptr[i] = (j + 1) % n;
+                        }
+                        PointerUpdate::OnAcceptFirstIteration => {
+                            self.accept_ptr[i] = (j + 1) % n;
+                            self.grant_ptr[j] = (i + 1) % n;
+                        }
+                    }
+                }
+            }
+        }
+        matching
+    }
+
+    fn name(&self) -> &'static str {
+        match self.update {
+            PointerUpdate::Always => "rrm",
+            PointerUpdate::OnAcceptFirstIteration => "islip",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(RoundRobinMatching::islip(4, 1).name(), "islip");
+        assert_eq!(RoundRobinMatching::rrm(4, 1).name(), "rrm");
+    }
+
+    #[test]
+    fn legal_and_respectful() {
+        use crate::rng::{SelectRng, Xoshiro256};
+        let mut root = Xoshiro256::seed_from(9);
+        let mut islip = RoundRobinMatching::islip(16, 4);
+        let mut rrm = RoundRobinMatching::rrm(16, 4);
+        for _ in 0..100 {
+            let p = root.uniform_f64();
+            let reqs = RequestMatrix::random(16, p, &mut root);
+            for s in [&mut islip, &mut rrm] {
+                let m = s.schedule(&reqs);
+                assert!(m.respects(&reqs));
+            }
+        }
+    }
+
+    #[test]
+    fn islip_with_enough_iterations_is_maximal_on_full_requests() {
+        let mut islip = RoundRobinMatching::islip(8, 8);
+        let reqs = RequestMatrix::from_fn(8, |_, _| true);
+        let m = islip.schedule(&reqs);
+        assert!(m.is_perfect());
+    }
+
+    #[test]
+    fn islip_desynchronizes_under_persistent_full_load() {
+        // Under all-to-all persistent requests, iSLIP converges to a
+        // time-division pattern where every slot is a perfect match even
+        // with a single iteration (the classic 100%-throughput result).
+        let mut islip = RoundRobinMatching::islip(4, 1);
+        let reqs = RequestMatrix::from_fn(4, |_, _| true);
+        let mut sizes = Vec::new();
+        for _ in 0..32 {
+            sizes.push(islip.schedule(&reqs).len());
+        }
+        // After warmup, matches should be perfect.
+        assert!(
+            sizes[16..].iter().all(|&s| s == 4),
+            "iSLIP failed to desynchronize: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn rrm_stays_synchronized_under_persistent_full_load() {
+        // RRM's pointers move in lockstep, so it never reaches sustained
+        // perfect matches on the same workload (throughput caps well below
+        // 100% — the motivation for iSLIP's update rule).
+        let mut rrm = RoundRobinMatching::rrm(4, 1);
+        let reqs = RequestMatrix::from_fn(4, |_, _| true);
+        let total: usize = (0..64).map(|_| rrm.schedule(&reqs).len()).sum();
+        let throughput = total as f64 / (64.0 * 4.0);
+        assert!(
+            throughput < 0.95,
+            "RRM unexpectedly reached {throughput} throughput"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_reconstruction() {
+        let reqs = RequestMatrix::from_pairs(4, [(0, 1), (1, 1), (2, 3)]);
+        let mut a = RoundRobinMatching::islip(4, 2);
+        let mut b = RoundRobinMatching::islip(4, 2);
+        for _ in 0..10 {
+            assert_eq!(a.schedule(&reqs), b.schedule(&reqs));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_iterations_panics() {
+        let _ = RoundRobinMatching::islip(4, 0);
+    }
+}

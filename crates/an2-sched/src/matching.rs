@@ -1,0 +1,369 @@
+//! Matchings: conflict-free pairings of inputs to outputs.
+//!
+//! "each input can be matched to at most one output and each output to at
+//! most one input" (§3.1). A [`Matching`] is a partial permutation; the
+//! crossbar is configured directly from it for one time slot.
+//!
+//! The distinction between *maximal* and *maximum* matchings (§3.4) is
+//! exposed via [`Matching::is_maximal`] and checked against
+//! [`crate::maximum::hopcroft_karp`] in the test suite.
+
+use crate::port::{InputPort, OutputPort, PortSet};
+use crate::requests::RequestMatrix;
+use std::fmt;
+
+/// A conflict-free pairing of inputs to outputs (a partial permutation).
+///
+/// The two direction maps are kept consistent by construction; `pair` is the
+/// only way to add an edge and it rejects conflicts.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::{InputPort, Matching, OutputPort};
+/// let mut m = Matching::new(4);
+/// m.pair(InputPort::new(0), OutputPort::new(2)).unwrap();
+/// assert_eq!(m.output_of(InputPort::new(0)), Some(OutputPort::new(2)));
+/// assert_eq!(m.input_of(OutputPort::new(2)), Some(InputPort::new(0)));
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matching {
+    n: usize,
+    input_to_output: Vec<Option<OutputPort>>,
+    output_to_input: Vec<Option<InputPort>>,
+}
+
+/// Error returned by [`Matching::pair`] when an endpoint is already matched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairConflict {
+    /// The input that was being paired.
+    pub input: InputPort,
+    /// The output that was being paired.
+    pub output: OutputPort,
+}
+
+impl fmt::Display for PairConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot pair input {} with output {}: an endpoint is already matched",
+            self.input, self.output
+        )
+    }
+}
+
+impl std::error::Error for PairConflict {}
+
+impl Matching {
+    /// Creates an empty matching for an `n`×`n` switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        Self {
+            n,
+            input_to_output: vec![None; n],
+            output_to_input: vec![None; n],
+        }
+    }
+
+    /// The switch radix `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Pairs input `i` with output `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairConflict`] if either endpoint is already matched
+    /// (to anything, including each other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    pub fn pair(&mut self, i: InputPort, j: OutputPort) -> Result<(), PairConflict> {
+        self.check(i, j);
+        if self.input_to_output[i.index()].is_some() || self.output_to_input[j.index()].is_some() {
+            return Err(PairConflict {
+                input: i,
+                output: j,
+            });
+        }
+        self.input_to_output[i.index()] = Some(j);
+        self.output_to_input[j.index()] = Some(i);
+        Ok(())
+    }
+
+    /// Removes the pairing of input `i`, if any; returns its former partner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.index() >= n`.
+    pub fn unpair_input(&mut self, i: InputPort) -> Option<OutputPort> {
+        assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
+        let j = self.input_to_output[i.index()].take()?;
+        self.output_to_input[j.index()] = None;
+        Some(j)
+    }
+
+    /// The output matched to input `i`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.index() >= n`.
+    #[inline]
+    pub fn output_of(&self, i: InputPort) -> Option<OutputPort> {
+        assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
+        self.input_to_output[i.index()]
+    }
+
+    /// The input matched to output `j`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j.index() >= n`.
+    #[inline]
+    pub fn input_of(&self, j: OutputPort) -> Option<InputPort> {
+        assert!(
+            j.index() < self.n,
+            "output {j} outside {0}x{0} switch",
+            self.n
+        );
+        self.output_to_input[j.index()]
+    }
+
+    /// Returns `true` if input `i` is matched.
+    #[inline]
+    pub fn input_matched(&self, i: InputPort) -> bool {
+        self.output_of(i).is_some()
+    }
+
+    /// Returns `true` if output `j` is matched.
+    #[inline]
+    pub fn output_matched(&self, j: OutputPort) -> bool {
+        self.input_of(j).is_some()
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.input_to_output.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Returns `true` if no pair is matched.
+    pub fn is_empty(&self) -> bool {
+        self.input_to_output.iter().all(Option::is_none)
+    }
+
+    /// Returns `true` if every input (equivalently every output) is matched.
+    pub fn is_perfect(&self) -> bool {
+        self.input_to_output.iter().all(Option::is_some)
+    }
+
+    /// Iterates over matched `(input, output)` pairs in input order.
+    pub fn pairs(&self) -> impl Iterator<Item = (InputPort, OutputPort)> + '_ {
+        self.input_to_output
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| j.map(|j| (InputPort::new(i), j)))
+    }
+
+    /// The set of unmatched input indices.
+    pub fn unmatched_inputs(&self) -> PortSet {
+        (0..self.n)
+            .filter(|&i| self.input_to_output[i].is_none())
+            .collect()
+    }
+
+    /// The set of unmatched output indices.
+    pub fn unmatched_outputs(&self) -> PortSet {
+        (0..self.n)
+            .filter(|&j| self.output_to_input[j].is_none())
+            .collect()
+    }
+
+    /// Returns `true` if every matched pair is a request in `requests`.
+    ///
+    /// A scheduler must never connect a pair with no queued cell; the
+    /// simulator asserts this on every slot.
+    pub fn respects(&self, requests: &RequestMatrix) -> bool {
+        self.n == requests.n() && self.pairs().all(|(i, j)| requests.has(i, j))
+    }
+
+    /// Returns `true` if the matching is *maximal* with respect to
+    /// `requests`: no unmatched input has a request to an unmatched output
+    /// (§3.4: "each node is either matched or has no edge to an unmatched
+    /// node").
+    pub fn is_maximal(&self, requests: &RequestMatrix) -> bool {
+        if self.n != requests.n() {
+            return false;
+        }
+        let free_outputs = self.unmatched_outputs();
+        self.unmatched_inputs().iter().all(|i| {
+            requests
+                .row(InputPort::new(i))
+                .is_disjoint(&free_outputs)
+        })
+    }
+
+    /// Counts requests that remain *unresolved*: both endpoints unmatched.
+    ///
+    /// This is the quantity Appendix A shows shrinks by an expected factor
+    /// of 4 per PIM iteration.
+    pub fn unresolved_requests(&self, requests: &RequestMatrix) -> usize {
+        let free_outputs = self.unmatched_outputs();
+        self.unmatched_inputs()
+            .iter()
+            .map(|i| {
+                requests
+                    .row(InputPort::new(i))
+                    .intersection(&free_outputs)
+                    .len()
+            })
+            .sum()
+    }
+
+    #[inline]
+    fn check(&self, i: InputPort, j: OutputPort) {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "pair ({i},{j}) outside {0}x{0} switch",
+            self.n
+        );
+    }
+}
+
+impl fmt::Debug for Matching {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matching({}x{}) {{", self.n, self.n)?;
+        let mut first = true;
+        for (i, j) in self.pairs() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, " {i:?}->{j:?}")?;
+            first = false;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(i: usize) -> InputPort {
+        InputPort::new(i)
+    }
+    fn op(j: usize) -> OutputPort {
+        OutputPort::new(j)
+    }
+
+    #[test]
+    fn pair_and_lookup() {
+        let mut m = Matching::new(4);
+        m.pair(ip(0), op(3)).unwrap();
+        m.pair(ip(2), op(1)).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.output_of(ip(0)), Some(op(3)));
+        assert_eq!(m.input_of(op(1)), Some(ip(2)));
+        assert_eq!(m.output_of(ip(1)), None);
+        assert!(!m.is_perfect());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn conflicts_are_rejected() {
+        let mut m = Matching::new(4);
+        m.pair(ip(0), op(3)).unwrap();
+        let e = m.pair(ip(0), op(2)).unwrap_err();
+        assert_eq!(e.input, ip(0));
+        let e = m.pair(ip(1), op(3)).unwrap_err();
+        assert_eq!(e.output, op(3));
+        assert_eq!(m.len(), 1);
+        let msg = e.to_string();
+        assert!(msg.contains("already matched"), "{msg}");
+    }
+
+    #[test]
+    fn unpair_restores_freedom() {
+        let mut m = Matching::new(4);
+        m.pair(ip(0), op(3)).unwrap();
+        assert_eq!(m.unpair_input(ip(0)), Some(op(3)));
+        assert_eq!(m.unpair_input(ip(0)), None);
+        m.pair(ip(1), op(3)).unwrap();
+        assert_eq!(m.input_of(op(3)), Some(ip(1)));
+    }
+
+    #[test]
+    fn unmatched_sets() {
+        let mut m = Matching::new(4);
+        m.pair(ip(1), op(2)).unwrap();
+        assert_eq!(m.unmatched_inputs().iter().collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(m.unmatched_outputs().iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn perfect_matching() {
+        let mut m = Matching::new(3);
+        for i in 0..3 {
+            m.pair(ip(i), op((i + 1) % 3)).unwrap();
+        }
+        assert!(m.is_perfect());
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn maximality_check() {
+        // Requests: 0->{0,1}, 1->{0}.
+        let reqs = RequestMatrix::from_pairs(2, [(0, 0), (0, 1), (1, 0)]);
+        let mut m = Matching::new(2);
+        // Pair 0->0 only: input 1 still has a request to... output 0 which is
+        // now matched, so the matching {0->0} is maximal even at size 1.
+        m.pair(ip(0), op(0)).unwrap();
+        assert!(m.is_maximal(&reqs));
+        // But the empty matching is not maximal.
+        let empty = Matching::new(2);
+        assert!(!empty.is_maximal(&reqs));
+        // Pair 0->1 instead: 1->0 still addable, not maximal.
+        let mut m2 = Matching::new(2);
+        m2.pair(ip(0), op(1)).unwrap();
+        assert!(!m2.is_maximal(&reqs));
+        m2.pair(ip(1), op(0)).unwrap();
+        assert!(m2.is_maximal(&reqs));
+        assert!(m2.respects(&reqs));
+    }
+
+    #[test]
+    fn respects_rejects_non_requests() {
+        let reqs = RequestMatrix::from_pairs(2, [(0, 0)]);
+        let mut m = Matching::new(2);
+        m.pair(ip(0), op(1)).unwrap();
+        assert!(!m.respects(&reqs));
+    }
+
+    #[test]
+    fn unresolved_request_count() {
+        let reqs = RequestMatrix::from_fn(3, |_, _| true); // 9 requests
+        let empty = Matching::new(3);
+        assert_eq!(empty.unresolved_requests(&reqs), 9);
+        let mut m = Matching::new(3);
+        m.pair(ip(0), op(0)).unwrap();
+        // Unmatched inputs {1,2} x unmatched outputs {1,2} = 4 unresolved.
+        assert_eq!(m.unresolved_requests(&reqs), 4);
+    }
+
+    #[test]
+    fn debug_lists_pairs() {
+        let mut m = Matching::new(2);
+        m.pair(ip(1), op(0)).unwrap();
+        assert_eq!(format!("{m:?}"), "Matching(2x2) { in1->out0 }");
+        let e = Matching::new(2);
+        assert_eq!(format!("{e:?}"), "Matching(2x2) { }");
+    }
+}

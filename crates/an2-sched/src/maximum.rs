@@ -1,0 +1,237 @@
+//! Maximum bipartite matching — the §3.4 comparison point.
+//!
+//! The paper rejects maximum matching for hardware (too slow:
+//! `O(N·(N+M))`; and it can starve connections) but uses it as the yardstick
+//! for how much throughput maximal matching sacrifices ("the number of
+//! pairings in a maximal match can be as small as 50% of ... a maximum
+//! match"). This module implements Hopcroft–Karp, `O(M·√N)`, so the
+//! simulator can run an idealized maximum-matching switch and the benches
+//! can quantify the gap.
+
+use crate::matching::Matching;
+use crate::port::{InputPort, OutputPort};
+use crate::requests::RequestMatrix;
+use crate::scheduler::Scheduler;
+
+const NIL: usize = usize::MAX;
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum matching of the request graph with Hopcroft–Karp.
+///
+/// Deterministic: ties break toward lower port indices (which is exactly the
+/// behaviour that produces the §3.4 starvation example — see
+/// [`MaximumMatching`] for the scheduler wrapper and its tests).
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::{maximum::hopcroft_karp, RequestMatrix};
+/// // 0->{0,1}, 1->{0}: maximum match pairs both inputs.
+/// let reqs = RequestMatrix::from_pairs(2, [(0, 0), (0, 1), (1, 0)]);
+/// assert_eq!(hopcroft_karp(&reqs).len(), 2);
+/// ```
+pub fn hopcroft_karp(requests: &RequestMatrix) -> Matching {
+    let n = requests.n();
+    // match_in[i] = output matched to input i (NIL if free), and vice versa.
+    let mut match_in = vec![NIL; n];
+    let mut match_out = vec![NIL; n];
+    let mut dist = vec![INF; n];
+    let mut queue = Vec::with_capacity(n);
+
+    loop {
+        // BFS from free inputs, layering the alternating-path graph.
+        queue.clear();
+        let mut found_augmenting_layer = false;
+        for i in 0..n {
+            if match_in[i] == NIL {
+                dist[i] = 0;
+                queue.push(i);
+            } else {
+                dist[i] = INF;
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            for j in requests.row(InputPort::new(i)).iter() {
+                let next = match_out[j];
+                if next == NIL {
+                    found_augmenting_layer = true;
+                } else if dist[next] == INF {
+                    dist[next] = dist[i] + 1;
+                    queue.push(next);
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS phase: find a maximal set of vertex-disjoint shortest
+        // augmenting paths.
+        for i in 0..n {
+            if match_in[i] == NIL {
+                try_augment(requests, i, &mut match_in, &mut match_out, &mut dist);
+            }
+        }
+    }
+
+    let mut m = Matching::new(n);
+    for (i, &j) in match_in.iter().enumerate() {
+        if j != NIL {
+            m.pair(InputPort::new(i), OutputPort::new(j))
+                .expect("Hopcroft-Karp produced a conflict");
+        }
+    }
+    m
+}
+
+fn try_augment(
+    requests: &RequestMatrix,
+    i: usize,
+    match_in: &mut [usize],
+    match_out: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    for j in requests.row(InputPort::new(i)).iter() {
+        let next = match_out[j];
+        let advances = next == NIL || (dist[next] == dist[i] + 1
+            && try_augment(requests, next, match_in, match_out, dist));
+        if advances {
+            match_in[i] = j;
+            match_out[j] = i;
+            return true;
+        }
+    }
+    dist[i] = INF; // dead end; prune for the rest of this phase
+    false
+}
+
+/// A scheduler that computes a fresh maximum matching every slot.
+///
+/// Used as the idealized upper-bound comparator in delay/throughput
+/// experiments. Note §3.4's warning: because it is deterministic and
+/// size-greedy, it **can starve** particular connections indefinitely — the
+/// unit tests below reproduce the paper's Figure 2 starvation example.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaximumMatching;
+
+impl MaximumMatching {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for MaximumMatching {
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+        hopcroft_karp(requests)
+    }
+
+    fn name(&self) -> &'static str {
+        "maximum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pim::{AcceptPolicy, IterationLimit, Pim};
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn empty_graph() {
+        assert!(hopcroft_karp(&RequestMatrix::new(4)).is_empty());
+    }
+
+    #[test]
+    fn full_graph_is_perfect() {
+        let reqs = RequestMatrix::from_fn(8, |_, _| true);
+        let m = hopcroft_karp(&reqs);
+        assert!(m.is_perfect());
+        assert!(m.respects(&reqs));
+    }
+
+    #[test]
+    fn diagonal_graph() {
+        let reqs = RequestMatrix::from_fn(6, |i, j| i == j);
+        let m = hopcroft_karp(&reqs);
+        assert_eq!(m.len(), 6);
+        for (i, j) in m.pairs() {
+            assert_eq!(i.index(), j.index());
+        }
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // 0->{0}, 1->{0,1}: greedy 1->0 would strand input 0; maximum
+        // matching must match both.
+        let reqs = RequestMatrix::from_pairs(2, [(0, 0), (1, 0), (1, 1)]);
+        let m = hopcroft_karp(&reqs);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.output_of(InputPort::new(0)), Some(OutputPort::new(0)));
+        assert_eq!(m.output_of(InputPort::new(1)), Some(OutputPort::new(1)));
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // Chain: i -> {i, i+1} for i in 0..n-1, input n-1 -> {n-1}.
+        // Maximum match is perfect (i -> i) but requires augmentation if the
+        // search first pairs i -> i+1.
+        let n = 16;
+        let reqs = RequestMatrix::from_fn(n, |i, j| j == i || j == i + 1);
+        let m = hopcroft_karp(&reqs);
+        assert_eq!(m.len(), n);
+    }
+
+    #[test]
+    fn maximum_at_least_as_large_as_pim() {
+        let mut root = Xoshiro256::seed_from(21);
+        for t in 0..100 {
+            let reqs = RequestMatrix::random(16, 0.4, &mut root);
+            let max = hopcroft_karp(&reqs);
+            let mut pim = Pim::with_options(
+                16,
+                t,
+                IterationLimit::ToCompletion,
+                AcceptPolicy::Random,
+            );
+            let (m, _) = pim.schedule_with_stats(&reqs);
+            assert!(max.len() >= m.len(), "trial {t}");
+            // A maximal matching is at least half the maximum (§3.4).
+            assert!(2 * m.len() >= max.len(), "trial {t}");
+            assert!(max.respects(&reqs));
+        }
+    }
+
+    #[test]
+    fn maximum_matching_is_maximal_too() {
+        let mut root = Xoshiro256::seed_from(5);
+        for _ in 0..50 {
+            let reqs = RequestMatrix::random(12, 0.3, &mut root);
+            let m = hopcroft_karp(&reqs);
+            assert!(m.is_maximal(&reqs));
+        }
+    }
+
+    #[test]
+    fn starvation_example_from_section_3_4() {
+        // Figure 2's pattern: input 0 requests {1,3}; inputs 1,2 request {1};
+        // input 3 requests {3}. §3.4: "maximum matching would never connect
+        // input 1 with output 2" (1-based) — a deterministic maximum
+        // scheduler produces the same matching every slot, so whichever
+        // connection loses, loses forever. Assert that repeat invocations
+        // are identical, the mechanism behind the starvation.
+        let reqs = RequestMatrix::from_pairs(4, [(0, 1), (0, 3), (1, 1), (2, 1), (3, 3)]);
+        let mut sched = MaximumMatching::new();
+        let first = sched.schedule(&reqs);
+        for _ in 0..10 {
+            assert_eq!(sched.schedule(&reqs), first);
+        }
+    }
+
+    #[test]
+    fn scheduler_name() {
+        assert_eq!(MaximumMatching::new().name(), "maximum");
+    }
+}

@@ -1,0 +1,314 @@
+//! Multicast scheduling — the capability §2 names but defers.
+//!
+//! "Our network also supports multicast flows, but we will not discuss
+//! that here." This module is the natural PIM extension for a crossbar
+//! data path (an input can drive many outputs at once): each input's head
+//! multicast cell carries a *fanout set* of outputs; scheduling uses the
+//! same request/grant phases as PIM, but an input **accepts every grant**
+//! it receives — they are all copies of the same cell — and transmits to
+//! the granted subset in one slot. Outputs not won this slot remain in
+//! the cell's *residue* and compete again next slot (fanout splitting),
+//! so a multicast cell is never dropped and finishes in bounded time.
+
+use crate::port::{InputPort, OutputPort, PortSet};
+use crate::rng::{SelectRng, Xoshiro256};
+use std::fmt;
+
+/// Per-slot multicast demands: for each input, the set of outputs its
+/// head cell still needs (empty = no cell or nothing left to send).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FanoutRequests {
+    n: usize,
+    fanout: Vec<PortSet>,
+}
+
+impl FanoutRequests {
+    /// Creates empty requests for an `n`-port switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        Self {
+            n,
+            fanout: vec![PortSet::new(); n],
+        }
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets input `i`'s residual fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.index() >= n` or the set contains an output `>= n`.
+    pub fn set(&mut self, i: InputPort, outputs: PortSet) {
+        assert!(i.index() < self.n, "input {i} outside switch");
+        assert!(
+            outputs.iter().all(|j| j < self.n),
+            "fanout of input {i} contains an output outside the switch"
+        );
+        self.fanout[i.index()] = outputs;
+    }
+
+    /// Input `i`'s residual fanout.
+    pub fn fanout(&self, i: InputPort) -> &PortSet {
+        assert!(i.index() < self.n, "input {i} outside switch");
+        &self.fanout[i.index()]
+    }
+
+    /// Total requested (input, output) pairs.
+    pub fn len(&self) -> usize {
+        self.fanout.iter().map(PortSet::len).sum()
+    }
+
+    /// Returns `true` if nothing is requested.
+    pub fn is_empty(&self) -> bool {
+        self.fanout.iter().all(PortSet::is_empty)
+    }
+}
+
+/// One slot's multicast assignment: each input drives a (possibly empty)
+/// set of outputs; each output is driven by at most one input.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MulticastMatching {
+    n: usize,
+    served: Vec<PortSet>,
+    output_owner: Vec<Option<InputPort>>,
+}
+
+impl MulticastMatching {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            served: vec![PortSet::new(); n],
+            output_owner: vec![None; n],
+        }
+    }
+
+    /// Outputs input `i` transmits copies to this slot.
+    pub fn served(&self, i: InputPort) -> &PortSet {
+        assert!(i.index() < self.n, "input {i} outside switch");
+        &self.served[i.index()]
+    }
+
+    /// The input driving output `j`, if any.
+    pub fn input_of(&self, j: OutputPort) -> Option<InputPort> {
+        assert!(j.index() < self.n, "output {j} outside switch");
+        self.output_owner[j.index()]
+    }
+
+    /// Total copies delivered this slot.
+    pub fn copies(&self) -> usize {
+        self.served.iter().map(PortSet::len).sum()
+    }
+
+    /// Returns `true` if every served pair was requested and no output is
+    /// double-driven (the latter holds by construction).
+    pub fn respects(&self, requests: &FanoutRequests) -> bool {
+        self.n == requests.n()
+            && (0..self.n).all(|i| {
+                self.served[i]
+                    .difference(requests.fanout(InputPort::new(i)))
+                    .is_empty()
+            })
+    }
+}
+
+impl fmt::Debug for MulticastMatching {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MulticastMatching({}x{}) {{", self.n, self.n)?;
+        let mut first = true;
+        for (i, set) in self.served.iter().enumerate() {
+            if !set.is_empty() {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, " in{i}->{set:?}")?;
+                first = false;
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+/// Multicast PIM: request / random grant / accept-everything.
+///
+/// Unlike unicast PIM, an input never chooses among grants — every grant
+/// is another copy of the same head cell, so all are accepted. That also
+/// removes the need for iteration within a slot: every grant is accepted,
+/// so a single grant round already serves every output that has at least
+/// one requester (the multicast analogue of maximality).
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::multicast::{FanoutRequests, McPim};
+/// use an2_sched::{InputPort, PortSet};
+///
+/// let mut reqs = FanoutRequests::new(4);
+/// reqs.set(InputPort::new(0), [1usize, 2, 3].into_iter().collect());
+/// let mut sched = McPim::new(4, 7);
+/// let m = sched.schedule(&reqs);
+/// // Sole requester: all three copies go out in one slot.
+/// assert_eq!(m.copies(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct McPim<R: SelectRng = Xoshiro256> {
+    n: usize,
+    output_rng: Vec<R>,
+}
+
+impl McPim<Xoshiro256> {
+    /// Creates a multicast scheduler for an `n`-port switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        let root = Xoshiro256::seed_from(seed);
+        Self {
+            n,
+            output_rng: (0..n).map(|j| root.split(j as u64)).collect(),
+        }
+    }
+}
+
+impl<R: SelectRng> McPim<R> {
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Schedules one slot: every output with requesters grants one at
+    /// random; inputs accept all their grants.
+    ///
+    /// The result is *maximal*: every output that appears in some residual
+    /// fanout carries a copy this slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.n() != self.n()`.
+    pub fn schedule(&mut self, requests: &FanoutRequests) -> MulticastMatching {
+        assert_eq!(
+            requests.n(),
+            self.n,
+            "request size {} does not match scheduler size {}",
+            requests.n(),
+            self.n
+        );
+        let n = self.n;
+        let mut m = MulticastMatching::new(n);
+        for j in 0..n {
+            let requesters: PortSet = (0..n)
+                .filter(|&i| requests.fanout(InputPort::new(i)).contains(j))
+                .collect();
+            if let Some(i) = self.output_rng[j].choose(&requesters) {
+                m.served[i].insert(j);
+                m.output_owner[j] = Some(InputPort::new(i));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fanout(sets: &[&[usize]]) -> FanoutRequests {
+        let n = sets.len();
+        let mut r = FanoutRequests::new(n);
+        for (i, s) in sets.iter().enumerate() {
+            r.set(InputPort::new(i), s.iter().copied().collect());
+        }
+        r
+    }
+
+    #[test]
+    fn sole_requester_gets_full_fanout_in_one_slot() {
+        let reqs = fanout(&[&[0, 1, 2, 3], &[], &[], &[]]);
+        let mut s = McPim::new(4, 1);
+        let m = s.schedule(&reqs);
+        assert_eq!(m.copies(), 4);
+        assert_eq!(m.served(InputPort::new(0)).len(), 4);
+        assert!(m.respects(&reqs));
+    }
+
+    #[test]
+    fn every_requested_output_is_served() {
+        // Maximality: any output in some fanout carries a copy.
+        let reqs = fanout(&[&[0, 1], &[1, 2], &[2, 3], &[0, 3]]);
+        let mut s = McPim::new(4, 2);
+        for _ in 0..50 {
+            let m = s.schedule(&reqs);
+            for j in 0..4 {
+                assert!(m.input_of(OutputPort::new(j)).is_some(), "output {j} idle");
+            }
+            assert!(m.respects(&reqs));
+        }
+    }
+
+    #[test]
+    fn contended_fanouts_split_over_slots() {
+        // Both inputs multicast to outputs {0, 1}: each slot one input
+        // wins each output; simulate residue until both cells finish.
+        let mut s = McPim::new(2, 3);
+        let mut residue = [
+            PortSet::from_iter([0usize, 1]),
+            PortSet::from_iter([0usize, 1]),
+        ];
+        let mut slots = 0;
+        while residue.iter().any(|r| !r.is_empty()) {
+            let mut reqs = FanoutRequests::new(2);
+            reqs.set(InputPort::new(0), residue[0]);
+            reqs.set(InputPort::new(1), residue[1]);
+            let m = s.schedule(&reqs);
+            for i in 0..2 {
+                residue[i] = residue[i].difference(m.served(InputPort::new(i)));
+            }
+            slots += 1;
+            assert!(slots < 20, "fanout splitting failed to converge");
+        }
+        // Two cells x two copies over two output links: exactly 2 slots.
+        assert_eq!(slots, 2);
+    }
+
+    #[test]
+    fn grants_are_uniformly_random() {
+        let reqs = fanout(&[&[0], &[0], &[0], &[0]]);
+        let mut s = McPim::new(4, 5);
+        let mut wins = [0u64; 4];
+        for _ in 0..8000 {
+            let m = s.schedule(&reqs);
+            wins[m.input_of(OutputPort::new(0)).unwrap().index()] += 1;
+        }
+        for &w in &wins {
+            let frac = w as f64 / 8000.0;
+            assert!((frac - 0.25).abs() < 0.03, "win share {frac}");
+        }
+    }
+
+    #[test]
+    fn empty_requests_yield_empty_matching() {
+        let mut s = McPim::new(4, 7);
+        let m = s.schedule(&FanoutRequests::new(4));
+        assert_eq!(m.copies(), 0);
+        assert!(FanoutRequests::new(4).is_empty());
+        assert_eq!(format!("{m:?}"), "MulticastMatching(4x4) { }");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the switch")]
+    fn fanout_out_of_range_panics() {
+        let mut r = FanoutRequests::new(2);
+        r.set(InputPort::new(0), [5usize].into_iter().collect());
+    }
+}

@@ -1,0 +1,659 @@
+//! Parallel Iterative Matching (PIM) — the paper's primary contribution (§3).
+//!
+//! PIM finds a maximal conflict-free pairing of inputs to outputs by
+//! iterating three steps (initially all ports unmatched):
+//!
+//! 1. **Request.** Each unmatched input sends a request to *every* output
+//!    for which it has a buffered cell.
+//! 2. **Grant.** Each unmatched output that receives requests chooses one
+//!    *uniformly at random* to grant.
+//! 3. **Accept.** Each input that receives grants chooses one to accept.
+//!
+//! Matches made in earlier iterations are retained; later iterations "fill
+//! in the gaps". Appendix A proves completion in an expected
+//! `O(log N)` iterations because each iteration resolves, on average, at
+//! least 3/4 of the remaining unresolved requests. The AN2 prototype runs a
+//! fixed four iterations per cell slot.
+//!
+//! This implementation follows the hardware faithfully: every output draws
+//! its grant from an independent per-port random stream, and the accept
+//! policy is pluggable ([`AcceptPolicy`]) because the paper requires inputs
+//! to "choose among grants in a round-robin or other fair fashion" for the
+//! no-starvation argument (§3.4) while the grant side must be random.
+
+use crate::matching::Matching;
+use crate::port::{InputPort, OutputPort, PortSet};
+use crate::requests::RequestMatrix;
+use crate::rng::{SelectRng, Xoshiro256};
+use crate::scheduler::Scheduler;
+
+/// How an input chooses among the grants it receives in step 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AcceptPolicy {
+    /// Choose uniformly at random among grants (the simulations in §3.5).
+    Random,
+    /// Rotate a per-input pointer and accept the first grant at or after it
+    /// (the "round-robin or other fair fashion" of §3.4; also the policy
+    /// that makes the no-starvation argument go through deterministically).
+    RoundRobin,
+    /// Always accept the lowest-numbered granting output. Deliberately
+    /// unfair; used by tests to show why fairness at the accept stage
+    /// matters.
+    LowestIndex,
+}
+
+/// Termination rule for the iteration loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IterationLimit {
+    /// Run exactly this many iterations (the hardware runs 4; §3.2).
+    /// The algorithm may stop earlier if no unresolved request remains.
+    Fixed(usize),
+    /// Iterate until no unmatched input has a request for an unmatched
+    /// output, i.e. until the matching is maximal. Terminates in at most
+    /// `N` iterations because every iteration with unresolved requests
+    /// adds at least one match.
+    ToCompletion,
+}
+
+/// Per-iteration record produced when scheduling with an observer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// `requests[j]` = inputs that requested output `j` this iteration
+    /// (only unmatched inputs request, and only unmatched outputs listen).
+    pub requests: Vec<PortSet>,
+    /// `grants[i]` = outputs that granted to input `i` this iteration.
+    pub grants: Vec<PortSet>,
+    /// Pairs `(input, output)` accepted this iteration.
+    pub accepts: Vec<(InputPort, OutputPort)>,
+    /// Unresolved requests remaining *after* this iteration.
+    pub unresolved_after: usize,
+}
+
+/// Statistics from one invocation of [`Pim::schedule_with_stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PimStats {
+    /// Iterations actually executed (may be fewer than a fixed limit if the
+    /// match completed early).
+    pub iterations_run: usize,
+    /// Cumulative matching size after each executed iteration.
+    pub matches_after: Vec<usize>,
+    /// Unresolved request count after each executed iteration (starts from
+    /// the initial request count at index 0 conceptually; here only the
+    /// post-iteration values are recorded).
+    pub unresolved_after: Vec<usize>,
+    /// `true` if the final matching is maximal for the presented requests.
+    pub completed: bool,
+}
+
+/// The Parallel Iterative Matching scheduler.
+///
+/// Owns one independent random stream per output port (grant phase) and per
+/// input port (random accept phase), split from a single seed for
+/// reproducibility.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::{Pim, RequestMatrix, Scheduler};
+/// let mut pim = Pim::new(4, 0xA52);
+/// let reqs = RequestMatrix::from_pairs(4, [(0, 0), (0, 1), (1, 0), (2, 3)]);
+/// let m = pim.schedule(&reqs);
+/// assert!(m.respects(&reqs));
+/// assert!(m.len() >= 2); // (2,3) always matches; one of the 0/1 conflicts resolves
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pim<R: SelectRng = Xoshiro256> {
+    n: usize,
+    limit: IterationLimit,
+    accept: AcceptPolicy,
+    /// Independent grant stream for each output.
+    output_rng: Vec<R>,
+    /// Independent accept stream for each input.
+    input_rng: Vec<R>,
+    /// Round-robin accept pointers (used by `AcceptPolicy::RoundRobin`).
+    accept_ptr: Vec<usize>,
+}
+
+impl Pim<Xoshiro256> {
+    /// Creates a PIM scheduler for an `n`×`n` switch with the AN2 default of
+    /// four iterations and random accept, seeded from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_options(n, seed, IterationLimit::Fixed(4), AcceptPolicy::Random)
+    }
+
+    /// Creates a PIM scheduler with explicit iteration limit and accept
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `n > MAX_PORTS`, or the limit is `Fixed(0)`.
+    pub fn with_options(
+        n: usize,
+        seed: u64,
+        limit: IterationLimit,
+        accept: AcceptPolicy,
+    ) -> Self {
+        let root = Xoshiro256::seed_from(seed);
+        Self::from_streams(
+            n,
+            limit,
+            accept,
+            (0..n).map(|j| root.split(j as u64)).collect(),
+            (0..n).map(|i| root.split(0x1_0000 + i as u64)).collect(),
+        )
+    }
+}
+
+impl<R: SelectRng> Pim<R> {
+    /// Creates a PIM scheduler from explicit per-port random streams, for
+    /// experiments that vary RNG quality (§3.3 ablation).
+    ///
+    /// `output_rng[j]` drives output `j`'s grant choice; `input_rng[i]`
+    /// drives input `i`'s random accept choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream vectors are not both length `n`, if `n` is out
+    /// of range, or if the limit is `Fixed(0)`.
+    pub fn from_streams(
+        n: usize,
+        limit: IterationLimit,
+        accept: AcceptPolicy,
+        output_rng: Vec<R>,
+        input_rng: Vec<R>,
+    ) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        assert_eq!(output_rng.len(), n, "need one grant stream per output");
+        assert_eq!(input_rng.len(), n, "need one accept stream per input");
+        if let IterationLimit::Fixed(k) = limit {
+            assert!(k > 0, "a fixed iteration limit must be at least 1");
+        }
+        Self {
+            n,
+            limit,
+            accept,
+            output_rng,
+            input_rng,
+            accept_ptr: vec![0; n],
+        }
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The iteration limit in force.
+    pub fn iteration_limit(&self) -> IterationLimit {
+        self.limit
+    }
+
+    /// The accept policy in force.
+    pub fn accept_policy(&self) -> AcceptPolicy {
+        self.accept
+    }
+
+    /// Schedules one time slot and returns per-iteration statistics along
+    /// with the matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.n() != self.n()`.
+    pub fn schedule_with_stats(&mut self, requests: &RequestMatrix) -> (Matching, PimStats) {
+        self.run(requests, &mut |_| {})
+    }
+
+    /// Schedules one time slot starting from `initial` pairings, which are
+    /// retained verbatim; PIM fills in the gaps among the still-unmatched
+    /// ports. This is how "any slot not used by statistical matching can be
+    /// filled with other traffic by parallel iterative matching" (§5.2) and
+    /// how VBR cells fill unused CBR slots (§4).
+    ///
+    /// The initial pairings need not be requests in `requests` (a reserved
+    /// CBR slot occupies its ports whether or not the request matrix knows
+    /// about the reserved flow's cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.n()` or `initial.n()` differs from `self.n()`.
+    pub fn schedule_from(&mut self, requests: &RequestMatrix, initial: Matching) -> Matching {
+        assert_eq!(
+            initial.n(),
+            self.n,
+            "initial matching size {} does not match scheduler size {}",
+            initial.n(),
+            self.n
+        );
+        self.run_from(requests, initial, &mut |_| {}).0
+    }
+
+    /// Schedules one time slot, invoking `observer` with a full
+    /// [`IterationRecord`] after every iteration. Used by the Figure 2
+    /// trace example and by tests that validate iteration internals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.n() != self.n()`.
+    pub fn schedule_traced(
+        &mut self,
+        requests: &RequestMatrix,
+        observer: &mut dyn FnMut(&IterationRecord),
+    ) -> (Matching, PimStats) {
+        self.run(requests, observer)
+    }
+
+    fn run(
+        &mut self,
+        requests: &RequestMatrix,
+        observer: &mut dyn FnMut(&IterationRecord),
+    ) -> (Matching, PimStats) {
+        let initial = Matching::new(self.n);
+        self.run_from(requests, initial, observer)
+    }
+
+    fn run_from(
+        &mut self,
+        requests: &RequestMatrix,
+        initial: Matching,
+        observer: &mut dyn FnMut(&IterationRecord),
+    ) -> (Matching, PimStats) {
+        assert_eq!(
+            requests.n(),
+            self.n,
+            "request matrix size {} does not match scheduler size {}",
+            requests.n(),
+            self.n
+        );
+        let n = self.n;
+        let mut matching = initial;
+        let mut stats = PimStats::default();
+
+        let max_iters = match self.limit {
+            IterationLimit::Fixed(k) => k,
+            // Each iteration with unresolved requests adds >= 1 match, so N
+            // iterations always suffice.
+            IterationLimit::ToCompletion => n,
+        };
+
+        let mut unmatched_inputs = matching.unmatched_inputs();
+        let mut unmatched_outputs = matching.unmatched_outputs();
+
+        for iter_no in 1..=max_iters {
+            // --- Request phase -------------------------------------------
+            // requests_to[j] = unmatched inputs with a cell for unmatched j.
+            // (Matched outputs ignore requests; inputs that matched earlier
+            // drop all other requests — §3.3's wire-level optimization.)
+            let mut any_request = false;
+            let mut requests_to: Vec<PortSet> = Vec::with_capacity(n);
+            for j in 0..n {
+                let reqs = if unmatched_outputs.contains(j) {
+                    let r = requests
+                        .col(OutputPort::new(j))
+                        .intersection(&unmatched_inputs);
+                    any_request |= !r.is_empty();
+                    r
+                } else {
+                    PortSet::new()
+                };
+                requests_to.push(reqs);
+            }
+            if !any_request {
+                break;
+            }
+
+            // --- Grant phase ----------------------------------------------
+            // grants_to[i] = outputs that granted to input i.
+            let mut grants_to: Vec<PortSet> = vec![PortSet::new(); n];
+            for j in 0..n {
+                if let Some(i) = self.output_rng[j].choose(&requests_to[j]) {
+                    grants_to[i].insert(j);
+                }
+            }
+
+            // --- Accept phase ---------------------------------------------
+            let mut accepts = Vec::new();
+            for i in 0..n {
+                let grants = &grants_to[i];
+                if grants.is_empty() {
+                    continue;
+                }
+                let j = match self.accept {
+                    AcceptPolicy::Random => self.input_rng[i]
+                        .choose(grants)
+                        .expect("non-empty grant set"),
+                    AcceptPolicy::RoundRobin => {
+                        let j = Self::first_at_or_after(grants, self.accept_ptr[i], n);
+                        self.accept_ptr[i] = (j + 1) % n;
+                        j
+                    }
+                    AcceptPolicy::LowestIndex => grants.first().expect("non-empty grant set"),
+                };
+                matching
+                    .pair(InputPort::new(i), OutputPort::new(j))
+                    .expect("grant/accept produced a conflicting pair");
+                unmatched_inputs.remove(i);
+                unmatched_outputs.remove(j);
+                accepts.push((InputPort::new(i), OutputPort::new(j)));
+            }
+
+            let unresolved = matching.unresolved_requests(requests);
+            stats.iterations_run = iter_no;
+            stats.matches_after.push(matching.len());
+            stats.unresolved_after.push(unresolved);
+
+            observer(&IterationRecord {
+                iteration: iter_no,
+                requests: requests_to,
+                grants: grants_to,
+                accepts,
+                unresolved_after: unresolved,
+            });
+
+            if unresolved == 0 {
+                break;
+            }
+        }
+
+        stats.completed = matching.is_maximal(requests);
+        (matching, stats)
+    }
+
+    /// First member of `set` at index `>= start`, wrapping around; `set`
+    /// must be non-empty.
+    fn first_at_or_after(set: &PortSet, start: usize, n: usize) -> usize {
+        debug_assert!(!set.is_empty());
+        for off in 0..n {
+            let j = (start + off) % n;
+            if set.contains(j) {
+                return j;
+            }
+        }
+        unreachable!("set checked non-empty")
+    }
+}
+
+impl<R: SelectRng> Scheduler for Pim<R> {
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+        self.run(requests, &mut |_| {}).0
+    }
+
+    fn name(&self) -> &'static str {
+        "pim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pim_complete(n: usize, seed: u64) -> Pim {
+        Pim::with_options(n, seed, IterationLimit::ToCompletion, AcceptPolicy::Random)
+    }
+
+    #[test]
+    fn empty_requests_yield_empty_matching() {
+        let mut pim = Pim::new(8, 1);
+        let (m, stats) = pim.schedule_with_stats(&RequestMatrix::new(8));
+        assert!(m.is_empty());
+        assert_eq!(stats.iterations_run, 0);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn full_requests_reach_perfect_match_at_completion() {
+        for seed in 0..10 {
+            let mut pim = pim_complete(16, seed);
+            let reqs = RequestMatrix::from_fn(16, |_, _| true);
+            let (m, stats) = pim.schedule_with_stats(&reqs);
+            assert!(m.is_perfect(), "seed {seed}: {m:?}");
+            assert!(stats.completed);
+            assert!(m.respects(&reqs));
+        }
+    }
+
+    #[test]
+    fn to_completion_is_always_maximal() {
+        let mut root = Xoshiro256::seed_from(77);
+        for trial in 0..200 {
+            let p = [0.1, 0.25, 0.5, 0.75, 1.0][trial % 5];
+            let reqs = RequestMatrix::random(16, p, &mut root);
+            let mut pim = pim_complete(16, trial as u64);
+            let (m, stats) = pim.schedule_with_stats(&reqs);
+            assert!(m.is_maximal(&reqs), "trial {trial}");
+            assert!(stats.completed);
+            assert_eq!(m.unresolved_requests(&reqs), 0);
+            assert!(m.respects(&reqs));
+        }
+    }
+
+    #[test]
+    fn fixed_iterations_respect_budget() {
+        let mut root = Xoshiro256::seed_from(3);
+        let reqs = RequestMatrix::random(16, 1.0, &mut root);
+        let mut pim1 =
+            Pim::with_options(16, 9, IterationLimit::Fixed(1), AcceptPolicy::Random);
+        let (_, stats) = pim1.schedule_with_stats(&reqs);
+        assert_eq!(stats.iterations_run, 1);
+        // One iteration of a legal matching.
+        assert_eq!(stats.matches_after.len(), 1);
+    }
+
+    #[test]
+    fn matches_never_decrease_across_iterations() {
+        let mut root = Xoshiro256::seed_from(4);
+        for trial in 0..50 {
+            let reqs = RequestMatrix::random(16, 0.5, &mut root);
+            let mut pim = pim_complete(16, trial);
+            let (_, stats) = pim.schedule_with_stats(&reqs);
+            for w in stats.matches_after.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+            for w in stats.unresolved_after.windows(2) {
+                assert!(w[1] <= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_iteration_still_beats_nothing() {
+        // Every output with a request grants, every granted input accepts
+        // one, so iteration 1 matches at least one pair when requests exist.
+        let mut pim = Pim::with_options(8, 2, IterationLimit::Fixed(1), AcceptPolicy::Random);
+        let reqs = RequestMatrix::from_pairs(8, [(0, 0)]);
+        let m = pim.schedule(&reqs);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn paper_figure_2_pattern_completes_in_two_iterations() {
+        // Figure 2: inputs request {1:{2,4}, 2:{2}, 3:{2}, 4:{4}} (1-based).
+        // After running to completion the match must include 4->4 (0-based
+        // 3->3) and one of the inputs matched to output 2.
+        let reqs = RequestMatrix::from_pairs(4, [(0, 1), (0, 3), (1, 1), (2, 1), (3, 3)]);
+        for seed in 0..20 {
+            let mut pim = pim_complete(4, seed);
+            let (m, stats) = pim.schedule_with_stats(&reqs);
+            assert!(stats.iterations_run <= 3, "seed {seed}");
+            assert!(m.is_maximal(&reqs));
+            // Output 1 (paper's output 2) must be matched: three requesters.
+            assert!(m.output_matched(OutputPort::new(1)));
+            // Output 3 (paper's output 4) must be matched.
+            assert!(m.output_matched(OutputPort::new(3)));
+            assert_eq!(m.len(), 2);
+        }
+    }
+
+    #[test]
+    fn round_robin_accept_rotates() {
+        // Input 0 requests outputs 0 and 1, both always grant (no other
+        // requesters). With round-robin accept, successive *slots* must
+        // alternate which grant is accepted.
+        let reqs = RequestMatrix::from_pairs(2, [(0, 0), (0, 1)]);
+        let mut pim = Pim::with_options(
+            2,
+            5,
+            IterationLimit::Fixed(1),
+            AcceptPolicy::RoundRobin,
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let m = pim.schedule(&reqs);
+            seen.insert(m.output_of(InputPort::new(0)).unwrap().index());
+        }
+        assert_eq!(seen.len(), 2, "round-robin accept must visit both outputs");
+    }
+
+    #[test]
+    fn lowest_index_accept_is_deterministic() {
+        let reqs = RequestMatrix::from_pairs(2, [(0, 0), (0, 1)]);
+        let mut pim = Pim::with_options(
+            2,
+            5,
+            IterationLimit::Fixed(1),
+            AcceptPolicy::LowestIndex,
+        );
+        for _ in 0..4 {
+            let m = pim.schedule(&reqs);
+            assert_eq!(m.output_of(InputPort::new(0)), Some(OutputPort::new(0)));
+        }
+    }
+
+    #[test]
+    fn trace_observer_sees_consistent_iterations() {
+        let reqs = RequestMatrix::from_pairs(4, [(0, 1), (0, 3), (1, 1), (2, 1), (3, 3)]);
+        let mut pim = pim_complete(4, 1);
+        let mut records = Vec::new();
+        let (m, stats) = pim.schedule_traced(&reqs, &mut |r| records.push(r.clone()));
+        assert_eq!(records.len(), stats.iterations_run);
+        // Accepted pairs across all iterations reconstruct the matching.
+        let total_accepts: usize = records.iter().map(|r| r.accepts.len()).sum();
+        assert_eq!(total_accepts, m.len());
+        // In iteration 1 output 1 has requesters {0,1,2}.
+        assert_eq!(
+            records[0].requests[1].iter().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Grants point only at requesters.
+        for r in &records {
+            for i in 0..4 {
+                for j in r.grants[i].iter() {
+                    assert!(r.requests[j].contains(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_a_average_resolution_factor() {
+        // Appendix A: each iteration resolves an average of >= 3/4 of the
+        // unresolved requests. Check the first iteration empirically on
+        // dense 16x16 matrices.
+        let mut root = Xoshiro256::seed_from(1234);
+        let mut before = 0usize;
+        let mut after = 0usize;
+        for trial in 0..400 {
+            let reqs = RequestMatrix::random(16, 1.0, &mut root);
+            before += reqs.len();
+            let mut pim =
+                Pim::with_options(16, trial, IterationLimit::Fixed(1), AcceptPolicy::Random);
+            let (_, stats) = pim.schedule_with_stats(&reqs);
+            after += stats.unresolved_after[0];
+        }
+        let resolved_fraction = 1.0 - after as f64 / before as f64;
+        assert!(
+            resolved_fraction >= 0.75,
+            "average resolution factor {resolved_fraction} below Appendix A bound"
+        );
+    }
+
+    #[test]
+    fn expected_iterations_within_appendix_a_bound() {
+        // E[C] <= log2(N) + 4/3. Measure the sample mean over many trials.
+        for n in [4usize, 16, 64] {
+            let mut root = Xoshiro256::seed_from(n as u64);
+            let mut total_iters = 0usize;
+            let trials = 300;
+            for t in 0..trials {
+                let reqs = RequestMatrix::random(n, 1.0, &mut root);
+                let mut pim = pim_complete(n, t as u64);
+                let (_, stats) = pim.schedule_with_stats(&reqs);
+                total_iters += stats.iterations_run;
+            }
+            let mean = total_iters as f64 / trials as f64;
+            let bound = (n as f64).log2() + 4.0 / 3.0;
+            assert!(
+                mean <= bound,
+                "n={n}: mean iterations {mean} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_randomness_hits_the_worst_case() {
+        // §3.2: "In the worst case, this can take N iterations: if all
+        // outputs grant to the same input, only one of the grants can be
+        // accepted on each round." A constant "random" source makes every
+        // output grant the same (highest-indexed) requester, so dense
+        // requests resolve one input per iteration — exactly N iterations
+        // — while real randomness needs only O(log N). (The constant must
+        // be u64::MAX, which Lemire's rejection step always accepts; a
+        // constant 0 would be rejected forever for some range sizes.)
+        #[derive(Clone, Debug)]
+        struct MaxRng;
+        impl SelectRng for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let n = 16;
+        let reqs = RequestMatrix::from_fn(n, |_, _| true);
+        let mut degenerate = Pim::from_streams(
+            n,
+            IterationLimit::ToCompletion,
+            AcceptPolicy::LowestIndex,
+            vec![MaxRng; n],
+            vec![MaxRng; n],
+        );
+        let (m, stats) = degenerate.schedule_with_stats(&reqs);
+        assert_eq!(stats.iterations_run, n, "worst case is exactly N iterations");
+        assert!(m.is_perfect());
+        // Every iteration matched exactly one more pair.
+        for (k, &sz) in stats.matches_after.iter().enumerate() {
+            assert_eq!(sz, k + 1);
+        }
+
+        let mut random = Pim::with_options(
+            n,
+            1,
+            IterationLimit::ToCompletion,
+            AcceptPolicy::Random,
+        );
+        let (_, stats) = random.schedule_with_stats(&reqs);
+        assert!(
+            stats.iterations_run <= 7,
+            "randomized PIM took {} iterations",
+            stats.iterations_run
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match scheduler size")]
+    fn size_mismatch_panics() {
+        let mut pim = Pim::new(4, 0);
+        let reqs = RequestMatrix::new(8);
+        let _ = pim.schedule(&reqs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_fixed_iterations_panics() {
+        let _ = Pim::with_options(4, 0, IterationLimit::Fixed(0), AcceptPolicy::Random);
+    }
+}

@@ -1,0 +1,461 @@
+//! Port identifiers and port sets.
+//!
+//! A switch has `n` input ports and `n` output ports. The paper's AN2
+//! prototype is 16×16; the algorithms here are designed for "moderate scale"
+//! switches (§2.1), which we cap at [`MAX_PORTS`] = 256 so that a set of
+//! ports fits in four machine words and is `Copy`.
+
+use std::fmt;
+
+/// Maximum switch radix supported by this crate.
+///
+/// The paper targets 16×16 to 64×64 switches (§2.1); 256 leaves headroom for
+/// the scaling experiments (Appendix A bench sweeps N) while keeping
+/// [`PortSet`] a fixed-size, allocation-free value.
+pub const MAX_PORTS: usize = 256;
+
+const WORDS: usize = MAX_PORTS / 64;
+
+/// An input-port index of a switch.
+///
+/// Newtype over `usize` so inputs and outputs cannot be confused
+/// (an input can only ever be matched to an output).
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::InputPort;
+/// let p = InputPort::new(3);
+/// assert_eq!(p.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputPort(usize);
+
+/// An output-port index of a switch.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::OutputPort;
+/// let p = OutputPort::new(0);
+/// assert_eq!(p.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutputPort(usize);
+
+macro_rules! port_impls {
+    ($ty:ident, $label:expr) => {
+        impl $ty {
+            /// Creates a port with the given index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= MAX_PORTS`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                assert!(index < MAX_PORTS, "port index {index} out of range");
+                Self(index)
+            }
+
+            /// Returns the zero-based index of this port.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+
+            /// Returns an iterator over all ports of an `n`-port switch.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `n > MAX_PORTS`.
+            pub fn all(n: usize) -> impl Iterator<Item = Self> {
+                assert!(n <= MAX_PORTS, "switch size {n} out of range");
+                (0..n).map(Self)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$ty> for usize {
+            fn from(p: $ty) -> usize {
+                p.0
+            }
+        }
+    };
+}
+
+port_impls!(InputPort, "in");
+port_impls!(OutputPort, "out");
+
+/// A set of port indices, stored as a fixed-size bitset.
+///
+/// Used for request rows/columns and matched/unmatched port tracking in the
+/// schedulers. All operations are O(`MAX_PORTS`/64) = O(4) word operations,
+/// which is what makes the per-iteration work of parallel iterative matching
+/// cheap in software (the hardware analogue is the request/grant wires of
+/// §3.3).
+///
+/// The set is untyped with respect to input vs output; the surrounding
+/// context (e.g. [`crate::RequestMatrix::row`]) fixes the interpretation.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::PortSet;
+/// let mut s = PortSet::new();
+/// s.insert(2);
+/// s.insert(5);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(2));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 5]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortSet {
+    words: [u64; WORDS],
+}
+
+impl PortSet {
+    /// Creates an empty set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set containing every index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PORTS`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= MAX_PORTS, "switch size {n} out of range");
+        let mut s = Self::new();
+        for w in 0..WORDS {
+            let lo = w * 64;
+            if n >= lo + 64 {
+                s.words[w] = !0;
+            } else if n > lo {
+                s.words[w] = (1u64 << (n - lo)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Returns `true` if the set contains `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PORTS`.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        assert!(index < MAX_PORTS, "port index {index} out of range");
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Inserts `index`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PORTS`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < MAX_PORTS, "port index {index} out of range");
+        let w = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes `index`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PORTS`.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < MAX_PORTS, "port index {index} out of range");
+        let w = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        let present = *w & bit != 0;
+        *w &= !bit;
+        present
+    }
+
+    /// Number of indices in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all indices.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words = [0; WORDS];
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for w in 0..WORDS {
+            out.words[w] &= other.words[w];
+        }
+        out
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for w in 0..WORDS {
+            out.words[w] |= other.words[w];
+        }
+        out
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for w in 0..WORDS {
+            out.words[w] &= !other.words[w];
+        }
+        out
+    }
+
+    /// Returns `true` if the two sets share no index.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.intersection(other).is_empty()
+    }
+
+    /// The smallest index in the set, if any.
+    #[inline]
+    pub fn first(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The `k`-th smallest index in the set (zero-based), if `k < len()`.
+    ///
+    /// This is the primitive behind uniform random selection among
+    /// requesters/granters: draw `k` uniformly in `0..len()` and take the
+    /// `k`-th member.
+    pub fn nth(&self, mut k: usize) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                let mut word = word;
+                for _ in 0..k {
+                    word &= word - 1; // drop lowest set bit
+                }
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            k -= ones;
+        }
+        None
+    }
+
+    /// Iterates over the indices in the set in increasing order.
+    pub fn iter(&self) -> Iter {
+        Iter {
+            words: self.words,
+            word_idx: 0,
+        }
+    }
+}
+
+impl fmt::Debug for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for PortSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for PortSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+impl IntoIterator for PortSet {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &PortSet {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`PortSet`], produced by [`PortSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter {
+    words: [u64; WORDS],
+    word_idx: usize,
+}
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.word_idx < WORDS {
+            let word = &mut self.words[self.word_idx];
+            if *word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n: usize = self.words[self.word_idx..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = PortSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(255));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63));
+        assert!(!s.contains(62));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn all_covers_prefix() {
+        for n in [0, 1, 5, 64, 65, 128, 200, 256] {
+            let s = PortSet::all(n);
+            assert_eq!(s.len(), n);
+            for i in 0..n {
+                assert!(s.contains(i), "n={n} missing {i}");
+            }
+            if n < MAX_PORTS {
+                assert!(!s.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: PortSet = [1, 2, 3, 100].into_iter().collect();
+        let b: PortSet = [2, 3, 4].into_iter().collect();
+        assert_eq!(
+            a.intersection(&b).iter().collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 100]
+        );
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 100]);
+        assert!(!a.is_disjoint(&b));
+        let c: PortSet = [7].into_iter().collect();
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn nth_selects_kth_member() {
+        let s: PortSet = [3, 17, 64, 65, 130].into_iter().collect();
+        assert_eq!(s.nth(0), Some(3));
+        assert_eq!(s.nth(1), Some(17));
+        assert_eq!(s.nth(2), Some(64));
+        assert_eq!(s.nth(3), Some(65));
+        assert_eq!(s.nth(4), Some(130));
+        assert_eq!(s.nth(5), None);
+    }
+
+    #[test]
+    fn first_and_iter_agree() {
+        let s: PortSet = [9, 200, 64].into_iter().collect();
+        assert_eq!(s.first(), Some(9));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![9, 64, 200]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(PortSet::new().first(), None);
+    }
+
+    #[test]
+    fn port_newtypes() {
+        let i = InputPort::new(7);
+        let o = OutputPort::new(7);
+        assert_eq!(i.index(), o.index());
+        assert_eq!(format!("{i:?}"), "in7");
+        assert_eq!(format!("{o:?}"), "out7");
+        assert_eq!(format!("{i}"), "7");
+        assert_eq!(usize::from(i), 7);
+        assert_eq!(InputPort::all(4).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_index_out_of_range_panics() {
+        let _ = InputPort::new(MAX_PORTS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn portset_index_out_of_range_panics() {
+        let mut s = PortSet::new();
+        s.insert(MAX_PORTS);
+    }
+}

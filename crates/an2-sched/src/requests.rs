@@ -1,0 +1,306 @@
+//! The request matrix: which input–output pairs have a queued cell.
+//!
+//! §3.4 frames switch scheduling as bipartite matching: "Switch inputs and
+//! outputs form the nodes of a bipartite graph; the edges are the
+//! connections needed by queued cells." [`RequestMatrix`] is that edge set.
+//! Both row (per-input) and column (per-output) bitset views are maintained
+//! so the grant phase of parallel iterative matching — each output surveys
+//! its requesters — is as cheap as the request phase.
+
+use crate::port::{InputPort, OutputPort, PortSet, MAX_PORTS};
+use crate::rng::SelectRng;
+use std::fmt;
+
+/// The set of input→output connection requests for one time slot.
+///
+/// Entry `(i, j)` is set when input `i` has at least one queued cell destined
+/// for output `j` (with random access input buffers, §2.4, every queued
+/// destination is eligible, not just the head of a FIFO).
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::{InputPort, OutputPort, RequestMatrix};
+/// let mut m = RequestMatrix::new(4);
+/// m.set(InputPort::new(0), OutputPort::new(2));
+/// assert!(m.has(InputPort::new(0), OutputPort::new(2)));
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RequestMatrix {
+    n: usize,
+    /// `rows[i]` = outputs requested by input `i`.
+    rows: Vec<PortSet>,
+    /// `cols[j]` = inputs requesting output `j`.
+    cols: Vec<PortSet>,
+}
+
+impl RequestMatrix {
+    /// Creates an empty `n`×`n` request matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= MAX_PORTS, "switch size {n} out of range");
+        Self {
+            n,
+            rows: vec![PortSet::new(); n],
+            cols: vec![PortSet::new(); n],
+        }
+    }
+
+    /// Builds a matrix from a predicate over `(input, output)` index pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn from_fn(n: usize, mut has_request: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if has_request(i, j) {
+                    m.set(InputPort::new(i), OutputPort::new(j));
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from explicit `(input, output)` index pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= n`, or if `n` is out of range.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut m = Self::new(n);
+        for (i, j) in pairs {
+            assert!(i < n && j < n, "request ({i},{j}) outside {n}x{n} switch");
+            m.set(InputPort::new(i), OutputPort::new(j));
+        }
+        m
+    }
+
+    /// Generates a random matrix where each entry is set independently with
+    /// probability `p` — the workload of the paper's Table 1.
+    pub fn random(n: usize, p: f64, rng: &mut impl SelectRng) -> Self {
+        let mut m = Self::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if rng.bernoulli(p) {
+                    m.set(InputPort::new(i), OutputPort::new(j));
+                }
+            }
+        }
+        m
+    }
+
+    /// The switch radix `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if input `i` has a request for output `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    #[inline]
+    pub fn has(&self, i: InputPort, j: OutputPort) -> bool {
+        self.check(i, j);
+        self.rows[i.index()].contains(j.index())
+    }
+
+    /// Adds the request `(i, j)`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    pub fn set(&mut self, i: InputPort, j: OutputPort) -> bool {
+        self.check(i, j);
+        self.cols[j.index()].insert(i.index());
+        self.rows[i.index()].insert(j.index())
+    }
+
+    /// Removes the request `(i, j)`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    pub fn clear(&mut self, i: InputPort, j: OutputPort) -> bool {
+        self.check(i, j);
+        self.cols[j.index()].remove(i.index());
+        self.rows[i.index()].remove(j.index())
+    }
+
+    /// The outputs requested by input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.index() >= n`.
+    #[inline]
+    pub fn row(&self, i: InputPort) -> &PortSet {
+        assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
+        &self.rows[i.index()]
+    }
+
+    /// The inputs requesting output `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j.index() >= n`.
+    #[inline]
+    pub fn col(&self, j: OutputPort) -> &PortSet {
+        assert!(
+            j.index() < self.n,
+            "output {j} outside {0}x{0} switch",
+            self.n
+        );
+        &self.cols[j.index()]
+    }
+
+    /// Total number of requests (edges in the bipartite graph).
+    pub fn len(&self) -> usize {
+        self.rows.iter().map(PortSet::len).sum()
+    }
+
+    /// Returns `true` if there are no requests at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(PortSet::is_empty)
+    }
+
+    /// Iterates over all `(input, output)` request pairs in row-major order.
+    pub fn pairs(&self) -> impl Iterator<Item = (InputPort, OutputPort)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .map(move |j| (InputPort::new(i), OutputPort::new(j)))
+        })
+    }
+
+    /// Removes every request.
+    pub fn clear_all(&mut self) {
+        for r in &mut self.rows {
+            r.clear();
+        }
+        for c in &mut self.cols {
+            c.clear();
+        }
+    }
+
+    #[inline]
+    fn check(&self, i: InputPort, j: OutputPort) {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "request ({i},{j}) outside {0}x{0} switch",
+            self.n
+        );
+    }
+}
+
+impl fmt::Debug for RequestMatrix {
+    /// Renders the matrix as a grid of `.`/`#`, one row per input.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RequestMatrix({}x{})", self.n, self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let c = if self.rows[i].contains(j) { '#' } else { '.' };
+                write!(f, "{c}")?;
+            }
+            if i + 1 < self.n {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn ip(i: usize) -> InputPort {
+        InputPort::new(i)
+    }
+    fn op(j: usize) -> OutputPort {
+        OutputPort::new(j)
+    }
+
+    #[test]
+    fn rows_and_cols_stay_consistent() {
+        let mut m = RequestMatrix::new(8);
+        m.set(ip(1), op(5));
+        m.set(ip(1), op(6));
+        m.set(ip(3), op(5));
+        assert_eq!(m.row(ip(1)).iter().collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(m.col(op(5)).iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(m.len(), 3);
+        m.clear(ip(1), op(5));
+        assert!(!m.has(ip(1), op(5)));
+        assert_eq!(m.col(op(5)).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn from_pairs_and_pairs_roundtrip() {
+        let pairs = vec![(0, 1), (2, 3), (3, 0)];
+        let m = RequestMatrix::from_pairs(4, pairs.clone());
+        let got: Vec<(usize, usize)> =
+            m.pairs().map(|(i, j)| (i.index(), j.index())).collect();
+        assert_eq!(got, pairs);
+    }
+
+    #[test]
+    fn from_fn_diagonal() {
+        let m = RequestMatrix::from_fn(5, |i, j| i == j);
+        assert_eq!(m.len(), 5);
+        for i in 0..5 {
+            assert!(m.has(ip(i), op(i)));
+        }
+    }
+
+    #[test]
+    fn random_density_tracks_p() {
+        let mut rng = Xoshiro256::seed_from(42);
+        let mut total = 0usize;
+        let trials = 200;
+        let n = 16;
+        for _ in 0..trials {
+            total += RequestMatrix::random(n, 0.25, &mut rng).len();
+        }
+        let density = total as f64 / (trials * n * n) as f64;
+        assert!((density - 0.25).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn clear_all_empties() {
+        let mut m = RequestMatrix::from_fn(4, |_, _| true);
+        assert_eq!(m.len(), 16);
+        m.clear_all();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn debug_renders_grid() {
+        let m = RequestMatrix::from_pairs(2, [(0, 1)]);
+        let s = format!("{m:?}");
+        assert!(s.contains(".#"));
+        assert!(s.contains(".."));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_set_panics() {
+        let mut m = RequestMatrix::new(4);
+        m.set(ip(4), op(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_size_panics() {
+        let _ = RequestMatrix::new(0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Deterministic random number generation for the schedulers.
+//!
+//! Parallel iterative matching depends on *independent* random choices at
+//! each output (§3.2: "we make it unlikely that outputs grant to the same
+//! input by having each output choose among requests using an independent
+//! random number"). In hardware this is a per-port pseudo-random source; in
+//! this reproduction each port owns its own PRNG stream, split from a single
+//! experiment seed so that every run is reproducible.
+//!
+//! §3.3 notes that the number of iterations "is relatively insensitive to
+//! the technique used to approximate randomness". To let that claim be
+//! tested, this module provides three generators of very different quality:
+//!
+//! * [`Xoshiro256`] — a full-quality 64-bit generator (the default),
+//! * [`Lcg64`] — a classic linear congruential generator, and
+//! * [`TableRng`] — a tiny precomputed-table generator mimicking the
+//!   hardware "tables of precomputed values" the paper mentions.
+
+/// A source of random 64-bit words used by the schedulers.
+///
+/// All schedulers in this crate are generic over `SelectRng` so experiments
+/// can swap generator quality (see the module docs). The trait is
+/// deliberately minimal; [`choose`](SelectRng::choose) and
+/// [`index`](SelectRng::index) provide the two selection primitives the
+/// algorithms need.
+pub trait SelectRng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform index in `0..n`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    /// The rejection loop assumes the generator eventually varies: a
+    /// degenerate generator that returns the same low value forever can
+    /// make this spin (e.g. a constant 0 is rejected indefinitely for
+    /// some `n`); a constant `u64::MAX` is always accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        let n = n as u64;
+        // Lemire's nearly-divisionless unbiased bounded generation.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Chooses a uniformly random member of `set`, or `None` if it is empty.
+    fn choose(&mut self, set: &crate::PortSet) -> Option<usize> {
+        let len = set.len();
+        if len == 0 {
+            return None;
+        }
+        set.nth(self.index(len))
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 random bits give a uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: SelectRng + ?Sized> SelectRng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// SplitMix64, used to seed and to *split* generators.
+///
+/// Splitting gives every port (and every experiment replication) its own
+/// well-separated stream from one root seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl SelectRng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — the crate's default high-quality generator.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::rng::{SelectRng, Xoshiro256};
+/// let mut rng = Xoshiro256::seed_from(42);
+/// let i = rng.index(16);
+/// assert!(i < 16);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose state is expanded from `seed` via SplitMix64.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // An all-zero state is a fixed point; SplitMix64 cannot produce four
+        // zero outputs in a row, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Derives the `k`-th child stream of this generator without disturbing
+    /// its own sequence. Children with distinct `k` are well separated.
+    pub fn split(&self, k: u64) -> Self {
+        let mut sm = SplitMix64::new(
+            self.s[0]
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(k.wrapping_mul(0x9FB2_1C65_1E98_DF25))
+                ^ self.s[3],
+        );
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Self { s }
+    }
+}
+
+impl SelectRng for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A 64-bit linear congruential generator (Knuth's MMIX constants).
+///
+/// Deliberately lower quality than [`Xoshiro256`]; used by the RNG-quality
+/// ablation to test the paper's §3.3 insensitivity claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lcg64 {
+    state: u64,
+}
+
+impl Lcg64 {
+    /// Creates a generator from a seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+}
+
+impl SelectRng for Lcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // LCG low bits are weak; expose only the upper half, doubled up.
+        let hi = self.state >> 32;
+        hi << 32 | hi
+    }
+}
+
+/// A tiny table-driven generator: walks a fixed table of precomputed words.
+///
+/// This is the software analogue of §3.3's hardware suggestion that "the
+/// selection can be efficiently implemented using tables of precomputed
+/// values". Its randomness is poor by statistical standards — 64 entries
+/// replayed forever from a seeded starting point — which is exactly what the
+/// ablation wants to stress.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRng {
+    table: [u64; 64],
+    pos: usize,
+    counter: u64,
+}
+
+impl TableRng {
+    /// Creates a table generator; the table contents derive from `seed`.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut table = [0u64; 64];
+        for w in &mut table {
+            *w = sm.next_u64();
+        }
+        Self {
+            table,
+            pos: (seed % 64) as usize,
+            counter: seed,
+        }
+    }
+}
+
+impl SelectRng for TableRng {
+    fn next_u64(&mut self) -> u64 {
+        self.pos = (self.pos + 1) % 64;
+        // A weak counter perturbation so different slots do not replay the
+        // identical sequence, mimicking a free-running hardware counter
+        // indexing a ROM table.
+        self.counter = self.counter.wrapping_add(0x9E37_79B9);
+        self.table[self.pos] ^ self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortSet;
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256::seed_from(7);
+        let mut b = Xoshiro256::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256::seed_from(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let root = Xoshiro256::seed_from(1);
+        let mut c0 = root.split(0);
+        let mut c1 = root.split(1);
+        let same = (0..32).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn index_is_in_range_and_roughly_uniform() {
+        let mut rng = Xoshiro256::seed_from(99);
+        let n = 7;
+        let mut counts = [0usize; 7];
+        let draws = 70_000;
+        for _ in 0..draws {
+            let i = rng.index(n);
+            counts[i] += 1;
+        }
+        let expected = draws / n;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.1,
+                "bucket {i} count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_picks_members_only() {
+        let set: PortSet = [3, 9, 40, 77].into_iter().collect();
+        let mut rng = Xoshiro256::seed_from(5);
+        for _ in 0..200 {
+            let pick = rng.choose(&set).unwrap();
+            assert!(set.contains(pick));
+        }
+        assert_eq!(rng.choose(&PortSet::new()), None);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn index_of_zero_panics() {
+        Xoshiro256::seed_from(0).index(0);
+    }
+
+    #[test]
+    fn weak_rngs_still_cover_range() {
+        let mut lcg = Lcg64::seed_from(3);
+        let mut tab = TableRng::seed_from(3);
+        let mut seen_lcg = [false; 4];
+        let mut seen_tab = [false; 4];
+        for _ in 0..1000 {
+            seen_lcg[lcg.index(4)] = true;
+            seen_tab[tab.index(4)] = true;
+        }
+        assert!(seen_lcg.iter().all(|&b| b));
+        assert!(seen_tab.iter().all(|&b| b));
+    }
+}

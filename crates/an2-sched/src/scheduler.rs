@@ -1,0 +1,58 @@
+//! The [`Scheduler`] trait: one matching per cell time slot.
+//!
+//! Every crossbar scheduler in this crate (PIM, iSLIP, RRM, maximum
+//! matching, statistical matching with PIM fill) produces a [`Matching`]
+//! from a [`RequestMatrix`] once per slot; the simulator in `an2-sim` is
+//! generic over this trait. FIFO input queueing does **not** implement it —
+//! a FIFO switch only exposes head-of-line cells, not the full request
+//! matrix — and is modeled separately.
+
+use crate::matching::Matching;
+use crate::requests::RequestMatrix;
+
+/// A crossbar scheduler for an input-queued switch with random-access
+/// buffers.
+///
+/// Implementations are stateful across slots (random streams, round-robin
+/// pointers) — call [`schedule`](Scheduler::schedule) once per time slot.
+///
+/// # Contract
+///
+/// The returned matching must satisfy
+/// [`Matching::respects`]`(requests)`: a scheduler must never connect an
+/// input–output pair that has no queued cell. The simulator debug-asserts
+/// this every slot, and property tests enforce it for every implementation
+/// in this crate.
+pub trait Scheduler {
+    /// Computes the matching that configures the crossbar for the next time
+    /// slot, given the current queued-cell requests.
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching;
+
+    /// A short stable identifier for reports ("pim", "islip", ...).
+    fn name(&self) -> &'static str;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+        (**self).schedule(requests)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pim::Pim;
+
+    #[test]
+    fn boxed_scheduler_delegates() {
+        let mut s: Box<dyn Scheduler> = Box::new(Pim::new(4, 1));
+        assert_eq!(s.name(), "pim");
+        let reqs = RequestMatrix::from_pairs(4, [(0, 0)]);
+        let m = s.schedule(&reqs);
+        assert_eq!(m.len(), 1);
+    }
+}

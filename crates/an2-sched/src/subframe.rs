@@ -1,0 +1,346 @@
+//! Subdivided frames — the §4 latency/granularity trade-off.
+//!
+//! "A smaller frame size would provide lower CBR latency, but ... a larger
+//! granularity in bandwidth reservations. We are considering schemes in
+//! which a large frame is subdivided into smaller frames. This would allow
+//! each application to trade off a guarantee of lower latency against a
+//! smaller granularity of allocation."
+//!
+//! [`SubframeSchedule`] implements that scheme: a frame of `F` slots is
+//! split into `s` subframes of `F/s` slots, each with its own
+//! Slepian–Duguid schedule. A reservation chooses its placement:
+//!
+//! * [`Placement::Spread`] replicates the reservation into *every*
+//!   subframe — the flow is served once per subframe, so its worst-case
+//!   inter-service gap shrinks from ~2·F to ~2·F/s slots, at the cost of
+//!   only being able to reserve multiples of `s` cells per frame.
+//! * [`Placement::Packed`] keeps the fine granularity (any number of cells
+//!   per frame, placed wherever capacity exists) with the original
+//!   frame-scale latency.
+
+use crate::frame::{FrameSchedule, ReservationError};
+use crate::matching::Matching;
+use crate::port::{InputPort, OutputPort};
+use std::fmt;
+
+/// How a reservation is laid out across subframes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Evenly across all subframes (low latency, coarse granularity:
+    /// cells per frame must be a multiple of the subframe count).
+    Spread,
+    /// Wherever capacity exists, subframe by subframe (fine granularity,
+    /// frame-scale latency).
+    Packed,
+}
+
+/// A frame schedule subdivided into equal subframes.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::subframe::{Placement, SubframeSchedule};
+/// use an2_sched::{InputPort, OutputPort};
+///
+/// // 1000-slot frame split into 10 subframes of 100 slots.
+/// let mut fs = SubframeSchedule::new(4, 1000, 10);
+/// // A latency-sensitive flow reserves 10 cells/frame, one per subframe:
+/// fs.reserve(InputPort::new(0), OutputPort::new(1), 10, Placement::Spread)?;
+/// assert!(fs.max_service_gap(InputPort::new(0), OutputPort::new(1)).unwrap() <= 2 * 100);
+/// // A thin flow reserves a single cell per frame (packed):
+/// fs.reserve(InputPort::new(2), OutputPort::new(3), 1, Placement::Packed)?;
+/// # Ok::<(), an2_sched::ReservationError>(())
+/// ```
+#[derive(Clone)]
+pub struct SubframeSchedule {
+    subframes: Vec<FrameSchedule>,
+    sub_len: usize,
+}
+
+impl SubframeSchedule {
+    /// Creates an empty schedule: `frame_len` slots split into
+    /// `subframes` equal subframes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subframes == 0`, `frame_len` is not a positive multiple
+    /// of `subframes`, or `n` is out of range.
+    pub fn new(n: usize, frame_len: usize, subframes: usize) -> Self {
+        assert!(subframes > 0, "need at least one subframe");
+        assert!(
+            frame_len > 0 && frame_len % subframes == 0,
+            "frame length {frame_len} must be a positive multiple of the subframe count {subframes}"
+        );
+        let sub_len = frame_len / subframes;
+        Self {
+            subframes: (0..subframes)
+                .map(|_| FrameSchedule::new(n, sub_len))
+                .collect(),
+            sub_len,
+        }
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.subframes[0].n()
+    }
+
+    /// Total slots per frame.
+    pub fn frame_len(&self) -> usize {
+        self.sub_len * self.subframes.len()
+    }
+
+    /// Slots per subframe.
+    pub fn subframe_len(&self) -> usize {
+        self.sub_len
+    }
+
+    /// Number of subframes.
+    pub fn subframe_count(&self) -> usize {
+        self.subframes.len()
+    }
+
+    /// The reserved crossbar configuration for slot `t` of the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= frame_len`.
+    pub fn slot(&self, t: usize) -> &Matching {
+        assert!(t < self.frame_len(), "slot {t} outside frame");
+        self.subframes[t / self.sub_len].slot(t % self.sub_len)
+    }
+
+    /// Total reserved cells per frame for the pair.
+    pub fn demand(&self, i: InputPort, j: OutputPort) -> usize {
+        self.subframes.iter().map(|s| s.demand(i, j)).sum()
+    }
+
+    /// Adds a reservation of `cells_per_frame` with the given placement.
+    ///
+    /// The reservation is atomic: on error nothing is reserved.
+    ///
+    /// # Errors
+    ///
+    /// * `Spread`: returns [`ReservationError`] if `cells_per_frame` is not
+    ///   a multiple of the subframe count (reported as over-commitment of
+    ///   zero free slots would be misleading, so the granularity rule is a
+    ///   panic — see Panics) or if any subframe lacks capacity.
+    /// * `Packed`: returns [`ReservationError`] if total remaining
+    ///   capacity across subframes is insufficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Spread` is requested with `cells_per_frame` not a
+    /// multiple of the subframe count — that is a granularity violation by
+    /// the caller, not a capacity condition.
+    pub fn reserve(
+        &mut self,
+        i: InputPort,
+        j: OutputPort,
+        cells_per_frame: usize,
+        placement: Placement,
+    ) -> Result<(), ReservationError> {
+        match placement {
+            Placement::Spread => {
+                let s = self.subframes.len();
+                assert!(
+                    cells_per_frame % s == 0,
+                    "spread reservations must be a multiple of the subframe count ({s})"
+                );
+                let per_sub = cells_per_frame / s;
+                // Admission check across all subframes first (atomicity).
+                for sub in &self.subframes {
+                    if !sub.admits(i, j, per_sub) {
+                        // Report against the first insufficient subframe.
+                        return if sub.input_free(i) < per_sub {
+                            Err(ReservationError::InputOverCommitted {
+                                input: i,
+                                free_slots: sub.input_free(i),
+                                requested: per_sub,
+                            })
+                        } else {
+                            Err(ReservationError::OutputOverCommitted {
+                                output: j,
+                                free_slots: sub.output_free(j),
+                                requested: per_sub,
+                            })
+                        };
+                    }
+                }
+                for sub in &mut self.subframes {
+                    sub.reserve(i, j, per_sub)
+                        .expect("admission checked for every subframe");
+                }
+                Ok(())
+            }
+            Placement::Packed => {
+                let total_free: usize = self
+                    .subframes
+                    .iter()
+                    .map(|s| s.input_free(i).min(s.output_free(j)))
+                    .sum();
+                if total_free < cells_per_frame {
+                    // Summarize as whichever side is tighter overall.
+                    let in_free: usize = self.subframes.iter().map(|s| s.input_free(i)).sum();
+                    let out_free: usize = self.subframes.iter().map(|s| s.output_free(j)).sum();
+                    return if in_free <= out_free {
+                        Err(ReservationError::InputOverCommitted {
+                            input: i,
+                            free_slots: in_free,
+                            requested: cells_per_frame,
+                        })
+                    } else {
+                        Err(ReservationError::OutputOverCommitted {
+                            output: j,
+                            free_slots: out_free,
+                            requested: cells_per_frame,
+                        })
+                    };
+                }
+                let mut remaining = cells_per_frame;
+                for sub in &mut self.subframes {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let here = remaining.min(sub.input_free(i).min(sub.output_free(j)));
+                    if here > 0 {
+                        sub.reserve(i, j, here)
+                            .expect("capacity computed from free counts");
+                        remaining -= here;
+                    }
+                }
+                debug_assert_eq!(remaining, 0);
+                Ok(())
+            }
+        }
+    }
+
+    /// The largest cyclic gap, in slots, between consecutive reserved
+    /// slots of the pair across the whole frame — the pair's worst-case
+    /// service interval. `None` if the pair has no reservation.
+    pub fn max_service_gap(&self, i: InputPort, j: OutputPort) -> Option<usize> {
+        let frame = self.frame_len();
+        let positions: Vec<usize> = (0..frame)
+            .filter(|&t| self.slot(t).output_of(i) == Some(j))
+            .collect();
+        if positions.is_empty() {
+            return None;
+        }
+        let mut max_gap = 0;
+        for k in 0..positions.len() {
+            let next = positions[(k + 1) % positions.len()];
+            let gap = (next + frame - positions[k]) % frame;
+            let gap = if gap == 0 { frame } else { gap };
+            max_gap = max_gap.max(gap);
+        }
+        Some(max_gap)
+    }
+
+    /// Consistency check over all subframes.
+    pub fn verify(&self) -> bool {
+        self.subframes.iter().all(FrameSchedule::verify)
+    }
+}
+
+impl fmt::Debug for SubframeSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SubframeSchedule({}x{}, {} subframes of {} slots)",
+            self.n(),
+            self.n(),
+            self.subframes.len(),
+            self.sub_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(i: usize) -> InputPort {
+        InputPort::new(i)
+    }
+    fn op(j: usize) -> OutputPort {
+        OutputPort::new(j)
+    }
+
+    #[test]
+    fn spread_reservation_bounds_service_gap() {
+        let mut fs = SubframeSchedule::new(4, 120, 6);
+        fs.reserve(ip(0), op(1), 6, Placement::Spread).unwrap();
+        assert_eq!(fs.demand(ip(0), op(1)), 6);
+        let gap = fs.max_service_gap(ip(0), op(1)).unwrap();
+        assert!(gap <= 2 * fs.subframe_len(), "gap {gap}");
+        assert!(fs.verify());
+    }
+
+    #[test]
+    fn packed_allows_single_cell_granularity() {
+        let mut fs = SubframeSchedule::new(4, 120, 6);
+        fs.reserve(ip(2), op(3), 1, Placement::Packed).unwrap();
+        assert_eq!(fs.demand(ip(2), op(3)), 1);
+        // A 1-cell/frame packed reservation is served once per frame.
+        assert_eq!(fs.max_service_gap(ip(2), op(3)), Some(fs.frame_len()));
+    }
+
+    #[test]
+    fn packed_can_have_frame_scale_gaps() {
+        // Fill one subframe region so a packed reservation lands early,
+        // then nothing later: its gap can approach the full frame.
+        let mut fs = SubframeSchedule::new(2, 40, 4);
+        fs.reserve(ip(0), op(0), 3, Placement::Packed).unwrap();
+        let gap = fs.max_service_gap(ip(0), op(0)).unwrap();
+        assert!(gap > fs.subframe_len(), "gap {gap}");
+    }
+
+    #[test]
+    fn spread_rejects_when_any_subframe_is_full() {
+        let mut fs = SubframeSchedule::new(2, 8, 2);
+        // Fill input 0 of the first subframe only.
+        fs.reserve(ip(0), op(0), 4, Placement::Packed).unwrap();
+        // Input 0's first subframe is full (4 slots); spread needs both.
+        let e = fs.reserve(ip(0), op(1), 2, Placement::Spread).unwrap_err();
+        assert!(matches!(e, ReservationError::InputOverCommitted { .. }));
+        assert!(fs.verify());
+        assert_eq!(fs.demand(ip(0), op(1)), 0);
+    }
+
+    #[test]
+    fn packed_uses_leftover_capacity_across_subframes() {
+        let mut fs = SubframeSchedule::new(2, 8, 2);
+        fs.reserve(ip(0), op(0), 6, Placement::Packed).unwrap();
+        assert_eq!(fs.demand(ip(0), op(0)), 6);
+        let e = fs.reserve(ip(0), op(1), 3, Placement::Packed).unwrap_err();
+        assert!(matches!(e, ReservationError::InputOverCommitted { .. }));
+        fs.reserve(ip(0), op(1), 2, Placement::Packed).unwrap();
+        assert!(fs.verify());
+    }
+
+    #[test]
+    fn slot_indexing_spans_subframes() {
+        let mut fs = SubframeSchedule::new(2, 8, 2);
+        fs.reserve(ip(1), op(0), 8, Placement::Spread).unwrap();
+        for t in 0..8 {
+            assert_eq!(fs.slot(t).output_of(ip(1)), Some(op(0)), "slot {t}");
+        }
+        assert_eq!(fs.frame_len(), 8);
+        assert_eq!(fs.subframe_count(), 2);
+        let s = format!("{fs:?}");
+        assert!(s.contains("2 subframes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the subframe count")]
+    fn spread_granularity_violation_panics() {
+        let mut fs = SubframeSchedule::new(2, 8, 2);
+        let _ = fs.reserve(ip(0), op(0), 3, Placement::Spread);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the subframe count")]
+    fn bad_subdivision_panics() {
+        let _ = SubframeSchedule::new(2, 10, 3);
+    }
+}

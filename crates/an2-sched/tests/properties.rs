@@ -1,0 +1,250 @@
+//! Property-based tests for the scheduling algorithms.
+//!
+//! These verify the structural invariants the paper relies on, over
+//! randomized switch sizes, request densities, seeds and configurations.
+
+use an2_sched::fifo::{FifoArbiter, FifoPriority};
+use an2_sched::islip::RoundRobinMatching;
+use an2_sched::maximum::hopcroft_karp;
+use an2_sched::rng::Xoshiro256;
+use an2_sched::stat::{ReservationTable, StatisticalMatcher};
+use an2_sched::{
+    AcceptPolicy, FrameSchedule, InputPort, IterationLimit, OutputPort, Pim, PortSet,
+    RequestMatrix, Scheduler,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a request matrix of size `n` with arbitrary edges.
+fn request_matrix(max_n: usize) -> impl Strategy<Value = RequestMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::bool::ANY, n * n).prop_map(move |bits| {
+            RequestMatrix::from_fn(n, |i, j| bits[i * n + j])
+        })
+    })
+}
+
+fn accept_policy() -> impl Strategy<Value = AcceptPolicy> {
+    prop_oneof![
+        Just(AcceptPolicy::Random),
+        Just(AcceptPolicy::RoundRobin),
+        Just(AcceptPolicy::LowestIndex),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn portset_behaves_like_btreeset(ops in proptest::collection::vec((0usize..256, proptest::bool::ANY), 0..200)) {
+        let mut set = PortSet::new();
+        let mut model = BTreeSet::new();
+        for (idx, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(idx), model.insert(idx));
+            } else {
+                prop_assert_eq!(set.remove(idx), model.remove(&idx));
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(set.first(), model.iter().next().copied());
+        for (k, want) in model.iter().enumerate() {
+            prop_assert_eq!(set.nth(k), Some(*want));
+        }
+        prop_assert_eq!(set.nth(model.len()), None);
+    }
+
+    #[test]
+    fn portset_algebra_matches_model(
+        a in proptest::collection::btree_set(0usize..256, 0..64),
+        b in proptest::collection::btree_set(0usize..256, 0..64),
+    ) {
+        let sa: PortSet = a.iter().copied().collect();
+        let sb: PortSet = b.iter().copied().collect();
+        let inter: Vec<usize> = a.intersection(&b).copied().collect();
+        let uni: Vec<usize> = a.union(&b).copied().collect();
+        let diff: Vec<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(sa.intersection(&sb).iter().collect::<Vec<_>>(), inter);
+        prop_assert_eq!(sa.union(&sb).iter().collect::<Vec<_>>(), uni);
+        prop_assert_eq!(sa.difference(&sb).iter().collect::<Vec<_>>(), diff);
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn pim_output_is_always_a_legal_sub_matching(
+        reqs in request_matrix(32),
+        seed in any::<u64>(),
+        iters in 1usize..6,
+        policy in accept_policy(),
+    ) {
+        let mut pim = Pim::with_options(reqs.n(), seed, IterationLimit::Fixed(iters), policy);
+        let (m, stats) = pim.schedule_with_stats(&reqs);
+        prop_assert!(m.respects(&reqs));
+        prop_assert!(stats.iterations_run <= iters);
+        // A matching never exceeds the number of requested outputs/inputs.
+        prop_assert!(m.len() <= reqs.len());
+    }
+
+    #[test]
+    fn pim_to_completion_is_maximal(
+        reqs in request_matrix(32),
+        seed in any::<u64>(),
+        policy in accept_policy(),
+    ) {
+        let mut pim = Pim::with_options(reqs.n(), seed, IterationLimit::ToCompletion, policy);
+        let (m, stats) = pim.schedule_with_stats(&reqs);
+        prop_assert!(stats.completed);
+        prop_assert!(m.is_maximal(&reqs));
+        prop_assert_eq!(m.unresolved_requests(&reqs), 0);
+    }
+
+    #[test]
+    fn maximum_matching_dominates_maximal(
+        reqs in request_matrix(32),
+        seed in any::<u64>(),
+    ) {
+        let max = hopcroft_karp(&reqs);
+        prop_assert!(max.respects(&reqs));
+        prop_assert!(max.is_maximal(&reqs));
+        let mut pim = Pim::with_options(
+            reqs.n(), seed, IterationLimit::ToCompletion, AcceptPolicy::Random);
+        let m = pim.schedule(&reqs);
+        // maximal <= maximum <= 2 * maximal (Section 3.4).
+        prop_assert!(m.len() <= max.len());
+        prop_assert!(max.len() <= 2 * m.len());
+    }
+
+    #[test]
+    fn pim_schedule_from_retains_initial_pairs(
+        reqs in request_matrix(16),
+        seed in any::<u64>(),
+    ) {
+        // Build an initial matching from a greedy sweep of the requests.
+        let n = reqs.n();
+        let mut initial = an2_sched::Matching::new(n);
+        for (i, j) in reqs.pairs() {
+            if !initial.input_matched(i) && !initial.output_matched(j) && (i.index() + j.index()) % 3 == 0 {
+                initial.pair(i, j).unwrap();
+            }
+        }
+        let kept: Vec<_> = initial.pairs().collect();
+        let mut pim = Pim::with_options(n, seed, IterationLimit::ToCompletion, AcceptPolicy::Random);
+        let m = pim.schedule_from(&reqs, initial);
+        for (i, j) in kept {
+            prop_assert_eq!(m.output_of(i), Some(j));
+        }
+        prop_assert!(m.is_maximal(&reqs));
+    }
+
+    #[test]
+    fn islip_and_rrm_outputs_are_legal(
+        reqs in request_matrix(32),
+        iters in 1usize..6,
+    ) {
+        let mut islip = RoundRobinMatching::islip(reqs.n(), iters);
+        let mut rrm = RoundRobinMatching::rrm(reqs.n(), iters);
+        for s in [&mut islip, &mut rrm] {
+            let m = s.schedule(&reqs);
+            prop_assert!(m.respects(&reqs));
+        }
+    }
+
+    #[test]
+    fn fifo_arbiter_is_legal_and_work_conserving(
+        n in 1usize..32,
+        dests in proptest::collection::vec(proptest::option::of(0usize..32), 1..32),
+        seed in any::<u64>(),
+        rotating in proptest::bool::ANY,
+    ) {
+        let n = n.max(dests.len());
+        let mut heads: Vec<Option<OutputPort>> = vec![None; n];
+        for (i, d) in dests.iter().enumerate() {
+            heads[i] = d.map(|j| OutputPort::new(j % n));
+        }
+        let prio = if rotating { FifoPriority::Rotating } else { FifoPriority::Random };
+        let mut arb = FifoArbiter::new(n, prio, seed);
+        let m = arb.arbitrate(&heads);
+        // Winners sent exactly their head-of-line destination.
+        for (i, j) in m.pairs() {
+            prop_assert_eq!(heads[i.index()], Some(j));
+        }
+        // Work conservation: every requested output is served by someone.
+        let requested: BTreeSet<usize> =
+            heads.iter().flatten().map(|j| j.index()).collect();
+        prop_assert_eq!(m.len(), requested.len());
+    }
+
+    #[test]
+    fn frame_schedule_random_reservations_stay_consistent(
+        n in 1usize..8,
+        frame_len in 1usize..12,
+        ops in proptest::collection::vec((0usize..8, 0usize..8, 1usize..4, proptest::bool::ANY), 0..40),
+    ) {
+        let mut fs = FrameSchedule::new(n, frame_len);
+        for (i, j, cells, release) in ops {
+            let (i, j) = (i % n, j % n);
+            let (ip, op) = (InputPort::new(i), OutputPort::new(j));
+            if release {
+                let have = fs.demand(ip, op);
+                if have > 0 {
+                    fs.release(ip, op, cells.min(have)).unwrap();
+                }
+            } else {
+                let admitted = fs.admits(ip, op, cells);
+                prop_assert_eq!(fs.reserve(ip, op, cells).is_ok(), admitted);
+            }
+            prop_assert!(fs.verify());
+        }
+    }
+
+    #[test]
+    fn frame_schedule_admits_any_doubly_substochastic_demand(
+        n in 1usize..8,
+        frame_len in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        // Saturate the switch with random single-cell reservations until no
+        // pair is admissible; Slepian-Duguid says admission only ever fails
+        // on link capacity, so every admissible request must succeed.
+        use an2_sched::rng::SelectRng;
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut fs = FrameSchedule::new(n, frame_len);
+        for _ in 0..n * frame_len * 3 {
+            let i = rng.index(n);
+            let j = rng.index(n);
+            let (ip, op) = (InputPort::new(i), OutputPort::new(j));
+            if fs.admits(ip, op, 1) {
+                prop_assert!(fs.reserve(ip, op, 1).is_ok());
+            }
+        }
+        prop_assert!(fs.verify());
+    }
+
+    #[test]
+    fn statistical_matching_stays_within_reservations(
+        n in 1usize..8,
+        seed in any::<u64>(),
+        rounds in 1usize..4,
+    ) {
+        let x = 16;
+        // A random reservation pattern within budgets.
+        let mut table = ReservationTable::new(n, x);
+        let mut rng = Xoshiro256::seed_from(seed);
+        use an2_sched::rng::SelectRng;
+        for _ in 0..2 * n {
+            let i = rng.index(n);
+            let j = rng.index(n);
+            let u = rng.index(x / 2 + 1);
+            let _ = table.set(i, j, u); // over-budget attempts simply fail
+        }
+        let reserved: Vec<Vec<usize>> =
+            (0..n).map(|i| (0..n).map(|j| table.units(i, j)).collect()).collect();
+        let mut sm = StatisticalMatcher::with_rounds(table, seed ^ 0xDEAD, rounds);
+        for _ in 0..50 {
+            let m = sm.next_match();
+            for (i, j) in m.pairs() {
+                prop_assert!(reserved[i.index()][j.index()] > 0,
+                    "matched unreserved pair ({},{})", i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Closed-form queueing models used to validate the simulator.
+//!
+//! The evaluation literature the paper leans on has exact results for two
+//! of our switch models; the test suite checks the simulator against them:
+//!
+//! * **Output queueing** (Karol, Hluchyj & Morgan 1987, eq. 2): with
+//!   uniform Bernoulli arrivals at load `ρ` on an `N×N` switch, each
+//!   output is a discrete-time queue with binomial arrivals and the mean
+//!   steady-state waiting time is
+//!   `W = ((N−1)/N) · ρ / (2(1−ρ))`.
+//! * **FIFO head-of-line saturation** (same paper): the saturation
+//!   throughput of FIFO input queueing is the root of a Markov analysis;
+//!   known exact/numeric values per `N` approach `2−√2 ≈ 0.586`.
+
+/// Mean queueing delay (slots) of a uniform-Bernoulli output-queued
+/// `n`×`n` switch at offered load `rho` — Karol et al. 1987, eq. 2.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rho` is not in `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sim::analytic::output_queueing_mean_delay;
+/// let w = output_queueing_mean_delay(16, 0.8);
+/// assert!((w - 1.875).abs() < 1e-9);
+/// ```
+pub fn output_queueing_mean_delay(n: usize, rho: f64) -> f64 {
+    assert!(n > 0, "switch must have at least one port");
+    assert!((0.0..1.0).contains(&rho), "load must be in [0, 1)");
+    (n as f64 - 1.0) / n as f64 * rho / (2.0 * (1.0 - rho))
+}
+
+/// FIFO input-queueing saturation throughput for selected switch sizes —
+/// the numeric values tabulated by Karol et al. 1987 (Table I).
+///
+/// Returns `None` for sizes not tabulated.
+pub fn hol_saturation_throughput(n: usize) -> Option<f64> {
+    Some(match n {
+        1 => 1.0,
+        2 => 0.7500,
+        3 => 0.6825,
+        4 => 0.6553,
+        5 => 0.6399,
+        6 => 0.6302,
+        7 => 0.6234,
+        8 => 0.6184,
+        _ => return None,
+    })
+}
+
+/// The asymptotic (`N → ∞`) FIFO saturation throughput, `2 − √2`.
+pub fn hol_saturation_asymptote() -> f64 {
+    2.0 - std::f64::consts::SQRT_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo_switch::FifoSwitch;
+    use crate::model::SwitchModel;
+    use crate::output_queued::OutputQueuedSwitch;
+    use crate::sim::{simulate, SimConfig};
+    use crate::traffic::RateMatrixTraffic;
+    use an2_sched::fifo::FifoPriority;
+
+    #[test]
+    fn formula_sanity() {
+        // rho -> 0: no waiting; rho -> 1: divergence; N = 1: no contention.
+        assert_eq!(output_queueing_mean_delay(16, 0.0), 0.0);
+        assert_eq!(output_queueing_mean_delay(1, 0.9), 0.0);
+        assert!(output_queueing_mean_delay(16, 0.99) > 40.0);
+        // Monotone in both arguments.
+        assert!(
+            output_queueing_mean_delay(16, 0.8) > output_queueing_mean_delay(16, 0.5)
+        );
+        assert!(
+            output_queueing_mean_delay(32, 0.8) > output_queueing_mean_delay(2, 0.8)
+        );
+    }
+
+    #[test]
+    fn simulated_output_queueing_matches_karol_formula() {
+        let n = 16;
+        let cfg = SimConfig {
+            warmup_slots: 5_000,
+            measure_slots: 60_000,
+        };
+        for rho in [0.3, 0.6, 0.8, 0.9] {
+            let mut sw = OutputQueuedSwitch::new(n);
+            let mut t = RateMatrixTraffic::uniform(n, rho, 42);
+            let sim = simulate(&mut sw, &mut t, cfg).delay.mean();
+            let theory = output_queueing_mean_delay(n, rho);
+            assert!(
+                (sim - theory).abs() < theory * 0.08 + 0.05,
+                "rho={rho}: simulated {sim} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_hol_saturation_matches_karol_table() {
+        let cfg = SimConfig {
+            warmup_slots: 20_000,
+            measure_slots: 60_000,
+        };
+        for n in [2usize, 4, 8] {
+            let mut sw = FifoSwitch::new(n, FifoPriority::Random, 7);
+            let mut t = RateMatrixTraffic::uniform(n, 1.0, 8);
+            let util = simulate(&mut sw, &mut t, cfg).mean_output_utilization();
+            let theory = hol_saturation_throughput(n).unwrap();
+            assert!(
+                (util - theory).abs() < 0.02,
+                "N={n}: simulated saturation {util} vs theory {theory}"
+            );
+        }
+        assert!(hol_saturation_throughput(64).is_none());
+        assert!((hol_saturation_asymptote() - 0.5858).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn saturation_load_panics() {
+        let _ = output_queueing_mean_delay(4, 1.0);
+    }
+}

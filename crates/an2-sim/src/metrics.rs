@@ -1,0 +1,301 @@
+//! Queueing metrics: delay statistics, throughput and occupancy.
+//!
+//! The paper's figures plot *average queueing delay (in cell time slots)
+//! vs. offered load*; this module collects exactly those quantities, plus
+//! the percentiles and per-port/per-flow breakdowns the fairness
+//! experiments need.
+
+use std::fmt;
+
+/// Histogram-backed delay statistics in units of cell slots.
+///
+/// Exact mean/variance/max; percentiles are exact for delays below the
+/// histogram cap and conservative (reported as the cap) above it.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sim::metrics::DelayStats;
+/// let mut d = DelayStats::new();
+/// for x in [0, 1, 1, 2, 10] {
+///     d.record(x);
+/// }
+/// assert_eq!(d.count(), 5);
+/// assert!((d.mean() - 2.8).abs() < 1e-12);
+/// assert_eq!(d.max(), 10);
+/// assert_eq!(d.percentile(0.5), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DelayStats {
+    count: u64,
+    sum: u128,
+    sum_sq: u128,
+    max: u64,
+    /// hist[d] = cells with delay d, for d < CAP; larger delays land in the
+    /// overflow counter (still exact in mean/max, conservative in
+    /// percentiles).
+    hist: Vec<u64>,
+    overflow: u64,
+}
+
+/// Delays at or above this many slots share one overflow bucket.
+const HIST_CAP: usize = 1 << 14;
+
+impl DelayStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one cell's queueing delay in slots.
+    pub fn record(&mut self, delay_slots: u64) {
+        self.count += 1;
+        self.sum += delay_slots as u128;
+        self.sum_sq += (delay_slots as u128) * (delay_slots as u128);
+        self.max = self.max.max(delay_slots);
+        if (delay_slots as usize) < HIST_CAP {
+            if self.hist.len() <= delay_slots as usize {
+                self.hist.resize(delay_slots as usize + 1, 0);
+            }
+            self.hist[delay_slots as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of recorded cells.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean delay in slots (0 if nothing recorded).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population variance of the delay (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.mean();
+        (self.sum_sq as f64 / n) - mean * mean
+    }
+
+    /// Largest recorded delay.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-quantile of the delay distribution (e.g. `0.99`), exact for
+    /// delays under the histogram cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (d, &c) in self.hist.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return d as u64;
+            }
+        }
+        // Target falls into the overflow bucket.
+        HIST_CAP as u64
+    }
+
+    /// Merges another accumulator into this one (used by multi-seed runs).
+    pub fn merge(&mut self, other: &DelayStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.max = self.max.max(other.max);
+        if self.hist.len() < other.hist.len() {
+            self.hist.resize(other.hist.len(), 0);
+        }
+        for (d, &c) in other.hist.iter().enumerate() {
+            self.hist[d] += c;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+impl fmt::Display for DelayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.max
+        )
+    }
+}
+
+/// Measured result of one switch simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SwitchReport {
+    /// Delay of every measured departed cell.
+    pub delay: DelayStats,
+    /// Slots covered by the measurement window.
+    pub slots: u64,
+    /// Cells that arrived during the window.
+    pub arrivals: u64,
+    /// Cells that departed during the window (any arrival time).
+    pub departures: u64,
+    /// Departures per output port during the window.
+    pub departures_per_output: Vec<u64>,
+    /// Departures per flow during the window (sorted by flow id) — used by
+    /// the fairness experiments.
+    pub departures_per_flow: Vec<(u64, u64)>,
+    /// Peak total buffered cells observed during the window.
+    pub peak_occupancy: usize,
+    /// Buffered cells at the end of the run.
+    pub final_occupancy: usize,
+}
+
+impl SwitchReport {
+    /// Mean utilization of output links: departures per output per slot,
+    /// averaged over outputs. 1.0 = every link busy every slot.
+    pub fn mean_output_utilization(&self) -> f64 {
+        if self.slots == 0 || self.departures_per_output.is_empty() {
+            return 0.0;
+        }
+        self.departures as f64 / (self.slots as f64 * self.departures_per_output.len() as f64)
+    }
+
+    /// Aggregate switch throughput in cells per slot (all outputs).
+    pub fn aggregate_throughput(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.departures as f64 / self.slots as f64
+        }
+    }
+
+    /// Per-flow throughput in cells per slot, keyed by flow id.
+    pub fn flow_throughput(&self) -> Vec<(u64, f64)> {
+        self.departures_per_flow
+            .iter()
+            .map(|&(f, c)| (f, c as f64 / self.slots.max(1) as f64))
+            .collect()
+    }
+}
+
+/// Jain's fairness index over a set of per-entity throughputs: 1.0 is
+/// perfectly fair, `1/n` is maximally unfair. Used to quantify the §5.1
+/// fairness discussion.
+///
+/// Returns 1.0 for an empty slice.
+pub fn jain_index(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sum_sq: f64 = rates.iter().map(|r| r * r).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (rates.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let d = DelayStats::new();
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.max(), 0);
+        assert_eq!(d.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn mean_variance_max() {
+        let mut d = DelayStats::new();
+        for x in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            d.record(x);
+        }
+        assert_eq!(d.count(), 8);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(d.max(), 9);
+        assert_eq!(d.percentile(0.5), 4);
+        assert_eq!(d.percentile(1.0), 9);
+        assert_eq!(d.percentile(0.0), 2);
+    }
+
+    #[test]
+    fn percentile_with_overflow_is_conservative() {
+        let mut d = DelayStats::new();
+        d.record(3);
+        d.record(1 << 20);
+        assert_eq!(d.percentile(0.25), 3);
+        assert!(d.percentile(0.99) >= HIST_CAP as u64);
+        assert_eq!(d.max(), 1 << 20);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = DelayStats::new();
+        let mut b = DelayStats::new();
+        a.record(1);
+        a.record(3);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(a.max(), 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut d = DelayStats::new();
+        d.record(2);
+        let s = d.to_string();
+        assert!(s.contains("mean=2.000"), "{s}");
+    }
+
+    #[test]
+    fn report_throughputs() {
+        let r = SwitchReport {
+            slots: 100,
+            departures: 250,
+            departures_per_output: vec![100, 100, 50, 0],
+            ..Default::default()
+        };
+        assert!((r.aggregate_throughput() - 2.5).abs() < 1e-12);
+        assert!((r.mean_output_utilization() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let worst = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((worst - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        DelayStats::new().percentile(1.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Physical-time conversions for cell slots.
+//!
+//! All simulation results are in units of *cell time slots* — the time for
+//! one fixed-length cell to arrive at link speed, which is also the crossbar
+//! reconfiguration period (§2.3). This module converts slots to wall-clock
+//! time for the paper's physical claims: a 53-byte ATM cell on a 1 Gbit/s
+//! link lasts 424 ns, so a 16×16 switch schedules over 37 million cells per
+//! second, and "less than 13 μs" mean delay at 95% load is ≈30 slots.
+
+/// Bytes in a standard ATM cell (5-byte header + 48-byte payload), §2.3.
+pub const ATM_CELL_BYTES: u32 = 53;
+
+/// Bytes of cell header in a standard ATM cell.
+pub const ATM_HEADER_BYTES: u32 = 5;
+
+/// The AN2 prototype's switch radix.
+pub const AN2_PORTS: usize = 16;
+
+/// The AN2 prototype's frame length in slots (§4).
+pub const AN2_FRAME_SLOTS: usize = 1000;
+
+/// A link's line rate.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sim::units::LinkRate;
+/// let an2 = LinkRate::an2();
+/// assert!((an2.cell_time_ns() - 424.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkRate {
+    bits_per_sec: f64,
+}
+
+impl LinkRate {
+    /// Creates a link rate from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is not strictly positive and finite.
+    pub fn from_bits_per_sec(bits_per_sec: f64) -> Self {
+        assert!(
+            bits_per_sec.is_finite() && bits_per_sec > 0.0,
+            "link rate must be positive"
+        );
+        Self { bits_per_sec }
+    }
+
+    /// Creates a link rate from gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not strictly positive and finite.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_bits_per_sec(gbps * 1e9)
+    }
+
+    /// The AN2 design point: 1.0 Gbit/s fiber links.
+    pub fn an2() -> Self {
+        Self::from_gbps(1.0)
+    }
+
+    /// Line rate in bits per second.
+    pub fn bits_per_sec(self) -> f64 {
+        self.bits_per_sec
+    }
+
+    /// Duration of one 53-byte cell slot in nanoseconds.
+    pub fn cell_time_ns(self) -> f64 {
+        ATM_CELL_BYTES as f64 * 8.0 / self.bits_per_sec * 1e9
+    }
+
+    /// Cells per second on one link.
+    pub fn cells_per_sec(self) -> f64 {
+        self.bits_per_sec / (ATM_CELL_BYTES as f64 * 8.0)
+    }
+
+    /// Aggregate scheduling rate for an `n`-port switch (cells/second the
+    /// scheduler must pair) — the paper's "over 37 million cells per
+    /// second" for 16 ports at 1 Gbit/s.
+    pub fn aggregate_cells_per_sec(self, n: usize) -> f64 {
+        self.cells_per_sec() * n as f64
+    }
+
+    /// Converts a delay in slots to microseconds at this link rate.
+    pub fn slots_to_micros(self, slots: f64) -> f64 {
+        slots * self.cell_time_ns() / 1000.0
+    }
+
+    /// Fraction of the line rate consumed by cell headers (§2.3 overhead).
+    pub fn header_overhead() -> f64 {
+        ATM_HEADER_BYTES as f64 / ATM_CELL_BYTES as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an2_cell_time_is_424ns() {
+        assert!((LinkRate::an2().cell_time_ns() - 424.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn an2_schedules_over_37_million_cells_per_sec() {
+        let rate = LinkRate::an2().aggregate_cells_per_sec(AN2_PORTS);
+        assert!(rate > 37.0e6, "aggregate rate {rate}");
+        assert!(rate < 38.0e6, "aggregate rate {rate}");
+    }
+
+    #[test]
+    fn thirteen_micros_is_about_thirty_slots() {
+        // §3.5: "<13 usec" mean delay at 95% load. In slots that is ~30.6.
+        let slots = 13.0 * 1000.0 / LinkRate::an2().cell_time_ns();
+        assert!((slots - 30.66).abs() < 0.1, "slots {slots}");
+        // And the inverse conversion agrees.
+        let us = LinkRate::an2().slots_to_micros(30.66);
+        assert!((us - 13.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn header_overhead_is_five_of_53() {
+        assert!((LinkRate::header_overhead() - 5.0 / 53.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_rates_scale_linearly() {
+        let half = LinkRate::from_gbps(0.5);
+        assert!((half.cell_time_ns() - 848.0).abs() < 1e-9);
+        assert!((half.cells_per_sec() * 2.0 - LinkRate::an2().cells_per_sec()).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = LinkRate::from_bits_per_sec(0.0);
+    }
+}

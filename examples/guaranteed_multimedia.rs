@@ -1,0 +1,91 @@
+//! The paper's motivating application: multimedia needs guaranteed
+//! bandwidth and bounded latency *while* datagram traffic floods the
+//! switch (§4).
+//!
+//! A "video" flow reserves 2 cells per 8-slot frame (a quarter of its
+//! link) on a 4×4 hybrid switch. Datagram (VBR) traffic saturates every
+//! input. The reservation holds: the video flow gets exactly its rate
+//! with a two-frame delay bound, datagrams soak up every remaining slot,
+//! and when the video flow goes idle its slots are lent to datagrams.
+//!
+//! ```text
+//! cargo run --release --example guaranteed_multimedia
+//! ```
+
+use an2::sched::rng::{SelectRng, Xoshiro256};
+use an2::sched::{FrameSchedule, InputPort, OutputPort};
+use an2::sim::hybrid_switch::{ClassedArrival, HybridSwitch, ServiceClass};
+use an2::sim::cell::Arrival;
+use an2::sim::model::SwitchModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4;
+    let frame = 8;
+    let mut schedule = FrameSchedule::new(n, frame);
+    // The video flow: input 0 -> output 2, 2 cells per 8-slot frame.
+    schedule.reserve(InputPort::new(0), OutputPort::new(2), 2)?;
+    println!(
+        "video flow reserves 2 cells per {frame}-slot frame on input 1 -> output 3 (1-based)\n"
+    );
+    let mut sw = HybridSwitch::new(schedule, 1);
+    let mut rng = Xoshiro256::seed_from(2);
+
+    // Phase 1: video streaming at its paced rate + full datagram flood.
+    let phase1 = 40_000u64;
+    for s in 0..phase1 {
+        let mut batch = Vec::new();
+        if s % 4 == 0 {
+            // One video cell every 4 slots = 2 per frame, paced.
+            batch.push(ClassedArrival {
+                arrival: Arrival::pair(n, InputPort::new(0), OutputPort::new(2)),
+                class: ServiceClass::Cbr,
+            });
+        }
+        for i in 0..n {
+            if batch.iter().any(|c| c.arrival.input.index() == i) {
+                continue;
+            }
+            batch.push(ClassedArrival {
+                arrival: Arrival::pair(n, InputPort::new(i), OutputPort::new(rng.index(n))),
+                class: ServiceClass::Vbr,
+            });
+        }
+        sw.step_classed(&batch);
+    }
+    let (cbr, vbr) = sw.departures_by_class();
+    println!("phase 1 — video streaming under datagram flood ({phase1} slots):");
+    println!(
+        "  video: {:.4} cells/slot delivered (reserved 0.25), max delay {} slots, p99 {}",
+        cbr as f64 / phase1 as f64,
+        sw.cbr_delay().max(),
+        sw.cbr_delay().percentile(0.99)
+    );
+    println!(
+        "  datagrams: {:.3} cells/slot across the switch ({:.1}% of remaining capacity)",
+        vbr as f64 / phase1 as f64,
+        vbr as f64 / phase1 as f64 / (n as f64 - 0.25) * 100.0
+    );
+    assert!(sw.cbr_delay().max() <= 2 * frame as u64);
+
+    // Phase 2: video pauses; its reserved slots are lent to datagrams.
+    sw.start_measurement();
+    let phase2 = 20_000u64;
+    for _ in 0..phase2 {
+        let batch: Vec<ClassedArrival> = (0..n)
+            .map(|i| ClassedArrival {
+                arrival: Arrival::pair(n, InputPort::new(i), OutputPort::new(rng.index(n))),
+                class: ServiceClass::Vbr,
+            })
+            .collect();
+        sw.step_classed(&batch);
+    }
+    let report = sw.report();
+    println!("\nphase 2 — video idle ({phase2} slots):");
+    println!(
+        "  datagram utilization {:.3} — the idle reservation is lent out, nothing is wasted",
+        report.mean_output_utilization()
+    );
+    assert!(report.mean_output_utilization() > 0.9);
+    println!("\nguarantees held through the flood; unused guarantees cost nothing.");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! The §1 pitch, demonstrated: an arbitrary-topology point-to-point LAN
+//! offers (i) aggregate bandwidth far beyond a single link and (ii)
+//! incremental capacity — add trunk links when the workload grows.
+//!
+//! Two 8-port AN2 switches connect 5 hosts each; the remaining ports form
+//! parallel trunk links between the switches. Every host streams to the
+//! host "opposite" it on the other switch, so all traffic crosses the
+//! trunk. With one trunk link the inter-switch traffic is bottlenecked;
+//! provisioning three trunks (still the same two switches) nearly triples
+//! the delivered aggregate — capacity was added incrementally, no
+//! forklift upgrade.
+//!
+//! ```text
+//! cargo run --release --example multi_switch_lan
+//! ```
+
+use an2::net::netsim::Network;
+use an2::sched::{InputPort, OutputPort};
+use an2::sim::cell::FlowId;
+
+/// Builds the two-switch LAN with `trunks` parallel inter-switch links
+/// and `hosts` hosts per switch, all streaming left-to-right at full
+/// rate. Returns the network and the flows.
+fn build(trunks: usize, hosts: usize, seed: u64) -> (Network, Vec<FlowId>) {
+    assert!(hosts + trunks <= 8);
+    let mut net = Network::new(seed);
+    let left = net.add_switch(8);
+    let right = net.add_switch(8);
+    // Trunk links occupy the high ports on both switches.
+    for t in 0..trunks {
+        net.connect(
+            left,
+            OutputPort::new(8 - 1 - t),
+            right,
+            InputPort::new(8 - 1 - t),
+            1,
+        );
+    }
+    // Host h on the left streams to host h on the right; flows are
+    // spread across trunks round-robin at configuration time (static
+    // per-flow routing, as in the paper).
+    let mut flows = Vec::new();
+    for h in 0..hosts {
+        let f = FlowId(100 + h as u64);
+        let trunk = OutputPort::new(8 - 1 - (h % trunks));
+        net.add_route(left, f, trunk);
+        net.add_route(right, f, OutputPort::new(h)); // deliver to host port
+        net.add_source(left, InputPort::new(h), vec![f], 1.0);
+        flows.push(f);
+    }
+    net.validate().expect("LAN configuration is complete");
+    (net, flows)
+}
+
+fn main() {
+    let hosts = 5;
+    let slots = 30_000u64;
+    println!(
+        "two 8-port switches, {hosts} hosts per side, every left host streaming\nfull-rate to its right-side peer across the trunk\n"
+    );
+    println!(
+        "{:>7} {:>22} {:>18}",
+        "trunks", "aggregate (cells/slot)", "per-host share"
+    );
+    let mut last = 0.0;
+    for trunks in [1usize, 2, 3] {
+        let (mut net, flows) = build(trunks, hosts, 42 + trunks as u64);
+        net.run(slots / 3);
+        net.reset_counters();
+        net.run(slots);
+        let total: u64 = flows.iter().map(|&f| net.delivered(f)).sum();
+        let agg = total as f64 / slots as f64;
+        println!(
+            "{trunks:>7} {agg:>22.3} {:>18.3}",
+            agg / hosts as f64
+        );
+        assert!(agg > last, "adding a trunk must add capacity");
+        last = agg;
+    }
+    println!(
+        "\nOne gigabit trunk caps the site at one link's throughput; two more links\n(ports we already had) nearly triple it. Aggregate bandwidth grows with\ntopology, not with any single link — the case for switched point-to-point\nLANs over shared-medium networks (paper, §1)."
+    );
+}

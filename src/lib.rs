@@ -1,0 +1,42 @@
+//! # an2 — a reproduction of the AN2 switch-scheduling paper
+//!
+//! This facade crate re-exports the three layers of the reproduction of
+//! *High Speed Switch Scheduling for Local Area Networks* (Anderson,
+//! Owicki, Saxe, Thacker; ASPLOS 1992):
+//!
+//! * [`sched`] ([`an2_sched`]) — the algorithms: parallel iterative
+//!   matching, statistical matching, Slepian–Duguid frame scheduling, and
+//!   the FIFO / maximum-matching / iSLIP / RRM baselines.
+//! * [`sim`] ([`an2_sim`]) — the slot-level single-switch simulator:
+//!   traffic models, virtual output queues, switch organizations, metrics
+//!   and load sweeps.
+//! * [`net`] ([`an2_net`]) — the multi-switch substrate: arbitrary
+//!   topologies, drifting clocks, end-to-end CBR guarantees and the
+//!   fairness experiments.
+//! * [`fabric`] ([`an2_fabric`]) — the §2.2 data paths: crossbar, bare
+//!   banyan (internally blocking) and the non-blocking batcher-banyan.
+//!
+//! The runnable examples in `examples/` and the `an2-repro` binary (crate
+//! `an2-bench`) regenerate every table and figure of the paper; see
+//! `EXPERIMENTS.md` at the repository root for paper-vs-measured results.
+//!
+//! # Example
+//!
+//! Schedule a saturated 16×16 switch for one slot:
+//!
+//! ```
+//! use an2::sched::{Pim, RequestMatrix, Scheduler};
+//!
+//! let requests = RequestMatrix::from_fn(16, |_, _| true);
+//! let mut pim = Pim::new(16, 1992);
+//! let matching = pim.schedule(&requests);
+//! assert!(matching.respects(&requests));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use an2_fabric as fabric;
+pub use an2_net as net;
+pub use an2_sched as sched;
+pub use an2_sim as sim;

@@ -1,0 +1,86 @@
+//! Reproducibility: every component is deterministic given its seed.
+//!
+//! The experiment harness quotes exact numbers in EXPERIMENTS.md; that is
+//! only meaningful if a run is a pure function of its seeds. These tests
+//! pin that property across the stack.
+
+use an2::net::cbr::{simulate_cbr_chain, CbrChainConfig};
+use an2::net::clock::ClockPolicy;
+use an2::net::fairness::figure_9_shares;
+use an2::sched::stat::{ReservationTable, StatisticalMatcher};
+use an2::sched::{Pim, RequestMatrix, Scheduler};
+use an2::sim::sim::{simulate, SimConfig};
+use an2::sim::switch::CrossbarSwitch;
+use an2::sim::traffic::RateMatrixTraffic;
+
+#[test]
+fn pim_is_seed_deterministic() {
+    let reqs = RequestMatrix::from_fn(16, |i, j| (i * 7 + j) % 3 != 0);
+    let run = || {
+        let mut pim = Pim::new(16, 0xDEC0DE);
+        (0..50).map(|_| pim.schedule(&reqs)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+    // And a different seed genuinely differs somewhere.
+    let mut other = Pim::new(16, 0xDEC0DF);
+    let differs = (0..50).any(|k| other.schedule(&reqs) != run()[k]);
+    assert!(differs, "different seeds should yield different schedules");
+}
+
+#[test]
+fn simulation_reports_are_seed_deterministic() {
+    let run = || {
+        let mut sw = CrossbarSwitch::new(Pim::new(8, 11));
+        let mut t = RateMatrixTraffic::uniform(8, 0.85, 12);
+        let r = simulate(
+            &mut sw,
+            &mut t,
+            SimConfig {
+                warmup_slots: 1_000,
+                measure_slots: 5_000,
+            },
+        );
+        (
+            r.departures,
+            r.arrivals,
+            r.delay.count(),
+            r.delay.mean().to_bits(),
+            r.departures_per_output.clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn statistical_matching_is_seed_deterministic() {
+    let table = ReservationTable::from_fn(4, 64, |i, j| if i == j { 32 } else { 8 });
+    let run = |seed: u64| {
+        let mut sm = StatisticalMatcher::new(table.clone(), seed);
+        (0..200).map(|_| sm.next_match()).collect::<Vec<_>>()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn cbr_chain_is_seed_deterministic() {
+    let cfg = CbrChainConfig::example();
+    let run = |seed: u64| {
+        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, seed);
+        (
+            r.max_adjusted_latency.to_bits(),
+            r.peak_buffer.clone(),
+            r.throughput.to_bits(),
+        )
+    };
+    assert_eq!(run(9), run(9));
+}
+
+#[test]
+fn network_simulation_is_seed_deterministic() {
+    let run = || {
+        let s = figure_9_shares(77, 1_000, 5_000);
+        s.shares.map(f64::to_bits)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,175 @@
+//! End-to-end checks of the paper's headline claims, exercised through
+//! the public facade (`an2`) exactly as a downstream user would.
+
+use an2::net::cbr::{simulate_cbr_chain, CbrChainConfig};
+use an2::net::clock::ClockPolicy;
+use an2::net::fairness::figure_9_shares;
+use an2::sched::fifo::FifoPriority;
+use an2::sched::stat::{reservable_fraction, ReservationTable, StatisticalMatcher};
+use an2::sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
+use an2::sim::fifo_switch::FifoSwitch;
+use an2::sim::output_queued::OutputQueuedSwitch;
+use an2::sim::sim::{simulate, SimConfig};
+use an2::sim::switch::CrossbarSwitch;
+use an2::sim::traffic::RateMatrixTraffic;
+use an2::sim::units::LinkRate;
+
+const CFG: SimConfig = SimConfig {
+    warmup_slots: 10_000,
+    measure_slots: 50_000,
+};
+
+/// §3.2 / Table 1: four iterations all but complete the match.
+#[test]
+fn four_iterations_suffice_on_dense_requests() {
+    use an2::sched::rng::Xoshiro256;
+    let mut gen = Xoshiro256::seed_from(1);
+    let mut pim4 = Pim::new(16, 2);
+    let mut pim_inf = Pim::with_options(
+        16,
+        2,
+        IterationLimit::ToCompletion,
+        AcceptPolicy::Random,
+    );
+    let (mut got4, mut got_inf) = (0u64, 0u64);
+    for _ in 0..2_000 {
+        let reqs = RequestMatrix::random(16, 1.0, &mut gen);
+        got4 += pim4.schedule(&reqs).len() as u64;
+        got_inf += pim_inf.schedule(&reqs).len() as u64;
+    }
+    let ratio = got4 as f64 / got_inf as f64;
+    assert!(ratio > 0.998, "PIM(4) found only {ratio} of completed matches");
+}
+
+/// §3.5 / Figure 3: at high uniform load, PIM keeps throughput where FIFO
+/// has long since saturated, and stays within a small factor of the
+/// output-queued ideal.
+#[test]
+fn pim_close_to_output_queueing_fifo_far() {
+    let n = 16;
+    let load = 0.9;
+    let mut pim = CrossbarSwitch::new(Pim::new(n, 3));
+    let mut t = RateMatrixTraffic::uniform(n, load, 4);
+    let pim_rep = simulate(&mut pim, &mut t, CFG);
+
+    let mut oq = OutputQueuedSwitch::new(n);
+    let mut t = RateMatrixTraffic::uniform(n, load, 4);
+    let oq_rep = simulate(&mut oq, &mut t, CFG);
+
+    let mut fifo = FifoSwitch::new(n, FifoPriority::Random, 5);
+    let mut t = RateMatrixTraffic::uniform(n, load, 4);
+    let fifo_rep = simulate(&mut fifo, &mut t, CFG);
+
+    // Shape: OQ <= PIM << FIFO.
+    assert!(pim_rep.delay.mean() >= oq_rep.delay.mean() * 0.9);
+    assert!(pim_rep.delay.mean() <= oq_rep.delay.mean() * 6.0);
+    assert!(fifo_rep.delay.mean() > pim_rep.delay.mean() * 20.0);
+    // PIM delivers the offered load; FIFO cannot.
+    assert!(pim_rep.mean_output_utilization() > 0.88);
+    assert!(fifo_rep.mean_output_utilization() < 0.68);
+}
+
+/// §3.5: "less than 13 μsec" mean forwarding delay at 95% load.
+#[test]
+fn thirteen_microseconds_at_95_percent_load() {
+    let mut sw = CrossbarSwitch::new(Pim::new(16, 7));
+    let mut t = RateMatrixTraffic::uniform(16, 0.95, 8);
+    let rep = simulate(&mut sw, &mut t, CFG);
+    let us = LinkRate::an2().slots_to_micros(rep.delay.mean());
+    assert!(us < 13.0, "mean delay {us:.2} us");
+}
+
+/// §2.4 / Karol: FIFO saturates near 58-63% under uniform traffic.
+#[test]
+fn fifo_saturation_throughput() {
+    let mut sw = FifoSwitch::new(16, FifoPriority::Random, 9);
+    let mut t = RateMatrixTraffic::uniform(16, 1.0, 10);
+    let rep = simulate(&mut sw, &mut t, CFG);
+    let util = rep.mean_output_utilization();
+    assert!((0.53..0.68).contains(&util), "FIFO saturation {util}");
+}
+
+/// §5 / Appendix C: two-round statistical matching delivers ≈72% of the
+/// reserved rate, in any allocation pattern.
+#[test]
+fn statistical_matching_72_percent() {
+    let x = 128;
+    let n = 4;
+    // An asymmetric pattern: a heavy diagonal plus light off-diagonals.
+    let table = ReservationTable::from_fn(n, x, |i, j| {
+        if i == j {
+            x / 2
+        } else {
+            x / (2 * (n - 1))
+        }
+    });
+    let mut sm = StatisticalMatcher::new(table, 11);
+    let slots = 60_000u64;
+    let matched: u64 = (0..slots).map(|_| sm.next_match().len() as u64).sum();
+    let rate = matched as f64 / (slots as f64 * n as f64);
+    assert!(
+        rate > reservable_fraction() - 0.02,
+        "delivered {rate}, theory {}",
+        reservable_fraction()
+    );
+}
+
+/// §4 / Appendix B: CBR bounds hold across an adversarially clocked path.
+#[test]
+fn cbr_bounds_hold_end_to_end() {
+    let mut cfg = CbrChainConfig {
+        hops: 6,
+        cells_per_frame: 3,
+        switch_frame_slots: 200,
+        controller_stuffing: 0,
+        slot_time: 1.0,
+        tolerance: 0.02,
+        link_latency: 5.0,
+        frames: 600,
+    };
+    cfg.controller_stuffing = cfg.min_stuffing();
+    for seed in 0..5 {
+        let rep = simulate_cbr_chain(
+            &cfg,
+            ClockPolicy::SlowThenFast {
+                slow_frames: 30,
+                fast_frames: 30,
+            },
+            ClockPolicy::Random,
+            seed,
+        );
+        assert!(rep.within_bounds(), "seed {seed}: {rep}");
+    }
+}
+
+/// §5.1 / Figure 9: merge depth determines bandwidth share.
+#[test]
+fn chain_shares_follow_merge_depth() {
+    let s = figure_9_shares(21, 4_000, 30_000);
+    assert!(s.shares[0] > s.shares[1] && s.shares[1] > s.shares[2]);
+    assert!((s.shares[0] - 0.5).abs() < 0.05);
+    assert!(s.jain < 0.8);
+}
+
+/// §3.4: PIM does not starve any connection — every requested pair is
+/// eventually served, even the Figure 8 starved one.
+#[test]
+fn pim_never_starves() {
+    let reqs = RequestMatrix::from_pairs(
+        4,
+        [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)],
+    );
+    let mut pim = Pim::new(4, 33);
+    let mut served = std::collections::HashSet::new();
+    for _ in 0..10_000 {
+        for (i, j) in pim.schedule(&reqs).pairs() {
+            served.insert((i.index(), j.index()));
+        }
+    }
+    for (i, j) in reqs.pairs() {
+        assert!(
+            served.contains(&(i.index(), j.index())),
+            "connection ({i},{j}) was starved"
+        );
+    }
+}
