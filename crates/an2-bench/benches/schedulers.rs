@@ -140,6 +140,42 @@ fn bench_statistical_rate_update(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_portset_select_nth(c: &mut Criterion) {
+    // The rank-select primitive underneath every random grant/accept draw:
+    // word-parallel popcount skip + in-word binary search.
+    use an2_sched::PortSet;
+    let mut group = c.benchmark_group("portset_select_nth");
+    for n in [16usize, 64, 256] {
+        let set = PortSet::all(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % n;
+                set.select_nth(k)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_steady_state_schedule(c: &mut Criterion) {
+    // The zero-allocation hot loop: one scheduler, one persistent request
+    // matrix, nothing allocated per call (see the zero_alloc test in
+    // an2-sched). This is what the `perf` subcommand measures end to end,
+    // minus the VOQ bookkeeping.
+    let mut group = c.benchmark_group("steady_state_schedule_16x16_full");
+    let reqs = RequestMatrix::from_fn(16, |_, _| true);
+    group.bench_function("pim4", |b| {
+        let mut pim = Pim::new(16, 23);
+        b.iter(|| pim.schedule(&reqs));
+    });
+    group.bench_function("islip4", |b| {
+        let mut s = RoundRobinMatching::islip(16, 4);
+        b.iter(|| s.schedule(&reqs));
+    });
+    group.finish();
+}
+
 fn bench_kgrant_pim(c: &mut Criterion) {
     use an2_sched::kgrant::KGrantPim;
     let mut group = c.benchmark_group("kgrant_pim_16x16_p50");
@@ -178,6 +214,8 @@ criterion_group! {
     bench_scheduler_comparison,
     bench_statistical_matching,
     bench_statistical_rate_update,
+    bench_portset_select_nth,
+    bench_steady_state_schedule,
     bench_kgrant_pim
 }
 criterion_main!(benches);

@@ -13,7 +13,7 @@
 
 use an2_bench::{
     appendix_a, appendix_b, appendix_c, delay_curves, fairness_exp, fig1, frames_demo, karol,
-    latency95, rng_ablation, stat_fairness, subframes, table1, table2, Effort,
+    latency95, perf, rng_ablation, stat_fairness, subframes, table1, table2, Effort,
 };
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
 
@@ -39,7 +39,9 @@ experiments:
   ablate-speedup  fabric speedup k (k-grant PIM + output buffers)
   stat-fairness   statistical matching repairing Figure 8's unfairness
   subframes    frame subdivision latency/granularity trade-off (§4)
-  all          everything above";
+  perf         implementation throughput: slots/sec per scheduler,
+               written to BENCH_sched.json (not part of `all`)
+  all          everything above (except perf)";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -115,12 +117,34 @@ fn main() {
             }
         }
         name if known.contains(&name) => run_one(name, effort, seed, out_dir.as_deref()),
+        "perf" => run_perf(effort, seed, out_dir.as_deref()),
         "-h" | "--help" | "help" => println!("{USAGE}"),
         other => {
             eprintln!("unknown experiment {other}\n{USAGE}");
             std::process::exit(2);
         }
     }
+}
+
+/// `perf` measures the implementation rather than reproducing a figure,
+/// so it writes `BENCH_sched.json` (to `--out` if given, else the current
+/// directory) instead of a `.txt` render.
+fn run_perf(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
+    let started = std::time::Instant::now();
+    let report = perf::run(effort, seed);
+    print!("{}", report.render());
+    let path = out_dir
+        .unwrap_or(std::path::Path::new("."))
+        .join("BENCH_sched.json");
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[perf finished in {:.1?}; wrote {}]",
+        started.elapsed(),
+        path.display()
+    );
 }
 
 fn run_one(name: &str, effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {

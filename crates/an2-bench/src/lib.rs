@@ -20,6 +20,7 @@ pub mod fig1;
 pub mod frames_demo;
 pub mod karol;
 pub mod latency95;
+pub mod perf;
 pub mod plot;
 pub mod rng_ablation;
 pub mod stat_fairness;

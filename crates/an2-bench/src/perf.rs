@@ -1,0 +1,317 @@
+//! Scheduler throughput measurement — the `perf` subcommand.
+//!
+//! Unlike the paper-reproduction experiments, this module benchmarks the
+//! *implementation*: how many scheduling decisions per second each
+//! algorithm sustains. The paper's argument rests on PIM being "fast
+//! enough to run every cell slot" (§3.2, 420 ns at AN2 link rates), and
+//! the ROADMAP's million-slot experiment grids need the simulator's inner
+//! loop to stay allocation-free — this harness records the slots/sec
+//! trajectory so regressions in the hot path are visible across commits.
+//!
+//! Each case drives one scheduler over a fixed pool of pre-generated
+//! random request matrices (generation and construction excluded from the
+//! timed region) and reports slots/sec and matches/sec. Cases fan out one
+//! thread per (scheduler, N, load) cell with `std::thread::scope`, the
+//! same pattern `an2-sim`'s `experiment` module uses for load sweeps.
+//! Results serialize to `BENCH_sched.json` (see [`PerfReport::to_json`]).
+
+use crate::Effort;
+use an2_sched::islip::RoundRobinMatching;
+use an2_sched::maximum::MaximumMatching;
+use an2_sched::rng::Xoshiro256;
+use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Switch sizes measured.
+pub const SIZES: [usize; 3] = [16, 64, 256];
+
+/// Request densities measured (probability that a given input has a cell
+/// queued for a given output — the workload of the paper's Table 1).
+pub const LOADS: [f64; 3] = [0.5, 0.9, 1.0];
+
+/// Scheduler configurations measured, by name: 4-iteration PIM (the
+/// paper's hardware budget), run-to-completion PIM, 4-iteration iSLIP and
+/// RRM, and Hopcroft–Karp maximum matching as the upper-bound comparator.
+pub const SCHEDULERS: [&str; 5] = ["pim4", "pim", "islip4", "rrm4", "maximum"];
+
+/// How many distinct request matrices each case cycles through, so the
+/// timed loop sees varied inputs without regenerating matrices per slot.
+const POOL: usize = 32;
+
+/// One measured (scheduler, N, load) cell.
+#[derive(Clone, Debug)]
+pub struct PerfCase {
+    /// Scheduler name, one of [`SCHEDULERS`].
+    pub scheduler: &'static str,
+    /// Switch radix.
+    pub n: usize,
+    /// Request density.
+    pub load: f64,
+    /// Scheduling decisions timed.
+    pub slots: u64,
+    /// Total matched pairs across all timed slots.
+    pub matches: u64,
+    /// Wall-clock seconds for the timed loop.
+    pub elapsed_sec: f64,
+}
+
+impl PerfCase {
+    /// Scheduling decisions per second.
+    pub fn slots_per_sec(&self) -> f64 {
+        self.slots as f64 / self.elapsed_sec.max(1e-12)
+    }
+
+    /// Matched input–output pairs per second.
+    pub fn matches_per_sec(&self) -> f64 {
+        self.matches as f64 / self.elapsed_sec.max(1e-12)
+    }
+}
+
+/// Full result of one `perf` run.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Effort level the run used.
+    pub effort: Effort,
+    /// Root seed for matrix pools and scheduler RNGs.
+    pub seed: u64,
+    /// One entry per (scheduler, N, load), in `SCHEDULERS`×`SIZES`×`LOADS`
+    /// order.
+    pub cases: Vec<PerfCase>,
+}
+
+fn make_scheduler(name: &str, n: usize, seed: u64) -> Box<dyn Scheduler> {
+    match name {
+        "pim4" => Box::new(Pim::with_options(
+            n,
+            seed,
+            IterationLimit::Fixed(4),
+            AcceptPolicy::Random,
+        )),
+        "pim" => Box::new(Pim::with_options(
+            n,
+            seed,
+            IterationLimit::ToCompletion,
+            AcceptPolicy::Random,
+        )),
+        "islip4" => Box::new(RoundRobinMatching::islip(n, 4)),
+        "rrm4" => Box::new(RoundRobinMatching::rrm(n, 4)),
+        "maximum" => Box::new(MaximumMatching::new()),
+        other => unreachable!("unknown scheduler {other}"),
+    }
+}
+
+/// Slots to time for one case: a per-effort budget split across the
+/// switch size, so large radices get proportionally fewer slots.
+fn slots_for(effort: Effort, n: usize) -> u64 {
+    (effort.scale(160_000, 1_600_000) / n as u64).max(100)
+}
+
+fn run_case(scheduler: &'static str, n: usize, load: f64, slots: u64, seed: u64) -> PerfCase {
+    // Pool generation and scheduler construction stay outside the timed
+    // region: the measurement is of `schedule()` itself.
+    let mut pool_rng = Xoshiro256::seed_from(seed).split(0x9_0000);
+    let pool: Vec<RequestMatrix> = (0..POOL)
+        .map(|_| RequestMatrix::random(n, load, &mut pool_rng))
+        .collect();
+    let mut sched = make_scheduler(scheduler, n, seed);
+    let mut matches = 0u64;
+    let started = Instant::now();
+    for s in 0..slots {
+        let m = sched.schedule(&pool[(s as usize) % POOL]);
+        matches += m.len() as u64;
+    }
+    let elapsed_sec = started.elapsed().as_secs_f64();
+    PerfCase {
+        scheduler,
+        n,
+        load,
+        slots,
+        matches,
+        elapsed_sec,
+    }
+}
+
+/// Runs every (scheduler, N, load) case, one scoped thread per case.
+pub fn run(effort: Effort, seed: u64) -> PerfReport {
+    // Build the case list first, then fan out with the indexed-join
+    // pattern from `an2_sim::experiment::load_sweep` so results come back
+    // in deterministic order regardless of completion order.
+    let mut specs: Vec<(&'static str, usize, f64, u64, u64)> = Vec::new();
+    for &scheduler in &SCHEDULERS {
+        for &n in &SIZES {
+            for &load in &LOADS {
+                let case_seed = seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(specs.len() as u64 + 1));
+                specs.push((scheduler, n, load, slots_for(effort, n), case_seed));
+            }
+        }
+    }
+    // One scoped thread per hardware thread, each timing its stride of
+    // cases back to back: spawning all 45 cases at once would oversubscribe
+    // the CPU and charge each case for its neighbours' time slices.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(specs.len());
+    let mut results: Vec<Option<PerfCase>> = Vec::new();
+    results.resize_with(specs.len(), || None);
+    std::thread::scope(|scope| {
+        let specs = &specs;
+        let mut handles = Vec::new();
+        for worker in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut done = Vec::new();
+                for (idx, &(scheduler, n, load, slots, case_seed)) in
+                    specs.iter().enumerate().skip(worker).step_by(workers)
+                {
+                    done.push((idx, run_case(scheduler, n, load, slots, case_seed)));
+                }
+                done
+            }));
+        }
+        for handle in handles {
+            for (idx, case) in handle.join().expect("perf worker panicked") {
+                results[idx] = Some(case);
+            }
+        }
+    });
+    PerfReport {
+        effort,
+        seed,
+        cases: results.into_iter().map(|c| c.expect("all joined")).collect(),
+    }
+}
+
+impl PerfReport {
+    /// Human-readable table, one row per case.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# scheduler throughput ({} effort, seed {})",
+            match self.effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            },
+            self.seed
+        );
+        let _ = writeln!(
+            out,
+            "{:<9} {:>4} {:>5} {:>8} {:>10} {:>14} {:>14}",
+            "scheduler", "n", "load", "slots", "elapsed", "slots/sec", "matches/sec"
+        );
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{:<9} {:>4} {:>5.2} {:>8} {:>9.3}s {:>14.0} {:>14.0}",
+                c.scheduler,
+                c.n,
+                c.load,
+                c.slots,
+                c.elapsed_sec,
+                c.slots_per_sec(),
+                c.matches_per_sec()
+            );
+        }
+        out
+    }
+
+    /// Serializes the report as the `BENCH_sched.json` document.
+    ///
+    /// Schema (`version` 1): top-level `effort`, `seed`, and `cases`, an
+    /// array of objects with `scheduler`, `n`, `load`, `slots`, `matches`,
+    /// `elapsed_sec`, `slots_per_sec`, and `matches_per_sec`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(
+            out,
+            "  \"effort\": \"{}\",",
+            match self.effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            }
+        );
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"cases\": [");
+        for (idx, c) in self.cases.iter().enumerate() {
+            let comma = if idx + 1 < self.cases.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"scheduler\": \"{}\", \"n\": {}, \"load\": {:?}, \
+                 \"slots\": {}, \"matches\": {}, \"elapsed_sec\": {:.6}, \
+                 \"slots_per_sec\": {:.1}, \"matches_per_sec\": {:.1}}}{comma}",
+                c.scheduler,
+                c.n,
+                c.load,
+                c.slots,
+                c.matches,
+                c.elapsed_sec,
+                c.slots_per_sec(),
+                c.matches_per_sec()
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_case_counts_slots_and_matches() {
+        let c = run_case("pim4", 8, 1.0, 50, 7);
+        assert_eq!(c.slots, 50);
+        // Full load on an 8x8 switch: PIM matches most ports every slot.
+        assert!(c.matches >= 50 * 6, "matches {}", c.matches);
+        assert!(c.slots_per_sec() > 0.0);
+        assert!(c.matches_per_sec() >= c.slots_per_sec());
+    }
+
+    #[test]
+    fn every_named_scheduler_constructs() {
+        for name in SCHEDULERS {
+            let mut s = make_scheduler(name, 4, 1);
+            let reqs = RequestMatrix::from_fn(4, |i, j| i == j);
+            let m = s.schedule(&reqs);
+            assert!(m.respects(&reqs), "{name}");
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let report = PerfReport {
+            effort: Effort::Quick,
+            seed: 3,
+            cases: vec![PerfCase {
+                scheduler: "pim4",
+                n: 16,
+                load: 1.0,
+                slots: 10,
+                matches: 150,
+                elapsed_sec: 0.5,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"load\": 1.0"), "{json}");
+        assert!(json.contains("\"slots_per_sec\": 20.0"), "{json}");
+        assert!(json.contains("\"matches_per_sec\": 300.0"), "{json}");
+        // Hand-rolled JSON: balanced braces/brackets, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  ]"), "{json}");
+        let rendered = report.render();
+        assert!(rendered.contains("pim4"), "{rendered}");
+    }
+
+    #[test]
+    fn slot_budget_scales_down_with_n() {
+        assert!(slots_for(Effort::Quick, 16) > slots_for(Effort::Quick, 256));
+        assert!(slots_for(Effort::Full, 256) >= 100);
+    }
+}

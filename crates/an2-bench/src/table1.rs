@@ -132,7 +132,7 @@ fn run_row(n: usize, p: f64, patterns: u64, seed: u64, kind: PatternKind) -> Tab
         let (m, stats) = pim.schedule_with_stats(&reqs);
         let final_size = m.len() as u64;
         total += final_size;
-        for k in 0..4 {
+        for (k, slot) in within.iter_mut().enumerate() {
             // matches_after has one entry per executed iteration; once the
             // match completed, later iterations hold the final size.
             let got = stats
@@ -140,7 +140,7 @@ fn run_row(n: usize, p: f64, patterns: u64, seed: u64, kind: PatternKind) -> Tab
                 .get(k)
                 .copied()
                 .unwrap_or(m.len()) as u64;
-            within[k] += got;
+            *slot += got;
         }
     }
     Table1Row {

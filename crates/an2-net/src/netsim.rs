@@ -382,13 +382,13 @@ impl Network {
         // 3. Every switch schedules and forwards independently ("there is
         //    no centralized scheduler").
         for sw_idx in 0..self.switches.len() {
-            let (requests, matching) = {
+            let matching = {
                 let node = &mut self.switches[sw_idx];
                 let requests = node.voq.requests();
-                let matching = node.scheduler.schedule(&requests);
-                (requests, matching)
+                let matching = node.scheduler.schedule(requests);
+                debug_assert!(matching.respects(requests));
+                matching
             };
-            debug_assert!(matching.respects(&requests));
             for (i, j) in matching.pairs() {
                 let cell = self.switches[sw_idx]
                     .voq

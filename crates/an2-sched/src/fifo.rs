@@ -113,8 +113,7 @@ impl<R: SelectRng> FifoArbiter<R> {
             }
         }
         let mut m = Matching::new(n);
-        for j in 0..n {
-            let set = &contenders[j];
+        for (j, set) in contenders.iter().enumerate() {
             if set.is_empty() {
                 continue;
             }
@@ -167,13 +166,13 @@ mod tests {
         let mut arb = FifoArbiter::new(4, FifoPriority::Random, 1);
         let m = arb.arbitrate(&heads(4, &[(0, 0), (1, 0), (2, 0), (3, 0)]));
         assert_eq!(m.len(), 1);
-        assert_eq!(m.input_of(OutputPort::new(0)).is_some(), true);
+        assert!(m.input_of(OutputPort::new(0)).is_some());
     }
 
     #[test]
     fn empty_heads_empty_match() {
         let mut arb = FifoArbiter::new(4, FifoPriority::Rotating, 0);
-        let m = arb.arbitrate(&vec![None; 4]);
+        let m = arb.arbitrate(&[None; 4]);
         assert!(m.is_empty());
     }
 

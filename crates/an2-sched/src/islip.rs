@@ -50,6 +50,9 @@ pub struct RoundRobinMatching {
     grant_ptr: Vec<usize>,
     /// Accept pointer per input.
     accept_ptr: Vec<usize>,
+    /// Scratch: `grants_to[i]`, cleared and refilled every iteration so
+    /// `schedule()` allocates nothing.
+    grants_to: Vec<PortSet>,
 }
 
 impl RoundRobinMatching {
@@ -86,6 +89,7 @@ impl RoundRobinMatching {
             update,
             grant_ptr: vec![0; n],
             accept_ptr: vec![0; n],
+            grants_to: vec![PortSet::new(); n],
         }
     }
 
@@ -97,16 +101,6 @@ impl RoundRobinMatching {
     /// The per-slot iteration budget.
     pub fn iterations(&self) -> usize {
         self.iterations
-    }
-
-    fn first_at_or_after(set: &PortSet, start: usize, n: usize) -> usize {
-        for off in 0..n {
-            let p = (start + off) % n;
-            if set.contains(p) {
-                return p;
-            }
-        }
-        unreachable!("caller guarantees a non-empty set")
     }
 }
 
@@ -127,8 +121,9 @@ impl Scheduler for RoundRobinMatching {
         for iter_no in 1..=self.iterations {
             // Grant phase: each unmatched output grants the requesting
             // unmatched input nearest its pointer.
-            let mut grants_to: Vec<PortSet> = vec![PortSet::new(); n];
-            let mut granted_input: Vec<Option<usize>> = vec![None; n];
+            for g in &mut self.grants_to[..n] {
+                g.clear();
+            }
             let mut any = false;
             for j in 0..n {
                 if !unmatched_outputs.contains(j) {
@@ -141,9 +136,10 @@ impl Scheduler for RoundRobinMatching {
                     continue;
                 }
                 any = true;
-                let i = Self::first_at_or_after(&reqs, self.grant_ptr[j], n);
-                grants_to[i].insert(j);
-                granted_input[j] = Some(i);
+                let i = reqs
+                    .first_at_or_after(self.grant_ptr[j])
+                    .expect("request set checked non-empty");
+                self.grants_to[i].insert(j);
                 if self.update == PointerUpdate::Always && iter_no == 1 {
                     self.grant_ptr[j] = (i + 1) % n;
                 }
@@ -154,11 +150,13 @@ impl Scheduler for RoundRobinMatching {
 
             // Accept phase.
             for i in 0..n {
-                let grants = &grants_to[i];
+                let grants = &self.grants_to[i];
                 if grants.is_empty() {
                     continue;
                 }
-                let j = Self::first_at_or_after(grants, self.accept_ptr[i], n);
+                let j = grants
+                    .first_at_or_after(self.accept_ptr[i])
+                    .expect("grant set checked non-empty");
                 matching
                     .pair(InputPort::new(i), OutputPort::new(j))
                     .expect("grant/accept produced a conflicting pair");

@@ -191,6 +191,9 @@ pub struct KGrantPim<R: SelectRng = Xoshiro256> {
     iterations: usize,
     output_rng: Vec<R>,
     input_rng: Vec<R>,
+    /// Scratch: `grants_to[i]`, cleared and refilled every iteration so
+    /// `schedule()` only allocates for the returned `MultiMatching`.
+    grants_to: Vec<PortSet>,
 }
 
 impl KGrantPim<Xoshiro256> {
@@ -212,6 +215,7 @@ impl KGrantPim<Xoshiro256> {
             iterations,
             output_rng: (0..n).map(|j| root.split(j as u64)).collect(),
             input_rng: (0..n).map(|i| root.split(0x3_0000 + i as u64)).collect(),
+            grants_to: vec![PortSet::new(); n],
         }
     }
 }
@@ -247,7 +251,9 @@ impl<R: SelectRng> KGrantPim<R> {
         for _ in 0..self.iterations {
             // Grant phase: each output with spare capacity grants up to
             // (k - load) distinct unmatched requesters, chosen at random.
-            let mut grants_to: Vec<PortSet> = vec![PortSet::new(); n];
+            for g in &mut self.grants_to[..n] {
+                g.clear();
+            }
             let mut any = false;
             for j in 0..n {
                 let spare = self.k - mm.output_load(OutputPort::new(j));
@@ -262,7 +268,7 @@ impl<R: SelectRng> KGrantPim<R> {
                         break;
                     };
                     pool.remove(i);
-                    grants_to[i].insert(j);
+                    self.grants_to[i].insert(j);
                     any = true;
                 }
             }
@@ -271,11 +277,11 @@ impl<R: SelectRng> KGrantPim<R> {
             }
             // Accept phase: each granted input accepts one at random.
             for i in 0..n {
-                if grants_to[i].is_empty() {
+                if self.grants_to[i].is_empty() {
                     continue;
                 }
                 let j = self.input_rng[i]
-                    .choose(&grants_to[i])
+                    .choose(&self.grants_to[i])
                     .expect("non-empty grant set");
                 mm.assign(InputPort::new(i), OutputPort::new(j))
                     .expect("grants bounded by spare capacity");

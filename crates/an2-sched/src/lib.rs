@@ -40,7 +40,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the single sanctioned exception is the
+// BMI2 rank-select intrinsic in `port::select_in_word_bmi2`, which carries
+// its own `#[allow(unsafe_code)]` and a CPU-dispatch equivalence test.
+#![deny(unsafe_code)]
 
 pub mod costmodel;
 pub mod fifo;

@@ -27,11 +27,19 @@ use std::fmt;
 /// assert_eq!(m.input_of(OutputPort::new(2)), Some(InputPort::new(0)));
 /// assert_eq!(m.len(), 1);
 /// ```
+/// The maps are fixed `u8` arrays plus matched-port bitsets rather than
+/// `Vec<Option<…>>`: creating a `Matching` then touches no heap, which the
+/// schedulers' zero-allocation hot path depends on (one fresh matching per
+/// time slot). A `u8` holds any port index because `MAX_PORTS` = 256;
+/// presence is carried by the bitsets, and unmatched entries are kept at 0
+/// so the derived `PartialEq` stays exact.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Matching {
     n: usize,
-    input_to_output: Vec<Option<OutputPort>>,
-    output_to_input: Vec<Option<InputPort>>,
+    input_to_output: [u8; crate::MAX_PORTS],
+    output_to_input: [u8; crate::MAX_PORTS],
+    matched_inputs: PortSet,
+    matched_outputs: PortSet,
 }
 
 /// Error returned by [`Matching::pair`] when an endpoint is already matched.
@@ -66,8 +74,10 @@ impl Matching {
         assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
         Self {
             n,
-            input_to_output: vec![None; n],
-            output_to_input: vec![None; n],
+            input_to_output: [0; crate::MAX_PORTS],
+            output_to_input: [0; crate::MAX_PORTS],
+            matched_inputs: PortSet::new(),
+            matched_outputs: PortSet::new(),
         }
     }
 
@@ -89,14 +99,16 @@ impl Matching {
     /// Panics if either port index is `>= n`.
     pub fn pair(&mut self, i: InputPort, j: OutputPort) -> Result<(), PairConflict> {
         self.check(i, j);
-        if self.input_to_output[i.index()].is_some() || self.output_to_input[j.index()].is_some() {
+        if self.matched_inputs.contains(i.index()) || self.matched_outputs.contains(j.index()) {
             return Err(PairConflict {
                 input: i,
                 output: j,
             });
         }
-        self.input_to_output[i.index()] = Some(j);
-        self.output_to_input[j.index()] = Some(i);
+        self.input_to_output[i.index()] = j.index() as u8;
+        self.output_to_input[j.index()] = i.index() as u8;
+        self.matched_inputs.insert(i.index());
+        self.matched_outputs.insert(j.index());
         Ok(())
     }
 
@@ -107,9 +119,15 @@ impl Matching {
     /// Panics if `i.index() >= n`.
     pub fn unpair_input(&mut self, i: InputPort) -> Option<OutputPort> {
         assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
-        let j = self.input_to_output[i.index()].take()?;
-        self.output_to_input[j.index()] = None;
-        Some(j)
+        if !self.matched_inputs.remove(i.index()) {
+            return None;
+        }
+        let j = self.input_to_output[i.index()] as usize;
+        // Zero the stale entries so derived equality keeps working.
+        self.input_to_output[i.index()] = 0;
+        self.output_to_input[j] = 0;
+        self.matched_outputs.remove(j);
+        Some(OutputPort::new(j))
     }
 
     /// The output matched to input `i`, if any.
@@ -120,7 +138,11 @@ impl Matching {
     #[inline]
     pub fn output_of(&self, i: InputPort) -> Option<OutputPort> {
         assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
-        self.input_to_output[i.index()]
+        if self.matched_inputs.contains(i.index()) {
+            Some(OutputPort::new(self.input_to_output[i.index()] as usize))
+        } else {
+            None
+        }
     }
 
     /// The input matched to output `j`, if any.
@@ -135,7 +157,11 @@ impl Matching {
             "output {j} outside {0}x{0} switch",
             self.n
         );
-        self.output_to_input[j.index()]
+        if self.matched_outputs.contains(j.index()) {
+            Some(InputPort::new(self.output_to_input[j.index()] as usize))
+        } else {
+            None
+        }
     }
 
     /// Returns `true` if input `i` is matched.
@@ -152,39 +178,37 @@ impl Matching {
 
     /// Number of matched pairs.
     pub fn len(&self) -> usize {
-        self.input_to_output.iter().filter(|o| o.is_some()).count()
+        self.matched_inputs.len()
     }
 
     /// Returns `true` if no pair is matched.
     pub fn is_empty(&self) -> bool {
-        self.input_to_output.iter().all(Option::is_none)
+        self.matched_inputs.is_empty()
     }
 
     /// Returns `true` if every input (equivalently every output) is matched.
     pub fn is_perfect(&self) -> bool {
-        self.input_to_output.iter().all(Option::is_some)
+        self.matched_inputs.len() == self.n
     }
 
     /// Iterates over matched `(input, output)` pairs in input order.
     pub fn pairs(&self) -> impl Iterator<Item = (InputPort, OutputPort)> + '_ {
-        self.input_to_output
-            .iter()
-            .enumerate()
-            .filter_map(|(i, j)| j.map(|j| (InputPort::new(i), j)))
+        self.matched_inputs.iter().map(|i| {
+            (
+                InputPort::new(i),
+                OutputPort::new(self.input_to_output[i] as usize),
+            )
+        })
     }
 
     /// The set of unmatched input indices.
     pub fn unmatched_inputs(&self) -> PortSet {
-        (0..self.n)
-            .filter(|&i| self.input_to_output[i].is_none())
-            .collect()
+        PortSet::all(self.n).difference(&self.matched_inputs)
     }
 
     /// The set of unmatched output indices.
     pub fn unmatched_outputs(&self) -> PortSet {
-        (0..self.n)
-            .filter(|&j| self.output_to_input[j].is_none())
-            .collect()
+        PortSet::all(self.n).difference(&self.matched_outputs)
     }
 
     /// Returns `true` if every matched pair is a request in `requests`.
@@ -356,6 +380,19 @@ mod tests {
         m.pair(ip(0), op(0)).unwrap();
         // Unmatched inputs {1,2} x unmatched outputs {1,2} = 4 unresolved.
         assert_eq!(m.unresolved_requests(&reqs), 4);
+    }
+
+    #[test]
+    fn equality_ignores_unpair_history() {
+        // Unpairing must zero the array slots it leaves behind, or the
+        // derived PartialEq would see ghosts of former pairings.
+        let mut a = Matching::new(4);
+        a.pair(ip(2), op(3)).unwrap();
+        a.unpair_input(ip(2));
+        a.pair(ip(0), op(1)).unwrap();
+        let mut b = Matching::new(4);
+        b.pair(ip(0), op(1)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -31,12 +31,36 @@ const INF: u32 = u32::MAX;
 /// assert_eq!(hopcroft_karp(&reqs).len(), 2);
 /// ```
 pub fn hopcroft_karp(requests: &RequestMatrix) -> Matching {
+    hopcroft_karp_into(requests, &mut HkScratch::default())
+}
+
+/// Reusable working storage for [`hopcroft_karp_into`]; owning one lets a
+/// scheduler run Hopcroft–Karp every slot without reallocating.
+#[derive(Clone, Debug, Default)]
+struct HkScratch {
+    match_in: Vec<usize>,
+    match_out: Vec<usize>,
+    dist: Vec<u32>,
+    queue: Vec<usize>,
+}
+
+fn hopcroft_karp_into(requests: &RequestMatrix, scratch: &mut HkScratch) -> Matching {
     let n = requests.n();
     // match_in[i] = output matched to input i (NIL if free), and vice versa.
-    let mut match_in = vec![NIL; n];
-    let mut match_out = vec![NIL; n];
-    let mut dist = vec![INF; n];
-    let mut queue = Vec::with_capacity(n);
+    // clear+resize reuses capacity; only the first call on a given size
+    // allocates.
+    scratch.match_in.clear();
+    scratch.match_in.resize(n, NIL);
+    scratch.match_out.clear();
+    scratch.match_out.resize(n, NIL);
+    scratch.dist.clear();
+    scratch.dist.resize(n, INF);
+    scratch.queue.clear();
+    scratch.queue.reserve(n);
+    let match_in = &mut scratch.match_in;
+    let match_out = &mut scratch.match_out;
+    let dist = &mut scratch.dist;
+    let queue = &mut scratch.queue;
 
     loop {
         // BFS from free inputs, layering the alternating-path graph.
@@ -71,7 +95,7 @@ pub fn hopcroft_karp(requests: &RequestMatrix) -> Matching {
         // augmenting paths.
         for i in 0..n {
             if match_in[i] == NIL {
-                try_augment(requests, i, &mut match_in, &mut match_out, &mut dist);
+                try_augment(requests, i, match_in, match_out, dist);
             }
         }
     }
@@ -113,19 +137,25 @@ fn try_augment(
 /// experiments. Note §3.4's warning: because it is deterministic and
 /// size-greedy, it **can starve** particular connections indefinitely — the
 /// unit tests below reproduce the paper's Figure 2 starvation example.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct MaximumMatching;
+///
+/// Carries reusable Hopcroft–Karp working arrays so repeated `schedule`
+/// calls on a fixed radix allocate nothing; the scratch is not semantic
+/// state (the algorithm is stateless across slots).
+#[derive(Clone, Debug, Default)]
+pub struct MaximumMatching {
+    scratch: HkScratch,
+}
 
 impl MaximumMatching {
     /// Creates the scheduler.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
 impl Scheduler for MaximumMatching {
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
-        hopcroft_karp(requests)
+        hopcroft_karp_into(requests, &mut self.scratch)
     }
 
     fn name(&self) -> &'static str {

@@ -271,8 +271,8 @@ mod tests {
             reqs.set(InputPort::new(0), residue[0]);
             reqs.set(InputPort::new(1), residue[1]);
             let m = s.schedule(&reqs);
-            for i in 0..2 {
-                residue[i] = residue[i].difference(m.served(InputPort::new(i)));
+            for (i, r) in residue.iter_mut().enumerate() {
+                *r = r.difference(m.served(InputPort::new(i)));
             }
             slots += 1;
             assert!(slots < 20, "fanout splitting failed to converge");

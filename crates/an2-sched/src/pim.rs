@@ -114,6 +114,13 @@ pub struct Pim<R: SelectRng = Xoshiro256> {
     input_rng: Vec<R>,
     /// Round-robin accept pointers (used by `AcceptPolicy::RoundRobin`).
     accept_ptr: Vec<usize>,
+    /// Scratch: `requests_to[j]` rebuilt every iteration. Owned by the
+    /// scheduler so `schedule()` touches no heap after construction.
+    requests_to: Vec<PortSet>,
+    /// Scratch: `grants_to[i]`, cleared and refilled every iteration.
+    grants_to: Vec<PortSet>,
+    /// Scratch: pairs accepted this iteration (traced path only).
+    accepts: Vec<(InputPort, OutputPort)>,
 }
 
 impl Pim<Xoshiro256> {
@@ -182,6 +189,9 @@ impl<R: SelectRng> Pim<R> {
             output_rng,
             input_rng,
             accept_ptr: vec![0; n],
+            requests_to: vec![PortSet::new(); n],
+            grants_to: vec![PortSet::new(); n],
+            accepts: Vec::with_capacity(n),
         }
     }
 
@@ -207,7 +217,9 @@ impl<R: SelectRng> Pim<R> {
     ///
     /// Panics if `requests.n() != self.n()`.
     pub fn schedule_with_stats(&mut self, requests: &RequestMatrix) -> (Matching, PimStats) {
-        self.run(requests, &mut |_| {})
+        let mut stats = PimStats::default();
+        let m = self.run_from(requests, Matching::new(self.n), None, Some(&mut stats));
+        (m, stats)
     }
 
     /// Schedules one time slot starting from `initial` pairings, which are
@@ -231,7 +243,7 @@ impl<R: SelectRng> Pim<R> {
             initial.n(),
             self.n
         );
-        self.run_from(requests, initial, &mut |_| {}).0
+        self.run_from(requests, initial, None, None)
     }
 
     /// Schedules one time slot, invoking `observer` with a full
@@ -246,24 +258,34 @@ impl<R: SelectRng> Pim<R> {
         requests: &RequestMatrix,
         observer: &mut dyn FnMut(&IterationRecord),
     ) -> (Matching, PimStats) {
-        self.run(requests, observer)
+        let mut stats = PimStats::default();
+        let m = self.run_from(
+            requests,
+            Matching::new(self.n),
+            Some(observer),
+            Some(&mut stats),
+        );
+        (m, stats)
     }
 
-    fn run(
-        &mut self,
-        requests: &RequestMatrix,
-        observer: &mut dyn FnMut(&IterationRecord),
-    ) -> (Matching, PimStats) {
-        let initial = Matching::new(self.n);
-        self.run_from(requests, initial, observer)
-    }
-
+    /// The iteration loop shared by all entry points.
+    ///
+    /// When neither `observer` nor `stats` is supplied (the simulator's
+    /// per-slot path), this performs **zero heap allocations**: the
+    /// request/grant/accept working sets live in scratch buffers on `self`,
+    /// the matching is fixed-size, and the `unresolved_requests` recount —
+    /// an O(N) set scan only diagnostics need — is skipped entirely.
+    /// Skipping it cannot change any decision: `unresolved == 0` exactly
+    /// when the next iteration finds no request, and that early exit
+    /// happens *before* any output draws from its grant stream, so the RNG
+    /// streams stay bit-aligned with the tracked paths.
     fn run_from(
         &mut self,
         requests: &RequestMatrix,
         initial: Matching,
-        observer: &mut dyn FnMut(&IterationRecord),
-    ) -> (Matching, PimStats) {
+        mut observer: Option<&mut dyn FnMut(&IterationRecord)>,
+        mut stats: Option<&mut PimStats>,
+    ) -> Matching {
         assert_eq!(
             requests.n(),
             self.n,
@@ -272,8 +294,8 @@ impl<R: SelectRng> Pim<R> {
             self.n
         );
         let n = self.n;
+        let track = observer.is_some() || stats.is_some();
         let mut matching = initial;
-        let mut stats = PimStats::default();
 
         let max_iters = match self.limit {
             IterationLimit::Fixed(k) => k,
@@ -290,37 +312,58 @@ impl<R: SelectRng> Pim<R> {
             // requests_to[j] = unmatched inputs with a cell for unmatched j.
             // (Matched outputs ignore requests; inputs that matched earlier
             // drop all other requests — §3.3's wire-level optimization.)
+            // Only unmatched ports are visited in any phase: matched ports
+            // carry no requests and draw nothing, so skipping them keeps the
+            // RNG streams bit-aligned while the per-iteration work shrinks
+            // with the matching instead of staying O(N).
+            if track {
+                // Observers see the full request/grant vectors; clear the
+                // matched ports' stale scratch entries for them. The
+                // untracked path leaves the stale entries: it never reads
+                // them.
+                for r in &mut self.requests_to[..n] {
+                    r.clear();
+                }
+                for g in &mut self.grants_to[..n] {
+                    g.clear();
+                }
+            }
             let mut any_request = false;
-            let mut requests_to: Vec<PortSet> = Vec::with_capacity(n);
-            for j in 0..n {
-                let reqs = if unmatched_outputs.contains(j) {
-                    let r = requests
-                        .col(OutputPort::new(j))
-                        .intersection(&unmatched_inputs);
-                    any_request |= !r.is_empty();
-                    r
-                } else {
-                    PortSet::new()
-                };
-                requests_to.push(reqs);
+            for j in unmatched_outputs.iter() {
+                let r = requests
+                    .col(OutputPort::new(j))
+                    .intersection(&unmatched_inputs);
+                any_request |= !r.is_empty();
+                self.requests_to[j] = r;
             }
             if !any_request {
                 break;
             }
 
             // --- Grant phase ----------------------------------------------
-            // grants_to[i] = outputs that granted to input i.
-            let mut grants_to: Vec<PortSet> = vec![PortSet::new(); n];
-            for j in 0..n {
-                if let Some(i) = self.output_rng[j].choose(&requests_to[j]) {
-                    grants_to[i].insert(j);
+            // grants_to[i] = outputs that granted to input i. Outputs with
+            // no requests draw nothing from their stream (`choose` checks
+            // emptiness first), which keeps all paths RNG-aligned.
+            if !track {
+                // Grants land only on unmatched inputs; clearing just those
+                // suffices (the tracked path cleared everything above).
+                for i in unmatched_inputs.iter() {
+                    self.grants_to[i].clear();
+                }
+            }
+            for j in unmatched_outputs.iter() {
+                if let Some(i) = self.output_rng[j].choose(&self.requests_to[j]) {
+                    self.grants_to[i].insert(j);
                 }
             }
 
             // --- Accept phase ---------------------------------------------
-            let mut accepts = Vec::new();
-            for i in 0..n {
-                let grants = &grants_to[i];
+            // `iter()` walks a snapshot of the words, so removing accepted
+            // inputs mid-loop is sound and the visit order matches the
+            // pre-accept set.
+            self.accepts.clear();
+            for i in unmatched_inputs.iter() {
+                let grants = &self.grants_to[i];
                 if grants.is_empty() {
                     continue;
                 }
@@ -329,7 +372,9 @@ impl<R: SelectRng> Pim<R> {
                         .choose(grants)
                         .expect("non-empty grant set"),
                     AcceptPolicy::RoundRobin => {
-                        let j = Self::first_at_or_after(grants, self.accept_ptr[i], n);
+                        let j = grants
+                            .first_at_or_after(self.accept_ptr[i])
+                            .expect("non-empty grant set");
                         self.accept_ptr[i] = (j + 1) % n;
                         j
                     }
@@ -340,48 +385,46 @@ impl<R: SelectRng> Pim<R> {
                     .expect("grant/accept produced a conflicting pair");
                 unmatched_inputs.remove(i);
                 unmatched_outputs.remove(j);
-                accepts.push((InputPort::new(i), OutputPort::new(j)));
+                if track {
+                    self.accepts.push((InputPort::new(i), OutputPort::new(j)));
+                }
             }
 
-            let unresolved = matching.unresolved_requests(requests);
-            stats.iterations_run = iter_no;
-            stats.matches_after.push(matching.len());
-            stats.unresolved_after.push(unresolved);
-
-            observer(&IterationRecord {
-                iteration: iter_no,
-                requests: requests_to,
-                grants: grants_to,
-                accepts,
-                unresolved_after: unresolved,
-            });
-
-            if unresolved == 0 {
-                break;
-            }
-        }
-
-        stats.completed = matching.is_maximal(requests);
-        (matching, stats)
-    }
-
-    /// First member of `set` at index `>= start`, wrapping around; `set`
-    /// must be non-empty.
-    fn first_at_or_after(set: &PortSet, start: usize, n: usize) -> usize {
-        debug_assert!(!set.is_empty());
-        for off in 0..n {
-            let j = (start + off) % n;
-            if set.contains(j) {
-                return j;
+            if track {
+                let unresolved = matching.unresolved_requests(requests);
+                if let Some(stats) = stats.as_deref_mut() {
+                    stats.iterations_run = iter_no;
+                    stats.matches_after.push(matching.len());
+                    stats.unresolved_after.push(unresolved);
+                }
+                if let Some(observer) = observer.as_deref_mut() {
+                    observer(&IterationRecord {
+                        iteration: iter_no,
+                        requests: self.requests_to.clone(),
+                        grants: self.grants_to.clone(),
+                        accepts: self.accepts.clone(),
+                        unresolved_after: unresolved,
+                    });
+                }
+                // The untracked path omits this early exit: its next
+                // iteration's request phase finds nothing and breaks before
+                // consuming randomness, so decisions are identical.
+                if unresolved == 0 {
+                    break;
+                }
             }
         }
-        unreachable!("set checked non-empty")
+
+        if let Some(stats) = stats {
+            stats.completed = matching.is_maximal(requests);
+        }
+        matching
     }
 }
 
 impl<R: SelectRng> Scheduler for Pim<R> {
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
-        self.run(requests, &mut |_| {}).0
+        self.run_from(requests, Matching::new(self.n), None, None)
     }
 
     fn name(&self) -> &'static str {

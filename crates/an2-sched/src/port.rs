@@ -276,6 +276,52 @@ impl PortSet {
         None
     }
 
+    /// The `k`-th smallest index in the set (zero-based), word-parallel.
+    ///
+    /// Returns exactly what [`nth`](Self::nth) returns, but instead of
+    /// dropping set bits one at a time it skips whole words by popcount and
+    /// then rank-selects within the word by halving: six popcount steps
+    /// regardless of how many bits precede the answer. This is the hot
+    /// selection primitive behind [`crate::rng::SelectRng::choose`] — at
+    /// full load a 256-port request column has up to 256 members, and the
+    /// drop-lowest-bit loop of `nth` walks half of them on average.
+    pub fn select_nth(&self, mut k: usize) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                return Some(w * 64 + select_in_word(word, k as u32) as usize);
+            }
+            k -= ones;
+        }
+        None
+    }
+
+    /// The smallest member `>= start`, wrapping to [`first`](Self::first)
+    /// if none; `None` only when the set is empty.
+    ///
+    /// This is the round-robin pointer scan of iSLIP and of PIM's
+    /// round-robin accept policy: mask off the bits below `start` in its
+    /// word, scan upward, and wrap. Equivalent to probing
+    /// `start, start+1, … (mod n)` one index at a time, in O(words) steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= MAX_PORTS`.
+    pub fn first_at_or_after(&self, start: usize) -> Option<usize> {
+        assert!(start < MAX_PORTS, "port index {start} out of range");
+        let w0 = start / 64;
+        let masked = self.words[w0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return Some(w0 * 64 + masked.trailing_zeros() as usize);
+        }
+        for w in w0 + 1..WORDS {
+            if self.words[w] != 0 {
+                return Some(w * 64 + self.words[w].trailing_zeros() as usize);
+            }
+        }
+        self.first()
+    }
+
     /// Iterates over the indices in the set in increasing order.
     pub fn iter(&self) -> Iter {
         Iter {
@@ -283,6 +329,52 @@ impl PortSet {
             word_idx: 0,
         }
     }
+}
+
+/// Position of the `k`-th set bit of `word` (zero-based).
+///
+/// On x86-64 with BMI2, `PDEP(1 << k, word)` deposits a single bit at
+/// exactly that position in ~3 cycles; elsewhere a branchless-ish binary
+/// search over popcounts of narrower halves does the same in ~25. Both
+/// return identical values, so the choice never affects a scheduling
+/// decision — only how fast it is made. (`is_x86_feature_detected!`
+/// caches, so the probe costs one predictable load per call.)
+#[inline]
+fn select_in_word(word: u64, k: u32) -> u32 {
+    debug_assert!(k < word.count_ones());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("bmi2") {
+        // SAFETY: the bmi2 feature was just verified at runtime.
+        #[allow(unsafe_code)]
+        return unsafe { select_in_word_bmi2(word, k) };
+    }
+    select_in_word_generic(word, k)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+#[inline]
+#[allow(unsafe_code)]
+unsafe fn select_in_word_bmi2(word: u64, k: u32) -> u32 {
+    std::arch::x86_64::_pdep_u64(1u64 << k, word).trailing_zeros()
+}
+
+#[inline]
+fn select_in_word_generic(word: u64, mut k: u32) -> u32 {
+    let mut w = word;
+    let mut pos = 0u32;
+    for shift in [32u32, 16, 8, 4, 2, 1] {
+        let lo = w & ((1u64 << shift) - 1);
+        let ones = lo.count_ones();
+        if k >= ones {
+            k -= ones;
+            pos += shift;
+            w >>= shift;
+        } else {
+            w = lo;
+        }
+    }
+    pos
 }
 
 impl fmt::Debug for PortSet {
@@ -423,6 +515,53 @@ mod tests {
         assert_eq!(s.nth(3), Some(65));
         assert_eq!(s.nth(4), Some(130));
         assert_eq!(s.nth(5), None);
+    }
+
+    #[test]
+    fn select_in_word_dispatch_agrees_with_generic() {
+        // Whatever path `select_in_word` dispatches to (PDEP on x86-64 with
+        // BMI2, the binary search elsewhere) must match the generic code
+        // bit for bit, or scheduling decisions would depend on the host CPU.
+        let words = [
+            1u64,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0xDEAD_BEEF_CAFE_F00D,
+            0x5555_5555_5555_5555,
+        ];
+        for &w in &words {
+            for k in 0..w.count_ones() {
+                assert_eq!(
+                    super::select_in_word(w, k),
+                    super::select_in_word_generic(w, k),
+                    "word {w:#x} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_nth_matches_nth() {
+        let s: PortSet = [0, 3, 17, 63, 64, 65, 127, 128, 130, 255]
+            .into_iter()
+            .collect();
+        for k in 0..=s.len() {
+            assert_eq!(s.select_nth(k), s.nth(k), "k={k}");
+        }
+        assert_eq!(PortSet::new().select_nth(0), None);
+        assert_eq!(PortSet::all(256).select_nth(255), Some(255));
+    }
+
+    #[test]
+    fn first_at_or_after_wraps() {
+        let s: PortSet = [3, 17, 64, 200].into_iter().collect();
+        assert_eq!(s.first_at_or_after(0), Some(3));
+        assert_eq!(s.first_at_or_after(3), Some(3));
+        assert_eq!(s.first_at_or_after(4), Some(17));
+        assert_eq!(s.first_at_or_after(18), Some(64));
+        assert_eq!(s.first_at_or_after(65), Some(200));
+        assert_eq!(s.first_at_or_after(201), Some(3)); // wraps
+        assert_eq!(PortSet::new().first_at_or_after(7), None);
     }
 
     #[test]

@@ -41,24 +41,36 @@ pub trait SelectRng {
     fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
         let n = n as u64;
-        // Lemire's nearly-divisionless unbiased bounded generation.
-        loop {
-            let x = self.next_u64();
-            let m = (x as u128) * (n as u128);
-            let lo = m as u64;
-            if lo >= n.wrapping_neg() % n {
-                return (m >> 64) as usize;
+        // Lemire's nearly-divisionless unbiased bounded generation. The
+        // rejection threshold is `2^64 mod n`, which is `< n`: a draw with
+        // `lo >= n` can never be rejected, so the threshold division only
+        // runs in the astronomically rare `lo < n` case. The accept/reject
+        // outcome per draw is identical either way, keeping the stream of
+        // consumed words bit-compatible with the always-divide form.
+        let x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                let x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
             }
         }
+        (m >> 64) as usize
     }
 
     /// Chooses a uniformly random member of `set`, or `None` if it is empty.
+    ///
+    /// Draws nothing from the generator when the set is empty; the hot-path
+    /// gating in `Pim::run_from` relies on that to keep RNG streams aligned.
     fn choose(&mut self, set: &crate::PortSet) -> Option<usize> {
         let len = set.len();
         if len == 0 {
             return None;
         }
-        set.nth(self.index(len))
+        set.select_nth(self.index(len))
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).

@@ -316,6 +316,11 @@ pub struct StatisticalMatcher<R: SelectRng = Xoshiro256> {
     cond_cdf: Vec<Vec<Option<VirtualGrantCdf>>>,
     /// Imaginary-output CDFs per input (None when slack is 0).
     imag_cdf: Vec<Option<VirtualGrantCdf>>,
+    /// Scratch: `grants_to[i]` = outputs granting input `i` this round;
+    /// inner vectors keep their capacity across slots.
+    grants_to: Vec<Vec<usize>>,
+    /// Scratch: per-input `(output, virtual-grant count)` list.
+    virtuals: Vec<(usize, usize)>,
 }
 
 impl StatisticalMatcher<Xoshiro256> {
@@ -347,6 +352,8 @@ impl StatisticalMatcher<Xoshiro256> {
             grant_cum: Vec::new(),
             cond_cdf: Vec::new(),
             imag_cdf: Vec::new(),
+            grants_to: vec![Vec::new(); n],
+            virtuals: Vec::with_capacity(n),
         };
         sm.rebuild_caches();
         sm
@@ -450,7 +457,9 @@ impl<R: SelectRng> StatisticalMatcher<R> {
         let n = self.table.n();
         let x = self.table.x();
         // Step 1: grants. grants_to[i] = outputs granting input i.
-        let mut grants_to: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for g in &mut self.grants_to {
+            g.clear();
+        }
         for j in 0..n {
             // Draw a unit in 0..X; units beyond the allocated prefix belong
             // to the imaginary input (no grant).
@@ -458,21 +467,21 @@ impl<R: SelectRng> StatisticalMatcher<R> {
             let cum = &self.grant_cum[j];
             let k = cum.partition_point(|&(c, _)| c <= u);
             if k < cum.len() {
-                grants_to[cum[k].1].push(j);
+                self.grants_to[cum[k].1].push(j);
             }
         }
         // Step 2: virtual-grant reinterpretation and accept.
         let mut m = Matching::new(n);
         for i in 0..n {
-            let mut virtuals: Vec<(usize, usize)> = Vec::new(); // (output, count)
+            self.virtuals.clear(); // (output, count)
             let mut total = 0usize;
-            for &j in &grants_to[i] {
+            for &j in &self.grants_to[i] {
                 let cdf = self.cond_cdf[i][j]
                     .as_ref()
                     .expect("grant implies a positive reservation");
                 let count = cdf.sample(&mut self.input_rng[i]);
                 if count > 0 {
-                    virtuals.push((j, count));
+                    self.virtuals.push((j, count));
                     total += count;
                 }
             }
@@ -491,7 +500,7 @@ impl<R: SelectRng> StatisticalMatcher<R> {
                 continue; // accepted the imaginary output
             }
             let mut acc = 0usize;
-            for &(j, count) in &virtuals {
+            for &(j, count) in &self.virtuals {
                 acc += count;
                 if pick < acc {
                     m.pair(InputPort::new(i), OutputPort::new(j))

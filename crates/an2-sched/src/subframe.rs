@@ -68,7 +68,7 @@ impl SubframeSchedule {
     pub fn new(n: usize, frame_len: usize, subframes: usize) -> Self {
         assert!(subframes > 0, "need at least one subframe");
         assert!(
-            frame_len > 0 && frame_len % subframes == 0,
+            frame_len > 0 && frame_len.is_multiple_of(subframes),
             "frame length {frame_len} must be a positive multiple of the subframe count {subframes}"
         );
         let sub_len = frame_len / subframes;
@@ -144,7 +144,7 @@ impl SubframeSchedule {
             Placement::Spread => {
                 let s = self.subframes.len();
                 assert!(
-                    cells_per_frame % s == 0,
+                    cells_per_frame.is_multiple_of(s),
                     "spread reservations must be a multiple of the subframe count ({s})"
                 );
                 let per_sub = cells_per_frame / s;

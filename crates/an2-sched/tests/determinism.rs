@@ -1,0 +1,198 @@
+//! Golden digests of scheduling decision sequences.
+//!
+//! The zero-allocation rewrite of the scheduling hot path must not change
+//! any decision: same seed, same requests, same matching, bit for bit —
+//! otherwise every number in EXPERIMENTS.md silently drifts. Each test
+//! drives one scheduler over a fixed request sequence and compares an
+//! FNV-1a digest of the produced matchings (and, for PIM, of the stats
+//! and trace records) against a value recorded before the rewrite.
+//!
+//! If one of these fails after an intentional behaviour change, rerun with
+//! the failure message's `actual` value and update the constant — but only
+//! together with regenerated EXPERIMENTS.md numbers.
+
+use an2_sched::islip::RoundRobinMatching;
+use an2_sched::kgrant::KGrantPim;
+use an2_sched::maximum::MaximumMatching;
+use an2_sched::rng::Xoshiro256;
+use an2_sched::stat::{ReservationTable, StatisticalMatcher};
+use an2_sched::{
+    AcceptPolicy, InputPort, IterationLimit, Matching, Pim, RequestMatrix, Scheduler,
+};
+
+const SLOTS: usize = 128;
+const N: usize = 16;
+
+/// FNV-1a, the same shape the workspace's test RNG seeding uses.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn matching(&mut self, m: &Matching) {
+        for i in 0..m.n() {
+            let j = m
+                .output_of(InputPort::new(i))
+                .map_or(0xFF, |j| j.index() as u8);
+            self.byte(j);
+        }
+    }
+}
+
+/// A fixed, varied request sequence: densities cycle through sparse,
+/// medium, heavy, full, and empty slots so every scheduler branch
+/// (including the no-request early exit) is exercised.
+fn request_sequence() -> Vec<RequestMatrix> {
+    let mut gen = Xoshiro256::seed_from(0xD15C0);
+    let densities = [0.1, 0.5, 0.9, 1.0, 0.0];
+    (0..SLOTS)
+        .map(|s| RequestMatrix::random(N, densities[s % densities.len()], &mut gen))
+        .collect()
+}
+
+fn matching_digest(mut sched: impl Scheduler) -> u64 {
+    let mut d = Digest::new();
+    for reqs in &request_sequence() {
+        let m = sched.schedule(reqs);
+        assert!(m.respects(reqs));
+        d.matching(&m);
+    }
+    d.0
+}
+
+#[track_caller]
+fn assert_digest(actual: u64, expected: u64) {
+    assert_eq!(
+        actual, expected,
+        "decision sequence changed: actual {actual:#018x}, recorded {expected:#018x}"
+    );
+}
+
+#[test]
+fn pim_random_fixed4() {
+    let s = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::Random);
+    assert_digest(matching_digest(s), 0xbd1c7ae0bbea76c9);
+}
+
+#[test]
+fn pim_random_to_completion() {
+    let s = Pim::with_options(N, 42, IterationLimit::ToCompletion, AcceptPolicy::Random);
+    assert_digest(matching_digest(s), 0x204f4cddd3762200);
+}
+
+#[test]
+fn pim_round_robin_accept() {
+    let s = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::RoundRobin);
+    assert_digest(matching_digest(s), 0x015195618db34220);
+}
+
+#[test]
+fn pim_lowest_index_accept() {
+    let s = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::LowestIndex);
+    assert_digest(matching_digest(s), 0x93c54e9f10936bc1);
+}
+
+#[test]
+fn islip_four_iterations() {
+    assert_digest(
+        matching_digest(RoundRobinMatching::islip(N, 4)),
+        0xc0e22f543d31ba0c,
+    );
+}
+
+#[test]
+fn rrm_four_iterations() {
+    assert_digest(
+        matching_digest(RoundRobinMatching::rrm(N, 4)),
+        0xf9594c1edd360802,
+    );
+}
+
+#[test]
+fn maximum_matching() {
+    assert_digest(matching_digest(MaximumMatching::new()), 0xd77852800976a380);
+}
+
+#[test]
+fn stat_with_pim_fill() {
+    // A mixed reservation table: diagonal pairs at half budget.
+    let table = ReservationTable::from_fn(N, 16, |i, j| if i == j { 8 } else { 0 });
+    let pim = Pim::with_options(N, 42, IterationLimit::ToCompletion, AcceptPolicy::Random);
+    let s = StatisticalMatcher::new(table, 42).into_scheduler(pim);
+    assert_digest(matching_digest(s), 0x9488e2522206cb43);
+}
+
+#[test]
+fn kgrant_pim_speedup2() {
+    let mut s = KGrantPim::new(N, 2, 4, 42);
+    let mut d = Digest::new();
+    for reqs in &request_sequence() {
+        let mm = s.schedule(reqs);
+        assert!(mm.respects(reqs));
+        for i in 0..N {
+            let j = mm
+                .output_of(InputPort::new(i))
+                .map_or(0xFF, |j| j.index() as u8);
+            d.byte(j);
+        }
+    }
+    assert_digest(d.0, 0xad737cbfd822d37f);
+}
+
+/// The stats path must keep reporting the same per-iteration trajectory
+/// after `unresolved_requests` is gated off the plain path.
+#[test]
+fn pim_stats_trajectory() {
+    let mut s = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::Random);
+    let mut d = Digest::new();
+    for reqs in &request_sequence() {
+        let (m, stats) = s.schedule_with_stats(reqs);
+        d.matching(&m);
+        d.u64(stats.iterations_run as u64);
+        d.u64(stats.completed as u64);
+        for (&a, &b) in stats.matches_after.iter().zip(&stats.unresolved_after) {
+            d.u64(a as u64);
+            d.u64(b as u64);
+        }
+    }
+    assert_digest(d.0, 0x5a1a8c75b9743518);
+}
+
+/// The traced path must keep exposing identical per-iteration request,
+/// grant, and accept sets.
+#[test]
+fn pim_trace_records() {
+    let mut s = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::Random);
+    let mut d = Digest::new();
+    for reqs in &request_sequence() {
+        let (m, _) = s.schedule_traced(reqs, &mut |rec| {
+            d.u64(rec.iteration as u64);
+            d.u64(rec.unresolved_after as u64);
+            for set in rec.requests.iter().chain(rec.grants.iter()) {
+                for member in set.iter() {
+                    d.byte(member as u8);
+                }
+                d.byte(0xFE);
+            }
+            for &(i, j) in &rec.accepts {
+                d.byte(i.index() as u8);
+                d.byte(j.index() as u8);
+            }
+        });
+        d.matching(&m);
+    }
+    assert_digest(d.0, 0x52c08599cb6f159c);
+}

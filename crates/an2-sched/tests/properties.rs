@@ -220,6 +220,33 @@ proptest! {
     }
 
     #[test]
+    fn select_nth_agrees_with_naive_nth(
+        members in proptest::collection::btree_set(0usize..256, 0..64),
+    ) {
+        let set: PortSet = members.iter().copied().collect();
+        for (k, want) in members.iter().enumerate() {
+            prop_assert_eq!(set.select_nth(k), Some(*want));
+            prop_assert_eq!(set.select_nth(k), set.nth(k));
+        }
+        prop_assert_eq!(set.select_nth(members.len()), None);
+        prop_assert_eq!(set.select_nth(usize::MAX), None);
+    }
+
+    #[test]
+    fn first_at_or_after_agrees_with_wrapped_scan(
+        members in proptest::collection::btree_set(0usize..256, 0..64),
+        start in 0usize..256,
+    ) {
+        let set: PortSet = members.iter().copied().collect();
+        let want = members
+            .range(start..)
+            .next()
+            .or_else(|| members.iter().next())
+            .copied();
+        prop_assert_eq!(set.first_at_or_after(start), want);
+    }
+
+    #[test]
     fn statistical_matching_stays_within_reservations(
         n in 1usize..8,
         seed in any::<u64>(),
@@ -247,4 +274,22 @@ proptest! {
             }
         }
     }
+}
+
+/// Deterministic word-boundary cases for the rank-select fast path: bits at
+/// the first/last position of each of the four 64-bit words, the empty set,
+/// index 0, and the last bit of a full set.
+#[test]
+fn select_nth_word_boundaries() {
+    let members = [0usize, 63, 64, 127, 128, 191, 192, 255];
+    let set: PortSet = members.iter().copied().collect();
+    for (k, &want) in members.iter().enumerate() {
+        assert_eq!(set.select_nth(k), Some(want), "k = {k}");
+    }
+    assert_eq!(set.select_nth(members.len()), None);
+    assert_eq!(PortSet::new().select_nth(0), None);
+    let full = PortSet::all(256);
+    assert_eq!(full.select_nth(0), Some(0));
+    assert_eq!(full.select_nth(255), Some(255));
+    assert_eq!(full.select_nth(256), None);
 }

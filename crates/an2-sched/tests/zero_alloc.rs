@@ -1,0 +1,74 @@
+//! Proof that the hot scheduling path performs no heap allocation.
+//!
+//! A counting global allocator wraps the system allocator. Each scheduler
+//! is warmed up first (early calls may grow scratch buffers to their
+//! steady-state capacity); after that, repeated `schedule()` calls must
+//! leave the allocation counter untouched.
+//!
+//! Everything runs in a single `#[test]` so no concurrently running test
+//! in this binary can perturb the global counter.
+
+use an2_sched::islip::RoundRobinMatching;
+use an2_sched::maximum::MaximumMatching;
+use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn assert_zero_alloc<S: Scheduler>(sched: &mut S, reqs: &RequestMatrix, label: &str) {
+    for _ in 0..4 {
+        let _ = sched.schedule(reqs);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..32 {
+        let m = sched.schedule(reqs);
+        assert!(m.respects(reqs), "{label} broke the request contract");
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(allocs, 0, "{label} allocated {allocs} times on the hot path");
+}
+
+#[test]
+fn schedulers_do_not_allocate_after_warmup() {
+    for n in [16usize, 64] {
+        let dense = RequestMatrix::from_fn(n, |_, _| true);
+        let sparse = RequestMatrix::from_fn(n, |i, j| (i * 7 + j) % 5 == 0);
+        for reqs in [&dense, &sparse] {
+            for policy in [
+                AcceptPolicy::Random,
+                AcceptPolicy::RoundRobin,
+                AcceptPolicy::LowestIndex,
+            ] {
+                for limit in [IterationLimit::Fixed(4), IterationLimit::ToCompletion] {
+                    let mut pim = Pim::with_options(n, 42, limit, policy);
+                    assert_zero_alloc(&mut pim, reqs, "pim");
+                }
+            }
+            assert_zero_alloc(&mut RoundRobinMatching::islip(n, 4), reqs, "islip");
+            assert_zero_alloc(&mut RoundRobinMatching::rrm(n, 4), reqs, "rrm");
+            assert_zero_alloc(&mut MaximumMatching::new(), reqs, "maximum");
+        }
+    }
+}

@@ -59,7 +59,6 @@ pub fn hol_saturation_asymptote() -> f64 {
 mod tests {
     use super::*;
     use crate::fifo_switch::FifoSwitch;
-    use crate::model::SwitchModel;
     use crate::output_queued::OutputQueuedSwitch;
     use crate::sim::{simulate, SimConfig};
     use crate::traffic::RateMatrixTraffic;

@@ -17,7 +17,7 @@ use crate::cell::{Arrival, Cell};
 use crate::metrics::{DelayStats, SwitchReport};
 use crate::model::{validate_arrivals, ModelMetrics, SwitchModel};
 use crate::voq::VoqBuffers;
-use an2_sched::{FrameSchedule, Matching, Pim};
+use an2_sched::{FrameSchedule, InputPort, Matching, OutputPort, Pim};
 
 /// Which service class an arrival belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -70,6 +70,12 @@ pub struct HybridSwitch {
     cbr_delay: DelayStats,
     cbr_departures: u64,
     vbr_departures: u64,
+    /// Scratch: untagged arrivals re-tagged as VBR (reused across slots).
+    plain: Vec<Arrival>,
+    /// Scratch: reserved pairs actually carrying a CBR cell this slot.
+    cbr_pairs: Vec<(InputPort, OutputPort)>,
+    /// Scratch for [`SwitchModel::step`]'s class tagging.
+    classed: Vec<ClassedArrival>,
 }
 
 impl HybridSwitch {
@@ -91,6 +97,9 @@ impl HybridSwitch {
             cbr_delay: DelayStats::new(),
             cbr_departures: 0,
             vbr_departures: 0,
+            plain: Vec::new(),
+            cbr_pairs: Vec::new(),
+            classed: Vec::new(),
         }
     }
 
@@ -133,8 +142,9 @@ impl HybridSwitch {
     /// of range).
     pub fn step_classed(&mut self, arrivals: &[ClassedArrival]) {
         let slot = self.metrics.slot();
-        let plain: Vec<Arrival> = arrivals.iter().map(|c| c.arrival).collect();
-        validate_arrivals(self.cbr.n(), &plain);
+        self.plain.clear();
+        self.plain.extend(arrivals.iter().map(|c| c.arrival));
+        validate_arrivals(self.cbr.n(), &self.plain);
         for c in arrivals {
             let cell = c.arrival.into_cell(slot);
             match c.class {
@@ -154,12 +164,13 @@ impl HybridSwitch {
                 initial.pair(i, j).expect("subset of a legal matching");
             }
         }
-        let cbr_pairs: Vec<_> = initial.pairs().collect();
+        self.cbr_pairs.clear();
+        self.cbr_pairs.extend(initial.pairs());
         // PIM fills everything else from the VBR requests.
         let vbr_requests = self.vbr.requests();
-        let matching = self.pim.schedule_from(&vbr_requests, initial);
+        let matching = self.pim.schedule_from(vbr_requests, initial);
         for (i, j) in matching.pairs() {
-            if cbr_pairs.contains(&(i, j)) {
+            if self.cbr_pairs.contains(&(i, j)) {
                 let cell = self.cbr.pop(i, j).expect("occupancy checked above");
                 self.record_departure(&cell, ServiceClass::Cbr, slot);
             } else {
@@ -196,14 +207,15 @@ impl SwitchModel for HybridSwitch {
 
     /// Untagged arrivals are treated as VBR datagrams.
     fn step(&mut self, arrivals: &[Arrival]) {
-        let classed: Vec<ClassedArrival> = arrivals
-            .iter()
-            .map(|&arrival| ClassedArrival {
-                arrival,
-                class: ServiceClass::Vbr,
-            })
-            .collect();
+        // Take the scratch out so `step_classed` can borrow `self` freely.
+        let mut classed = std::mem::take(&mut self.classed);
+        classed.clear();
+        classed.extend(arrivals.iter().map(|&arrival| ClassedArrival {
+            arrival,
+            class: ServiceClass::Vbr,
+        }));
         self.step_classed(&classed);
+        self.classed = classed;
     }
 
     fn queued(&self) -> usize {

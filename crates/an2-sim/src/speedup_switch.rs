@@ -90,8 +90,8 @@ impl SwitchModel for SpeedupSwitch {
         }
         // Up to k cells cross the fabric to each output...
         let requests = self.voq.requests();
-        let mm = self.scheduler.schedule(&requests);
-        debug_assert!(mm.respects(&requests));
+        let mm = self.scheduler.schedule(requests);
+        debug_assert!(mm.respects(requests));
         for (i, j) in mm.pairs() {
             let cell = self
                 .voq

@@ -126,9 +126,9 @@ impl<S: Scheduler> SwitchModel for CrossbarSwitch<S> {
         }
         // 2. Schedule the crossbar from the request matrix.
         let requests = self.voq.requests();
-        let matching = self.scheduler.schedule(&requests);
+        let matching = self.scheduler.schedule(requests);
         debug_assert!(
-            matching.respects(&requests),
+            matching.respects(requests),
             "{} scheduled a pair with no queued cell",
             self.scheduler.name()
         );

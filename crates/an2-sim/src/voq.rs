@@ -68,6 +68,15 @@ pub struct VoqBuffers {
     total: usize,
     /// Queued cells per input (for occupancy metrics).
     per_input: Vec<usize>,
+    /// Incrementally maintained request matrix: bit `(i, j)` is set iff
+    /// `eligible[i][j]` is non-empty. Kept in sync by `push`/`pop` so
+    /// [`VoqBuffers::requests`] is a free borrow instead of an `O(N²)`
+    /// rebuild every slot.
+    requests: RequestMatrix,
+    /// Scratch for [`VoqBuffers::oldest_per_input`].
+    heads: Vec<Option<Cell>>,
+    /// Scratch: arrival sequence of each entry in `heads`.
+    head_seqs: Vec<u64>,
 }
 
 impl VoqBuffers {
@@ -98,6 +107,9 @@ impl VoqBuffers {
             eligible: vec![vec![VecDeque::new(); n]; n],
             total: 0,
             per_input: vec![0; n],
+            requests: RequestMatrix::new(n),
+            heads: Vec::new(),
+            head_seqs: Vec::new(),
         }
     }
 
@@ -170,6 +182,7 @@ impl VoqBuffers {
         if q.is_empty() {
             // Flow becomes eligible for its pair.
             self.eligible[i.index()][j.index()].push_back(cell.flow);
+            self.requests.set(i, j);
         }
         q.push_back((self.next_seq, cell));
         self.next_seq += 1;
@@ -213,32 +226,42 @@ impl VoqBuffers {
             // The flow rejoins at the back (round-robin rotation; harmless
             // under Fifo, which ignores list order).
             list.push_back(flow);
+        } else if list.is_empty() {
+            // The pair's last eligible flow drained; retract its request.
+            self.requests.clear(i, j);
         }
         self.total -= 1;
         self.per_input[i.index()] -= 1;
         Some(cell)
     }
 
-    /// Builds the request matrix for the next slot: pair `(i, j)` requests
-    /// iff it has at least one eligible flow.
-    pub fn requests(&self) -> RequestMatrix {
-        RequestMatrix::from_fn(self.n, |i, j| !self.eligible[i][j].is_empty())
+    /// The request matrix for the next slot: pair `(i, j)` requests iff it
+    /// has at least one eligible flow. Maintained incrementally by
+    /// `push`/`pop`, so this is a borrow, not a rebuild.
+    pub fn requests(&self) -> &RequestMatrix {
+        &self.requests
     }
 
-    /// Fills `heads` (one entry per input) with each input's *oldest* queued
-    /// cell — what a FIFO switch would expose. Provided for comparison
-    /// tooling; the FIFO model keeps its own simpler buffers.
-    pub fn oldest_per_input(&self) -> Vec<Option<Cell>> {
-        let mut heads: Vec<Option<(u64, Cell)>> = vec![None; self.n];
+    /// Fills an internal buffer (one entry per input) with each input's
+    /// *oldest* queued cell — what a FIFO switch would expose — and returns
+    /// it. Provided for comparison tooling; the FIFO model keeps its own
+    /// simpler buffers. The returned slice borrows scratch storage reused
+    /// across calls.
+    pub fn oldest_per_input(&mut self) -> &[Option<Cell>] {
+        self.heads.clear();
+        self.heads.resize(self.n, None);
+        self.head_seqs.clear();
+        self.head_seqs.resize(self.n, u64::MAX);
         for q in self.flows.values() {
             if let Some(&(seq, cell)) = q.front() {
-                let slot = &mut heads[cell.input.index()];
-                if slot.is_none_or(|(s, _)| seq < s) {
-                    *slot = Some((seq, cell));
+                let idx = cell.input.index();
+                if seq < self.head_seqs[idx] {
+                    self.head_seqs[idx] = seq;
+                    self.heads[idx] = Some(cell);
                 }
             }
         }
-        heads.into_iter().map(|h| h.map(|(_, c)| c)).collect()
+        &self.heads
     }
 }
 

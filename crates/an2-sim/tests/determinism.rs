@@ -1,0 +1,152 @@
+//! Golden digests of full switch-model runs.
+//!
+//! The VOQ/switch refactor (incremental request matrix, scratch buffers)
+//! must not change which cells arrive, match, or depart. Each test runs a
+//! switch model over a fixed arrival sequence and digests the final
+//! [`SwitchReport`] plus residual occupancy; the constants were recorded
+//! before the rewrite.
+
+use an2_sched::rng::{SelectRng, Xoshiro256};
+use an2_sched::{AcceptPolicy, FrameSchedule, InputPort, IterationLimit, OutputPort, Pim};
+use an2_sim::cell::Arrival;
+use an2_sim::hybrid_switch::{ClassedArrival, HybridSwitch, ServiceClass};
+use an2_sim::metrics::SwitchReport;
+use an2_sim::model::SwitchModel;
+use an2_sim::speedup_switch::SpeedupSwitch;
+use an2_sim::switch::CrossbarSwitch;
+
+const N: usize = 8;
+const WARMUP: u64 = 64;
+const MEASURE: u64 = 512;
+
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+
+    fn report(&mut self, r: &SwitchReport) {
+        self.u64(r.slots);
+        self.u64(r.arrivals);
+        self.u64(r.departures);
+        self.u64(r.peak_occupancy as u64);
+        self.u64(r.final_occupancy as u64);
+        for &d in &r.departures_per_output {
+            self.u64(d);
+        }
+        for &(flow, count) in &r.departures_per_flow {
+            self.u64(flow);
+            self.u64(count);
+        }
+        self.u64(r.delay.count());
+        self.u64(r.delay.max());
+        self.u64(r.delay.mean().to_bits());
+        self.u64(r.delay.percentile(0.5));
+    }
+}
+
+/// Bernoulli arrivals at 0.8 load, uniformly random destinations; at most
+/// one cell per input per slot, as the models require.
+fn arrivals_for_slot(rng: &mut Xoshiro256) -> Vec<Arrival> {
+    let mut batch = Vec::new();
+    for i in 0..N {
+        if rng.bernoulli(0.8) {
+            batch.push(Arrival::pair(
+                N,
+                InputPort::new(i),
+                OutputPort::new(rng.index(N)),
+            ));
+        }
+    }
+    batch
+}
+
+fn model_digest(model: &mut impl SwitchModel) -> u64 {
+    let mut rng = Xoshiro256::seed_from(0xA5A5);
+    for _ in 0..WARMUP {
+        model.step(&arrivals_for_slot(&mut rng));
+    }
+    model.start_measurement();
+    for _ in 0..MEASURE {
+        model.step(&arrivals_for_slot(&mut rng));
+    }
+    let mut d = Digest::new();
+    d.report(&model.report());
+    d.u64(model.queued() as u64);
+    d.0
+}
+
+#[track_caller]
+fn assert_digest(actual: u64, expected: u64) {
+    assert_eq!(
+        actual, expected,
+        "switch run changed: actual {actual:#018x}, recorded {expected:#018x}"
+    );
+}
+
+#[test]
+fn crossbar_with_pim4() {
+    let pim = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::Random);
+    let mut sw = CrossbarSwitch::new(pim);
+    assert_digest(model_digest(&mut sw), 0xa28e1aaf46392c78);
+}
+
+#[test]
+fn crossbar_with_islip() {
+    let mut sw = CrossbarSwitch::new(an2_sched::islip::RoundRobinMatching::islip(N, 4));
+    assert_digest(model_digest(&mut sw), 0x23d8e81486c14351);
+}
+
+#[test]
+fn speedup_switch_k2() {
+    let mut sw = SpeedupSwitch::new(N, 2, 4, 42);
+    assert_digest(model_digest(&mut sw), 0xd39e1608701b0af0);
+}
+
+#[test]
+fn hybrid_switch_cbr_plus_vbr() {
+    let mut fs = FrameSchedule::new(N, 4);
+    fs.reserve(InputPort::new(0), OutputPort::new(1), 2).unwrap();
+    fs.reserve(InputPort::new(3), OutputPort::new(0), 1).unwrap();
+    let mut sw = HybridSwitch::new(fs, 42);
+    let mut rng = Xoshiro256::seed_from(0xC0FFEE);
+    let mut d = Digest::new();
+    for slot in 0..(WARMUP + MEASURE) {
+        if slot == WARMUP {
+            sw.start_measurement();
+        }
+        let mut batch: Vec<ClassedArrival> = Vec::new();
+        // Input 0 paces a CBR cell every other slot; the rest send VBR.
+        if slot % 2 == 0 {
+            batch.push(ClassedArrival {
+                arrival: Arrival::pair(N, InputPort::new(0), OutputPort::new(1)),
+                class: ServiceClass::Cbr,
+            });
+        }
+        for i in 1..N {
+            if rng.bernoulli(0.7) {
+                batch.push(ClassedArrival {
+                    arrival: Arrival::pair(N, InputPort::new(i), OutputPort::new(rng.index(N))),
+                    class: ServiceClass::Vbr,
+                });
+            }
+        }
+        sw.step_classed(&batch);
+    }
+    d.report(&sw.report());
+    let (cbr_dep, vbr_dep) = sw.departures_by_class();
+    d.u64(cbr_dep);
+    d.u64(vbr_dep);
+    d.u64(sw.cbr_delay().count());
+    d.u64(sw.cbr_delay().max());
+    d.u64(sw.queued() as u64);
+    assert_digest(d.0, 0xcb56fddd23392187);
+}

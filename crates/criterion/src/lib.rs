@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real criterion
+//! cannot be fetched. This crate implements the subset of its API that
+//! the workspace's benches use — `Criterion` with `warm_up_time` /
+//! `measurement_time` / `sample_size`, benchmark groups with
+//! `throughput` / `bench_function` / `bench_with_input`, `Bencher::iter`
+//! and `iter_batched`, `BenchmarkId`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain wall-clock
+//! runner. There is no outlier analysis or HTML report: each case prints
+//! its mean time per iteration (and throughput when configured), which
+//! is enough for the regression-guard role these benches play.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // The real crate's defaults are 3 s + 5 s; every bench in
+            // this workspace overrides them, so the shim's defaults are
+            // modest to keep an unconfigured run quick.
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_case(self, None, &id.0, f);
+        self
+    }
+}
+
+/// A named set of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_case(self.criterion, self.throughput, &label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_case(self.criterion, self.throughput, &label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one case within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units for reporting rates alongside iteration time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` may buffer; the shim runs one
+/// setup per routine call regardless, so the variants only document
+/// intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each bench closure; `iter`/`iter_batched` time the routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (iterations, total time) recorded by the last `iter*` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // Check the clock once per small batch so timer reads don't
+        // dominate nanosecond-scale routines.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..32 {
+                black_box(f());
+            }
+            iters += 32;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            elapsed += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters, elapsed));
+    }
+}
+
+fn run_case<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    throughput: Option<Throughput>,
+    label: &str,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warm_up: criterion.warm_up,
+        measurement: criterion.measurement,
+        result: None,
+    };
+    f(&mut b);
+    let Some((iters, total)) = b.result else {
+        println!("{label:<44} (no measurement: bench closure never called iter)");
+        return;
+    };
+    let ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(per_iter) => {
+            let per_sec = per_iter as f64 * 1e9 / ns_per_iter;
+            format!("  {:>12.3e} elem/s", per_sec)
+        }
+        Throughput::Bytes(per_iter) => {
+            let per_sec = per_iter as f64 * 1e9 / ns_per_iter;
+            format!("  {:>12.3e} B/s", per_sec)
+        }
+    });
+    println!(
+        "{label:<44} {:>14} ({iters} iters){}",
+        format_time(ns_per_iter),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group function; supports both the plain form and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; nothing to parse here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn iter_records_iterations() {
+        let mut c = tiny();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(16), &16usize, |b, &n| {
+            b.iter(|| {
+                count += 1;
+                n * 2
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(count > 0, "routine never ran");
+    }
+
+    #[test]
+    fn plain_bench_function_runs() {
+        let mut c = tiny();
+        let mut ran = false;
+        c.bench_function("top-level", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -19,7 +19,7 @@ fn main() {
 
     let mut pim = Pim::with_options(
         4,
-        0xF16_2,
+        0xF162,
         IterationLimit::ToCompletion,
         AcceptPolicy::Random,
     );

@@ -35,7 +35,7 @@ fn pim_matchings_traverse_non_blocking_fabrics() {
         switch.step(&buf);
         // Re-derive the same matching PIM would compute on this state.
         let requests = switch.buffers().requests();
-        let matching = pim.schedule(&requests);
+        let matching = pim.schedule(requests);
         total_cells += matching.len();
 
         let via_crossbar = crossbar.route_matching(&matching);
