@@ -99,7 +99,8 @@ pub fn run(effort: Effort, seed: u64) -> AppendixBResult {
                     policy.clone(),
                     policy.clone(),
                     seed ^ (hops as u64) << 8 ^ k as u64,
-                );
+                )
+                .expect("valid appendix B config");
                 rows.push(AppendixBRow {
                     hops,
                     cells_per_frame: k,

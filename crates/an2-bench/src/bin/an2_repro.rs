@@ -12,8 +12,8 @@
 //! `--full` for paper-scale sample counts.
 
 use an2_bench::{
-    appendix_a, appendix_b, appendix_c, delay_curves, fairness_exp, fig1, frames_demo, karol,
-    latency95, perf, rng_ablation, stat_fairness, subframes, table1, table2, Effort,
+    appendix_a, appendix_b, appendix_c, delay_curves, fairness_exp, faults, fig1, frames_demo,
+    karol, latency95, perf, rng_ablation, stat_fairness, subframes, table1, table2, Effort,
 };
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
 
@@ -39,9 +39,12 @@ experiments:
   ablate-speedup  fabric speedup k (k-grant PIM + output buffers)
   stat-fairness   statistical matching repairing Figure 8's unfairness
   subframes    frame subdivision latency/granularity trade-off (§4)
+  faults       scripted link/port failures on a 3-switch chain: recovery
+               time, drops, reroutes, CBR re-reservation; written to
+               results/FAULTS.json (not part of `all`)
   perf         implementation throughput: slots/sec per scheduler,
                written to BENCH_sched.json (not part of `all`)
-  all          everything above (except perf)";
+  all          everything above (except faults and perf)";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -118,6 +121,7 @@ fn main() {
         }
         name if known.contains(&name) => run_one(name, effort, seed, out_dir.as_deref()),
         "perf" => run_perf(effort, seed, out_dir.as_deref()),
+        "faults" => run_faults(effort, seed, out_dir.as_deref()),
         "-h" | "--help" | "help" => println!("{USAGE}"),
         other => {
             eprintln!("unknown experiment {other}\n{USAGE}");
@@ -142,6 +146,30 @@ fn run_perf(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
     }
     eprintln!(
         "[perf finished in {:.1?}; wrote {}]",
+        started.elapsed(),
+        path.display()
+    );
+}
+
+/// `faults` measures robustness rather than reproducing a figure, so it
+/// writes `FAULTS.json` (to `--out` if given, else `results/`) instead of
+/// a `.txt` render.
+fn run_faults(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
+    let started = std::time::Instant::now();
+    let report = faults::run(effort, seed);
+    print!("{}", report.render());
+    let dir = out_dir.unwrap_or(std::path::Path::new("results"));
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join("FAULTS.json");
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[faults finished in {:.1?}; wrote {}]",
         started.elapsed(),
         path.display()
     );

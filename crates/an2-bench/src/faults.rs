@@ -1,0 +1,432 @@
+//! Fault injection and recovery measurement — the `faults` subcommand.
+//!
+//! The paper's LAN argument (§1) leans on the mesh topology: "the failure
+//! of a single switch or a single link will not halt the entire network."
+//! This experiment exercises that claim end to end. A three-switch chain
+//! carries one saturated CBR flow; a scripted [`FaultPlan`] kills the
+//! primary link mid-run, repairs it later, then fails and recovers the
+//! backup path's input port. The harness records per-slot deliveries at
+//! the sink, finds every service outage, and reports time-to-recover plus
+//! the [`FaultLog`]'s drop/reroute/re-reservation counters. Results
+//! serialize to `FAULTS.json` (see [`RecoveryReport::to_json`]).
+//!
+//! Topology (primary chain on top, higher-latency standby diagonal below):
+//!
+//! ```text
+//! source -> [s0] --1--> [s1] --1--> [s2] -> sink
+//!              \______________3______/
+//! ```
+
+use crate::Effort;
+use an2_net::netsim::{Network, SwitchId};
+use an2_sched::{InputPort, OutputPort};
+use an2_sim::cell::FlowId;
+use an2_sim::{DropCause, FaultEvent, FaultKind, FaultPlan, PortSide};
+use std::fmt::Write as _;
+
+/// Per-VOQ buffer bound, small enough that a masked port overflows it
+/// within the outage window (finite buffers, drop-tail).
+const BUFFER_CAPACITY: usize = 16;
+
+/// CBR frame length at every switch.
+const FRAME_LEN: usize = 10;
+
+/// Cells per frame reserved for the measured flow.
+const CBR_CELLS: usize = 4;
+
+/// Slots at the start of the run excluded from outage detection while the
+/// pipeline fills.
+const WARMUP: u64 = 64;
+
+/// One window of consecutive slots during which the sink received nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outage {
+    /// First slot with zero deliveries.
+    pub start: u64,
+    /// First slot after `start` with a delivery again.
+    pub resumed: u64,
+}
+
+impl Outage {
+    /// Length of the outage in slots.
+    pub fn slots(&self) -> u64 {
+        self.resumed - self.start
+    }
+}
+
+/// Full result of one `faults` run.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Effort level the run used.
+    pub effort: Effort,
+    /// Network seed.
+    pub seed: u64,
+    /// Slots simulated.
+    pub slots: u64,
+    /// Slot at which the primary link died.
+    pub link_fail_slot: u64,
+    /// Slot at which the primary link came back.
+    pub link_repair_slot: u64,
+    /// Slot at which the backup path's sink input port failed.
+    pub port_fail_slot: u64,
+    /// Slot at which that port recovered.
+    pub port_recover_slot: u64,
+    /// Cells the sink received over the whole run.
+    pub delivered: u64,
+    /// Cells dropped, by any cause.
+    pub cells_dropped: u64,
+    /// Drops charged to the dead link (in-flight and stranded queues).
+    pub dead_link_drops: u64,
+    /// Drops charged to full buffers (drop-tail at [`BUFFER_CAPACITY`]).
+    pub buffer_full_drops: u64,
+    /// Successful reroutes.
+    pub reroutes: usize,
+    /// CBR re-reservation attempts (successes and failures).
+    pub reservation_attempts: usize,
+    /// CBR re-reservation attempts that failed.
+    pub reservation_failures: u64,
+    /// Flows that exhausted their reservation retries and fell back to
+    /// best-effort service.
+    pub degraded_flows: usize,
+    /// Largest number of cells queued anywhere in the network at once.
+    pub peak_queued: usize,
+    /// Every service outage, in slot order.
+    pub outages: Vec<Outage>,
+    /// FNV-1a digest of the complete fault log, for determinism checks.
+    pub fault_log_digest: u64,
+}
+
+impl RecoveryReport {
+    /// Slots from the link failure until the sink saw its next cell —
+    /// the headline number. `None` if the failure caused no outage.
+    pub fn time_to_recover(&self) -> Option<u64> {
+        self.outages
+            .iter()
+            .find(|o| o.start >= self.link_fail_slot)
+            .map(|o| o.resumed - self.link_fail_slot)
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# fault recovery on a 3-switch chain ({} effort, seed {})",
+            match self.effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            },
+            self.seed
+        );
+        let _ = writeln!(
+            out,
+            "schedule: link down @{} / up @{}; port fail @{} / recover @{} ({} slots total)",
+            self.link_fail_slot,
+            self.link_repair_slot,
+            self.port_fail_slot,
+            self.port_recover_slot,
+            self.slots
+        );
+        match self.time_to_recover() {
+            Some(t) => {
+                let _ = writeln!(out, "time to recover from link failure: {t} slots");
+            }
+            None => {
+                let _ = writeln!(out, "link failure caused no delivery gap");
+            }
+        }
+        for o in &self.outages {
+            let _ = writeln!(
+                out,
+                "  outage: slots {}..{} ({} slots dark)",
+                o.start,
+                o.resumed,
+                o.slots()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "delivered {} cells; dropped {} ({} dead-link, {} buffer-full); peak queue {}",
+            self.delivered,
+            self.cells_dropped,
+            self.dead_link_drops,
+            self.buffer_full_drops,
+            self.peak_queued
+        );
+        let _ = writeln!(
+            out,
+            "reroutes {}; CBR re-reservations {} ({} failed); degraded flows {}",
+            self.reroutes,
+            self.reservation_attempts,
+            self.reservation_failures,
+            self.degraded_flows
+        );
+        let _ = writeln!(out, "fault log digest 0x{:016x}", self.fault_log_digest);
+        out
+    }
+
+    /// Serializes the report as the `FAULTS.json` document.
+    ///
+    /// Schema (`version` 1): scalars mirroring the public fields, plus
+    /// `time_to_recover_slots` (null when the failure caused no gap) and
+    /// `outages`, an array of `{start, resumed, slots}` objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(
+            out,
+            "  \"effort\": \"{}\",",
+            match self.effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            }
+        );
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"slots\": {},", self.slots);
+        let _ = writeln!(out, "  \"link_fail_slot\": {},", self.link_fail_slot);
+        let _ = writeln!(out, "  \"link_repair_slot\": {},", self.link_repair_slot);
+        let _ = writeln!(out, "  \"port_fail_slot\": {},", self.port_fail_slot);
+        let _ = writeln!(out, "  \"port_recover_slot\": {},", self.port_recover_slot);
+        match self.time_to_recover() {
+            Some(t) => {
+                let _ = writeln!(out, "  \"time_to_recover_slots\": {t},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"time_to_recover_slots\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"delivered\": {},", self.delivered);
+        let _ = writeln!(out, "  \"cells_dropped\": {},", self.cells_dropped);
+        let _ = writeln!(out, "  \"dead_link_drops\": {},", self.dead_link_drops);
+        let _ = writeln!(out, "  \"buffer_full_drops\": {},", self.buffer_full_drops);
+        let _ = writeln!(out, "  \"reroutes\": {},", self.reroutes);
+        let _ = writeln!(
+            out,
+            "  \"reservation_attempts\": {},",
+            self.reservation_attempts
+        );
+        let _ = writeln!(
+            out,
+            "  \"reservation_failures\": {},",
+            self.reservation_failures
+        );
+        let _ = writeln!(out, "  \"degraded_flows\": {},", self.degraded_flows);
+        let _ = writeln!(out, "  \"peak_queued\": {},", self.peak_queued);
+        let _ = writeln!(out, "  \"outages\": [");
+        for (idx, o) in self.outages.iter().enumerate() {
+            let comma = if idx + 1 < self.outages.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"start\": {}, \"resumed\": {}, \"slots\": {}}}{comma}",
+                o.start,
+                o.resumed,
+                o.slots()
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(
+            out,
+            "  \"fault_log_digest\": \"0x{:016x}\"",
+            self.fault_log_digest
+        );
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Builds the chain-with-standby network carrying one saturated CBR flow.
+fn build_chain(seed: u64) -> (Network, [SwitchId; 3], FlowId) {
+    let mut net = Network::new(seed);
+    let s0 = net.add_switch(4);
+    let s1 = net.add_switch(4);
+    let s2 = net.add_switch(4);
+    net.connect(s0, OutputPort::new(2), s1, InputPort::new(0), 1)
+        .expect("primary link");
+    net.connect(s1, OutputPort::new(2), s2, InputPort::new(0), 1)
+        .expect("primary link");
+    net.connect(s0, OutputPort::new(3), s2, InputPort::new(1), 3)
+        .expect("standby link");
+    let f = FlowId(1);
+    for sw in [s0, s1] {
+        net.add_route(sw, f, OutputPort::new(2)).expect("route");
+    }
+    net.add_route(s2, f, OutputPort::new(0)).expect("route");
+    net.add_source(s0, InputPort::new(2), vec![f], 1.0)
+        .expect("source");
+    for sw in [s0, s1, s2] {
+        net.set_buffer_capacity(sw, Some(BUFFER_CAPACITY))
+            .expect("capacity");
+        net.enable_cbr(sw, FRAME_LEN).expect("cbr");
+    }
+    net.reserve_flow(f, CBR_CELLS).expect("initial reservation");
+    net.validate().expect("complete configuration");
+    (net, [s0, s1, s2], f)
+}
+
+/// Finds runs of zero-delivery slots after the warmup.
+fn find_outages(per_slot: &[u64]) -> Vec<Outage> {
+    let mut outages = Vec::new();
+    let mut dark_since: Option<u64> = None;
+    for (slot, &d) in per_slot.iter().enumerate().skip(WARMUP as usize) {
+        match (d, dark_since) {
+            (0, None) => dark_since = Some(slot as u64),
+            (0, Some(_)) => {}
+            (_, Some(start)) => {
+                outages.push(Outage {
+                    start,
+                    resumed: slot as u64,
+                });
+                dark_since = None;
+            }
+            (_, None) => {}
+        }
+    }
+    if let Some(start) = dark_since {
+        outages.push(Outage {
+            start,
+            resumed: per_slot.len() as u64,
+        });
+    }
+    outages
+}
+
+/// Runs the scripted failure scenario.
+pub fn run(effort: Effort, seed: u64) -> RecoveryReport {
+    let slots = effort.scale(2_000, 20_000);
+    let link_fail_slot = slots / 4;
+    let link_repair_slot = slots / 2;
+    let port_fail_slot = (slots * 5) / 8;
+    let port_recover_slot = (slots * 3) / 4;
+
+    let (mut net, _, f) = build_chain(seed);
+    net.set_fault_plan(FaultPlan::from_events(vec![
+        FaultEvent {
+            slot: link_fail_slot,
+            kind: FaultKind::LinkDown {
+                switch: 0,
+                output: 2,
+            },
+        },
+        FaultEvent {
+            slot: link_repair_slot,
+            kind: FaultKind::LinkUp {
+                switch: 0,
+                output: 2,
+            },
+        },
+        FaultEvent {
+            slot: port_fail_slot,
+            kind: FaultKind::PortFail {
+                switch: 2,
+                side: PortSide::Input,
+                port: 1,
+            },
+        },
+        FaultEvent {
+            slot: port_recover_slot,
+            kind: FaultKind::PortRecover {
+                switch: 2,
+                side: PortSide::Input,
+                port: 1,
+            },
+        },
+    ]));
+
+    let mut per_slot = vec![0u64; slots as usize];
+    let mut prev = 0u64;
+    let mut peak_queued = 0usize;
+    for entry in per_slot.iter_mut() {
+        net.step();
+        let d = net.delivered(f);
+        *entry = d - prev;
+        prev = d;
+        peak_queued = peak_queued.max(net.queued());
+    }
+
+    let log = net.fault_log();
+    let count_cause = |cause: DropCause| {
+        log.drops().iter().filter(|r| r.cause == cause).count() as u64
+    };
+    RecoveryReport {
+        effort,
+        seed,
+        slots,
+        link_fail_slot,
+        link_repair_slot,
+        port_fail_slot,
+        port_recover_slot,
+        delivered: prev,
+        cells_dropped: log.cells_dropped(),
+        dead_link_drops: count_cause(DropCause::DeadLink),
+        buffer_full_drops: count_cause(DropCause::BufferFull),
+        reroutes: log.reroutes().len(),
+        reservation_attempts: log.reservations().len(),
+        reservation_failures: log.reservation_failures(),
+        degraded_flows: log.degraded().len(),
+        peak_queued,
+        outages: find_outages(&per_slot),
+        fault_log_digest: log.digest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_failure_recovers_with_a_nonzero_gap() {
+        let r = run(Effort::Quick, 0xA52_1992);
+        // The link failure interrupts service: the standby path is two
+        // slots longer, so the sink must go dark for at least one slot.
+        let t = r.time_to_recover().expect("link failure causes an outage");
+        assert!(t > 0, "time to recover must be nonzero");
+        assert!(
+            t < 100,
+            "recovery should take slots, not the whole run: {t}"
+        );
+        // Both scripted failures show up as distinct outages.
+        assert!(r.outages.len() >= 2, "outages: {:?}", r.outages);
+        assert!(
+            r.outages.iter().any(|o| o.start >= r.port_fail_slot),
+            "port failure outage missing: {:?}",
+            r.outages
+        );
+        // Service resumed after each outage and the run kept delivering.
+        assert!(r.delivered > r.slots / 2, "delivered {}", r.delivered);
+        // The dead link and the bounded buffers both dropped cells.
+        assert!(r.dead_link_drops > 0);
+        assert!(r.buffer_full_drops > 0);
+        assert_eq!(r.cells_dropped, r.dead_link_drops + r.buffer_full_drops);
+        // One reroute onto the standby path; its CBR re-reservation
+        // succeeded, so nothing degraded to best effort.
+        assert_eq!(r.reroutes, 1);
+        assert!(r.reservation_attempts >= 1);
+        assert_eq!(r.degraded_flows, 0);
+        // Finite buffers held: nothing queued past 3 switches' bounds.
+        assert!(r.peak_queued <= 3 * 16 * BUFFER_CAPACITY);
+    }
+
+    #[test]
+    fn report_is_deterministic_for_a_fixed_seed() {
+        let a = run(Effort::Quick, 7);
+        let b = run(Effort::Quick, 7);
+        assert_eq!(a.fault_log_digest, b.fault_log_digest);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.outages, b.outages);
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let r = run(Effort::Quick, 3);
+        let json = r.to_json();
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"time_to_recover_slots\": "), "{json}");
+        assert!(json.contains("\"fault_log_digest\": \"0x"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"), "{json}");
+        let rendered = r.render();
+        assert!(rendered.contains("time to recover"), "{rendered}");
+    }
+}

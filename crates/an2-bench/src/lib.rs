@@ -16,6 +16,7 @@ pub mod appendix_b;
 pub mod appendix_c;
 pub mod delay_curves;
 pub mod fairness_exp;
+pub mod faults;
 pub mod fig1;
 pub mod frames_demo;
 pub mod karol;

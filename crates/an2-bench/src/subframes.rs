@@ -83,7 +83,8 @@ pub fn run(effort: Effort, seed: u64) -> SubframesResult {
                 fast_frames: 20,
             },
             seed,
-        );
+        )
+        .expect("valid subframes config");
         assert!(r.within_bounds(), "{r}");
         (r.max_adjusted_latency, r.latency_bound)
     };

@@ -22,6 +22,63 @@
 use crate::clock::{ClockPolicy, FrameClock};
 use std::fmt;
 
+/// An inconsistency in a [`CbrChainConfig`], reported by
+/// [`CbrChainConfig::validate`] before any simulation runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CbrConfigError {
+    /// `hops == 0`: the path must contain at least one switch.
+    NoHops,
+    /// `cells_per_frame == 0`: reserve at least one cell per frame.
+    NoCells,
+    /// More cells reserved per frame than the frame has slots.
+    TooManyCellsPerFrame {
+        /// Requested cells per frame.
+        cells: usize,
+        /// Slots per switch frame.
+        frame_slots: usize,
+    },
+    /// `switch_frame_slots == 0`: frames must contain slots.
+    EmptyFrame,
+    /// `slot_time` is not a positive finite number.
+    BadSlotTime,
+    /// `link_latency` is negative or not finite.
+    BadLinkLatency,
+    /// `frames == 0`: simulate at least one frame.
+    NoFrames,
+    /// The controller stuffing does not guarantee `F_c-min > F_s-max`.
+    StuffingTooSmall {
+        /// The configured stuffing.
+        stuffing: usize,
+        /// The minimum stuffing that would suffice
+        /// ([`CbrChainConfig::min_stuffing`]).
+        needed: usize,
+    },
+}
+
+impl fmt::Display for CbrConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoHops => write!(f, "the path must contain at least one switch"),
+            Self::NoCells => write!(f, "reserve at least one cell per frame"),
+            Self::TooManyCellsPerFrame { cells, frame_slots } => write!(
+                f,
+                "cannot reserve more cells than a frame has slots ({cells} > {frame_slots})"
+            ),
+            Self::EmptyFrame => write!(f, "frames must contain slots"),
+            Self::BadSlotTime => write!(f, "slot time must be positive"),
+            Self::BadLinkLatency => write!(f, "link latency must be non-negative"),
+            Self::NoFrames => write!(f, "simulate at least one frame"),
+            Self::StuffingTooSmall { stuffing, needed } => write!(
+                f,
+                "controller stuffing too small: F_c-min must exceed F_s-max; \
+                 {stuffing} stuffed slots given, need at least {needed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CbrConfigError {}
+
 /// Configuration of a single-flow CBR chain experiment.
 #[derive(Clone, Debug)]
 pub struct CbrChainConfig {
@@ -116,31 +173,44 @@ impl CbrChainConfig {
         per_class * self.cells_per_frame as f64
     }
 
-    fn validate(&self) {
-        assert!(self.hops >= 1, "the path must contain at least one switch");
-        assert!(self.cells_per_frame >= 1, "reserve at least one cell per frame");
-        assert!(
-            self.cells_per_frame <= self.switch_frame_slots,
-            "cannot reserve more cells than a frame has slots"
-        );
-        assert!(self.switch_frame_slots >= 1, "frames must contain slots");
-        assert!(
-            self.slot_time.is_finite() && self.slot_time > 0.0,
-            "slot time must be positive"
-        );
-        assert!(
-            self.link_latency.is_finite() && self.link_latency >= 0.0,
-            "link latency must be non-negative"
-        );
-        assert!(self.frames >= 1, "simulate at least one frame");
-        assert!(
-            self.f_c_min() > self.f_s_max(),
-            "controller stuffing too small: F_c-min ({:.3}) must exceed F_s-max ({:.3}); \
-             need at least {} stuffed slots",
-            self.f_c_min(),
-            self.f_s_max(),
-            self.min_stuffing()
-        );
+    /// Checks the configuration for internal consistency — in particular
+    /// that the controller stuffing guarantees `F_c-min > F_s-max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CbrConfigError`] found.
+    pub fn validate(&self) -> Result<(), CbrConfigError> {
+        if self.hops < 1 {
+            return Err(CbrConfigError::NoHops);
+        }
+        if self.switch_frame_slots < 1 {
+            return Err(CbrConfigError::EmptyFrame);
+        }
+        if self.cells_per_frame < 1 {
+            return Err(CbrConfigError::NoCells);
+        }
+        if self.cells_per_frame > self.switch_frame_slots {
+            return Err(CbrConfigError::TooManyCellsPerFrame {
+                cells: self.cells_per_frame,
+                frame_slots: self.switch_frame_slots,
+            });
+        }
+        if !(self.slot_time.is_finite() && self.slot_time > 0.0) {
+            return Err(CbrConfigError::BadSlotTime);
+        }
+        if !(self.link_latency.is_finite() && self.link_latency >= 0.0) {
+            return Err(CbrConfigError::BadLinkLatency);
+        }
+        if self.frames < 1 {
+            return Err(CbrConfigError::NoFrames);
+        }
+        if self.f_c_min() <= self.f_s_max() {
+            return Err(CbrConfigError::StuffingTooSmall {
+                stuffing: self.controller_stuffing,
+                needed: self.min_stuffing(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -193,11 +263,11 @@ impl fmt::Display for CbrChainReport {
 /// `controller_policy` drives the controller's clock; `switch_policy` is
 /// instantiated (with distinct seeds) at every switch.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is inconsistent — in particular if the
-/// controller stuffing does not guarantee `F_c-min > F_s-max` (see
-/// [`CbrChainConfig::min_stuffing`]).
+/// Returns a [`CbrConfigError`] if the configuration is inconsistent — in
+/// particular if the controller stuffing does not guarantee
+/// `F_c-min > F_s-max` (see [`CbrChainConfig::min_stuffing`]).
 ///
 /// # Examples
 ///
@@ -211,7 +281,7 @@ impl fmt::Display for CbrChainReport {
 ///     ClockPolicy::Random,
 ///     ClockPolicy::SlowThenFast { slow_frames: 20, fast_frames: 20 },
 ///     42,
-/// );
+/// ).unwrap();
 /// assert!(report.within_bounds());
 /// ```
 pub fn simulate_cbr_chain(
@@ -219,8 +289,8 @@ pub fn simulate_cbr_chain(
     controller_policy: ClockPolicy,
     switch_policy: ClockPolicy,
     seed: u64,
-) -> CbrChainReport {
-    cfg.validate();
+) -> Result<CbrChainReport, CbrConfigError> {
+    cfg.validate()?;
     let k = cfg.cells_per_frame;
     let total_cells = cfg.frames as usize * k;
 
@@ -290,14 +360,14 @@ pub fn simulate_cbr_chain(
     }
 
     let last = *dep_prev.last().expect("at least one cell simulated");
-    CbrChainReport {
+    Ok(CbrChainReport {
         cells_delivered: total_cells as u64,
         max_adjusted_latency: max_adjusted,
         latency_bound: cfg.latency_bound(),
         peak_buffer,
         buffer_bound: cfg.buffer_bound(),
         throughput: total_cells as f64 / last.max(controller_end),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -354,7 +424,8 @@ mod tests {
                 ClockPolicy::Constant(frac),
                 ClockPolicy::Constant(1.0 - frac),
                 7,
-            );
+            )
+            .unwrap();
             assert!(r.within_bounds(), "frac {frac}: {r}");
             assert_eq!(r.cells_delivered, 400);
         }
@@ -364,7 +435,8 @@ mod tests {
     fn bounds_hold_under_random_clocks() {
         let cfg = base_cfg();
         for seed in 0..10 {
-            let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, seed);
+            let r =
+                simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, seed).unwrap();
             assert!(r.within_bounds(), "seed {seed}: {r}");
         }
     }
@@ -386,7 +458,8 @@ mod tests {
                     fast_frames: slow,
                 },
                 99,
-            );
+            )
+            .unwrap();
             assert!(r.within_bounds(), "cycle ({slow},{fast}): {r}");
         }
     }
@@ -395,7 +468,7 @@ mod tests {
     fn bounds_scale_with_cells_per_frame() {
         let mut cfg = base_cfg();
         cfg.cells_per_frame = 5;
-        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 3);
+        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 3).unwrap();
         assert!(r.within_bounds(), "{r}");
         assert_eq!(r.cells_delivered, 400 * 5);
     }
@@ -408,7 +481,8 @@ mod tests {
             ClockPolicy::Constant(0.5),
             ClockPolicy::Constant(0.5),
             1,
-        );
+        )
+        .unwrap();
         // k cells per controller frame of ~103 slots.
         let expect = cfg.cells_per_frame as f64
             / ((cfg.switch_frame_slots + cfg.controller_stuffing) as f64 * cfg.slot_time);
@@ -425,25 +499,56 @@ mod tests {
         short.hops = 1;
         let mut long = base_cfg();
         long.hops = 8;
-        let a = simulate_cbr_chain(&short, ClockPolicy::Random, ClockPolicy::Random, 5);
-        let b = simulate_cbr_chain(&long, ClockPolicy::Random, ClockPolicy::Random, 5);
+        let a = simulate_cbr_chain(&short, ClockPolicy::Random, ClockPolicy::Random, 5).unwrap();
+        let b = simulate_cbr_chain(&long, ClockPolicy::Random, ClockPolicy::Random, 5).unwrap();
         assert!(b.max_adjusted_latency > a.max_adjusted_latency);
         assert!(b.latency_bound > a.latency_bound);
         assert!(a.within_bounds() && b.within_bounds());
     }
 
     #[test]
-    #[should_panic(expected = "stuffing too small")]
-    fn insufficient_stuffing_panics() {
+    fn insufficient_stuffing_is_a_typed_error() {
         let mut cfg = base_cfg();
         cfg.controller_stuffing = 0;
-        let _ = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 0);
+        let e = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 0).unwrap_err();
+        assert_eq!(
+            e,
+            CbrConfigError::StuffingTooSmall {
+                stuffing: 0,
+                needed: cfg.min_stuffing()
+            }
+        );
+        assert!(e.to_string().contains("stuffing too small"), "{e}");
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        let check = |mutate: fn(&mut CbrChainConfig), want: CbrConfigError| {
+            let mut cfg = base_cfg();
+            mutate(&mut cfg);
+            assert_eq!(cfg.validate(), Err(want));
+        };
+        check(|c| c.hops = 0, CbrConfigError::NoHops);
+        check(|c| c.cells_per_frame = 0, CbrConfigError::NoCells);
+        check(
+            |c| c.cells_per_frame = 101,
+            CbrConfigError::TooManyCellsPerFrame {
+                cells: 101,
+                frame_slots: 100,
+            },
+        );
+        check(|c| c.switch_frame_slots = 0, CbrConfigError::EmptyFrame);
+        check(|c| c.slot_time = 0.0, CbrConfigError::BadSlotTime);
+        check(|c| c.slot_time = f64::NAN, CbrConfigError::BadSlotTime);
+        check(|c| c.link_latency = -1.0, CbrConfigError::BadLinkLatency);
+        check(|c| c.frames = 0, CbrConfigError::NoFrames);
+        base_cfg().validate().unwrap();
     }
 
     #[test]
     fn report_display() {
         let cfg = base_cfg();
-        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 0);
+        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, 0).unwrap();
         let s = r.to_string();
         assert!(s.contains("max_latency"), "{s}");
     }

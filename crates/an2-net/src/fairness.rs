@@ -120,24 +120,30 @@ pub fn build_figure_9_chain_with(
     let s2 = sw(&mut net, 2);
     let s3 = sw(&mut net, 3);
     // s1 output 0 -> s2 input 0; s2 output 0 -> s3 input 0.
-    net.connect(s1, OutputPort::new(0), s2, InputPort::new(0), 1);
-    net.connect(s2, OutputPort::new(0), s3, InputPort::new(0), 1);
+    net.connect(s1, OutputPort::new(0), s2, InputPort::new(0), 1)
+        .expect("chain link");
+    net.connect(s2, OutputPort::new(0), s3, InputPort::new(0), 1)
+        .expect("chain link");
     // All flows leave every switch they traverse via output 0 (the chain);
     // s3's output 0 is the bottleneck sink.
     for f in [flows.c, flows.d] {
-        net.add_route(s1, f, OutputPort::new(0));
+        net.add_route(s1, f, OutputPort::new(0)).expect("chain route");
     }
     for f in [flows.b, flows.c, flows.d] {
-        net.add_route(s2, f, OutputPort::new(0));
+        net.add_route(s2, f, OutputPort::new(0)).expect("chain route");
     }
     for f in [flows.a, flows.b, flows.c, flows.d] {
-        net.add_route(s3, f, OutputPort::new(0));
+        net.add_route(s3, f, OutputPort::new(0)).expect("chain route");
     }
     // Saturated sources: c and d at s1; b at s2 input 1; a at s3 input 1.
-    net.add_source(s1, InputPort::new(0), vec![flows.c], 1.0);
-    net.add_source(s1, InputPort::new(1), vec![flows.d], 1.0);
-    net.add_source(s2, InputPort::new(1), vec![flows.b], 1.0);
-    net.add_source(s3, InputPort::new(1), vec![flows.a], 1.0);
+    net.add_source(s1, InputPort::new(0), vec![flows.c], 1.0)
+        .expect("chain source");
+    net.add_source(s1, InputPort::new(1), vec![flows.d], 1.0)
+        .expect("chain source");
+    net.add_source(s2, InputPort::new(1), vec![flows.b], 1.0)
+        .expect("chain source");
+    net.add_source(s3, InputPort::new(1), vec![flows.a], 1.0)
+        .expect("chain source");
     (net, flows, s3)
 }
 

@@ -33,6 +33,6 @@ pub mod fairness;
 pub mod meter;
 pub mod netsim;
 
-pub use cbr::{simulate_cbr_chain, CbrChainConfig, CbrChainReport};
+pub use cbr::{simulate_cbr_chain, CbrChainConfig, CbrChainReport, CbrConfigError};
 pub use clock::{ClockPolicy, FrameClock};
-pub use netsim::{Network, SwitchId};
+pub use netsim::{Network, ReserveFlowError, SwitchId, TopologyError};

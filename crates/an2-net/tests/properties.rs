@@ -52,7 +52,8 @@ proptest! {
             any_policy(ctrl_which, a, b),
             any_policy(sw_which, b, a),
             seed,
-        );
+        )
+        .expect("generated config is valid");
         prop_assert!(report.within_bounds(), "{report}");
         prop_assert_eq!(report.cells_delivered, 150 * cfg.cells_per_frame as u64);
     }
@@ -70,16 +71,17 @@ proptest! {
         // runs through input 0 / output 0.
         let switches: Vec<_> = (0..chain_len).map(|_| net.add_switch(2)).collect();
         for w in switches.windows(2) {
-            net.connect(w[0], OutputPort::new(0), w[1], InputPort::new(0), latency);
+            net.connect(w[0], OutputPort::new(0), w[1], InputPort::new(0), latency)
+                .unwrap();
         }
         let mut flows = Vec::new();
         for (idx, &sw) in switches.iter().enumerate() {
             let f = FlowId(idx as u64 + 1);
             // Route through every switch from its entry onward.
             for &later in &switches[idx..] {
-                net.add_route(later, f, OutputPort::new(0));
+                net.add_route(later, f, OutputPort::new(0)).unwrap();
             }
-            net.add_source(sw, InputPort::new(1), vec![f], 1.0);
+            net.add_source(sw, InputPort::new(1), vec![f], 1.0).unwrap();
             flows.push(f);
         }
         let slots = 3_000u64;
@@ -102,13 +104,15 @@ proptest! {
         let mut net = Network::new(seed);
         let switches: Vec<_> = (0..hops).map(|_| net.add_switch(2)).collect();
         for w in switches.windows(2) {
-            net.connect(w[0], OutputPort::new(1), w[1], InputPort::new(0), latency);
+            net.connect(w[0], OutputPort::new(1), w[1], InputPort::new(0), latency)
+                .unwrap();
         }
         let f = FlowId(9);
         for &sw in &switches {
-            net.add_route(sw, f, OutputPort::new(1));
+            net.add_route(sw, f, OutputPort::new(1)).unwrap();
         }
-        net.add_source(switches[0], InputPort::new(0), vec![f], 1.0);
+        net.add_source(switches[0], InputPort::new(0), vec![f], 1.0)
+            .unwrap();
         let slots = 500u64;
         net.run(slots);
         let expected_latency = (hops as u64 - 1) * latency;

@@ -53,6 +53,10 @@ pub struct RoundRobinMatching {
     /// Scratch: `grants_to[i]`, cleared and refilled every iteration so
     /// `schedule()` allocates nothing.
     grants_to: Vec<PortSet>,
+    /// Healthy input ports; failed inputs never request or accept.
+    active_inputs: PortSet,
+    /// Healthy output ports; failed outputs never grant.
+    active_outputs: PortSet,
 }
 
 impl RoundRobinMatching {
@@ -90,6 +94,8 @@ impl RoundRobinMatching {
             grant_ptr: vec![0; n],
             accept_ptr: vec![0; n],
             grants_to: vec![PortSet::new(); n],
+            active_inputs: PortSet::all(n),
+            active_outputs: PortSet::all(n),
         }
     }
 
@@ -115,8 +121,11 @@ impl Scheduler for RoundRobinMatching {
         );
         let n = self.n;
         let mut matching = Matching::new(n);
-        let mut unmatched_inputs = PortSet::all(n);
-        let mut unmatched_outputs = PortSet::all(n);
+        // Failed ports sit out every phase; pointer updates never fire for
+        // them either, so a masked run leaves their pointers untouched.
+        // With a full mask these are `all(n)` — identical to unmasked runs.
+        let mut unmatched_inputs = self.active_inputs;
+        let mut unmatched_outputs = self.active_outputs;
 
         for iter_no in 1..=self.iterations {
             // Grant phase: each unmatched output grants the requesting
@@ -183,6 +192,18 @@ impl Scheduler for RoundRobinMatching {
             PointerUpdate::Always => "rrm",
             PointerUpdate::OnAcceptFirstIteration => "islip",
         }
+    }
+
+    fn set_port_mask(&mut self, mask: crate::scheduler::PortMask) {
+        assert_eq!(
+            mask.n(),
+            self.n,
+            "mask size {} does not match scheduler size {}",
+            mask.n(),
+            self.n
+        );
+        self.active_inputs = *mask.active_inputs();
+        self.active_outputs = *mask.active_outputs();
     }
 }
 
@@ -267,5 +288,25 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_iterations_panics() {
         let _ = RoundRobinMatching::islip(4, 0);
+    }
+
+    #[test]
+    fn masked_ports_never_match_and_recover() {
+        use crate::scheduler::PortMask;
+        let reqs = RequestMatrix::from_fn(4, |_, _| true);
+        let mut s = RoundRobinMatching::islip(4, 4);
+        let mut mask = PortMask::all(4);
+        mask.fail_input(0);
+        mask.fail_output(2);
+        s.set_port_mask(mask);
+        for _ in 0..16 {
+            let m = s.schedule(&reqs);
+            assert!(m.output_of(InputPort::new(0)).is_none());
+            assert!(m.input_of(OutputPort::new(2)).is_none());
+            assert!(m.respects(&reqs));
+        }
+        s.set_port_mask(PortMask::all(4));
+        let recovered = (0..16).any(|_| s.schedule(&reqs).is_perfect());
+        assert!(recovered, "recovered iSLIP never reached a perfect match");
     }
 }

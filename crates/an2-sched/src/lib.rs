@@ -66,5 +66,5 @@ pub use matching::{Matching, PairConflict};
 pub use pim::{AcceptPolicy, IterationLimit, Pim, PimStats};
 pub use port::{InputPort, OutputPort, PortSet, MAX_PORTS};
 pub use requests::RequestMatrix;
-pub use scheduler::Scheduler;
+pub use scheduler::{PortMask, Scheduler};
 pub use stat::{ReservationTable, StatisticalMatcher};

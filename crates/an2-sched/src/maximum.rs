@@ -9,9 +9,9 @@
 //! can quantify the gap.
 
 use crate::matching::Matching;
-use crate::port::{InputPort, OutputPort};
+use crate::port::{InputPort, OutputPort, PortSet};
 use crate::requests::RequestMatrix;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{PortMask, Scheduler};
 
 const NIL: usize = usize::MAX;
 const INF: u32 = u32::MAX;
@@ -31,7 +31,13 @@ const INF: u32 = u32::MAX;
 /// assert_eq!(hopcroft_karp(&reqs).len(), 2);
 /// ```
 pub fn hopcroft_karp(requests: &RequestMatrix) -> Matching {
-    hopcroft_karp_into(requests, &mut HkScratch::default())
+    let n = requests.n();
+    hopcroft_karp_masked(
+        requests,
+        &PortSet::all(n),
+        &PortSet::all(n),
+        &mut HkScratch::default(),
+    )
 }
 
 /// Reusable working storage for [`hopcroft_karp_into`]; owning one lets a
@@ -44,7 +50,17 @@ struct HkScratch {
     queue: Vec<usize>,
 }
 
-fn hopcroft_karp_into(requests: &RequestMatrix, scratch: &mut HkScratch) -> Matching {
+/// Hopcroft–Karp restricted to the healthy sub-graph: failed inputs never
+/// seed the BFS and edges to failed outputs are masked out, so no failed
+/// port appears in the result. With full masks every filter is an identity
+/// and the run is bit-identical to the unmasked algorithm (it is fully
+/// deterministic — no RNG alignment to worry about).
+fn hopcroft_karp_masked(
+    requests: &RequestMatrix,
+    active_inputs: &PortSet,
+    active_outputs: &PortSet,
+    scratch: &mut HkScratch,
+) -> Matching {
     let n = requests.n();
     // match_in[i] = output matched to input i (NIL if free), and vice versa.
     // clear+resize reuses capacity; only the first call on a given size
@@ -67,7 +83,7 @@ fn hopcroft_karp_into(requests: &RequestMatrix, scratch: &mut HkScratch) -> Matc
         queue.clear();
         let mut found_augmenting_layer = false;
         for i in 0..n {
-            if match_in[i] == NIL {
+            if match_in[i] == NIL && active_inputs.contains(i) {
                 dist[i] = 0;
                 queue.push(i);
             } else {
@@ -78,7 +94,11 @@ fn hopcroft_karp_into(requests: &RequestMatrix, scratch: &mut HkScratch) -> Matc
         while head < queue.len() {
             let i = queue[head];
             head += 1;
-            for j in requests.row(InputPort::new(i)).iter() {
+            for j in requests
+                .row(InputPort::new(i))
+                .intersection(active_outputs)
+                .iter()
+            {
                 let next = match_out[j];
                 if next == NIL {
                     found_augmenting_layer = true;
@@ -94,8 +114,8 @@ fn hopcroft_karp_into(requests: &RequestMatrix, scratch: &mut HkScratch) -> Matc
         // DFS phase: find a maximal set of vertex-disjoint shortest
         // augmenting paths.
         for i in 0..n {
-            if match_in[i] == NIL {
-                try_augment(requests, i, match_in, match_out, dist);
+            if match_in[i] == NIL && active_inputs.contains(i) {
+                try_augment(requests, active_outputs, i, match_in, match_out, dist);
             }
         }
     }
@@ -112,15 +132,20 @@ fn hopcroft_karp_into(requests: &RequestMatrix, scratch: &mut HkScratch) -> Matc
 
 fn try_augment(
     requests: &RequestMatrix,
+    active_outputs: &PortSet,
     i: usize,
     match_in: &mut [usize],
     match_out: &mut [usize],
     dist: &mut [u32],
 ) -> bool {
-    for j in requests.row(InputPort::new(i)).iter() {
+    for j in requests
+        .row(InputPort::new(i))
+        .intersection(active_outputs)
+        .iter()
+    {
         let next = match_out[j];
         let advances = next == NIL || (dist[next] == dist[i] + 1
-            && try_augment(requests, next, match_in, match_out, dist));
+            && try_augment(requests, active_outputs, next, match_in, match_out, dist));
         if advances {
             match_in[i] = j;
             match_out[j] = i;
@@ -144,6 +169,10 @@ fn try_augment(
 #[derive(Clone, Debug, Default)]
 pub struct MaximumMatching {
     scratch: HkScratch,
+    /// Port health mask; `None` until `set_port_mask` is first called. The
+    /// scheduler is radix-agnostic, so the size check happens per `schedule`
+    /// call against the presented request matrix.
+    mask: Option<PortMask>,
 }
 
 impl MaximumMatching {
@@ -155,11 +184,29 @@ impl MaximumMatching {
 
 impl Scheduler for MaximumMatching {
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
-        hopcroft_karp_into(requests, &mut self.scratch)
+        let n = requests.n();
+        let full = PortSet::all(n);
+        let (active_inputs, active_outputs) = match &self.mask {
+            Some(mask) => {
+                assert_eq!(
+                    mask.n(),
+                    n,
+                    "mask size {} does not match request matrix size {n}",
+                    mask.n()
+                );
+                (*mask.active_inputs(), *mask.active_outputs())
+            }
+            None => (full, full),
+        };
+        hopcroft_karp_masked(requests, &active_inputs, &active_outputs, &mut self.scratch)
     }
 
     fn name(&self) -> &'static str {
         "maximum"
+    }
+
+    fn set_port_mask(&mut self, mask: PortMask) {
+        self.mask = Some(mask);
     }
 }
 
@@ -263,5 +310,22 @@ mod tests {
     #[test]
     fn scheduler_name() {
         assert_eq!(MaximumMatching::new().name(), "maximum");
+    }
+
+    #[test]
+    fn masked_maximum_excludes_failed_ports() {
+        let reqs = RequestMatrix::from_fn(6, |_, _| true);
+        let mut s = MaximumMatching::new();
+        let mut mask = PortMask::all(6);
+        mask.fail_input(1);
+        mask.fail_output(4);
+        s.set_port_mask(mask);
+        let m = s.schedule(&reqs);
+        assert_eq!(m.len(), 5);
+        assert!(m.output_of(InputPort::new(1)).is_none());
+        assert!(m.input_of(OutputPort::new(4)).is_none());
+        // Full mask restores the unmasked (deterministic) result.
+        s.set_port_mask(PortMask::all(6));
+        assert_eq!(s.schedule(&reqs), hopcroft_karp(&reqs));
     }
 }

@@ -121,6 +121,10 @@ pub struct Pim<R: SelectRng = Xoshiro256> {
     grants_to: Vec<PortSet>,
     /// Scratch: pairs accepted this iteration (traced path only).
     accepts: Vec<(InputPort, OutputPort)>,
+    /// Healthy input ports; failed inputs never request or accept.
+    active_inputs: PortSet,
+    /// Healthy output ports; failed outputs never listen or grant.
+    active_outputs: PortSet,
 }
 
 impl Pim<Xoshiro256> {
@@ -192,6 +196,8 @@ impl<R: SelectRng> Pim<R> {
             requests_to: vec![PortSet::new(); n],
             grants_to: vec![PortSet::new(); n],
             accepts: Vec::with_capacity(n),
+            active_inputs: PortSet::all(n),
+            active_outputs: PortSet::all(n),
         }
     }
 
@@ -304,8 +310,15 @@ impl<R: SelectRng> Pim<R> {
             IterationLimit::ToCompletion => n,
         };
 
-        let mut unmatched_inputs = matching.unmatched_inputs();
-        let mut unmatched_outputs = matching.unmatched_outputs();
+        // Failed ports sit out every phase. With a full mask this intersects
+        // with `all(n)` and is a no-op, so unmasked runs are bit-identical.
+        // A masked output never enters the grant loop and therefore never
+        // draws from its stream, while each healthy output's stream sees
+        // exactly the draws it would in a smaller healthy switch.
+        let mut unmatched_inputs = matching.unmatched_inputs().intersection(&self.active_inputs);
+        let mut unmatched_outputs = matching
+            .unmatched_outputs()
+            .intersection(&self.active_outputs);
 
         for iter_no in 1..=max_iters {
             // --- Request phase -------------------------------------------
@@ -430,6 +443,18 @@ impl<R: SelectRng> Scheduler for Pim<R> {
     fn name(&self) -> &'static str {
         "pim"
     }
+
+    fn set_port_mask(&mut self, mask: crate::scheduler::PortMask) {
+        assert_eq!(
+            mask.n(),
+            self.n,
+            "mask size {} does not match scheduler size {}",
+            mask.n(),
+            self.n
+        );
+        self.active_inputs = *mask.active_inputs();
+        self.active_outputs = *mask.active_outputs();
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +463,33 @@ mod tests {
 
     fn pim_complete(n: usize, seed: u64) -> Pim {
         Pim::with_options(n, seed, IterationLimit::ToCompletion, AcceptPolicy::Random)
+    }
+
+    #[test]
+    fn full_mask_is_identity_and_failed_ports_never_match() {
+        use crate::scheduler::PortMask;
+        let reqs = RequestMatrix::from_fn(8, |_, _| true);
+        let mut plain = Pim::new(8, 77);
+        let mut masked = Pim::new(8, 77);
+        masked.set_port_mask(PortMask::all(8));
+        for _ in 0..50 {
+            assert_eq!(plain.schedule(&reqs), masked.schedule(&reqs));
+        }
+        let mut mask = PortMask::all(8);
+        mask.fail_input(3);
+        mask.fail_output(5);
+        masked.set_port_mask(mask);
+        for _ in 0..50 {
+            let m = masked.schedule(&reqs);
+            assert!(m.output_of(InputPort::new(3)).is_none());
+            assert!(m.input_of(OutputPort::new(5)).is_none());
+            assert!(m.respects(&reqs));
+            assert_eq!(m.len(), 7);
+        }
+        // Recovery restores the failed ports to service.
+        masked.set_port_mask(PortMask::all(8));
+        let recovered = masked.schedule(&reqs);
+        assert!(recovered.is_perfect());
     }
 
     #[test]

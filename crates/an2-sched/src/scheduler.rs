@@ -8,7 +8,153 @@
 //! matrix — and is modeled separately.
 
 use crate::matching::Matching;
+use crate::port::PortSet;
 use crate::requests::RequestMatrix;
+use std::fmt;
+
+/// Which ports of a switch are currently healthy.
+///
+/// A fault-injection layer (see `an2-sim`'s `fault` module) marks failed
+/// input or output ports here and hands the mask to the scheduler via
+/// [`Scheduler::set_port_mask`]; masked ports are excluded from the
+/// request/grant/accept rounds. The mask is a pair of [`PortSet`]s, so it
+/// is `Copy` and applying it allocates nothing.
+///
+/// A freshly built mask has every port active; a full mask must leave the
+/// scheduler's behaviour — including every draw from its per-port random
+/// streams — bit-identical to an unmasked run, so the fault layer is
+/// provably zero-impact when idle.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sched::PortMask;
+/// let mut mask = PortMask::all(4);
+/// assert!(mask.is_full());
+/// mask.fail_output(2);
+/// assert!(!mask.output_active(2));
+/// assert_eq!(mask.failed_ports(), 1);
+/// mask.recover_output(2);
+/// assert!(mask.is_full());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PortMask {
+    n: usize,
+    inputs: PortSet,
+    outputs: PortSet,
+}
+
+impl PortMask {
+    /// Creates a mask for an `n`-port switch with every port active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    pub fn all(n: usize) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        Self {
+            n,
+            inputs: PortSet::all(n),
+            outputs: PortSet::all(n),
+        }
+    }
+
+    /// The switch radix this mask describes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The set of healthy input ports.
+    pub fn active_inputs(&self) -> &PortSet {
+        &self.inputs
+    }
+
+    /// The set of healthy output ports.
+    pub fn active_outputs(&self) -> &PortSet {
+        &self.outputs
+    }
+
+    /// Whether input `i` is healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn input_active(&self, i: usize) -> bool {
+        assert!(i < self.n, "input {i} outside switch");
+        self.inputs.contains(i)
+    }
+
+    /// Whether output `j` is healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    pub fn output_active(&self, j: usize) -> bool {
+        assert!(j < self.n, "output {j} outside switch");
+        self.outputs.contains(j)
+    }
+
+    /// Marks input `i` failed. Returns `true` if it was previously active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn fail_input(&mut self, i: usize) -> bool {
+        assert!(i < self.n, "input {i} outside switch");
+        self.inputs.remove(i)
+    }
+
+    /// Marks output `j` failed. Returns `true` if it was previously active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    pub fn fail_output(&mut self, j: usize) -> bool {
+        assert!(j < self.n, "output {j} outside switch");
+        self.outputs.remove(j)
+    }
+
+    /// Marks input `i` healthy again. Returns `true` if it was failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn recover_input(&mut self, i: usize) -> bool {
+        assert!(i < self.n, "input {i} outside switch");
+        self.inputs.insert(i)
+    }
+
+    /// Marks output `j` healthy again. Returns `true` if it was failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    pub fn recover_output(&mut self, j: usize) -> bool {
+        assert!(j < self.n, "output {j} outside switch");
+        self.outputs.insert(j)
+    }
+
+    /// Total failed ports (inputs plus outputs).
+    pub fn failed_ports(&self) -> usize {
+        2 * self.n - self.inputs.len() - self.outputs.len()
+    }
+
+    /// `true` when no port is failed.
+    pub fn is_full(&self) -> bool {
+        self.inputs.len() == self.n && self.outputs.len() == self.n
+    }
+}
+
+impl fmt::Debug for PortMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PortMask")
+            .field("n", &self.n)
+            .field("failed_inputs", &(self.n - self.inputs.len()))
+            .field("failed_outputs", &(self.n - self.outputs.len()))
+            .finish()
+    }
+}
 
 /// A crossbar scheduler for an input-queued switch with random-access
 /// buffers.
@@ -30,6 +176,23 @@ pub trait Scheduler {
 
     /// A short stable identifier for reports ("pim", "islip", ...).
     fn name(&self) -> &'static str;
+
+    /// Installs a port health mask: failed ports are excluded from every
+    /// subsequent [`schedule`](Scheduler::schedule) call until the mask is
+    /// replaced.
+    ///
+    /// Implementations must not perturb random draws for healthy ports, and
+    /// a full mask (no failed ports) must be behaviourally identical to
+    /// never calling this method. The default implementation ignores the
+    /// mask, which is correct for schedulers that are never run against a
+    /// degraded fabric.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `mask.n()` differs from the scheduler size.
+    fn set_port_mask(&mut self, mask: PortMask) {
+        let _ = mask;
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -39,6 +202,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn set_port_mask(&mut self, mask: PortMask) {
+        (**self).set_port_mask(mask);
     }
 }
 

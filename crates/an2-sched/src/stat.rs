@@ -28,7 +28,7 @@ use crate::pim::Pim;
 use crate::port::{InputPort, OutputPort};
 use crate::requests::RequestMatrix;
 use crate::rng::{SelectRng, Xoshiro256};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{PortMask, Scheduler};
 use std::fmt;
 
 /// The fraction of link bandwidth statistical matching can reserve with two
@@ -522,7 +522,12 @@ impl<R: SelectRng> StatisticalMatcher<R> {
             self.table.n(),
             "PIM size must match the reservation table"
         );
-        StatWithPimFill { stat: self, pim }
+        let mask = PortMask::all(pim.n());
+        StatWithPimFill {
+            stat: self,
+            pim,
+            mask,
+        }
     }
 }
 
@@ -536,6 +541,9 @@ impl<R: SelectRng> StatisticalMatcher<R> {
 pub struct StatWithPimFill<R: SelectRng = Xoshiro256> {
     stat: StatisticalMatcher<R>,
     pim: Pim,
+    /// Port health mask; reserved pairs touching a failed port lose their
+    /// statistical slot (the PIM fill carries the same mask).
+    mask: PortMask,
 }
 
 impl<R: SelectRng> StatWithPimFill<R> {
@@ -554,10 +562,16 @@ impl<R: SelectRng> StatWithPimFill<R> {
 impl<R: SelectRng> Scheduler for StatWithPimFill<R> {
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         let reserved = self.stat.next_match();
-        // A reserved pair holds its slot only when a cell is queued for it.
+        // A reserved pair holds its slot only when a cell is queued for it —
+        // and only while both of its ports are healthy. The statistical
+        // matcher's own draws are deliberately untouched by the mask: it
+        // consumes the same randomness every slot regardless of fabric
+        // health, so recovery leaves its stream exactly where an unfaulted
+        // run would have it.
         let mut initial = Matching::new(reserved.n());
         for (i, j) in reserved.pairs() {
-            if requests.has(i, j) {
+            let healthy = self.mask.input_active(i.index()) && self.mask.output_active(j.index());
+            if healthy && requests.has(i, j) {
                 initial.pair(i, j).expect("subset of a legal matching");
             }
         }
@@ -566,6 +580,18 @@ impl<R: SelectRng> Scheduler for StatWithPimFill<R> {
 
     fn name(&self) -> &'static str {
         "stat+pim"
+    }
+
+    fn set_port_mask(&mut self, mask: PortMask) {
+        assert_eq!(
+            mask.n(),
+            self.pim.n(),
+            "mask size {} does not match scheduler size {}",
+            mask.n(),
+            self.pim.n()
+        );
+        self.mask = mask;
+        self.pim.set_port_mask(mask);
     }
 }
 

@@ -9,7 +9,7 @@ use an2_sched::maximum::hopcroft_karp;
 use an2_sched::rng::Xoshiro256;
 use an2_sched::stat::{ReservationTable, StatisticalMatcher};
 use an2_sched::{
-    AcceptPolicy, FrameSchedule, InputPort, IterationLimit, OutputPort, Pim, PortSet,
+    AcceptPolicy, FrameSchedule, InputPort, IterationLimit, OutputPort, Pim, PortMask, PortSet,
     RequestMatrix, Scheduler,
 };
 use proptest::prelude::*;
@@ -244,6 +244,95 @@ proptest! {
             .or_else(|| members.iter().next())
             .copied();
         prop_assert_eq!(set.first_at_or_after(start), want);
+    }
+
+    /// Fault recovery moves a flow's reservation between ports by releasing
+    /// on the old path and re-reserving on the new one. Any such round-trip
+    /// sequence must keep the schedule conflict-free, and a full release
+    /// must restore the exact pre-reservation loads (no leaked capacity).
+    #[test]
+    fn frame_schedule_fault_round_trips_preserve_verify(
+        n in 2usize..8,
+        frame_len in 2usize..10,
+        cells in 1usize..4,
+        moves in proptest::collection::vec((0usize..8, 0usize..8, 0usize..8, 0usize..8), 1..24),
+    ) {
+        let mut fs = FrameSchedule::new(n, frame_len);
+        let cells = cells.min(frame_len);
+        // Seed one reservation so there is always something to move.
+        fs.reserve(InputPort::new(0), OutputPort::new(0), cells).unwrap();
+        let mut held = vec![(InputPort::new(0), OutputPort::new(0))];
+        for (i, j, i2, j2) in moves {
+            // A "link failure": release one held reservation entirely, then
+            // try to re-reserve the same demand elsewhere — falling back to
+            // the original pair (always admissible again) if the new pair
+            // has no capacity, as the netsim reroute path does.
+            let (ip, op) = held.pop().unwrap_or((InputPort::new(i % n), OutputPort::new(j % n)));
+            if fs.demand(ip, op) >= cells {
+                fs.release(ip, op, cells).unwrap();
+            }
+            prop_assert!(fs.verify());
+            let (ni, nj) = (InputPort::new(i2 % n), OutputPort::new(j2 % n));
+            if fs.admits(ni, nj, cells) {
+                fs.reserve(ni, nj, cells).unwrap();
+                held.push((ni, nj));
+            } else {
+                fs.reserve(ip, op, cells).unwrap();
+                held.push((ip, op));
+            }
+            prop_assert!(fs.verify());
+        }
+        // Tear everything down: the schedule must drain to empty.
+        while let Some((ip, op)) = held.pop() {
+            let have = fs.demand(ip, op);
+            if have > 0 {
+                fs.release(ip, op, have.min(cells)).unwrap();
+            }
+        }
+        prop_assert!(fs.verify());
+        for i in 0..n {
+            prop_assert_eq!(fs.input_load(InputPort::new(i)), 0);
+            prop_assert_eq!(fs.output_load(OutputPort::new(i)), 0);
+        }
+    }
+
+    /// Degraded scheduling: with ports masked out, PIM must never match a
+    /// failed port, must stay legal, and must still find a maximal matching
+    /// of the healthy sub-switch — hence at least half the maximum (§3.4's
+    /// bound survives degradation).
+    #[test]
+    fn masked_pim_never_matches_failed_ports(
+        reqs in request_matrix(32),
+        seed in any::<u64>(),
+        fail_in in proptest::collection::btree_set(0usize..32, 0..8),
+        fail_out in proptest::collection::btree_set(0usize..32, 0..8),
+    ) {
+        let n = reqs.n();
+        let mut mask = PortMask::all(n);
+        for &i in fail_in.iter().filter(|&&i| i < n) {
+            mask.fail_input(i);
+        }
+        for &j in fail_out.iter().filter(|&&j| j < n) {
+            mask.fail_output(j);
+        }
+        let mut pim = Pim::with_options(n, seed, IterationLimit::ToCompletion, AcceptPolicy::Random);
+        pim.set_port_mask(mask);
+        let m = pim.schedule(&reqs);
+        prop_assert!(m.respects(&reqs));
+        for (i, j) in m.pairs() {
+            prop_assert!(!fail_in.contains(&i.index()), "matched failed input {i}");
+            prop_assert!(!fail_out.contains(&j.index()), "matched failed output {j}");
+        }
+        // The healthy sub-switch: requests between active ports only.
+        let healthy = RequestMatrix::from_fn(n, |i, j| {
+            reqs.has(InputPort::new(i), OutputPort::new(j))
+                && !fail_in.contains(&i)
+                && !fail_out.contains(&j)
+        });
+        prop_assert!(m.is_maximal(&healthy));
+        let max = hopcroft_karp(&healthy);
+        prop_assert!(2 * m.len() >= max.len(),
+            "masked maximal {} fell below half the maximum {}", m.len(), max.len());
     }
 
     #[test]

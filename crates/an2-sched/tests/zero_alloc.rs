@@ -5,22 +5,37 @@
 //! steady-state capacity); after that, repeated `schedule()` calls must
 //! leave the allocation counter untouched.
 //!
-//! Everything runs in a single `#[test]` so no concurrently running test
-//! in this binary can perturb the global counter.
+//! The counter is **thread-local**: the test harness runs its own threads
+//! (channels, output capture) whose incidental allocations would otherwise
+//! land in a process-global counter at unpredictable moments and fail the
+//! test spuriously. Only allocations made by the thread driving the
+//! scheduler can be the scheduler's.
 
 use an2_sched::islip::RoundRobinMatching;
 use an2_sched::maximum::MaximumMatching;
-use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
+use an2_sched::{AcceptPolicy, IterationLimit, Pim, PortMask, RequestMatrix, Scheduler};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn local_count() -> usize {
+    ALLOCATIONS.with(|c| c.get())
+}
 
 struct CountingAlloc;
 
+fn bump() {
+    // `try_with` because the allocator can be called while a thread's TLS
+    // is being torn down; those allocations belong to the runtime anyway.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -29,7 +44,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -41,12 +56,12 @@ fn assert_zero_alloc<S: Scheduler>(sched: &mut S, reqs: &RequestMatrix, label: &
     for _ in 0..4 {
         let _ = sched.schedule(reqs);
     }
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = local_count();
     for _ in 0..32 {
         let m = sched.schedule(reqs);
         assert!(m.respects(reqs), "{label} broke the request contract");
     }
-    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let allocs = local_count() - before;
     assert_eq!(allocs, 0, "{label} allocated {allocs} times on the hot path");
 }
 
@@ -71,4 +86,46 @@ fn schedulers_do_not_allocate_after_warmup() {
             assert_zero_alloc(&mut MaximumMatching::new(), reqs, "maximum");
         }
     }
+}
+
+/// Degraded operation must not regress the invariant: a scheduler running
+/// with failed ports masked out stays allocation-free, and so does the
+/// mask update itself.
+#[test]
+fn masked_schedulers_do_not_allocate_after_warmup() {
+    let n = 16;
+    let dense = RequestMatrix::from_fn(n, |_, _| true);
+    let mut mask = PortMask::all(n);
+    mask.fail_input(3);
+    mask.fail_output(7);
+    mask.fail_output(11);
+
+    let mut pim = Pim::new(n, 42);
+    pim.set_port_mask(mask);
+    assert_zero_alloc(&mut pim, &dense, "masked pim");
+
+    let mut islip = RoundRobinMatching::islip(n, 4);
+    islip.set_port_mask(mask);
+    assert_zero_alloc(&mut islip, &dense, "masked islip");
+
+    let mut maximum = MaximumMatching::new();
+    maximum.set_port_mask(mask);
+    assert_zero_alloc(&mut maximum, &dense, "masked maximum");
+
+    // Flipping the mask between slots (fail, then recover) is part of the
+    // degraded hot path too: it must not allocate either.
+    let before = local_count();
+    for slot in 0..32 {
+        let mut m = PortMask::all(n);
+        if slot % 2 == 0 {
+            m.fail_input(slot % n);
+        }
+        pim.set_port_mask(m);
+        let _ = pim.schedule(&dense);
+    }
+    assert_eq!(
+        local_count() - before,
+        0,
+        "mask updates allocated on the hot path"
+    );
 }

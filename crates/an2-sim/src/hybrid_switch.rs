@@ -147,11 +147,13 @@ impl HybridSwitch {
         validate_arrivals(self.cbr.n(), &self.plain);
         for c in arrivals {
             let cell = c.arrival.into_cell(slot);
-            match c.class {
+            let admitted = match c.class {
                 ServiceClass::Cbr => self.cbr.push(cell),
                 ServiceClass::Vbr => self.vbr.push(cell),
+            };
+            if admitted.is_admitted() {
+                self.metrics.on_arrival();
             }
-            self.metrics.on_arrival();
         }
         // Reserved matching for this frame slot, restricted to pairs with
         // a queued CBR cell.

@@ -33,6 +33,7 @@
 pub mod analytic;
 pub mod cell;
 pub mod experiment;
+pub mod fault;
 pub mod fifo_switch;
 pub mod hybrid_switch;
 pub mod metrics;
@@ -48,6 +49,7 @@ pub mod virtual_clock;
 pub mod voq;
 
 pub use cell::{Arrival, Cell, FlowId};
+pub use fault::{DropCause, FaultEvent, FaultKind, FaultLog, FaultPlan, PortSide};
 pub use metrics::{DelayStats, SwitchReport};
 pub use model::SwitchModel;
 pub use sim::{simulate, SimConfig};

@@ -85,8 +85,9 @@ impl SwitchModel for SpeedupSwitch {
         let slot = self.metrics.slot();
         validate_arrivals(self.n(), arrivals);
         for a in arrivals {
-            self.voq.push(a.into_cell(slot));
-            self.metrics.on_arrival();
+            if self.voq.push(a.into_cell(slot)).is_admitted() {
+                self.metrics.on_arrival();
+            }
         }
         // Up to k cells cross the fabric to each output...
         let requests = self.voq.requests();

@@ -6,10 +6,11 @@
 //! the matched cells cross the crossbar (§3.1). Cells are never dropped.
 
 use crate::cell::Arrival;
+use crate::fault::{DropCause, FaultKind, FaultLog, FaultPlan, PortSide};
 use crate::metrics::SwitchReport;
 use crate::model::{validate_arrivals, ModelMetrics, SwitchModel};
 use crate::voq::VoqBuffers;
-use an2_sched::Scheduler;
+use an2_sched::{PortMask, PortSet, Scheduler};
 
 /// An input-queued switch driven by a crossbar scheduler.
 ///
@@ -38,6 +39,12 @@ pub struct CrossbarSwitch<S> {
     scheduler: S,
     voq: VoqBuffers,
     metrics: ModelMetrics,
+    /// Port health, updated by applied fault events and pushed to the
+    /// scheduler only when it changes (so unfaulted runs never touch it).
+    mask: PortMask,
+    /// Scheduling is suspended while `slot < drift_until` (clock-drift
+    /// excursions, §2).
+    drift_until: u64,
 }
 
 impl<S: Scheduler> CrossbarSwitch<S> {
@@ -50,11 +57,7 @@ impl<S: Scheduler> CrossbarSwitch<S> {
         S: SizedScheduler,
     {
         let n = scheduler.ports();
-        CrossbarSwitch {
-            scheduler,
-            voq: VoqBuffers::new(n),
-            metrics: ModelMetrics::new(n),
-        }
+        Self::with_ports(n, scheduler)
     }
 
     /// Creates a switch of explicit radix `n` around `scheduler`.
@@ -68,6 +71,8 @@ impl<S: Scheduler> CrossbarSwitch<S> {
             scheduler,
             voq: VoqBuffers::new(n),
             metrics: ModelMetrics::new(n),
+            mask: PortMask::all(n),
+            drift_until: 0,
         }
     }
 
@@ -87,6 +92,134 @@ impl<S: Scheduler> CrossbarSwitch<S> {
         &self.voq
     }
 
+    /// Mutable access to the input buffers (e.g. to configure a finite
+    /// per-VOQ capacity before a fault run).
+    pub fn buffers_mut(&mut self) -> &mut VoqBuffers {
+        &mut self.voq
+    }
+
+    /// The current port health mask.
+    pub fn port_mask(&self) -> PortMask {
+        self.mask
+    }
+
+    /// Advances one slot under a fault plan: applies the plan's events due
+    /// this slot (masking ports, losing arrivals, suspending scheduling
+    /// during clock drift), then runs the ordinary arrival/schedule/
+    /// transmit sequence, recording every applied fault and lost cell in
+    /// `log`.
+    ///
+    /// The `switch` tag on events is ignored — the single-switch harness
+    /// applies every due event to itself; build per-switch plans when
+    /// driving several switches. With an empty plan this is bit-identical
+    /// to [`SwitchModel::step`] (the acceptance bar for the fault layer
+    /// being zero-impact when idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the usual arrival violations, or if an event names a port
+    /// outside the switch.
+    pub fn step_faulted(&mut self, arrivals: &[Arrival], plan: &mut FaultPlan, log: &mut FaultLog) {
+        let slot = self.metrics.slot();
+        let mut injected = PortSet::new();
+        let mut corrupted = PortSet::new();
+        let mut mask_changed = false;
+        for ev in plan.due(slot) {
+            match ev.kind {
+                FaultKind::LinkDown { output, .. } => {
+                    mask_changed |= self.mask.fail_output(output);
+                }
+                FaultKind::LinkUp { output, .. } => {
+                    mask_changed |= self.mask.recover_output(output);
+                }
+                FaultKind::PortFail { side, port, .. } => {
+                    mask_changed |= match side {
+                        PortSide::Input => self.mask.fail_input(port),
+                        PortSide::Output => self.mask.fail_output(port),
+                    };
+                }
+                FaultKind::PortRecover { side, port, .. } => {
+                    mask_changed |= match side {
+                        PortSide::Input => self.mask.recover_input(port),
+                        PortSide::Output => self.mask.recover_output(port),
+                    };
+                }
+                FaultKind::CellDrop { input, .. } => {
+                    injected.insert(input);
+                }
+                FaultKind::CellCorrupt { input, .. } => {
+                    corrupted.insert(input);
+                }
+                FaultKind::ClockDrift { slots, .. } => {
+                    self.drift_until = self.drift_until.max(slot.saturating_add(slots));
+                }
+            }
+            log.record_applied(*ev);
+        }
+        if mask_changed {
+            self.scheduler.set_port_mask(self.mask);
+        }
+        let skip_schedule = slot < self.drift_until;
+        self.advance_slot(arrivals, &injected, &corrupted, skip_schedule, Some(log));
+    }
+
+    /// The per-slot engine shared by [`SwitchModel::step`] (no faults) and
+    /// [`CrossbarSwitch::step_faulted`].
+    fn advance_slot(
+        &mut self,
+        arrivals: &[Arrival],
+        injected: &PortSet,
+        corrupted: &PortSet,
+        skip_schedule: bool,
+        mut log: Option<&mut FaultLog>,
+    ) {
+        let slot = self.metrics.slot();
+        validate_arrivals(self.n(), arrivals);
+        // 1. Arrivals join their flow queues and become eligible at once
+        //    ("any flows that have had cells arrive at the switch in the
+        //    meantime" are considered, §3.1) — unless a fault consumes them
+        //    on the wire or the VOQ is at capacity.
+        for a in arrivals {
+            let faulted = if injected.contains(a.input.index()) {
+                Some(DropCause::Injected)
+            } else if corrupted.contains(a.input.index()) {
+                Some(DropCause::Corrupted)
+            } else {
+                None
+            };
+            if let Some(cause) = faulted {
+                if let Some(log) = log.as_deref_mut() {
+                    log.record_drop(slot, 0, a.input.index(), a.flow.0, cause);
+                }
+                continue;
+            }
+            if self.voq.push(a.into_cell(slot)).is_admitted() {
+                self.metrics.on_arrival();
+            } else if let Some(log) = log.as_deref_mut() {
+                log.record_drop(slot, 0, a.input.index(), a.flow.0, DropCause::BufferFull);
+            }
+        }
+        if !skip_schedule {
+            // 2. Schedule the crossbar from the request matrix.
+            let requests = self.voq.requests();
+            let matching = self.scheduler.schedule(requests);
+            debug_assert!(
+                matching.respects(requests),
+                "{} scheduled a pair with no queued cell",
+                self.scheduler.name()
+            );
+            // 3. Matched pairs transmit one cell each.
+            for (i, j) in matching.pairs() {
+                let cell = self
+                    .voq
+                    .pop(i, j)
+                    .expect("scheduler contract: matched pairs have queued cells");
+                self.metrics.on_departure(&cell);
+            }
+        }
+        self.metrics.end_slot(self.voq.len());
+    }
+
     /// Loads a queue snapshot directly into the buffers, bypassing the
     /// one-cell-per-input-per-slot link constraint. Used to set up
     /// scenario states like the paper's Figure 1 (queues that accumulated
@@ -99,8 +232,9 @@ impl<S: Scheduler> CrossbarSwitch<S> {
     pub fn preload(&mut self, arrivals: &[crate::cell::Arrival]) {
         let slot = self.metrics.slot();
         for a in arrivals {
-            self.voq.push(a.into_cell(slot));
-            self.metrics.on_arrival();
+            if self.voq.push(a.into_cell(slot)).is_admitted() {
+                self.metrics.on_arrival();
+            }
         }
     }
 }
@@ -115,32 +249,8 @@ impl<S: Scheduler> SwitchModel for CrossbarSwitch<S> {
     }
 
     fn step(&mut self, arrivals: &[Arrival]) {
-        let slot = self.metrics.slot();
-        validate_arrivals(self.n(), arrivals);
-        // 1. Arrivals join their flow queues and become eligible at once
-        //    ("any flows that have had cells arrive at the switch in the
-        //    meantime" are considered, §3.1).
-        for a in arrivals {
-            self.voq.push(a.into_cell(slot));
-            self.metrics.on_arrival();
-        }
-        // 2. Schedule the crossbar from the request matrix.
-        let requests = self.voq.requests();
-        let matching = self.scheduler.schedule(requests);
-        debug_assert!(
-            matching.respects(requests),
-            "{} scheduled a pair with no queued cell",
-            self.scheduler.name()
-        );
-        // 3. Matched pairs transmit one cell each.
-        for (i, j) in matching.pairs() {
-            let cell = self
-                .voq
-                .pop(i, j)
-                .expect("scheduler contract: matched pairs have queued cells");
-            self.metrics.on_departure(&cell);
-        }
-        self.metrics.end_slot(self.voq.len());
+        let none = PortSet::new();
+        self.advance_slot(arrivals, &none, &none, false, None);
     }
 
     fn queued(&self) -> usize {
@@ -268,6 +378,143 @@ mod tests {
         let r = sw.report();
         let util = r.mean_output_utilization();
         assert!(util > 0.93, "PIM(4) uniform saturation utilization {util}");
+    }
+
+    #[test]
+    fn step_faulted_with_empty_plan_matches_step() {
+        use crate::fault::{FaultLog, FaultPlan};
+        let mut plain = CrossbarSwitch::new(Pim::new(8, 3));
+        let mut faulted = CrossbarSwitch::new(Pim::new(8, 3));
+        let mut ta = RateMatrixTraffic::uniform(8, 0.9, 4);
+        let mut tb = RateMatrixTraffic::uniform(8, 0.9, 4);
+        let mut plan = FaultPlan::new();
+        let mut log = FaultLog::new();
+        let mut buf = Vec::new();
+        for s in 0..500 {
+            buf.clear();
+            ta.arrivals(s, &mut buf);
+            plain.step(&buf);
+            buf.clear();
+            tb.arrivals(s, &mut buf);
+            faulted.step_faulted(&buf, &mut plan, &mut log);
+        }
+        let (a, b) = (plain.report(), faulted.report());
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.departures, b.departures);
+        assert_eq!(a.final_occupancy, b.final_occupancy);
+        assert_eq!(a.delay.max(), b.delay.max());
+        assert_eq!(log.digest(), FaultLog::new().digest());
+    }
+
+    #[test]
+    fn port_fail_halts_output_until_recovery() {
+        use crate::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, PortSide};
+        // Persistent traffic to output 1; fail it for slots 10..20.
+        let mut sw = CrossbarSwitch::new(Pim::new(4, 9));
+        let mut plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                slot: 10,
+                kind: FaultKind::PortFail {
+                    switch: 0,
+                    side: PortSide::Output,
+                    port: 1,
+                },
+            },
+            FaultEvent {
+                slot: 20,
+                kind: FaultKind::PortRecover {
+                    switch: 0,
+                    side: PortSide::Output,
+                    port: 1,
+                },
+            },
+        ]);
+        let mut log = FaultLog::new();
+        let arrivals = [Arrival::pair(4, InputPort::new(0), OutputPort::new(1))];
+        let mut departed_at = Vec::new();
+        for s in 0..40u64 {
+            let before = sw.report().departures;
+            sw.step_faulted(&arrivals, &mut plan, &mut log);
+            if sw.report().departures > before {
+                departed_at.push(s);
+            }
+        }
+        assert!(sw.port_mask().is_full(), "recovery restored the mask");
+        // No departures while the output was failed.
+        assert!(departed_at.iter().all(|&s| !(10..20).contains(&s)));
+        // Service before the failure and after recovery.
+        assert!(departed_at.contains(&5));
+        assert!(departed_at.contains(&25));
+        assert_eq!(log.applied().len(), 2);
+    }
+
+    #[test]
+    fn injected_and_corrupted_arrivals_are_logged_drops() {
+        use crate::fault::{DropCause, FaultEvent, FaultKind, FaultLog, FaultPlan};
+        let mut sw = CrossbarSwitch::new(Pim::new(4, 9));
+        let mut plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                slot: 0,
+                kind: FaultKind::CellDrop { switch: 0, input: 0 },
+            },
+            FaultEvent {
+                slot: 1,
+                kind: FaultKind::CellCorrupt { switch: 0, input: 0 },
+            },
+        ]);
+        let mut log = FaultLog::new();
+        let arrivals = [Arrival::pair(4, InputPort::new(0), OutputPort::new(1))];
+        for _ in 0..3 {
+            sw.step_faulted(&arrivals, &mut plan, &mut log);
+        }
+        // Slots 0 and 1 lost their arrival; slot 2's got through.
+        assert_eq!(log.cells_dropped(), 2);
+        assert_eq!(log.drops()[0].cause, DropCause::Injected);
+        assert_eq!(log.drops()[1].cause, DropCause::Corrupted);
+        assert_eq!(sw.report().arrivals, 1);
+    }
+
+    #[test]
+    fn clock_drift_suspends_scheduling_but_not_buffering() {
+        use crate::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan};
+        let mut sw = CrossbarSwitch::new(Pim::new(4, 9));
+        let mut plan = FaultPlan::from_events(vec![FaultEvent {
+            slot: 0,
+            kind: FaultKind::ClockDrift { switch: 0, slots: 5 },
+        }]);
+        let mut log = FaultLog::new();
+        let arrivals = [Arrival::pair(4, InputPort::new(2), OutputPort::new(3))];
+        for _ in 0..5 {
+            sw.step_faulted(&arrivals, &mut plan, &mut log);
+        }
+        // All five arrivals buffered, none scheduled during the excursion.
+        assert_eq!(sw.report().arrivals, 5);
+        assert_eq!(sw.report().departures, 0);
+        sw.step_faulted(&arrivals, &mut plan, &mut log);
+        assert!(sw.report().departures > 0, "scheduling resumed after drift");
+    }
+
+    #[test]
+    fn buffer_full_drops_are_logged() {
+        use crate::fault::{DropCause, FaultLog, FaultPlan};
+        let mut sw = CrossbarSwitch::new(Pim::new(4, 9));
+        sw.buffers_mut().set_pair_capacity(Some(1));
+        let mut plan = FaultPlan::new();
+        let mut log = FaultLog::new();
+        // Two inputs fight for output 0: each slot one wins, the loser's
+        // VOQ holds its one queued cell, so the loser's next arrival drops.
+        let arrivals = [
+            Arrival::pair(4, InputPort::new(0), OutputPort::new(0)),
+            Arrival::pair(4, InputPort::new(1), OutputPort::new(0)),
+        ];
+        for _ in 0..10 {
+            sw.step_faulted(&arrivals, &mut plan, &mut log);
+        }
+        assert!(log.cells_dropped() > 0);
+        assert!(log.drops().iter().all(|d| d.cause == DropCause::BufferFull));
+        assert_eq!(sw.buffers().drops(), log.cells_dropped());
+        let r = sw.report();
+        assert_eq!(r.arrivals, r.departures + r.final_occupancy as u64);
     }
 
     #[test]

@@ -18,6 +18,34 @@ use crate::cell::{Cell, FlowId};
 use an2_sched::{InputPort, OutputPort, RequestMatrix};
 use std::collections::{HashMap, VecDeque};
 
+/// Outcome of [`VoqBuffers::push`]: whether the buffer admitted the cell.
+///
+/// Unbounded buffers (the default) always admit. Once a finite per-pair
+/// capacity is configured with [`VoqBuffers::set_pair_capacity`], a push to
+/// a full pair drops the *arriving* cell (drop-tail) and reports it here;
+/// callers must consume the outcome so dropped cells are accounted for, not
+/// silently lost.
+#[must_use = "dropped cells must be accounted for by the caller"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The cell was queued.
+    Admitted,
+    /// The cell was discarded because its pair's VOQ was full.
+    Dropped,
+}
+
+impl PushOutcome {
+    /// `true` if the cell was queued.
+    pub fn is_admitted(self) -> bool {
+        self == PushOutcome::Admitted
+    }
+
+    /// `true` if the cell was discarded.
+    pub fn is_dropped(self) -> bool {
+        self == PushOutcome::Dropped
+    }
+}
+
 /// How [`VoqBuffers::pop`] chooses among the eligible flows of one
 /// input–output pair.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -45,7 +73,7 @@ pub enum ServiceDiscipline {
 ///
 /// let mut voq = VoqBuffers::new(4);
 /// let a = Arrival::pair(4, InputPort::new(0), OutputPort::new(2));
-/// voq.push(a.into_cell(0));
+/// assert!(voq.push(a.into_cell(0)).is_admitted());
 /// assert_eq!(voq.len(), 1);
 /// let c = voq.pop(InputPort::new(0), OutputPort::new(2)).unwrap();
 /// assert_eq!(c.arrival_slot, 0);
@@ -77,6 +105,15 @@ pub struct VoqBuffers {
     heads: Vec<Option<Cell>>,
     /// Scratch: arrival sequence of each entry in `heads`.
     head_seqs: Vec<u64>,
+    /// Per-pair cell budget; `None` = unbounded (the pre-fault default).
+    capacity: Option<usize>,
+    /// `pair_count[i][j]` = queued cells of pair `(i, j)`, maintained so
+    /// capacity checks and [`VoqBuffers::pair_occupancy`] are O(1).
+    pair_count: Vec<Vec<usize>>,
+    /// Cells discarded (drop-tail, redirect overflow, stranded flows).
+    drops_total: u64,
+    /// Discards per input port.
+    drops_per_input: Vec<u64>,
 }
 
 impl VoqBuffers {
@@ -110,7 +147,39 @@ impl VoqBuffers {
             requests: RequestMatrix::new(n),
             heads: Vec::new(),
             head_seqs: Vec::new(),
+            capacity: None,
+            pair_count: vec![vec![0; n]; n],
+            drops_total: 0,
+            drops_per_input: vec![0; n],
         }
+    }
+
+    /// Sets the per-(input, output) cell budget; `None` restores unbounded
+    /// buffering. Applies to future pushes only: cells already queued above
+    /// a newly lowered budget stay queued and drain normally.
+    pub fn set_pair_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+    }
+
+    /// The per-pair cell budget in force (`None` = unbounded).
+    pub fn pair_capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Cells discarded so far (drop-tail on full VOQs, redirect overflow,
+    /// and flows dropped by [`VoqBuffers::drop_flow`]).
+    pub fn drops(&self) -> u64 {
+        self.drops_total
+    }
+
+    /// Cells discarded at input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.index() >= n`.
+    pub fn drops_at_input(&self, i: InputPort) -> u64 {
+        assert!(i.index() < self.n, "input {i} outside switch");
+        self.drops_per_input[i.index()]
     }
 
     /// The flow-service discipline in force.
@@ -143,16 +212,15 @@ impl VoqBuffers {
         self.per_input[i.index()]
     }
 
-    /// Queued cells for the pair `(i, j)` across all its flows.
+    /// Queued cells for the pair `(i, j)` across all its flows. O(1): the
+    /// count is maintained incrementally by push/pop (it also backs the
+    /// finite-capacity admission check).
     pub fn pair_occupancy(&self, i: InputPort, j: OutputPort) -> usize {
         assert!(
             i.index() < self.n && j.index() < self.n,
             "pair ({i},{j}) outside switch"
         );
-        self.eligible[i.index()][j.index()]
-            .iter()
-            .map(|f| self.flows[f].len())
-            .sum()
+        self.pair_count[i.index()][j.index()]
     }
 
     /// Total queued cells of one flow.
@@ -160,13 +228,20 @@ impl VoqBuffers {
         self.flows.get(&flow).map_or(0, VecDeque::len)
     }
 
-    /// Enqueues an arrived cell.
+    /// Enqueues an arrived cell, or drops it (drop-tail) if the pair's VOQ
+    /// is at its configured capacity.
+    ///
+    /// A drop rejects the *arriving* cell only: queued cells, flow head
+    /// cells, and eligibility lists are untouched, so
+    /// [`VoqBuffers::oldest_per_input`] and in-flow FIFO order stay valid
+    /// across drops.
     ///
     /// # Panics
     ///
     /// Panics if the cell's ports are out of range, or if its flow was
-    /// previously seen with a different output (flows are route-pinned).
-    pub fn push(&mut self, cell: Cell) {
+    /// previously seen with a different output (flows are route-pinned;
+    /// reroute via [`VoqBuffers::redirect_flow`]).
+    pub fn push(&mut self, cell: Cell) -> PushOutcome {
         let (i, j) = (cell.input, cell.output);
         assert!(
             i.index() < self.n && j.index() < self.n,
@@ -178,6 +253,13 @@ impl VoqBuffers {
             "flow {} changed output ({} -> {j}); flows are route-pinned",
             cell.flow, pinned
         );
+        if let Some(cap) = self.capacity {
+            if self.pair_count[i.index()][j.index()] >= cap {
+                self.drops_total += 1;
+                self.drops_per_input[i.index()] += 1;
+                return PushOutcome::Dropped;
+            }
+        }
         let q = self.flows.entry(cell.flow).or_default();
         if q.is_empty() {
             // Flow becomes eligible for its pair.
@@ -188,6 +270,8 @@ impl VoqBuffers {
         self.next_seq += 1;
         self.total += 1;
         self.per_input[i.index()] += 1;
+        self.pair_count[i.index()][j.index()] += 1;
+        PushOutcome::Admitted
     }
 
     /// Dequeues the next cell for the pair `(i, j)`, choosing among its
@@ -232,7 +316,103 @@ impl VoqBuffers {
         }
         self.total -= 1;
         self.per_input[i.index()] -= 1;
+        self.pair_count[i.index()][j.index()] -= 1;
         Some(cell)
+    }
+
+    /// Re-pins `flow` to `new_output`, moving its queued cells to the new
+    /// pair's VOQ and rewriting their output. Used by network-level
+    /// recovery when a link failure reroutes a flow mid-stream.
+    ///
+    /// If the new pair's VOQ lacks room under the configured capacity, the
+    /// flow's *newest* cells are discarded (drop-tail, counted as drops)
+    /// until it fits. Returns the number of cells discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_output.index() >= n`.
+    pub fn redirect_flow(&mut self, flow: FlowId, new_output: OutputPort) -> usize {
+        assert!(
+            new_output.index() < self.n,
+            "output {new_output} outside switch"
+        );
+        let Some(&old_output) = self.flow_output.get(&flow) else {
+            // Unknown flow: pin it so future cells take the new route.
+            self.flow_output.insert(flow, new_output);
+            return 0;
+        };
+        if old_output == new_output {
+            return 0;
+        }
+        self.flow_output.insert(flow, new_output);
+        let Some(q) = self.flows.get_mut(&flow) else {
+            return 0;
+        };
+        if q.is_empty() {
+            return 0;
+        }
+        let i = q.front().expect("non-empty queue").1.input;
+        let count = q.len();
+        let (oi, oj) = (i.index(), old_output.index());
+        let list = &mut self.eligible[oi][oj];
+        if let Some(pos) = list.iter().position(|f| *f == flow) {
+            list.remove(pos);
+            if list.is_empty() {
+                self.requests.clear(i, old_output);
+            }
+        }
+        self.pair_count[oi][oj] -= count;
+        let nj = new_output.index();
+        let room = self
+            .capacity
+            .map_or(usize::MAX, |cap| cap.saturating_sub(self.pair_count[oi][nj]));
+        let kept = count.min(room);
+        let dropped = count - kept;
+        q.truncate(kept);
+        for (_, cell) in q.iter_mut() {
+            cell.output = new_output;
+        }
+        self.pair_count[oi][nj] += kept;
+        self.total -= dropped;
+        self.per_input[oi] -= dropped;
+        self.drops_total += dropped as u64;
+        self.drops_per_input[oi] += dropped as u64;
+        if kept > 0 {
+            self.eligible[oi][nj].push_back(flow);
+            self.requests.set(i, new_output);
+        }
+        dropped
+    }
+
+    /// Discards every queued cell of `flow` and forgets its route pin.
+    /// Used by network-level recovery for flows stranded by a failure with
+    /// no surviving path through this switch. Returns the number of cells
+    /// discarded (all counted as drops).
+    pub fn drop_flow(&mut self, flow: FlowId) -> usize {
+        let count = match self.flows.remove(&flow) {
+            Some(q) if !q.is_empty() => {
+                let i = q.front().expect("non-empty queue").1.input;
+                let j = q.front().expect("non-empty queue").1.output;
+                let count = q.len();
+                let (ii, jj) = (i.index(), j.index());
+                let list = &mut self.eligible[ii][jj];
+                if let Some(pos) = list.iter().position(|f| *f == flow) {
+                    list.remove(pos);
+                    if list.is_empty() {
+                        self.requests.clear(i, j);
+                    }
+                }
+                self.pair_count[ii][jj] -= count;
+                self.total -= count;
+                self.per_input[ii] -= count;
+                self.drops_total += count as u64;
+                self.drops_per_input[ii] += count as u64;
+                count
+            }
+            _ => 0,
+        };
+        self.flow_output.remove(&flow);
+        count
     }
 
     /// The request matrix for the next slot: pair `(i, j)` requests iff it
@@ -283,11 +463,15 @@ mod tests {
         }
     }
 
+    fn push_ok(voq: &mut VoqBuffers, cell: Cell) {
+        assert_eq!(voq.push(cell), PushOutcome::Admitted);
+    }
+
     #[test]
     fn fifo_within_flow() {
         let mut voq = VoqBuffers::new(4);
         for s in 0..5 {
-            voq.push(cell(4, 1, 2, s));
+            push_ok(&mut voq, cell(4, 1, 2, s));
         }
         for s in 0..5 {
             let c = voq.pop(InputPort::new(1), OutputPort::new(2)).unwrap();
@@ -301,8 +485,8 @@ mod tests {
         let mut voq = VoqBuffers::new(4);
         // Two flows on pair (0, 1), three cells each.
         for s in 0..3 {
-            voq.push(flow_cell(100, 0, 1, s));
-            voq.push(flow_cell(200, 0, 1, s));
+            push_ok(&mut voq, flow_cell(100, 0, 1, s));
+            push_ok(&mut voq, flow_cell(200, 0, 1, s));
         }
         let order: Vec<u64> = (0..6)
             .map(|_| {
@@ -318,8 +502,8 @@ mod tests {
     #[test]
     fn requests_reflect_eligibility() {
         let mut voq = VoqBuffers::new(4);
-        voq.push(cell(4, 0, 3, 0));
-        voq.push(cell(4, 2, 1, 0));
+        push_ok(&mut voq, cell(4, 0, 3, 0));
+        push_ok(&mut voq, cell(4, 2, 1, 0));
         let reqs = voq.requests();
         assert_eq!(reqs.len(), 2);
         assert!(reqs.has(InputPort::new(0), OutputPort::new(3)));
@@ -331,9 +515,9 @@ mod tests {
     #[test]
     fn occupancy_accounting() {
         let mut voq = VoqBuffers::new(4);
-        voq.push(cell(4, 0, 1, 0));
-        voq.push(cell(4, 0, 2, 1));
-        voq.push(cell(4, 3, 1, 1));
+        push_ok(&mut voq, cell(4, 0, 1, 0));
+        push_ok(&mut voq, cell(4, 0, 2, 1));
+        push_ok(&mut voq, cell(4, 3, 1, 1));
         assert_eq!(voq.len(), 3);
         assert_eq!(voq.input_occupancy(InputPort::new(0)), 2);
         assert_eq!(voq.pair_occupancy(InputPort::new(0), OutputPort::new(2)), 1);
@@ -346,8 +530,8 @@ mod tests {
     #[test]
     fn oldest_per_input_finds_earliest_queued() {
         let mut voq = VoqBuffers::new(4);
-        voq.push(cell(4, 0, 3, 5)); // queued first
-        voq.push(cell(4, 0, 1, 7)); // different VOQ, queued later
+        push_ok(&mut voq, cell(4, 0, 3, 5)); // queued first
+        push_ok(&mut voq, cell(4, 0, 1, 7)); // different VOQ, queued later
         let heads = voq.oldest_per_input();
         assert_eq!(heads[0].unwrap().arrival_slot, 5);
         assert!(heads[1].is_none());
@@ -361,10 +545,10 @@ mod tests {
         // same pair: FIFO service yields 100,100,200,200 (round-robin
         // would interleave).
         for s in 0..2 {
-            voq.push(flow_cell(100, 0, 1, s));
+            push_ok(&mut voq, flow_cell(100, 0, 1, s));
         }
         for s in 2..4 {
-            voq.push(flow_cell(200, 0, 1, s));
+            push_ok(&mut voq, flow_cell(200, 0, 1, s));
         }
         let order: Vec<u64> = (0..4)
             .map(|_| {
@@ -382,13 +566,128 @@ mod tests {
     #[should_panic(expected = "route-pinned")]
     fn flow_changing_output_panics() {
         let mut voq = VoqBuffers::new(4);
-        voq.push(flow_cell(7, 0, 1, 0));
-        voq.push(flow_cell(7, 0, 2, 1));
+        push_ok(&mut voq, flow_cell(7, 0, 1, 0));
+        push_ok(&mut voq, flow_cell(7, 0, 2, 1));
     }
 
     #[test]
     fn empty_pair_pop_is_none() {
         let mut voq = VoqBuffers::new(2);
         assert!(voq.pop(InputPort::new(0), OutputPort::new(0)).is_none());
+    }
+
+    #[test]
+    fn finite_capacity_drops_tail_and_counts() {
+        let mut voq = VoqBuffers::new(4);
+        voq.set_pair_capacity(Some(2));
+        assert_eq!(voq.pair_capacity(), Some(2));
+        push_ok(&mut voq, cell(4, 1, 2, 0));
+        push_ok(&mut voq, cell(4, 1, 2, 1));
+        assert_eq!(voq.push(cell(4, 1, 2, 2)), PushOutcome::Dropped);
+        assert_eq!(voq.len(), 2);
+        assert_eq!(voq.drops(), 1);
+        assert_eq!(voq.drops_at_input(InputPort::new(1)), 1);
+        assert_eq!(voq.drops_at_input(InputPort::new(0)), 0);
+        // The queued cells are the two oldest: drop-tail rejected the
+        // newest arrival, preserving in-flow FIFO order.
+        let a = voq.pop(InputPort::new(1), OutputPort::new(2)).unwrap();
+        let b = voq.pop(InputPort::new(1), OutputPort::new(2)).unwrap();
+        assert_eq!((a.arrival_slot, b.arrival_slot), (0, 1));
+        // Draining frees capacity for new arrivals.
+        push_ok(&mut voq, cell(4, 1, 2, 9));
+    }
+
+    #[test]
+    fn capacity_is_per_pair_not_global() {
+        let mut voq = VoqBuffers::new(4);
+        voq.set_pair_capacity(Some(1));
+        push_ok(&mut voq, cell(4, 0, 1, 0));
+        // A different pair of the same input still has room.
+        push_ok(&mut voq, cell(4, 0, 2, 0));
+        assert_eq!(voq.push(cell(4, 0, 1, 1)), PushOutcome::Dropped);
+    }
+
+    #[test]
+    fn oldest_per_input_stays_valid_after_drops() {
+        let mut voq = VoqBuffers::new(4);
+        voq.set_pair_capacity(Some(1));
+        push_ok(&mut voq, cell(4, 0, 3, 5));
+        assert_eq!(voq.push(cell(4, 0, 3, 6)), PushOutcome::Dropped);
+        let heads = voq.oldest_per_input();
+        // The dropped arrival never entered a queue; the head is untouched.
+        assert_eq!(heads[0].unwrap().arrival_slot, 5);
+    }
+
+    #[test]
+    fn redirect_flow_moves_cells_and_requests() {
+        let mut voq = VoqBuffers::new(4);
+        for s in 0..3 {
+            push_ok(&mut voq, flow_cell(9, 0, 1, s));
+        }
+        let dropped = voq.redirect_flow(FlowId(9), OutputPort::new(3));
+        assert_eq!(dropped, 0);
+        assert_eq!(voq.pair_occupancy(InputPort::new(0), OutputPort::new(1)), 0);
+        assert_eq!(voq.pair_occupancy(InputPort::new(0), OutputPort::new(3)), 3);
+        assert!(!voq.requests().has(InputPort::new(0), OutputPort::new(1)));
+        assert!(voq.requests().has(InputPort::new(0), OutputPort::new(3)));
+        // Cells come out of the new pair, rewritten and in order.
+        for s in 0..3 {
+            let c = voq.pop(InputPort::new(0), OutputPort::new(3)).unwrap();
+            assert_eq!(c.arrival_slot, s);
+            assert_eq!(c.output, OutputPort::new(3));
+        }
+        // The pin moved: pushing on the new route is accepted...
+        push_ok(&mut voq, flow_cell(9, 0, 3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "route-pinned")]
+    fn redirect_flow_repins_old_route_rejected() {
+        let mut voq = VoqBuffers::new(4);
+        push_ok(&mut voq, flow_cell(9, 0, 1, 0));
+        let _ = voq.redirect_flow(FlowId(9), OutputPort::new(3));
+        let _ = voq.push(flow_cell(9, 0, 1, 1)); // old route now violates the pin
+    }
+
+    #[test]
+    fn redirect_flow_respects_destination_capacity() {
+        let mut voq = VoqBuffers::new(4);
+        voq.set_pair_capacity(Some(2));
+        // Fill pair (0,3) with another flow's cell; flow 9 holds 2 on (0,1).
+        push_ok(&mut voq, flow_cell(5, 0, 3, 0));
+        push_ok(&mut voq, flow_cell(9, 0, 1, 1));
+        push_ok(&mut voq, flow_cell(9, 0, 1, 2));
+        let dropped = voq.redirect_flow(FlowId(9), OutputPort::new(3));
+        // Only one slot of room: the newest cell is discarded.
+        assert_eq!(dropped, 1);
+        assert_eq!(voq.drops(), 1);
+        assert_eq!(voq.pair_occupancy(InputPort::new(0), OutputPort::new(3)), 2);
+        assert_eq!(voq.len(), 2);
+        let kept: Vec<u64> = (0..2)
+            .map(|_| {
+                voq.pop(InputPort::new(0), OutputPort::new(3))
+                    .unwrap()
+                    .arrival_slot
+            })
+            .collect();
+        assert!(kept.contains(&1), "oldest redirected cell kept: {kept:?}");
+    }
+
+    #[test]
+    fn drop_flow_discards_and_unpins() {
+        let mut voq = VoqBuffers::new(4);
+        for s in 0..4 {
+            push_ok(&mut voq, flow_cell(7, 2, 1, s));
+        }
+        assert_eq!(voq.drop_flow(FlowId(7)), 4);
+        assert!(voq.is_empty());
+        assert_eq!(voq.drops(), 4);
+        assert_eq!(voq.drops_at_input(InputPort::new(2)), 4);
+        assert!(!voq.requests().has(InputPort::new(2), OutputPort::new(1)));
+        assert!(voq.pop(InputPort::new(2), OutputPort::new(1)).is_none());
+        // The pin is forgotten: the flow may reappear on a different route.
+        push_ok(&mut voq, flow_cell(7, 2, 3, 9));
+        // Dropping an unknown flow is a no-op.
+        assert_eq!(voq.drop_flow(FlowId(999)), 0);
     }
 }

@@ -9,6 +9,7 @@
 use an2_sched::rng::{SelectRng, Xoshiro256};
 use an2_sched::{AcceptPolicy, FrameSchedule, InputPort, IterationLimit, OutputPort, Pim};
 use an2_sim::cell::Arrival;
+use an2_sim::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, PortSide};
 use an2_sim::hybrid_switch::{ClassedArrival, HybridSwitch, ServiceClass};
 use an2_sim::metrics::SwitchReport;
 use an2_sim::model::SwitchModel;
@@ -55,18 +56,22 @@ impl Digest {
 
 /// Bernoulli arrivals at 0.8 load, uniformly random destinations; at most
 /// one cell per input per slot, as the models require.
-fn arrivals_for_slot(rng: &mut Xoshiro256) -> Vec<Arrival> {
+fn arrivals_for(n: usize, rng: &mut Xoshiro256) -> Vec<Arrival> {
     let mut batch = Vec::new();
-    for i in 0..N {
+    for i in 0..n {
         if rng.bernoulli(0.8) {
             batch.push(Arrival::pair(
-                N,
+                n,
                 InputPort::new(i),
-                OutputPort::new(rng.index(N)),
+                OutputPort::new(rng.index(n)),
             ));
         }
     }
     batch
+}
+
+fn arrivals_for_slot(rng: &mut Xoshiro256) -> Vec<Arrival> {
+    arrivals_for(N, rng)
 }
 
 fn model_digest(model: &mut impl SwitchModel) -> u64 {
@@ -97,6 +102,125 @@ fn crossbar_with_pim4() {
     let pim = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::Random);
     let mut sw = CrossbarSwitch::new(pim);
     assert_digest(model_digest(&mut sw), 0xa28e1aaf46392c78);
+}
+
+/// The fault layer's acceptance bar: stepping through `step_faulted` with
+/// an **empty** plan must reproduce [`crossbar_with_pim4`]'s digest bit for
+/// bit — same arrivals, same RNG draws, same matchings, same report.
+#[test]
+fn faulted_crossbar_with_empty_plan_is_bit_identical() {
+    let pim = Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::Random);
+    let mut sw = CrossbarSwitch::new(pim);
+    let mut plan = FaultPlan::new();
+    let mut log = FaultLog::new();
+    let mut rng = Xoshiro256::seed_from(0xA5A5);
+    for _ in 0..WARMUP {
+        sw.step_faulted(&arrivals_for_slot(&mut rng), &mut plan, &mut log);
+    }
+    sw.start_measurement();
+    for _ in 0..MEASURE {
+        sw.step_faulted(&arrivals_for_slot(&mut rng), &mut plan, &mut log);
+    }
+    let mut d = Digest::new();
+    d.report(&sw.report());
+    d.u64(sw.queued() as u64);
+    // The pinned digest of the *unfaulted* pim4 run, not a new constant.
+    assert_digest(d.0, 0xa28e1aaf46392c78);
+    assert_eq!(log.digest(), FaultLog::new().digest(), "log must stay empty");
+}
+
+/// Golden digest of a faulted 16×16 PIM(4) run under a fixed fault plan:
+/// input and output failures with recovery, scripted arrival losses, and a
+/// clock-drift excursion. Pins both the traffic outcome and the fault
+/// log's own digest so fault bookkeeping can't drift silently.
+#[test]
+fn faulted_crossbar_digest_is_pinned() {
+    const FN: usize = 16;
+    const SLOTS: u64 = 400;
+    let pim = Pim::with_options(FN, 7, IterationLimit::Fixed(4), AcceptPolicy::Random);
+    let mut sw = CrossbarSwitch::new(pim);
+    let mut plan = FaultPlan::from_events(vec![
+        FaultEvent {
+            slot: 40,
+            kind: FaultKind::PortFail {
+                switch: 0,
+                side: PortSide::Input,
+                port: 3,
+            },
+        },
+        FaultEvent {
+            slot: 60,
+            kind: FaultKind::CellDrop {
+                switch: 0,
+                input: 1,
+            },
+        },
+        FaultEvent {
+            slot: 61,
+            kind: FaultKind::CellDrop {
+                switch: 0,
+                input: 2,
+            },
+        },
+        FaultEvent {
+            slot: 80,
+            kind: FaultKind::PortFail {
+                switch: 0,
+                side: PortSide::Output,
+                port: 9,
+            },
+        },
+        FaultEvent {
+            slot: 100,
+            kind: FaultKind::CellCorrupt {
+                switch: 0,
+                input: 5,
+            },
+        },
+        FaultEvent {
+            slot: 101,
+            kind: FaultKind::CellCorrupt {
+                switch: 0,
+                input: 6,
+            },
+        },
+        FaultEvent {
+            slot: 120,
+            kind: FaultKind::PortRecover {
+                switch: 0,
+                side: PortSide::Input,
+                port: 3,
+            },
+        },
+        FaultEvent {
+            slot: 150,
+            kind: FaultKind::ClockDrift {
+                switch: 0,
+                slots: 5,
+            },
+        },
+        FaultEvent {
+            slot: 200,
+            kind: FaultKind::PortRecover {
+                switch: 0,
+                side: PortSide::Output,
+                port: 9,
+            },
+        },
+    ]);
+    let mut log = FaultLog::new();
+    let mut rng = Xoshiro256::seed_from(0x5EED);
+    sw.start_measurement();
+    for _ in 0..SLOTS {
+        sw.step_faulted(&arrivals_for(FN, &mut rng), &mut plan, &mut log);
+    }
+    assert_eq!(plan.remaining(), 0, "every scripted event must have fired");
+    assert_eq!(log.cells_dropped(), 2, "two scripted losses hit arrivals");
+    let mut d = Digest::new();
+    d.report(&sw.report());
+    d.u64(sw.queued() as u64);
+    d.u64(log.digest());
+    assert_digest(d.0, 0x874367ff6d918c36);
 }
 
 #[test]

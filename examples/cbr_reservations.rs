@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fast_frames: 40,
         },
         7,
-    );
+    )?;
     println!(
         "delivered {} cells; max adjusted latency {:.1} (bound {:.1}); peak buffers {:?} (bound {:.1})",
         report.cells_delivered,

@@ -34,7 +34,8 @@ fn build(trunks: usize, hosts: usize, seed: u64) -> (Network, Vec<FlowId>) {
             right,
             InputPort::new(8 - 1 - t),
             1,
-        );
+        )
+        .expect("trunk link");
     }
     // Host h on the left streams to host h on the right; flows are
     // spread across trunks round-robin at configuration time (static
@@ -43,9 +44,11 @@ fn build(trunks: usize, hosts: usize, seed: u64) -> (Network, Vec<FlowId>) {
     for h in 0..hosts {
         let f = FlowId(100 + h as u64);
         let trunk = OutputPort::new(8 - 1 - (h % trunks));
-        net.add_route(left, f, trunk);
-        net.add_route(right, f, OutputPort::new(h)); // deliver to host port
-        net.add_source(left, InputPort::new(h), vec![f], 1.0);
+        net.add_route(left, f, trunk).expect("trunk route");
+        net.add_route(right, f, OutputPort::new(h)) // deliver to host port
+            .expect("host route");
+        net.add_source(left, InputPort::new(h), vec![f], 1.0)
+            .expect("host source");
         flows.push(f);
     }
     net.validate().expect("LAN configuration is complete");

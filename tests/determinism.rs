@@ -66,7 +66,8 @@ fn statistical_matching_is_seed_deterministic() {
 fn cbr_chain_is_seed_deterministic() {
     let cfg = CbrChainConfig::example();
     let run = |seed: u64| {
-        let r = simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, seed);
+        let r =
+            simulate_cbr_chain(&cfg, ClockPolicy::Random, ClockPolicy::Random, seed).unwrap();
         (
             r.max_adjusted_latency.to_bits(),
             r.peak_buffer.clone(),

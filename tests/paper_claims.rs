@@ -137,7 +137,8 @@ fn cbr_bounds_hold_end_to_end() {
             },
             ClockPolicy::Random,
             seed,
-        );
+        )
+        .unwrap();
         assert!(rep.within_bounds(), "seed {seed}: {rep}");
     }
 }
