@@ -12,6 +12,7 @@
 use crate::Effort;
 use an2_sched::rng::Xoshiro256;
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// Measurements for one switch size.
@@ -64,42 +65,40 @@ impl AppendixAResult {
     }
 }
 
-/// Runs the Appendix A experiment for the given switch sizes.
-pub fn run(sizes: &[usize], effort: Effort, seed: u64) -> AppendixAResult {
+/// Runs the Appendix A experiment for the given switch sizes. Each size
+/// is one pool task seeded by `task_seed(seed, "appendix-a/n<n>")`.
+pub fn run(sizes: &[usize], effort: Effort, seed: u64, pool: &Pool) -> AppendixAResult {
     let trials = effort.scale(500, 20_000);
-    let rows = sizes
-        .iter()
-        .map(|&n| {
-            let mut gen = Xoshiro256::seed_from(seed ^ n as u64);
-            let mut pim = Pim::with_options(
-                n,
-                seed ^ 0xAAAA ^ n as u64,
-                IterationLimit::ToCompletion,
-                AcceptPolicy::Random,
-            );
-            let mut total_iters = 0u64;
-            let mut max_iters = 0usize;
-            let mut resolved_frac_sum = 0.0;
-            for _ in 0..trials {
-                let reqs = RequestMatrix::random(n, 1.0, &mut gen);
-                let before = reqs.len() as f64;
-                let (_, stats) = pim.schedule_with_stats(&reqs);
-                total_iters += stats.iterations_run as u64;
-                max_iters = max_iters.max(stats.iterations_run);
-                if before > 0.0 {
-                    resolved_frac_sum +=
-                        1.0 - stats.unresolved_after[0] as f64 / before;
-                }
+    let rows = pool.map(sizes.to_vec(), |_, n| {
+        let row_seed = task_seed(seed, &format!("appendix-a/n{n}"));
+        let mut gen = Xoshiro256::seed_from(row_seed);
+        let mut pim = Pim::with_options(
+            n,
+            row_seed ^ 0xAAAA,
+            IterationLimit::ToCompletion,
+            AcceptPolicy::Random,
+        );
+        let mut total_iters = 0u64;
+        let mut max_iters = 0usize;
+        let mut resolved_frac_sum = 0.0;
+        for _ in 0..trials {
+            let reqs = RequestMatrix::random(n, 1.0, &mut gen);
+            let before = reqs.len() as f64;
+            let (_, stats) = pim.schedule_with_stats(&reqs);
+            total_iters += stats.iterations_run as u64;
+            max_iters = max_iters.max(stats.iterations_run);
+            if before > 0.0 {
+                resolved_frac_sum += 1.0 - stats.unresolved_after[0] as f64 / before;
             }
-            AppendixARow {
-                n,
-                mean_iterations: total_iters as f64 / trials as f64,
-                max_iterations: max_iters,
-                bound: (n as f64).log2() + 4.0 / 3.0,
-                first_iter_resolution: resolved_frac_sum / trials as f64,
-            }
-        })
-        .collect();
+        }
+        AppendixARow {
+            n,
+            mean_iterations: total_iters as f64 / trials as f64,
+            max_iterations: max_iters,
+            bound: (n as f64).log2() + 4.0 / 3.0,
+            first_iter_resolution: resolved_frac_sum / trials as f64,
+        }
+    });
     AppendixAResult { rows }
 }
 
@@ -109,7 +108,7 @@ mod tests {
 
     #[test]
     fn log_bound_holds_across_sizes() {
-        let r = run(&[4, 8, 16, 32, 64], Effort::Quick, 9);
+        let r = run(&[4, 8, 16, 32, 64], Effort::Quick, 9, &Pool::new(2));
         for row in &r.rows {
             assert!(
                 row.mean_iterations <= row.bound,

@@ -6,6 +6,7 @@
 use crate::Effort;
 use an2_net::cbr::{simulate_cbr_chain, CbrChainConfig, CbrChainReport};
 use an2_net::clock::ClockPolicy;
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// One configuration's measurement against its bounds.
@@ -65,8 +66,9 @@ impl AppendixBResult {
     }
 }
 
-/// Runs the Appendix B sweep.
-pub fn run(effort: Effort, seed: u64) -> AppendixBResult {
+/// Runs the Appendix B sweep. Every (hops, policy, k) cell is one pool
+/// task seeded by `task_seed(seed, "appendix-b/h<hops>/<policy>/k<k>")`.
+pub fn run(effort: Effort, seed: u64, pool: &Pool) -> AppendixBResult {
     let frames = effort.scale(300, 5_000);
     let policies: [(&'static str, ClockPolicy); 3] = [
         ("constant", ClockPolicy::Constant(0.5)),
@@ -79,37 +81,36 @@ pub fn run(effort: Effort, seed: u64) -> AppendixBResult {
             },
         ),
     ];
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for hops in [1usize, 2, 4, 8] {
         for (label, policy) in &policies {
             for k in [1usize, 4] {
-                let mut cfg = CbrChainConfig {
-                    hops,
-                    cells_per_frame: k,
-                    switch_frame_slots: 100,
-                    controller_stuffing: 0,
-                    slot_time: 1.0,
-                    tolerance: 0.01,
-                    link_latency: 3.0,
-                    frames,
-                };
-                cfg.controller_stuffing = cfg.min_stuffing();
-                let report = simulate_cbr_chain(
-                    &cfg,
-                    policy.clone(),
-                    policy.clone(),
-                    seed ^ (hops as u64) << 8 ^ k as u64,
-                )
-                .expect("valid appendix B config");
-                rows.push(AppendixBRow {
-                    hops,
-                    cells_per_frame: k,
-                    policy: label,
-                    report,
-                });
+                cells.push((hops, *label, policy.clone(), k));
             }
         }
     }
+    let rows = pool.map(cells, |_, (hops, label, policy, k)| {
+        let mut cfg = CbrChainConfig {
+            hops,
+            cells_per_frame: k,
+            switch_frame_slots: 100,
+            controller_stuffing: 0,
+            slot_time: 1.0,
+            tolerance: 0.01,
+            link_latency: 3.0,
+            frames,
+        };
+        cfg.controller_stuffing = cfg.min_stuffing();
+        let cell_seed = task_seed(seed, &format!("appendix-b/h{hops}/{label}/k{k}"));
+        let report = simulate_cbr_chain(&cfg, policy.clone(), policy, cell_seed)
+            .expect("valid appendix B config");
+        AppendixBRow {
+            hops,
+            cells_per_frame: k,
+            policy: label,
+            report,
+        }
+    });
     AppendixBResult { rows }
 }
 
@@ -119,7 +120,7 @@ mod tests {
 
     #[test]
     fn every_configuration_respects_the_bounds() {
-        let r = run(Effort::Quick, 17);
+        let r = run(Effort::Quick, 17, &Pool::new(2));
         assert!(r.all_within_bounds(), "{}", r.render());
         assert_eq!(r.rows.len(), 4 * 3 * 2);
         // Latency observations grow with hops within each policy/k group.

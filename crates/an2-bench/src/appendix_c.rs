@@ -7,6 +7,7 @@
 
 use crate::Effort;
 use an2_sched::stat::{reservable_fraction, ReservationTable, StatisticalMatcher};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// One sweep configuration's delivered fraction.
@@ -60,35 +61,40 @@ impl AppendixCResult {
     }
 }
 
-/// Runs the Appendix C sweep on a 4×4 switch.
-pub fn run(effort: Effort, seed: u64) -> AppendixCResult {
+/// Runs the Appendix C sweep on a 4×4 switch. Every (rounds, X, fraction)
+/// cell is one pool task seeded by
+/// `task_seed(seed, "appendix-c/r<rounds>/x<X>/f<percent>")`.
+pub fn run(effort: Effort, seed: u64, pool: &Pool) -> AppendixCResult {
     let slots = effort.scale(30_000, 400_000);
     let n = 4;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for rounds in [1usize, 2, 3] {
         for x in [16usize, 64, 256] {
             for reserved_fraction in [1.0f64, 0.5] {
-                // Uniform reservation: each pair gets an equal share of
-                // the reserved portion of each link.
-                let per_pair = ((x as f64 * reserved_fraction) / n as f64).round() as usize;
-                let table = ReservationTable::from_fn(n, x, |_, _| per_pair);
-                let actual_reserved = per_pair as f64 * n as f64 / x as f64;
-                let mut sm = StatisticalMatcher::with_rounds(
-                    table,
-                    seed ^ ((rounds as u64) << 20 | (x as u64) << 4),
-                    rounds,
-                );
-                let matched: u64 = (0..slots).map(|_| sm.next_match().len() as u64).sum();
-                let delivered = matched as f64 / (slots as f64 * n as f64);
-                rows.push(AppendixCRow {
-                    rounds,
-                    x,
-                    reserved_fraction: actual_reserved,
-                    delivered_over_reserved: delivered / actual_reserved,
-                });
+                cells.push((rounds, x, reserved_fraction));
             }
         }
     }
+    let rows = pool.map(cells, |_, (rounds, x, reserved_fraction)| {
+        // Uniform reservation: each pair gets an equal share of the
+        // reserved portion of each link.
+        let per_pair = ((x as f64 * reserved_fraction) / n as f64).round() as usize;
+        let table = ReservationTable::from_fn(n, x, |_, _| per_pair);
+        let actual_reserved = per_pair as f64 * n as f64 / x as f64;
+        let cell_seed = task_seed(
+            seed,
+            &format!("appendix-c/r{rounds}/x{x}/f{}", (reserved_fraction * 100.0) as u32),
+        );
+        let mut sm = StatisticalMatcher::with_rounds(table, cell_seed, rounds);
+        let matched: u64 = (0..slots).map(|_| sm.next_match().len() as u64).sum();
+        let delivered = matched as f64 / (slots as f64 * n as f64);
+        AppendixCRow {
+            rounds,
+            x,
+            reserved_fraction: actual_reserved,
+            delivered_over_reserved: delivered / actual_reserved,
+        }
+    });
     AppendixCResult { rows }
 }
 
@@ -99,7 +105,7 @@ mod tests {
     #[test]
     fn matches_appendix_c_theory() {
         let e = std::f64::consts::E;
-        let r = run(Effort::Quick, 23);
+        let r = run(Effort::Quick, 23, &Pool::new(2));
         for row in &r.rows {
             match row.rounds {
                 1 => {

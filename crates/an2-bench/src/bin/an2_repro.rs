@@ -1,23 +1,40 @@
 //! `an2-repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! an2-repro <experiment> [--full] [--seed N]
+//! an2-repro <experiment> [--full] [--seed N] [--threads N] [--out DIR]
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig67 fig8 fig9
 //! karol latency95 appendix-a appendix-b appendix-c ablate-sched
 //! ablate-rng all`.
 //!
-//! By default runs at `--quick` statistics (seconds per experiment); pass
-//! `--full` for paper-scale sample counts.
+//! By default runs at `--quick` statistics (seconds per experiment) on
+//! all available cores; pass `--full` for paper-scale sample counts.
+//! Output is **bit-identical for every `--threads` value**: each sweep
+//! cell seeds its own PRNG from `task_seed(root, key)` rather than from
+//! its position in a shared random stream, so the work-stealing schedule
+//! cannot leak into the numbers. `--verify-serial` proves it on the spot
+//! by re-running the experiment on one thread and diffing the output.
 
 use an2_bench::{
     appendix_a, appendix_b, appendix_c, delay_curves, fairness_exp, faults, fig1, frames_demo,
     karol, latency95, perf, rng_ablation, stat_fairness, subframes, table1, table2, Effort,
 };
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
+use an2_task::{fnv1a, task_seed, Pool};
 
-const USAGE: &str = "usage: an2-repro <experiment> [--full] [--seed N] [--out DIR]
+const USAGE: &str = "usage: an2-repro <experiment> [--full] [--seed N] [--threads N] [--out DIR] [--verify-serial]
+options:
+  --full           paper-scale sample counts (default: --quick)
+  --seed N         root seed; every experiment derives its own seed from
+                   task_seed(N, experiment-name), every sweep cell from a
+                   further task key, so output depends only on N
+  --threads N      worker threads (default: all cores); any value yields
+                   bit-identical output
+  --out DIR        also write each experiment's render to DIR/<name>.txt
+  --verify-serial  re-run each experiment on 1 thread and fail unless the
+                   output is byte-identical (skipped for perf, whose
+                   report contains wall-clock timings)
 experiments:
   table1       % of matches found within K PIM iterations (Table 1)
   table2       AN2 component cost breakdown (Table 2)
@@ -44,7 +61,10 @@ experiments:
                results/FAULTS.json (not part of `all`)
   perf         implementation throughput: slots/sec per scheduler,
                written to BENCH_sched.json (not part of `all`)
-  all          everything above (except faults and perf)";
+  bench-compare [OLD NEW]  print per-case speedup between two saved
+               BENCH_sched.json files (defaults: results/BENCH_sched_pre.json
+               vs BENCH_sched.json)
+  all          everything above (except faults, perf, bench-compare)";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -54,19 +74,34 @@ fn main() {
     };
     let mut effort = Effort::Quick;
     let mut seed = 0xA52_1992u64;
+    let mut threads = 0usize; // 0 = all available cores
+    let mut verify_serial = false;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
     let rest: Vec<String> = args.collect();
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--full" => effort = Effort::Full,
             "--quick" => effort = Effort::Quick,
+            "--verify-serial" => verify_serial = true,
             "--seed" => {
                 i += 1;
                 seed = rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--seed needs an integer");
                     std::process::exit(2);
                 });
+            }
+            "--threads" => {
+                i += 1;
+                threads = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs an integer >= 1");
+                        std::process::exit(2);
+                    });
             }
             "--out" => {
                 i += 1;
@@ -76,6 +111,7 @@ fn main() {
                 });
                 out_dir = Some(std::path::PathBuf::from(dir));
             }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
             other => {
                 eprintln!("unknown option {other}\n{USAGE}");
                 std::process::exit(2);
@@ -89,6 +125,11 @@ fn main() {
             std::process::exit(1);
         }
     }
+    let pool = if threads == 0 {
+        Pool::available()
+    } else {
+        Pool::new(threads)
+    };
 
     let known = [
         "table1",
@@ -115,13 +156,16 @@ fn main() {
     match cmd.as_str() {
         "all" => {
             for name in known {
-                run_one(name, effort, seed, out_dir.as_deref());
+                run_one(name, effort, seed, &pool, verify_serial, out_dir.as_deref());
                 println!();
             }
         }
-        name if known.contains(&name) => run_one(name, effort, seed, out_dir.as_deref()),
-        "perf" => run_perf(effort, seed, out_dir.as_deref()),
+        name if known.contains(&name) => {
+            run_one(name, effort, seed, &pool, verify_serial, out_dir.as_deref())
+        }
+        "perf" => run_perf(effort, seed, &pool, out_dir.as_deref()),
         "faults" => run_faults(effort, seed, out_dir.as_deref()),
+        "bench-compare" => run_bench_compare(&positional),
         "-h" | "--help" | "help" => println!("{USAGE}"),
         other => {
             eprintln!("unknown experiment {other}\n{USAGE}");
@@ -133,9 +177,8 @@ fn main() {
 /// `perf` measures the implementation rather than reproducing a figure,
 /// so it writes `BENCH_sched.json` (to `--out` if given, else the current
 /// directory) instead of a `.txt` render.
-fn run_perf(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
-    let started = std::time::Instant::now();
-    let report = perf::run(effort, seed);
+fn run_perf(effort: Effort, seed: u64, pool: &Pool, out_dir: Option<&std::path::Path>) {
+    let report = perf::run(effort, task_seed(seed, "perf"), pool);
     print!("{}", report.render());
     let path = out_dir
         .unwrap_or(std::path::Path::new("."))
@@ -145,8 +188,9 @@ fn run_perf(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
         std::process::exit(1);
     }
     eprintln!(
-        "[perf finished in {:.1?}; wrote {}]",
-        started.elapsed(),
+        "[perf finished in {:.3}s on {} threads; wrote {}]",
+        report.total_wall_sec,
+        report.threads,
         path.display()
     );
 }
@@ -156,7 +200,7 @@ fn run_perf(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
 /// a `.txt` render.
 fn run_faults(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
     let started = std::time::Instant::now();
-    let report = faults::run(effort, seed);
+    let report = faults::run(effort, task_seed(seed, "faults"));
     print!("{}", report.render());
     let dir = out_dir.unwrap_or(std::path::Path::new("results"));
     if let Err(e) = std::fs::create_dir_all(dir) {
@@ -175,31 +219,42 @@ fn run_faults(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
     );
 }
 
-fn run_one(name: &str, effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
-    let started = std::time::Instant::now();
-    let out = match name {
-        "table1" => table1::run(16, effort, seed).render(),
-        "table2" => table2::render(),
-        "fig1" => fig1::run(16, effort, seed).render(),
-        "fig2" => fig2_trace(seed),
-        "fig3" => delay_curves::figure_3(effort).render(),
-        "fig4" => delay_curves::figure_4(effort).render(),
-        "fig5" => delay_curves::figure_5(effort).render(),
-        "fig67" => frames_demo::run(),
-        "fig8" => fairness_exp::figure_8(effort, seed).render(),
-        "fig9" => fairness_exp::figure_9(effort, seed).render(),
-        "karol" => karol::run(&[4, 8, 16, 32, 64], effort, seed).render(),
-        "latency95" => latency95::run(effort, seed).render(),
-        "appendix-a" => appendix_a::run(&[4, 8, 16, 32, 64, 128], effort, seed).render(),
-        "appendix-b" => appendix_b::run(effort, seed).render(),
-        "appendix-c" => appendix_c::run(effort, seed).render(),
-        "ablate-sched" => delay_curves::ablate_schedulers(effort).render(),
-        "ablate-rng" => rng_ablation::run(effort, seed).render(),
-        "ablate-speedup" => delay_curves::ablate_speedup(effort).render(),
-        "stat-fairness" => stat_fairness::run(effort, seed).render(),
-        "subframes" => subframes::run(effort, seed).render(),
-        _ => unreachable!("validated by caller"),
+/// `bench-compare`: print the per-case speedup between two saved
+/// `BENCH_sched.json` reports.
+fn run_bench_compare(paths: &[String]) {
+    let (old_path, new_path) = match paths {
+        [] => ("results/BENCH_sched_pre.json", "BENCH_sched.json"),
+        [old, new] => (old.as_str(), new.as_str()),
+        _ => {
+            eprintln!("bench-compare takes zero or two file arguments\n{USAGE}");
+            std::process::exit(2);
+        }
     };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    match perf::compare(&read(old_path), &read(new_path)) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    effort: Effort,
+    seed: u64,
+    pool: &Pool,
+    verify_serial: bool,
+    out_dir: Option<&std::path::Path>,
+) {
+    let started = std::time::Instant::now();
+    let out = render_one(name, effort, seed, pool);
     print!("{out}");
     if let Some(dir) = out_dir {
         let path = dir.join(format!("{name}.txt"));
@@ -208,7 +263,54 @@ fn run_one(name: &str, effort: Effort, seed: u64, out_dir: Option<&std::path::Pa
             std::process::exit(1);
         }
     }
-    eprintln!("[{name} finished in {:.1?}]", started.elapsed());
+    let digest = fnv1a(out.as_bytes());
+    if verify_serial && pool.threads() > 1 {
+        let serial = render_one(name, effort, seed, &Pool::serial());
+        if serial != out {
+            eprintln!(
+                "[{name}: DETERMINISM VIOLATION — {}-thread output differs from serial \
+                 (digests {digest:#018x} vs {:#018x})]",
+                pool.threads(),
+                fnv1a(serial.as_bytes())
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[{name}: serial re-run is byte-identical]");
+    }
+    eprintln!(
+        "[{name} finished in {:.1?}; digest {digest:#018x}]",
+        started.elapsed()
+    );
+}
+
+/// Renders one experiment. Every experiment gets its own root seed
+/// derived from the CLI seed and its name, so `--seed` steers all of them
+/// and no experiment's cell keys can collide with another's.
+fn render_one(name: &str, effort: Effort, seed: u64, pool: &Pool) -> String {
+    let s = task_seed(seed, name);
+    match name {
+        "table1" => table1::run(16, effort, s, pool).render(),
+        "table2" => table2::render(),
+        "fig1" => fig1::run(16, effort, s, pool).render(),
+        "fig2" => fig2_trace(s),
+        "fig3" => delay_curves::figure_3(effort, s, pool).render(),
+        "fig4" => delay_curves::figure_4(effort, s, pool).render(),
+        "fig5" => delay_curves::figure_5(effort, s, pool).render(),
+        "fig67" => frames_demo::run(),
+        "fig8" => fairness_exp::figure_8(effort, s, pool).render(),
+        "fig9" => fairness_exp::figure_9(effort, s, pool).render(),
+        "karol" => karol::run(&[4, 8, 16, 32, 64], effort, s, pool).render(),
+        "latency95" => latency95::run(effort, s).render(),
+        "appendix-a" => appendix_a::run(&[4, 8, 16, 32, 64, 128], effort, s, pool).render(),
+        "appendix-b" => appendix_b::run(effort, s, pool).render(),
+        "appendix-c" => appendix_c::run(effort, s, pool).render(),
+        "ablate-sched" => delay_curves::ablate_schedulers(effort, s, pool).render(),
+        "ablate-rng" => rng_ablation::run(effort, s, pool).render(),
+        "ablate-speedup" => delay_curves::ablate_speedup(effort, s, pool).render(),
+        "stat-fairness" => stat_fairness::run(effort, s, pool).render(),
+        "subframes" => subframes::run(effort, s, pool).render(),
+        _ => unreachable!("validated by caller"),
+    }
 }
 
 /// Figure 2: trace one PIM scheduling decision on the paper's request

@@ -21,6 +21,7 @@ use an2_sim::output_queued::OutputQueuedSwitch;
 use an2_sim::sim::SimConfig;
 use an2_sim::switch::CrossbarSwitch;
 use an2_sim::traffic::{RateMatrixTraffic, Traffic};
+use an2_task::{task_seed, Pool};
 
 /// Which switch/scheduler configuration a curve simulates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -182,27 +183,48 @@ fn sim_config(effort: Effort) -> SimConfig {
     }
 }
 
+/// Axes of one delay-vs-load sweep: which switches run, under what
+/// workload, over which load points, at what radix.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepSpec<'a> {
+    /// Plot title.
+    pub title: &'a str,
+    /// Switch radix.
+    pub n: usize,
+    /// Switch kinds, one curve each.
+    pub kinds: &'a [SwitchKind],
+    /// Traffic workload shared by all curves.
+    pub workload: Workload,
+    /// Offered-load axis.
+    pub loads: &'a [f64],
+}
+
 /// Runs one delay-vs-load sweep for several switch kinds on a common load
-/// axis.
-pub fn sweep(
-    title: &str,
-    n: usize,
-    kinds: &[SwitchKind],
-    workload: Workload,
-    loads: &[f64],
-    effort: Effort,
-) -> CurveSet {
+/// axis. Each curve derives its own root seed from
+/// `task_seed(root_seed, "curve/<label>")`, and `load_sweep` splits it
+/// further per (load, replication) cell, so the whole grid is a pure
+/// function of `root_seed` regardless of pool size.
+pub fn sweep(spec: &SweepSpec<'_>, effort: Effort, root_seed: u64, pool: &Pool) -> CurveSet {
     let cfg = sim_config(effort);
     let reps = effort.scale(1, 3);
-    let series = kinds
+    let series = spec
+        .kinds
         .iter()
         .map(|&kind| {
-            let f = Factory { kind, workload, n };
-            (kind.label(), load_sweep(loads, &f, cfg, reps))
+            let f = Factory {
+                kind,
+                workload: spec.workload,
+                n: spec.n,
+            };
+            let curve_seed = task_seed(root_seed, &format!("curve/{}", kind.label()));
+            (
+                kind.label(),
+                load_sweep(spec.loads, &f, cfg, reps, curve_seed, pool),
+            )
         })
         .collect();
     CurveSet {
-        title: title.to_string(),
+        title: spec.title.to_string(),
         series,
     }
 }
@@ -213,80 +235,100 @@ pub fn default_loads() -> Vec<f64> {
 }
 
 /// Figure 3: FIFO vs PIM(4) vs output queueing, uniform workload, 16×16.
-pub fn figure_3(effort: Effort) -> CurveSet {
+pub fn figure_3(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
     sweep(
-        "Figure 3: mean delay (slots) vs offered load, uniform, 16x16",
-        16,
-        &[SwitchKind::Fifo, SwitchKind::Pim(4), SwitchKind::OutputQueued],
-        Workload::Uniform,
-        &default_loads(),
+        &SweepSpec {
+            title: "Figure 3: mean delay (slots) vs offered load, uniform, 16x16",
+            n: 16,
+            kinds: &[SwitchKind::Fifo, SwitchKind::Pim(4), SwitchKind::OutputQueued],
+            workload: Workload::Uniform,
+            loads: &default_loads(),
+        },
         effort,
+        seed,
+        pool,
     )
 }
 
 /// Figure 4: the same switches under the client–server workload.
-pub fn figure_4(effort: Effort) -> CurveSet {
+pub fn figure_4(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
     sweep(
-        "Figure 4: mean delay (slots) vs server-link load, client-server, 16x16",
-        16,
-        &[SwitchKind::Fifo, SwitchKind::Pim(4), SwitchKind::OutputQueued],
-        Workload::ClientServer,
-        &default_loads(),
+        &SweepSpec {
+            title: "Figure 4: mean delay (slots) vs server-link load, client-server, 16x16",
+            n: 16,
+            kinds: &[SwitchKind::Fifo, SwitchKind::Pim(4), SwitchKind::OutputQueued],
+            workload: Workload::ClientServer,
+            loads: &default_loads(),
+        },
         effort,
+        seed,
+        pool,
     )
 }
 
 /// Figure 5: PIM iteration count 1–4 and run-to-completion, uniform.
-pub fn figure_5(effort: Effort) -> CurveSet {
+pub fn figure_5(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
     sweep(
-        "Figure 5: PIM mean delay (slots) vs offered load by iteration count, uniform, 16x16",
-        16,
-        &[
+        &SweepSpec {
+            title: "Figure 5: PIM mean delay (slots) vs offered load by iteration count, uniform, 16x16",
+            n: 16,
+            kinds: &[
             SwitchKind::Pim(1),
             SwitchKind::Pim(2),
             SwitchKind::Pim(3),
             SwitchKind::Pim(4),
             SwitchKind::PimComplete,
         ],
-        Workload::Uniform,
-        &default_loads(),
+            workload: Workload::Uniform,
+            loads: &default_loads(),
+        },
         effort,
+        seed,
+        pool,
     )
 }
 
 /// Ablation: fabric speedup k ∈ {1, 2, 4} between plain PIM and perfect
 /// output queueing (§3.1's replicated-fabric generalization).
-pub fn ablate_speedup(effort: Effort) -> CurveSet {
+pub fn ablate_speedup(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
     sweep(
-        "Ablation: fabric speedup (k-grant PIM + output buffers), uniform, 16x16",
-        16,
-        &[
+        &SweepSpec {
+            title: "Ablation: fabric speedup (k-grant PIM + output buffers), uniform, 16x16",
+            n: 16,
+            kinds: &[
             SwitchKind::Pim(4),
             SwitchKind::Speedup(1),
             SwitchKind::Speedup(2),
             SwitchKind::Speedup(4),
             SwitchKind::OutputQueued,
         ],
-        Workload::Uniform,
-        &default_loads(),
+            workload: Workload::Uniform,
+            loads: &default_loads(),
+        },
         effort,
+        seed,
+        pool,
     )
 }
 
 /// Ablation: PIM vs iSLIP vs RRM vs maximum matching, uniform workload.
-pub fn ablate_schedulers(effort: Effort) -> CurveSet {
+pub fn ablate_schedulers(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
     sweep(
-        "Ablation: PIM(4) vs iSLIP(4) vs RRM(4) vs maximum matching, uniform, 16x16",
-        16,
-        &[
+        &SweepSpec {
+            title: "Ablation: PIM(4) vs iSLIP(4) vs RRM(4) vs maximum matching, uniform, 16x16",
+            n: 16,
+            kinds: &[
             SwitchKind::Pim(4),
             SwitchKind::Islip(4),
             SwitchKind::Rrm(4),
             SwitchKind::Maximum,
         ],
-        Workload::Uniform,
-        &default_loads(),
+            workload: Workload::Uniform,
+            loads: &default_loads(),
+        },
         effort,
+        seed,
+        pool,
     )
 }
 
@@ -301,12 +343,16 @@ mod tests {
     #[test]
     fn figure_3_shape() {
         let cs = sweep(
-            "t",
-            16,
-            &[SwitchKind::Fifo, SwitchKind::Pim(4), SwitchKind::OutputQueued],
-            Workload::Uniform,
-            &TEST_LOADS,
+            &SweepSpec {
+                title: "t",
+                n: 16,
+                kinds: &[SwitchKind::Fifo, SwitchKind::Pim(4), SwitchKind::OutputQueued],
+                workload: Workload::Uniform,
+                loads: &TEST_LOADS,
+            },
             Effort::Quick,
+            7,
+            &Pool::new(2),
         );
         let fifo = cs.series("fifo").unwrap();
         let pim = cs.series("pim4").unwrap();
@@ -327,12 +373,16 @@ mod tests {
     #[test]
     fn figure_4_client_server_shape() {
         let cs = sweep(
-            "t",
-            16,
-            &[SwitchKind::Pim(4), SwitchKind::OutputQueued],
-            Workload::ClientServer,
-            &[0.5, 0.9],
+            &SweepSpec {
+                title: "t",
+                n: 16,
+                kinds: &[SwitchKind::Pim(4), SwitchKind::OutputQueued],
+                workload: Workload::ClientServer,
+                loads: &[0.5, 0.9],
+            },
             Effort::Quick,
+            7,
+            &Pool::new(2),
         );
         let pim = cs.series("pim4").unwrap();
         let outq = cs.series("outq").unwrap();
@@ -344,16 +394,20 @@ mod tests {
     #[test]
     fn figure_5_iterations_shape() {
         let cs = sweep(
-            "t",
-            16,
-            &[
+            &SweepSpec {
+                title: "t",
+                n: 16,
+                kinds: &[
                 SwitchKind::Pim(1),
                 SwitchKind::Pim(4),
                 SwitchKind::PimComplete,
             ],
-            Workload::Uniform,
-            &[0.6, 0.9],
+                workload: Workload::Uniform,
+                loads: &[0.6, 0.9],
+            },
             Effort::Quick,
+            7,
+            &Pool::new(2),
         );
         let p1 = cs.series("pim1").unwrap();
         let p4 = cs.series("pim4").unwrap();
@@ -369,16 +423,20 @@ mod tests {
     #[test]
     fn speedup_interpolates_between_pim_and_output_queueing() {
         let cs = sweep(
-            "t",
-            16,
-            &[
+            &SweepSpec {
+                title: "t",
+                n: 16,
+                kinds: &[
                 SwitchKind::Pim(4),
                 SwitchKind::Speedup(2),
                 SwitchKind::OutputQueued,
             ],
-            Workload::Uniform,
-            &[0.9],
+                workload: Workload::Uniform,
+                loads: &[0.9],
+            },
             Effort::Quick,
+            7,
+            &Pool::new(2),
         );
         let pim = cs.series("pim4").unwrap()[0].mean_delay();
         let spd = cs.series("spdup2").unwrap()[0].mean_delay();

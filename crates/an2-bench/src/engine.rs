@@ -1,0 +1,115 @@
+//! Experiment-engine task registry for determinism checks.
+//!
+//! The parallel runner's contract is that every experiment is a bag of
+//! self-contained tasks whose seeds come from `task_seed(root, key)` —
+//! never from a shared PRNG stream — so the output is a pure function of
+//! the root seed, independent of thread count, submission order, and
+//! work-stealing schedule. This module exposes a registry of cheap
+//! "smoke" versions of the experiments so tests (see
+//! `tests/engine.rs`) can run arbitrary subsets in arbitrary orders at
+//! arbitrary thread counts and compare digests.
+
+use crate::{
+    appendix_a, appendix_b, fairness_exp, fig1, karol, stat_fairness, subframes, table1, Effort,
+};
+use an2_task::{fnv1a, task_seed, Pool};
+
+/// One smoke task: a named, self-contained experiment run that renders to
+/// text. The function receives the task's derived seed and must not read
+/// any other ambient state.
+#[derive(Clone, Copy)]
+pub struct SmokeTask {
+    /// Registry name; also the `task_seed` key.
+    pub name: &'static str,
+    run: fn(u64) -> String,
+}
+
+impl std::fmt::Debug for SmokeTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmokeTask").field("name", &self.name).finish()
+    }
+}
+
+impl SmokeTask {
+    /// Runs the task at `seed` and returns the fnv1a digest of its
+    /// rendered text.
+    pub fn digest(&self, seed: u64) -> u64 {
+        fnv1a((self.run)(seed).as_bytes())
+    }
+}
+
+/// The registry: small, fast configurations of the real experiment
+/// modules. Each entry runs its experiment serially — the parallelism
+/// under test is *across* tasks, supplied by [`run_smoke`]'s pool.
+pub fn registry() -> Vec<SmokeTask> {
+    fn t(name: &'static str, run: fn(u64) -> String) -> SmokeTask {
+        SmokeTask { name, run }
+    }
+    vec![
+        t("table1-n8", |s| {
+            table1::run(8, Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("fig1-n8", |s| {
+            fig1::run(8, Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("fig8", |s| {
+            fairness_exp::figure_8(Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("fig9", |s| {
+            fairness_exp::figure_9(Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("karol-small", |s| {
+            karol::run(&[4, 8], Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("appendix-a-small", |s| {
+            appendix_a::run(&[4, 8, 16], Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("appendix-b", |s| {
+            appendix_b::run(Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("stat-fairness", |s| {
+            stat_fairness::run(Effort::Quick, s, &Pool::serial()).render()
+        }),
+        t("subframes", |s| {
+            subframes::run(Effort::Quick, s, &Pool::serial()).render()
+        }),
+    ]
+}
+
+/// Runs the selected registry tasks (by index, in the given order) on
+/// `pool` and returns `(name, digest)` pairs in selection order. Each
+/// task's seed is `task_seed(root_seed, name)`, so the digests depend
+/// only on `root_seed` and the selection — not on `pool` or on the order
+/// tasks happen to finish.
+pub fn run_smoke(pool: &Pool, root_seed: u64, selection: &[usize]) -> Vec<(&'static str, u64)> {
+    let all = registry();
+    let picked: Vec<SmokeTask> = selection.iter().map(|&i| all[i]).collect();
+    pool.map(picked, move |_, task| {
+        (task.name, task.digest(task_seed(root_seed, task.name)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let all = registry();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn digests_depend_on_the_seed() {
+        let all = registry();
+        let idx = all.iter().position(|t| t.name == "fig8").expect("fig8");
+        let a = run_smoke(&Pool::serial(), 1, &[idx]);
+        let b = run_smoke(&Pool::serial(), 2, &[idx]);
+        assert_eq!(a[0].0, "fig8");
+        assert_ne!(a[0].1, b[0].1, "different roots must yield different runs");
+    }
+}

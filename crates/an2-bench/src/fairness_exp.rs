@@ -4,6 +4,7 @@ use crate::Effort;
 use an2_net::fairness::{figure_8_connection_rates, figure_9_shares_with, ChainShares};
 use an2_sched::{AcceptPolicy, IterationLimit, Pim};
 use an2_sim::voq::ServiceDiscipline;
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// Result of the Figure 8 experiment at both iteration budgets.
@@ -41,14 +42,19 @@ impl Fig8Result {
     }
 }
 
-/// Runs Figure 8 at one and four PIM iterations.
-pub fn figure_8(effort: Effort, seed: u64) -> Fig8Result {
+/// Runs Figure 8 at one and four PIM iterations, as two pool tasks seeded
+/// by `task_seed(seed, "fig8/iter<k>")`.
+pub fn figure_8(effort: Effort, seed: u64, pool: &Pool) -> Fig8Result {
     let slots = effort.scale(100_000, 2_000_000);
-    let mut pim1 = Pim::with_options(4, seed, IterationLimit::Fixed(1), AcceptPolicy::Random);
-    let mut pim4 = Pim::with_options(4, seed ^ 1, IterationLimit::Fixed(4), AcceptPolicy::Random);
+    let rates = pool.map(vec![1usize, 4], |_, iters| {
+        let s = task_seed(seed, &format!("fig8/iter{iters}"));
+        let mut pim =
+            Pim::with_options(4, s, IterationLimit::Fixed(iters), AcceptPolicy::Random);
+        figure_8_connection_rates(&mut pim, slots)
+    });
     Fig8Result {
-        one_iteration: figure_8_connection_rates(&mut pim1, slots),
-        four_iterations: figure_8_connection_rates(&mut pim4, slots),
+        one_iteration: rates[0],
+        four_iterations: rates[1],
     }
 }
 
@@ -86,19 +92,24 @@ impl Fig9Result {
     }
 }
 
-/// Runs Figure 9 under both disciplines.
-pub fn figure_9(effort: Effort, seed: u64) -> Fig9Result {
+/// Runs Figure 9 under both disciplines, as two pool tasks seeded by
+/// `task_seed(seed, "fig9/<discipline>")`.
+pub fn figure_9(effort: Effort, seed: u64, pool: &Pool) -> Fig9Result {
     let warmup = effort.scale(5_000, 20_000);
     let measure = effort.scale(40_000, 400_000);
-    Fig9Result {
-        fifo: figure_9_shares_with(seed, warmup, measure, ServiceDiscipline::Fifo),
-        round_robin: figure_9_shares_with(
-            seed ^ 0xF00,
-            warmup,
-            measure,
-            ServiceDiscipline::RoundRobin,
-        ),
-    }
+    let mut shares = pool.map(
+        vec![
+            ("fifo", ServiceDiscipline::Fifo),
+            ("round-robin", ServiceDiscipline::RoundRobin),
+        ],
+        |_, (label, discipline)| {
+            let s = task_seed(seed, &format!("fig9/{label}"));
+            figure_9_shares_with(s, warmup, measure, discipline)
+        },
+    );
+    let round_robin = shares.pop().expect("two disciplines ran");
+    let fifo = shares.pop().expect("two disciplines ran");
+    Fig9Result { fifo, round_robin }
 }
 
 #[cfg(test)]
@@ -107,7 +118,7 @@ mod tests {
 
     #[test]
     fn figure_8_one_iteration_numbers() {
-        let r = figure_8(Effort::Quick, 1);
+        let r = figure_8(Effort::Quick, 1, &Pool::new(2));
         let (starved, others) = r.one_iteration;
         assert!((starved - 1.0 / 16.0).abs() < 0.012, "starved {starved}");
         for o in others {
@@ -121,7 +132,7 @@ mod tests {
 
     #[test]
     fn figure_9_both_disciplines() {
-        let r = figure_9(Effort::Quick, 2);
+        let r = figure_9(Effort::Quick, 2, &Pool::new(2));
         assert!((r.fifo.shares[0] - 0.5).abs() < 0.05);
         assert!((r.fifo.shares[1] - 0.25).abs() < 0.05);
         assert!((r.round_robin.shares[1] - 1.0 / 6.0).abs() < 0.05);

@@ -19,6 +19,7 @@ use an2_sim::model::SwitchModel;
 use an2_sim::switch::CrossbarSwitch;
 use an2_sim::cell::Arrival;
 use an2_sim::traffic::{PeriodicTraffic, Traffic};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// Results of the Figure 1 reproduction.
@@ -57,8 +58,10 @@ impl Fig1Result {
     }
 }
 
-/// Runs both Figure 1 demonstrations on an `n`×`n` switch.
-pub fn run(n: usize, effort: Effort, seed: u64) -> Fig1Result {
+/// Runs both Figure 1 demonstrations on an `n`×`n` switch. The four
+/// measurements (two drains, two sustained runs) are independent pool
+/// tasks, each seeded by `task_seed(seed, "fig1/<which>")`.
+pub fn run(n: usize, effort: Effort, seed: u64, pool: &Pool) -> Fig1Result {
     // --- Snapshot drain -------------------------------------------------
     // The figure's literal state: every input already holds one queued
     // cell for each output, in the same order (outputs 0, 1, ..., n-1).
@@ -81,12 +84,6 @@ pub fn run(n: usize, effort: Effort, seed: u64) -> Fig1Result {
         }
         slot
     };
-    let mut fifo = FifoSwitch::new(n, FifoPriority::Rotating, seed);
-    fifo.preload(&snapshot);
-    let fifo_drain_slots = drain(&mut fifo);
-    let mut pim = CrossbarSwitch::new(Pim::new(n, seed));
-    pim.preload(&snapshot);
-    let pim_drain_slots = drain(&mut pim);
 
     // --- Sustained collapse ----------------------------------------------
     // Block length scales with the horizon: long enough that FIFO heads
@@ -96,8 +93,8 @@ pub fn run(n: usize, effort: Effort, seed: u64) -> Fig1Result {
     // random-access schedulers see a full request matrix.
     let slots = effort.scale(20_000, 200_000);
     let block = (slots as usize / (2 * n)).max(1);
-    let sustained = |model: &mut dyn SwitchModel| -> f64 {
-        let mut t = PeriodicTraffic::with_block_len(n, 1.0, seed, block);
+    let sustained = |model: &mut dyn SwitchModel, traffic_seed: u64| -> f64 {
+        let mut t = PeriodicTraffic::with_block_len(n, 1.0, traffic_seed, block);
         let mut buf = Vec::new();
         for s in 0..slots {
             if s == slots * 3 / 5 {
@@ -109,16 +106,38 @@ pub fn run(n: usize, effort: Effort, seed: u64) -> Fig1Result {
         }
         model.report().mean_output_utilization()
     };
-    let mut fifo = FifoSwitch::new(n, FifoPriority::Rotating, seed);
-    let fifo_sustained_util = sustained(&mut fifo);
-    let mut pim = CrossbarSwitch::new(Pim::new(n, seed ^ 1));
-    let pim_sustained_util = sustained(&mut pim);
+
+    let which = vec!["fifo-drain", "pim-drain", "fifo-sustained", "pim-sustained"];
+    let vals = pool.map(which, |_, w| {
+        let s = task_seed(seed, &format!("fig1/{w}"));
+        match w {
+            "fifo-drain" => {
+                let mut fifo = FifoSwitch::new(n, FifoPriority::Rotating, s);
+                fifo.preload(&snapshot);
+                drain(&mut fifo) as f64
+            }
+            "pim-drain" => {
+                let mut pim = CrossbarSwitch::new(Pim::new(n, s));
+                pim.preload(&snapshot);
+                drain(&mut pim) as f64
+            }
+            "fifo-sustained" => {
+                let mut fifo = FifoSwitch::new(n, FifoPriority::Rotating, s);
+                sustained(&mut fifo, s ^ 1)
+            }
+            "pim-sustained" => {
+                let mut pim = CrossbarSwitch::new(Pim::new(n, s));
+                sustained(&mut pim, s ^ 1)
+            }
+            _ => unreachable!(),
+        }
+    });
 
     Fig1Result {
-        fifo_drain_slots,
-        pim_drain_slots,
-        fifo_sustained_util,
-        pim_sustained_util,
+        fifo_drain_slots: vals[0] as u64,
+        pim_drain_slots: vals[1] as u64,
+        fifo_sustained_util: vals[2],
+        pim_sustained_util: vals[3],
         n,
     }
 }
@@ -129,7 +148,7 @@ mod tests {
 
     #[test]
     fn fifo_collapses_and_pim_does_not() {
-        let r = run(4, Effort::Quick, 7);
+        let r = run(4, Effort::Quick, 7, &Pool::new(2));
         // PIM drains the n-cells-per-input snapshot in about n slots
         // (perfect or near-perfect matches every slot). FIFO's collided
         // heads unblock one input per slot, so the drain takes 2n-1 slots

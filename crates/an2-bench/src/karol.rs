@@ -13,6 +13,7 @@ use an2_sim::fifo_switch::FifoSwitch;
 use an2_sim::model::SwitchModel;
 use an2_sim::switch::CrossbarSwitch;
 use an2_sim::traffic::{RateMatrixTraffic, Traffic};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// Karol's asymptotic FIFO saturation throughput, `2 − √2`.
@@ -48,7 +49,9 @@ impl KarolResult {
 }
 
 /// Measures saturation utilization for FIFO switches of the given sizes.
-pub fn run(sizes: &[usize], effort: Effort, seed: u64) -> KarolResult {
+/// Each size plus the PIM(4) contrast run is one pool task seeded by
+/// `task_seed(seed, "karol/<which>")`.
+pub fn run(sizes: &[usize], effort: Effort, seed: u64, pool: &Pool) -> KarolResult {
     let slots = effort.scale(30_000, 300_000);
     let saturation = |model: &mut dyn SwitchModel, n: usize, seed: u64| -> f64 {
         let mut t = RateMatrixTraffic::uniform(n, 1.0, seed);
@@ -63,24 +66,26 @@ pub fn run(sizes: &[usize], effort: Effort, seed: u64) -> KarolResult {
         }
         model.report().mean_output_utilization()
     };
-    let fifo = std::thread::scope(|scope| {
-        let handles: Vec<_> = sizes
-            .iter()
-            .map(|&n| {
-                scope.spawn(move || {
-                    let mut sw = FifoSwitch::new(n, FifoPriority::Random, seed);
-                    (n, saturation(&mut sw, n, seed ^ n as u64))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("karol worker panicked"))
-            .collect()
+    // `Some(n)` = FIFO saturation at radix n; `None` = the PIM(4) contrast.
+    let mut tasks: Vec<Option<usize>> = sizes.iter().copied().map(Some).collect();
+    tasks.push(None);
+    let utils = pool.map(tasks, |_, t| match t {
+        Some(n) => {
+            let s = task_seed(seed, &format!("karol/fifo{n}"));
+            let mut sw = FifoSwitch::new(n, FifoPriority::Random, s);
+            saturation(&mut sw, n, s ^ 1)
+        }
+        None => {
+            let s = task_seed(seed, "karol/pim16");
+            let mut pim = CrossbarSwitch::new(Pim::new(16, s));
+            saturation(&mut pim, 16, s ^ 1)
+        }
     });
-    let mut pim = CrossbarSwitch::new(Pim::new(16, seed));
-    let pim_16 = saturation(&mut pim, 16, seed ^ 0x99);
-    KarolResult { fifo, pim_16 }
+    let fifo = sizes.iter().copied().zip(utils.iter().copied()).collect();
+    KarolResult {
+        fifo,
+        pim_16: utils[sizes.len()],
+    }
 }
 
 #[cfg(test)]
@@ -89,7 +94,7 @@ mod tests {
 
     #[test]
     fn saturation_approaches_karol_bound() {
-        let r = run(&[4, 16, 64], Effort::Quick, 3);
+        let r = run(&[4, 16, 64], Effort::Quick, 3, &Pool::new(2));
         // Larger switches approach 0.586 from above.
         let utils: Vec<f64> = r.fifo.iter().map(|&(_, u)| u).collect();
         assert!(utils[0] > utils[2], "monotone decrease: {utils:?}");

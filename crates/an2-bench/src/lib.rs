@@ -15,6 +15,7 @@ pub mod appendix_a;
 pub mod appendix_b;
 pub mod appendix_c;
 pub mod delay_curves;
+pub mod engine;
 pub mod fairness_exp;
 pub mod faults;
 pub mod fig1;

@@ -10,16 +10,19 @@
 //!
 //! Each case drives one scheduler over a fixed pool of pre-generated
 //! random request matrices (generation and construction excluded from the
-//! timed region) and reports slots/sec and matches/sec. Cases fan out one
-//! thread per (scheduler, N, load) cell with `std::thread::scope`, the
-//! same pattern `an2-sim`'s `experiment` module uses for load sweeps.
-//! Results serialize to `BENCH_sched.json` (see [`PerfReport::to_json`]).
+//! timed region) and reports slots/sec and matches/sec. Cases are
+//! independent tasks on the shared work-stealing pool, each seeded by
+//! `task_seed(seed, "perf/<scheduler>/n<n>/load<load>")`. Results
+//! serialize to `BENCH_sched.json` (see [`PerfReport::to_json`],
+//! `version` 2), and [`compare`] prints per-case speedups between two
+//! saved reports.
 
 use crate::Effort;
 use an2_sched::islip::RoundRobinMatching;
 use an2_sched::maximum::MaximumMatching;
 use an2_sched::rng::Xoshiro256;
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -52,19 +55,19 @@ pub struct PerfCase {
     pub slots: u64,
     /// Total matched pairs across all timed slots.
     pub matches: u64,
-    /// Wall-clock seconds for the timed loop.
-    pub elapsed_sec: f64,
+    /// Wall-clock seconds for this case's timed loop.
+    pub task_wall_sec: f64,
 }
 
 impl PerfCase {
     /// Scheduling decisions per second.
     pub fn slots_per_sec(&self) -> f64 {
-        self.slots as f64 / self.elapsed_sec.max(1e-12)
+        self.slots as f64 / self.task_wall_sec.max(1e-12)
     }
 
     /// Matched input–output pairs per second.
     pub fn matches_per_sec(&self) -> f64 {
-        self.matches as f64 / self.elapsed_sec.max(1e-12)
+        self.matches as f64 / self.task_wall_sec.max(1e-12)
     }
 }
 
@@ -75,6 +78,10 @@ pub struct PerfReport {
     pub effort: Effort,
     /// Root seed for matrix pools and scheduler RNGs.
     pub seed: u64,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole case grid.
+    pub total_wall_sec: f64,
     /// One entry per (scheduler, N, load), in `SCHEDULERS`×`SIZES`×`LOADS`
     /// order.
     pub cases: Vec<PerfCase>,
@@ -121,65 +128,40 @@ fn run_case(scheduler: &'static str, n: usize, load: f64, slots: u64, seed: u64)
         let m = sched.schedule(&pool[(s as usize) % POOL]);
         matches += m.len() as u64;
     }
-    let elapsed_sec = started.elapsed().as_secs_f64();
+    let task_wall_sec = started.elapsed().as_secs_f64();
     PerfCase {
         scheduler,
         n,
         load,
         slots,
         matches,
-        elapsed_sec,
+        task_wall_sec,
     }
 }
 
-/// Runs every (scheduler, N, load) case, one scoped thread per case.
-pub fn run(effort: Effort, seed: u64) -> PerfReport {
-    // Build the case list first, then fan out with the indexed-join
-    // pattern from `an2_sim::experiment::load_sweep` so results come back
-    // in deterministic order regardless of completion order.
+/// Runs every (scheduler, N, load) case on the pool. Counts (slots,
+/// matches) are a pure function of the derived case seeds and therefore
+/// of `seed` alone; only the timings vary between runs.
+pub fn run(effort: Effort, seed: u64, pool: &Pool) -> PerfReport {
     let mut specs: Vec<(&'static str, usize, f64, u64, u64)> = Vec::new();
     for &scheduler in &SCHEDULERS {
         for &n in &SIZES {
             for &load in &LOADS {
-                let case_seed = seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(specs.len() as u64 + 1));
+                let case_seed = task_seed(seed, &format!("perf/{scheduler}/n{n}/load{load}"));
                 specs.push((scheduler, n, load, slots_for(effort, n), case_seed));
             }
         }
     }
-    // One scoped thread per hardware thread, each timing its stride of
-    // cases back to back: spawning all 45 cases at once would oversubscribe
-    // the CPU and charge each case for its neighbours' time slices.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(specs.len());
-    let mut results: Vec<Option<PerfCase>> = Vec::new();
-    results.resize_with(specs.len(), || None);
-    std::thread::scope(|scope| {
-        let specs = &specs;
-        let mut handles = Vec::new();
-        for worker in 0..workers {
-            handles.push(scope.spawn(move || {
-                let mut done = Vec::new();
-                for (idx, &(scheduler, n, load, slots, case_seed)) in
-                    specs.iter().enumerate().skip(worker).step_by(workers)
-                {
-                    done.push((idx, run_case(scheduler, n, load, slots, case_seed)));
-                }
-                done
-            }));
-        }
-        for handle in handles {
-            for (idx, case) in handle.join().expect("perf worker panicked") {
-                results[idx] = Some(case);
-            }
-        }
+    let started = Instant::now();
+    let cases = pool.map(specs, |_, (scheduler, n, load, slots, case_seed)| {
+        run_case(scheduler, n, load, slots, case_seed)
     });
     PerfReport {
         effort,
         seed,
-        cases: results.into_iter().map(|c| c.expect("all joined")).collect(),
+        threads: pool.threads(),
+        total_wall_sec: started.elapsed().as_secs_f64(),
+        cases,
     }
 }
 
@@ -189,12 +171,14 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "# scheduler throughput ({} effort, seed {})",
+            "# scheduler throughput ({} effort, seed {}, {} threads, {:.3}s total)",
             match self.effort {
                 Effort::Quick => "quick",
                 Effort::Full => "full",
             },
-            self.seed
+            self.seed,
+            self.threads,
+            self.total_wall_sec
         );
         let _ = writeln!(
             out,
@@ -209,7 +193,7 @@ impl PerfReport {
                 c.n,
                 c.load,
                 c.slots,
-                c.elapsed_sec,
+                c.task_wall_sec,
                 c.slots_per_sec(),
                 c.matches_per_sec()
             );
@@ -219,13 +203,17 @@ impl PerfReport {
 
     /// Serializes the report as the `BENCH_sched.json` document.
     ///
-    /// Schema (`version` 1): top-level `effort`, `seed`, and `cases`, an
-    /// array of objects with `scheduler`, `n`, `load`, `slots`, `matches`,
-    /// `elapsed_sec`, `slots_per_sec`, and `matches_per_sec`.
+    /// Schema (`version` 2): top-level `effort`, `seed`, `threads`,
+    /// `total_wall_sec`, and `cases`, an array of objects with
+    /// `scheduler`, `n`, `load`, `slots`, `matches`, `task_wall_sec`,
+    /// `slots_per_sec`, and `matches_per_sec`. (Version 1, kept in
+    /// `results/BENCH_sched_pre.json` as the serial baseline, named the
+    /// per-case timing `elapsed_sec` and had no `threads` or
+    /// `total_wall_sec`.)
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         let _ = writeln!(
             out,
             "  \"effort\": \"{}\",",
@@ -235,20 +223,22 @@ impl PerfReport {
             }
         );
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"total_wall_sec\": {:.6},", self.total_wall_sec);
         let _ = writeln!(out, "  \"cases\": [");
         for (idx, c) in self.cases.iter().enumerate() {
             let comma = if idx + 1 < self.cases.len() { "," } else { "" };
             let _ = writeln!(
                 out,
                 "    {{\"scheduler\": \"{}\", \"n\": {}, \"load\": {:?}, \
-                 \"slots\": {}, \"matches\": {}, \"elapsed_sec\": {:.6}, \
+                 \"slots\": {}, \"matches\": {}, \"task_wall_sec\": {:.6}, \
                  \"slots_per_sec\": {:.1}, \"matches_per_sec\": {:.1}}}{comma}",
                 c.scheduler,
                 c.n,
                 c.load,
                 c.slots,
                 c.matches,
-                c.elapsed_sec,
+                c.task_wall_sec,
                 c.slots_per_sec(),
                 c.matches_per_sec()
             );
@@ -257,6 +247,103 @@ impl PerfReport {
         let _ = writeln!(out, "}}");
         out
     }
+}
+
+/// One case parsed back out of a saved `BENCH_sched.json` (v1 or v2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedCase {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Switch radix.
+    pub n: usize,
+    /// Request density.
+    pub load: f64,
+    /// Recorded scheduling decisions per second.
+    pub slots_per_sec: f64,
+}
+
+/// Pulls the raw text of `"key": <value>` out of one JSON object line
+/// written by [`PerfReport::to_json`] (v1 or v2 — a line-oriented reader
+/// for our own writer, not a general JSON parser).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses the `cases` array of a saved `BENCH_sched.json` document.
+/// Accepts both the v1 and v2 schemas (the comparator only needs the case
+/// keys and `slots_per_sec`, which both versions carry).
+pub fn parse_cases(json: &str) -> Result<Vec<ParsedCase>, String> {
+    let mut cases = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"scheduler\"") {
+            continue;
+        }
+        let get = |key: &str| {
+            field(line, key).ok_or_else(|| format!("case line missing \"{key}\": {line}"))
+        };
+        cases.push(ParsedCase {
+            scheduler: get("scheduler")?.to_string(),
+            n: get("n")?
+                .parse()
+                .map_err(|e| format!("bad n in {line}: {e}"))?,
+            load: get("load")?
+                .parse()
+                .map_err(|e| format!("bad load in {line}: {e}"))?,
+            slots_per_sec: get("slots_per_sec")?
+                .parse()
+                .map_err(|e| format!("bad slots_per_sec in {line}: {e}"))?,
+        });
+    }
+    if cases.is_empty() {
+        return Err("no cases found in report".to_string());
+    }
+    Ok(cases)
+}
+
+/// Compares two saved `BENCH_sched.json` documents and renders the
+/// per-case speedup of `new` over `old` (matching cases by
+/// (scheduler, n, load); cases present in only one report are skipped).
+pub fn compare(old_json: &str, new_json: &str) -> Result<String, String> {
+    let old = parse_cases(old_json)?;
+    let new = parse_cases(new_json)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# speedup per case (new slots/sec over old slots/sec)");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>4} {:>5} {:>14} {:>14} {:>9}",
+        "scheduler", "n", "load", "old", "new", "speedup"
+    );
+    let mut ratios = Vec::new();
+    for o in &old {
+        let Some(n) = new
+            .iter()
+            .find(|c| c.scheduler == o.scheduler && c.n == o.n && c.load == o.load)
+        else {
+            continue;
+        };
+        let ratio = n.slots_per_sec / o.slots_per_sec.max(1e-12);
+        ratios.push(ratio);
+        let _ = writeln!(
+            out,
+            "{:<9} {:>4} {:>5.2} {:>14.0} {:>14.0} {:>8.2}x",
+            o.scheduler, o.n, o.load, o.slots_per_sec, n.slots_per_sec, ratio
+        );
+    }
+    if ratios.is_empty() {
+        return Err("no common cases between the two reports".to_string());
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let _ = writeln!(
+        out,
+        "geometric mean speedup over {} cases: {geomean:.2}x",
+        ratios.len()
+    );
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -283,23 +370,32 @@ mod tests {
         }
     }
 
-    #[test]
-    fn json_schema_is_stable() {
-        let report = PerfReport {
+    fn sample_report() -> PerfReport {
+        PerfReport {
             effort: Effort::Quick,
             seed: 3,
+            threads: 4,
+            total_wall_sec: 1.25,
             cases: vec![PerfCase {
                 scheduler: "pim4",
                 n: 16,
                 load: 1.0,
                 slots: 10,
                 matches: 150,
-                elapsed_sec: 0.5,
+                task_wall_sec: 0.5,
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let report = sample_report();
         let json = report.to_json();
-        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"version\": 2"), "{json}");
+        assert!(json.contains("\"threads\": 4"), "{json}");
+        assert!(json.contains("\"total_wall_sec\": 1.250000"), "{json}");
         assert!(json.contains("\"load\": 1.0"), "{json}");
+        assert!(json.contains("\"task_wall_sec\": 0.500000"), "{json}");
         assert!(json.contains("\"slots_per_sec\": 20.0"), "{json}");
         assert!(json.contains("\"matches_per_sec\": 300.0"), "{json}");
         // Hand-rolled JSON: balanced braces/brackets, no trailing comma.
@@ -307,11 +403,76 @@ mod tests {
         assert!(!json.contains(",\n  ]"), "{json}");
         let rendered = report.render();
         assert!(rendered.contains("pim4"), "{rendered}");
+        assert!(rendered.contains("4 threads"), "{rendered}");
+    }
+
+    #[test]
+    fn parse_round_trips_own_output() {
+        let json = sample_report().to_json();
+        let cases = parse_cases(&json).expect("own output parses");
+        assert_eq!(
+            cases,
+            vec![ParsedCase {
+                scheduler: "pim4".to_string(),
+                n: 16,
+                load: 1.0,
+                slots_per_sec: 20.0,
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_accepts_the_v1_schema() {
+        // A case line exactly as PR 1's writer emitted it (elapsed_sec,
+        // no threads/total_wall_sec) — the serial baseline file keeps this
+        // shape forever, so the comparator must keep reading it.
+        let v1 =
+            "{\n  \"version\": 1,\n  \"effort\": \"full\",\n  \"seed\": 1,\n  \"cases\": [\n    \
+                  {\"scheduler\": \"maximum\", \"n\": 256, \"load\": 1.0, \"slots\": 625, \
+                  \"matches\": 160000, \"elapsed_sec\": 0.171988, \"slots_per_sec\": 3634.0, \
+                  \"matches_per_sec\": 930297.7}\n  ]\n}\n";
+        let cases = parse_cases(v1).expect("v1 parses");
+        assert_eq!(cases[0].scheduler, "maximum");
+        assert_eq!(cases[0].n, 256);
+        assert_eq!(cases[0].slots_per_sec, 3634.0);
+    }
+
+    #[test]
+    fn compare_reports_speedup_per_case() {
+        let old = sample_report();
+        let mut new = sample_report();
+        new.cases[0].task_wall_sec = 0.25; // 2x faster
+        let table = compare(&old.to_json(), &new.to_json()).expect("comparable");
+        assert!(table.contains("2.00x"), "{table}");
+        assert!(table.contains("geometric mean"), "{table}");
+        // Disjoint case sets are an error, not an empty table.
+        let mut other = sample_report();
+        other.cases[0].scheduler = "islip4";
+        assert!(compare(&old.to_json(), &other.to_json()).is_err());
+        assert!(parse_cases("{}").is_err());
     }
 
     #[test]
     fn slot_budget_scales_down_with_n() {
         assert!(slots_for(Effort::Quick, 16) > slots_for(Effort::Quick, 256));
         assert!(slots_for(Effort::Full, 256) >= 100);
+    }
+
+    #[test]
+    fn run_produces_the_full_grid() {
+        let pool = Pool::new(2);
+        let r = run(Effort::Quick, 5, &pool);
+        assert_eq!(r.cases.len(), SCHEDULERS.len() * SIZES.len() * LOADS.len());
+        assert_eq!(r.threads, 2);
+        assert!(r.total_wall_sec > 0.0);
+        // Counts are derived-seed-deterministic: a rerun at a different
+        // thread count matches (slots, matches) exactly.
+        let r1 = run(Effort::Quick, 5, &Pool::serial());
+        for (a, b) in r.cases.iter().zip(&r1.cases) {
+            assert_eq!(
+                (a.scheduler, a.n, a.slots, a.matches),
+                (b.scheduler, b.n, b.slots, b.matches)
+            );
+        }
     }
 }

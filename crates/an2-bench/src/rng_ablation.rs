@@ -10,6 +10,7 @@
 use crate::Effort;
 use an2_sched::rng::{Lcg64, SelectRng, TableRng, Xoshiro256};
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// Measurements for one generator.
@@ -82,12 +83,21 @@ fn measure<R: SelectRng>(
     )
 }
 
-/// Runs the ablation.
-pub fn run(effort: Effort, seed: u64) -> RngAblationResult {
+/// Runs the ablation. The three generator measurements are heterogeneous
+/// (each is generic over its RNG type), so they run as boxed pool tasks,
+/// each seeded by `task_seed(seed, "rng/<generator>")`.
+pub fn run(effort: Effort, seed: u64, pool: &Pool) -> RngAblationResult {
     let trials = effort.scale(2_000, 50_000);
-    let (xo_mean, xo_w4) = measure(Xoshiro256::seed_from, trials, seed);
-    let (lcg_mean, lcg_w4) = measure(Lcg64::seed_from, trials, seed ^ 1);
-    let (tab_mean, tab_w4) = measure(TableRng::seed_from, trials, seed ^ 2);
+    type Task<'a> = Box<dyn FnOnce() -> (f64, f64) + Send + 'a>;
+    let tasks: Vec<Task<'_>> = vec![
+        Box::new(move || measure(Xoshiro256::seed_from, trials, task_seed(seed, "rng/xoshiro"))),
+        Box::new(move || measure(Lcg64::seed_from, trials, task_seed(seed, "rng/lcg64"))),
+        Box::new(move || measure(TableRng::seed_from, trials, task_seed(seed, "rng/table"))),
+    ];
+    let results = pool.run_boxed(tasks);
+    let (xo_mean, xo_w4) = results[0];
+    let (lcg_mean, lcg_w4) = results[1];
+    let (tab_mean, tab_w4) = results[2];
     RngAblationResult {
         rows: vec![
             RngAblationRow {
@@ -115,7 +125,7 @@ mod tests {
 
     #[test]
     fn pim_is_insensitive_to_rng_quality() {
-        let r = run(Effort::Quick, 31);
+        let r = run(Effort::Quick, 31, &Pool::new(2));
         let base = r.rows[0].mean_iterations;
         for row in &r.rows {
             // Mean iterations within 15% of the high-quality generator.

@@ -12,6 +12,7 @@ use crate::Effort;
 use an2_sched::stat::{ReservationTable, StatisticalMatcher};
 use an2_sched::{AcceptPolicy, InputPort, IterationLimit, Pim, RequestMatrix, Scheduler};
 use an2_sim::metrics::jain_index;
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// The Figure 8 request pattern's connections, in a fixed order:
@@ -82,32 +83,43 @@ fn measure(sched: &mut dyn Scheduler, requests: &RequestMatrix, slots: u64) -> R
     }
 }
 
-/// Runs the experiment.
-pub fn run(effort: Effort, seed: u64) -> StatFairnessResult {
+/// Runs the experiment. The baseline and reserved measurements are two
+/// pool tasks seeded by `task_seed(seed, "stat-fairness/<which>")`.
+pub fn run(effort: Effort, seed: u64, pool: &Pool) -> StatFairnessResult {
     let slots = effort.scale(100_000, 1_000_000);
     let requests = RequestMatrix::from_pairs(4, CONNECTIONS);
 
-    let mut baseline_sched = Pim::new(4, seed);
-    let baseline = measure(&mut baseline_sched, &requests, slots);
-
-    // Max-min fair share is 1/4 per connection; scale into the reservable
-    // envelope (~72%) with a little slack: reserve 0.7/4 of each link per
-    // connection.
-    let x = 64;
-    let units = ((x as f64) * 0.7 / 4.0).round() as usize;
-    let mut table = ReservationTable::new(4, x);
-    for (i, j) in CONNECTIONS {
-        table.set(i, j, units).expect("within budgets");
-    }
-    let pim = Pim::with_options(
-        4,
-        seed ^ 1,
-        IterationLimit::ToCompletion,
-        AcceptPolicy::Random,
-    );
-    let mut reserved_sched = StatisticalMatcher::new(table, seed ^ 2).into_scheduler(pim);
-    let reserved = measure(&mut reserved_sched, &requests, slots);
-
+    let mut vectors = pool.map(vec!["baseline", "reserved"], |_, which| {
+        let s = task_seed(seed, &format!("stat-fairness/{which}"));
+        match which {
+            "baseline" => {
+                let mut sched = Pim::new(4, s);
+                measure(&mut sched, &requests, slots)
+            }
+            "reserved" => {
+                // Max-min fair share is 1/4 per connection; scale into the
+                // reservable envelope (~72%) with a little slack: reserve
+                // 0.7/4 of each link per connection.
+                let x = 64;
+                let units = ((x as f64) * 0.7 / 4.0).round() as usize;
+                let mut table = ReservationTable::new(4, x);
+                for (i, j) in CONNECTIONS {
+                    table.set(i, j, units).expect("within budgets");
+                }
+                let pim = Pim::with_options(
+                    4,
+                    s ^ 1,
+                    IterationLimit::ToCompletion,
+                    AcceptPolicy::Random,
+                );
+                let mut sched = StatisticalMatcher::new(table, s).into_scheduler(pim);
+                measure(&mut sched, &requests, slots)
+            }
+            _ => unreachable!(),
+        }
+    });
+    let reserved = vectors.pop().expect("two measurements ran");
+    let baseline = vectors.pop().expect("two measurements ran");
     StatFairnessResult { baseline, reserved }
 }
 
@@ -117,7 +129,7 @@ mod tests {
 
     #[test]
     fn reservations_repair_the_starved_connection() {
-        let r = run(Effort::Quick, 41);
+        let r = run(Effort::Quick, 41, &Pool::new(2));
         // Baseline: the (3,0) connection sits near 1/16.
         assert!((r.baseline.rates[3] - 1.0 / 16.0).abs() < 0.03);
         // With reservations it at least doubles...

@@ -19,6 +19,7 @@ use an2_net::cbr::{simulate_cbr_chain, CbrChainConfig};
 use an2_net::clock::ClockPolicy;
 use an2_sched::subframe::{Placement, SubframeSchedule};
 use an2_sched::{InputPort, OutputPort};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// Result of the subdivision experiment.
@@ -58,12 +59,14 @@ impl SubframesResult {
     }
 }
 
-/// Runs the experiment.
-pub fn run(effort: Effort, seed: u64) -> SubframesResult {
+/// Runs the experiment. The coarse and subdivided chain simulations are
+/// two pool tasks seeded by `task_seed(seed, "subframes/<which>")`; the
+/// per-switch gap measurement is deterministic and runs inline.
+pub fn run(effort: Effort, seed: u64, pool: &Pool) -> SubframesResult {
     let frames = effort.scale(300, 3_000);
     // The same reserved rate: 5 cells per 500-slot frame, or 1 cell per
     // 100-slot frame (a 5-way subdivision).
-    let mk = |frame_slots: usize, k: usize, n_frames: u64| {
+    let mk = |frame_slots: usize, k: usize, n_frames: u64, chain_seed: u64| {
         let mut cfg = CbrChainConfig {
             hops: 4,
             cells_per_frame: k,
@@ -82,14 +85,22 @@ pub fn run(effort: Effort, seed: u64) -> SubframesResult {
                 slow_frames: 20,
                 fast_frames: 20,
             },
-            seed,
+            chain_seed,
         )
         .expect("valid subframes config");
         assert!(r.within_bounds(), "{r}");
         (r.max_adjusted_latency, r.latency_bound)
     };
-    let (coarse_obs, coarse_bound) = mk(500, 5, frames);
-    let (fine_obs, fine_bound) = mk(100, 1, frames * 5);
+    let chains = pool.map(vec!["coarse", "fine"], |_, which| {
+        let s = task_seed(seed, &format!("subframes/{which}"));
+        match which {
+            "coarse" => mk(500, 5, frames, s),
+            "fine" => mk(100, 1, frames * 5, s),
+            _ => unreachable!(),
+        }
+    });
+    let (coarse_obs, coarse_bound) = chains[0];
+    let (fine_obs, fine_bound) = chains[1];
 
     // Per-switch service gaps.
     let subframes = 5;
@@ -131,7 +142,7 @@ mod tests {
 
     #[test]
     fn subdivision_shrinks_latency_by_its_factor() {
-        let r = run(Effort::Quick, 3);
+        let r = run(Effort::Quick, 3, &Pool::new(2));
         let (_, coarse_obs, coarse_bound) = &r.chain[0];
         let (_, fine_obs, fine_bound) = &r.chain[1];
         // Bounds scale with frame duration: 5x smaller frames, ~5x bound.

@@ -9,6 +9,7 @@
 use crate::Effort;
 use an2_sched::rng::Xoshiro256;
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
+use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 
 /// The request probabilities of Table 1's rows.
@@ -71,25 +72,19 @@ pub enum PatternKind {
 }
 
 /// Runs the Table 1 experiment on an `n`×`n` switch (uniform patterns).
-pub fn run(n: usize, effort: Effort, seed: u64) -> Table1 {
-    run_with(n, effort, seed, PatternKind::Uniform)
+pub fn run(n: usize, effort: Effort, seed: u64, pool: &Pool) -> Table1 {
+    run_with(n, effort, seed, PatternKind::Uniform, pool)
 }
 
 /// Runs the Table 1 measurement with the given request-pattern family.
-pub fn run_with(n: usize, effort: Effort, seed: u64, kind: PatternKind) -> Table1 {
+/// Each probability row is one pool task seeded by
+/// `task_seed(seed, "table1/p<p>")`, so the table is identical at any
+/// worker count.
+pub fn run_with(n: usize, effort: Effort, seed: u64, kind: PatternKind, pool: &Pool) -> Table1 {
     let patterns = effort.scale(3_000, 200_000);
-    let rows = std::thread::scope(|scope| {
-        let handles: Vec<_> = TABLE_1_PROBABILITIES
-            .iter()
-            .enumerate()
-            .map(|(idx, &p)| {
-                scope.spawn(move || run_row(n, p, patterns, seed ^ (idx as u64) << 32, kind))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("table1 worker panicked"))
-            .collect()
+    let rows = pool.map(TABLE_1_PROBABILITIES.to_vec(), |_, p| {
+        let row_seed = task_seed(seed, &format!("table1/p{p:.2}"));
+        run_row(n, p, patterns, row_seed, kind)
     });
     Table1 { rows, n }
 }
@@ -156,7 +151,7 @@ mod tests {
 
     #[test]
     fn reproduces_paper_shape() {
-        let t = run(16, Effort::Quick, 42);
+        let t = run(16, Effort::Quick, 42, &Pool::new(2));
         assert_eq!(t.rows.len(), 5);
         for row in &t.rows {
             // Monotone in K.
@@ -184,7 +179,13 @@ mod tests {
     fn client_server_patterns_behave_similarly() {
         // §3.2: "we observed similar results for client-server request
         // patterns" — four iterations still all but complete the match.
-        let t = run_with(16, Effort::Quick, 7, PatternKind::ClientServer { servers: 4 });
+        let t = run_with(
+            16,
+            Effort::Quick,
+            7,
+            PatternKind::ClientServer { servers: 4 },
+            &Pool::new(2),
+        );
         for row in &t.rows {
             assert!(
                 row.within[3] > 0.995,

@@ -29,6 +29,9 @@ fn help_lists_every_experiment() {
         "ablate-speedup",
         "stat-fairness",
         "subframes",
+        "bench-compare",
+        "--threads",
+        "--verify-serial",
     ] {
         assert!(text.contains(name), "usage is missing {name}");
     }
@@ -78,6 +81,71 @@ fn fig2_trace_is_deterministic_per_seed() {
     };
     assert_eq!(run("7"), run("7"));
     assert!(run("7").contains("final matching"));
+}
+
+#[test]
+fn thread_count_does_not_change_output() {
+    let run = |threads: &str| {
+        let out = repro()
+            .args(["fig8", "--seed", "5", "--threads", threads])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("3"), "--threads changed the output bytes");
+    // ...but the seed does steer it.
+    let other = repro()
+        .args(["fig8", "--seed", "6", "--threads", "1"])
+        .output()
+        .expect("binary runs");
+    assert_ne!(serial, other.stdout, "--seed had no effect");
+}
+
+#[test]
+fn verify_serial_confirms_determinism() {
+    let out = repro()
+        .args(["fig9", "--threads", "2", "--verify-serial"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("byte-identical"), "{err}");
+    assert!(err.contains("digest 0x"), "{err}");
+}
+
+#[test]
+fn bench_compare_prints_speedups() {
+    let dir = std::env::temp_dir().join(format!("an2-bench-compare-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // v1 baseline shape (elapsed_sec, no threads) vs v2: the comparator
+    // must read both.
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(
+        &old,
+        "{\n  \"version\": 1,\n  \"cases\": [\n    {\"scheduler\": \"maximum\", \"n\": 256, \
+         \"load\": 1.0, \"slots\": 625, \"matches\": 160000, \"elapsed_sec\": 0.17, \
+         \"slots_per_sec\": 3600.0, \"matches_per_sec\": 930000.0}\n  ]\n}\n",
+    )
+    .expect("write old");
+    std::fs::write(
+        &new,
+        "{\n  \"version\": 2,\n  \"threads\": 4,\n  \"cases\": [\n    {\"scheduler\": \"maximum\", \
+         \"n\": 256, \"load\": 1.0, \"slots\": 625, \"matches\": 160000, \"task_wall_sec\": 0.04, \
+         \"slots_per_sec\": 14400.0, \"matches_per_sec\": 3720000.0}\n  ]\n}\n",
+    )
+    .expect("write new");
+    let out = repro()
+        .args(["bench-compare", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4.00x"), "{text}");
+    assert!(text.contains("maximum"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

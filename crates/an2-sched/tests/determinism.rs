@@ -123,7 +123,10 @@ fn rrm_four_iterations() {
 
 #[test]
 fn maximum_matching() {
-    assert_digest(matching_digest(MaximumMatching::new()), 0xd77852800976a380);
+    // Re-pinned when Hopcroft–Karp moved to the bitset (greedy seed +
+    // word-parallel BFS) implementation, which selects a different — equally
+    // maximum — matching.
+    assert_digest(matching_digest(MaximumMatching::new()), 0xf7f19a5c166e3cb6);
 }
 
 #[test]

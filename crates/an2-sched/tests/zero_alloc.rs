@@ -88,6 +88,49 @@ fn schedulers_do_not_allocate_after_warmup() {
     }
 }
 
+/// The parallel experiment engine moves the hot loop onto pool worker
+/// threads, and the allocation counter is thread-local — so the serial
+/// test above proves nothing about where the experiments actually run.
+/// Re-run the check *inside* pool worker closures, at a worker count high
+/// enough that every scheduler kind lands on a stolen task at least
+/// sometimes.
+#[test]
+fn schedulers_do_not_allocate_on_pool_workers() {
+    use an2_task::Pool;
+    let n = 64usize;
+    let pool = Pool::new(4);
+    let violations = pool.map(
+        vec!["pim", "pim-complete", "islip", "rrm", "maximum"],
+        |_, kind| {
+            let dense = RequestMatrix::from_fn(n, |_, _| true);
+            let mut sched: Box<dyn Scheduler> = match kind {
+                "pim" => Box::new(Pim::new(n, 7)),
+                "pim-complete" => Box::new(Pim::with_options(
+                    n,
+                    7,
+                    IterationLimit::ToCompletion,
+                    AcceptPolicy::Random,
+                )),
+                "islip" => Box::new(RoundRobinMatching::islip(n, 4)),
+                "rrm" => Box::new(RoundRobinMatching::rrm(n, 4)),
+                "maximum" => Box::new(MaximumMatching::new()),
+                _ => unreachable!(),
+            };
+            for _ in 0..4 {
+                let _ = sched.schedule(&dense);
+            }
+            let before = local_count();
+            for _ in 0..32 {
+                let _ = sched.schedule(&dense);
+            }
+            (kind, local_count() - before)
+        },
+    );
+    for (kind, allocs) in violations {
+        assert_eq!(allocs, 0, "{kind} allocated {allocs} times on a pool worker");
+    }
+}
+
 /// Degraded operation must not regress the invariant: a scheduler running
 /// with failed ports masked out stays allocation-free, and so does the
 /// mask update itself.

@@ -2,14 +2,19 @@
 //!
 //! Each figure in the paper plots mean queueing delay against offered
 //! load for one or more switch configurations. [`load_sweep`] runs one
-//! configuration across a list of loads (in parallel threads, one per
-//! load point), optionally replicated over multiple seeds, and returns the
-//! per-load summary rows.
+//! configuration across a list of loads, optionally replicated over
+//! multiple seeds, and returns the per-load summary rows. Every
+//! (load, replication) cell is a self-contained task on the caller's
+//! work-stealing [`Pool`] with a seed derived from
+//! `task_seed(root_seed, "load<bits>/rep<r>")`, so the results are
+//! byte-identical no matter how many workers run the sweep or in what
+//! order the tasks complete.
 
 use crate::metrics::{DelayStats, SwitchReport};
 use crate::model::SwitchModel;
 use crate::sim::{simulate, SimConfig};
 use crate::traffic::Traffic;
+use an2_task::{task_seed, Pool};
 
 /// Summary of one load point of a sweep.
 #[derive(Clone, Debug)]
@@ -70,8 +75,10 @@ where
 }
 
 /// Runs a load sweep: for every load in `loads`, `replications` runs with
-/// distinct seeds, merged into one [`SweepPoint`]. Load points run on
-/// parallel threads.
+/// distinct seeds, merged into one [`SweepPoint`]. Every
+/// (load, replication) cell is an independent task on `pool`; its seed is
+/// `task_seed(root_seed, "load<f64 bits>/rep<r>")`, a pure function of the
+/// cell, so worker count and completion order cannot change any result.
 ///
 /// # Panics
 ///
@@ -81,37 +88,34 @@ pub fn load_sweep(
     factory: &dyn RunFactory,
     cfg: SimConfig,
     replications: u64,
+    root_seed: u64,
+    pool: &Pool,
 ) -> Vec<SweepPoint> {
     assert!(replications > 0, "at least one replication is required");
-    let mut points: Vec<Option<SweepPoint>> = Vec::new();
-    points.resize_with(loads.len(), || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (idx, &load) in loads.iter().enumerate() {
-            handles.push((
-                idx,
-                scope.spawn(move || run_point(load, factory, cfg, replications)),
-            ));
+    let mut cells = Vec::with_capacity(loads.len() * replications as usize);
+    for &load in loads {
+        for rep in 0..replications {
+            cells.push((load, rep));
         }
-        for (idx, h) in handles {
-            points[idx] = Some(h.join().expect("sweep worker panicked"));
-        }
+    }
+    let reports = pool.map(cells, |_, (load, rep)| {
+        let seed = task_seed(root_seed, &format!("load{:016x}/rep{rep}", load.to_bits()));
+        let (mut model, mut traffic) = factory.build(load, seed);
+        simulate(model.as_mut(), traffic.as_mut(), cfg)
     });
-    points.into_iter().map(|p| p.expect("all points ran")).collect()
+    reports
+        .chunks(replications as usize)
+        .zip(loads)
+        .map(|(reps, &load)| merge_point(load, reps))
+        .collect()
 }
 
-fn run_point(load: f64, factory: &dyn RunFactory, cfg: SimConfig, replications: u64) -> SweepPoint {
+fn merge_point(load: f64, reports: &[SwitchReport]) -> SweepPoint {
     let mut delay = DelayStats::new();
-    let mut reports: Vec<SwitchReport> = Vec::new();
-    let mut replication_means = Vec::with_capacity(replications as usize);
-    for rep in 0..replications {
-        // Derive a distinct seed per (load, replication).
-        let seed = (load * 1e6) as u64 ^ (rep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let (mut model, mut traffic) = factory.build(load, seed);
-        let report = simulate(model.as_mut(), traffic.as_mut(), cfg);
+    let mut replication_means = Vec::with_capacity(reports.len());
+    for report in reports {
         delay.merge(&report.delay);
         replication_means.push(report.delay.mean());
-        reports.push(report);
     }
     let utilization =
         reports.iter().map(SwitchReport::mean_output_utilization).sum::<f64>() / reports.len() as f64;
@@ -167,10 +171,27 @@ mod tests {
         }
     }
 
+    const SEED: u64 = 0xA5;
+
+    fn sweep(
+        loads: &[f64],
+        factory: &dyn RunFactory,
+        replications: u64,
+    ) -> Vec<SweepPoint> {
+        load_sweep(
+            loads,
+            factory,
+            SimConfig::quick(),
+            replications,
+            SEED,
+            &Pool::new(2),
+        )
+    }
+
     #[test]
     fn sweep_points_align_with_loads() {
         let loads = [0.2, 0.5, 0.8];
-        let pts = load_sweep(&loads, &pim_factory(8), SimConfig::quick(), 2);
+        let pts = sweep(&loads, &pim_factory(8), 2);
         assert_eq!(pts.len(), 3);
         for (p, &l) in pts.iter().zip(&loads) {
             assert_eq!(p.load, l);
@@ -190,8 +211,8 @@ mod tests {
             let t: Box<dyn Traffic> = Box::new(RateMatrixTraffic::uniform(8, load, seed));
             (m, t)
         };
-        let pim_pts = load_sweep(&loads, &pim_factory(8), SimConfig::quick(), 2);
-        let oq_pts = load_sweep(&loads, &oq, SimConfig::quick(), 2);
+        let pim_pts = sweep(&loads, &pim_factory(8), 2);
+        let oq_pts = sweep(&loads, &oq, 2);
         for (p, o) in pim_pts.iter().zip(&oq_pts) {
             assert!(
                 p.mean_delay() >= o.mean_delay() * 0.95,
@@ -205,7 +226,7 @@ mod tests {
 
     #[test]
     fn confidence_interval_reflects_replication_spread() {
-        let pts = load_sweep(&[0.8], &pim_factory(8), SimConfig::quick(), 4);
+        let pts = sweep(&[0.8], &pim_factory(8), 4);
         let p = &pts[0];
         assert_eq!(p.replication_means.len(), 4);
         let ci = p.delay_ci95().expect("4 replications give a CI");
@@ -213,13 +234,42 @@ mod tests {
         // The CI half-width is small relative to the mean at this scale.
         assert!(ci < p.mean_delay(), "ci {ci} vs mean {}", p.mean_delay());
         // A single replication has no CI.
-        let single = load_sweep(&[0.8], &pim_factory(8), SimConfig::quick(), 1);
+        let single = sweep(&[0.8], &pim_factory(8), 1);
         assert!(single[0].delay_ci95().is_none());
     }
 
     #[test]
+    fn worker_count_does_not_change_results() {
+        // The per-cell derived seeds make the sweep a pure function of
+        // (loads, factory, cfg, replications, root_seed) — the pool size
+        // must be invisible in the output.
+        let loads = [0.3, 0.7, 0.9];
+        let runs: Vec<Vec<SweepPoint>> = [1, 2, 5]
+            .iter()
+            .map(|&threads| {
+                load_sweep(
+                    &loads,
+                    &pim_factory(8),
+                    SimConfig::quick(),
+                    3,
+                    SEED,
+                    &Pool::new(threads),
+                )
+            })
+            .collect();
+        for run in &runs[1..] {
+            for (a, b) in runs[0].iter().zip(run) {
+                assert_eq!(a.load, b.load);
+                assert_eq!(a.delay.mean().to_bits(), b.delay.mean().to_bits());
+                assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+                assert_eq!(a.replication_means, b.replication_means);
+            }
+        }
+    }
+
+    #[test]
     fn format_sweep_renders_rows() {
-        let pts = load_sweep(&[0.3], &pim_factory(4), SimConfig::quick(), 1);
+        let pts = sweep(&[0.3], &pim_factory(4), 1);
         let s = format_sweep("demo", &[("pim", &pts)]);
         assert!(s.contains("# demo"));
         assert!(s.contains("pim:delay"));
@@ -229,6 +279,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one replication")]
     fn zero_replications_panics() {
-        let _ = load_sweep(&[0.5], &pim_factory(4), SimConfig::quick(), 0);
+        let _ = sweep(&[0.5], &pim_factory(4), 0);
     }
 }
