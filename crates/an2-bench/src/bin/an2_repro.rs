@@ -23,7 +23,8 @@ use an2_bench::{
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix};
 use an2_task::{fnv1a, task_seed, Pool};
 
-const USAGE: &str = "usage: an2-repro <experiment> [--full] [--seed N] [--threads N] [--out DIR] [--verify-serial]
+const USAGE: &str = "usage: an2-repro <experiment> [--full] [--seed N] [--threads N] [--out DIR] [--verify-serial] [--check]
+       an2-repro replay <replay.json>
 options:
   --full           paper-scale sample counts (default: --quick)
   --seed N         root seed; every experiment derives its own seed from
@@ -35,6 +36,15 @@ options:
   --verify-serial  re-run each experiment on 1 thread and fail unless the
                    output is byte-identical (skipped for perf, whose
                    report contains wall-clock timings)
+  --check          after rendering, run the experiment's invariant probe
+                   (matching validity/maximality, VOQ capacity, cell
+                   conservation, CBR frame consistency); reports to stderr
+                   only, so stdout stays byte-identical; on a violation
+                   writes replay.json and exits non-zero
+subcommands:
+  replay FILE      re-execute a replay.json captured by --check to its
+                   exact failing slot, then greedily shrink it and write
+                   FILE.shrunk.json
 experiments:
   table1       % of matches found within K PIM iterations (Table 1)
   table2       AN2 component cost breakdown (Table 2)
@@ -76,6 +86,7 @@ fn main() {
     let mut seed = 0xA52_1992u64;
     let mut threads = 0usize; // 0 = all available cores
     let mut verify_serial = false;
+    let mut check = false;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let rest: Vec<String> = args.collect();
@@ -85,6 +96,7 @@ fn main() {
             "--full" => effort = Effort::Full,
             "--quick" => effort = Effort::Quick,
             "--verify-serial" => verify_serial = true,
+            "--check" => check = true,
             "--seed" => {
                 i += 1;
                 seed = rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -153,19 +165,43 @@ fn main() {
         "stat-fairness",
         "subframes",
     ];
+    // Hidden hook for demonstrating the checker end to end: skews PIM's
+    // accept phase in the --check probes (never in the experiments).
+    let skew = std::env::var("AN2_CHECK_SKEW")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0usize);
+
     match cmd.as_str() {
         "all" => {
             for name in known {
-                run_one(name, effort, seed, &pool, verify_serial, out_dir.as_deref());
+                run_one(
+                    name,
+                    effort,
+                    seed,
+                    &pool,
+                    verify_serial,
+                    check,
+                    skew,
+                    out_dir.as_deref(),
+                );
                 println!();
             }
         }
-        name if known.contains(&name) => {
-            run_one(name, effort, seed, &pool, verify_serial, out_dir.as_deref())
-        }
+        name if known.contains(&name) => run_one(
+            name,
+            effort,
+            seed,
+            &pool,
+            verify_serial,
+            check,
+            skew,
+            out_dir.as_deref(),
+        ),
         "perf" => run_perf(effort, seed, &pool, out_dir.as_deref()),
         "faults" => run_faults(effort, seed, out_dir.as_deref()),
         "bench-compare" => run_bench_compare(&positional),
+        "replay" => run_replay(&positional),
         "-h" | "--help" | "help" => println!("{USAGE}"),
         other => {
             eprintln!("unknown experiment {other}\n{USAGE}");
@@ -245,12 +281,15 @@ fn run_bench_compare(paths: &[String]) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     name: &str,
     effort: Effort,
     seed: u64,
     pool: &Pool,
     verify_serial: bool,
+    check: bool,
+    skew: usize,
     out_dir: Option<&std::path::Path>,
 ) {
     let started = std::time::Instant::now();
@@ -277,10 +316,93 @@ fn run_one(
         }
         eprintln!("[{name}: serial re-run is byte-identical]");
     }
+    if check {
+        run_check(name, task_seed(seed, name), skew, out_dir);
+    }
     eprintln!(
         "[{name} finished in {:.1?}; digest {digest:#018x}]",
         started.elapsed()
     );
+}
+
+/// Runs the experiment's invariant probe. Stderr only: stdout must stay
+/// byte-identical with and without `--check`.
+fn run_check(name: &str, seed: u64, skew: usize, out_dir: Option<&std::path::Path>) {
+    match an2_bench::check::check_experiment(name, seed, skew) {
+        Ok(summary) => eprintln!(
+            "[{name}: invariants OK — {} checks over probe `{}`]",
+            summary.checks, summary.probe
+        ),
+        Err(failure) => {
+            eprintln!(
+                "[{name}: INVARIANT VIOLATION at slot {} — {} (probe `{}`)]",
+                failure.violation.slot, failure.violation, failure.probe
+            );
+            let path = out_dir
+                .unwrap_or(std::path::Path::new("."))
+                .join("replay.json");
+            match std::fs::write(&path, failure.case.to_json()) {
+                Ok(()) => eprintln!(
+                    "[{name}: wrote {}; run `an2-repro replay {}` to reproduce and shrink]",
+                    path.display(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `replay FILE`: re-execute a captured failing case to its exact slot,
+/// then shrink it and save the minimised reproduction.
+fn run_replay(paths: &[String]) {
+    let [path] = paths else {
+        eprintln!("replay takes exactly one replay.json file\n{USAGE}");
+        std::process::exit(2);
+    };
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let case = an2_verify::ReplayCase::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let outcome = an2_verify::run_case(&case);
+    match &outcome.violation {
+        Some(v) => {
+            println!(
+                "reproduced: {v} (after {} slots, {} checks, {} cells delivered)",
+                outcome.slots_run, outcome.checks, outcome.delivered
+            );
+            if let Some(expected) = case.failing_slot {
+                if expected != v.slot {
+                    println!("note: capture was annotated with slot {expected}");
+                }
+            }
+            let shrunk = an2_verify::shrink(&case).expect("failing case must shrink");
+            println!(
+                "shrunk: {} slots, {} active ports (from {} slots, {} ports)",
+                shrunk.slots, shrunk.active_ports, case.slots, case.active_ports
+            );
+            let out_path = format!("{path}.shrunk.json");
+            match std::fs::write(&out_path, shrunk.to_json()) {
+                Ok(()) => println!("wrote {out_path}"),
+                Err(e) => {
+                    eprintln!("cannot write {out_path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            std::process::exit(1);
+        }
+        None => {
+            println!(
+                "case ran clean: {} slots, {} checks, {} cells delivered, {} dropped",
+                outcome.slots_run, outcome.checks, outcome.delivered, outcome.dropped
+            );
+        }
+    }
 }
 
 /// Renders one experiment. Every experiment gets its own root seed

@@ -118,7 +118,8 @@ pub fn run(n: usize, effort: Effort, seed: u64, pool: &Pool) -> Fig1Result {
             }
             "pim-drain" => {
                 let mut pim = CrossbarSwitch::new(Pim::new(n, s));
-                pim.preload(&snapshot);
+                let dropped = pim.preload(&snapshot);
+                assert_eq!(dropped, 0, "unbounded VOQs must admit the snapshot");
                 drain(&mut pim) as f64
             }
             "fifo-sustained" => {

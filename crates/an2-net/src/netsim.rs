@@ -294,6 +294,12 @@ pub struct Network {
     retries: Vec<Retry>,
     /// `(switch, input, cause)` arrival faults active this slot only.
     arrival_faults: Vec<(usize, usize, DropCause)>,
+    /// Lifetime count of cells injected at sources. Unlike the per-flow
+    /// delivery counters this ledger survives [`Network::reset_counters`],
+    /// so the conservation invariant can be checked at any point.
+    injected_ledger: u64,
+    /// Lifetime count of cells delivered to sinks (same lifetime rule).
+    delivered_ledger: u64,
 }
 
 impl fmt::Debug for Network {
@@ -323,6 +329,8 @@ impl Network {
             flows: HashMap::new(),
             retries: Vec::new(),
             arrival_faults: Vec::new(),
+            injected_ledger: 0,
+            delivered_ledger: 0,
         }
     }
 
@@ -666,6 +674,62 @@ impl Network {
         self.switches.iter().map(|s| s.voq.len()).sum()
     }
 
+    /// Lifetime count of cells injected at sources (never reset).
+    pub fn injected_cells(&self) -> u64 {
+        self.injected_ledger
+    }
+
+    /// Lifetime count of cells delivered to sinks (never reset; the
+    /// per-flow [`Network::delivered`] counters *are* reset by
+    /// [`Network::reset_counters`]).
+    pub fn delivered_cells(&self) -> u64 {
+        self.delivered_ledger
+    }
+
+    /// Cells currently in flight on links.
+    pub fn in_flight_cells(&self) -> u64 {
+        self.in_flight.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Verifies the network-wide invariants the AN2 design promises:
+    ///
+    /// * **frame consistency** — every switch with CBR reservations has a
+    ///   frame schedule whose per-pair scheduled counts equal its demand
+    ///   matrix ([`FrameSchedule::verify`]);
+    /// * **VOQ capacity** — no per-pair queue exceeds its configured
+    ///   budget;
+    /// * **cell conservation** — every cell ever injected is queued, in
+    ///   flight, delivered, or dropped with a recorded cause (including
+    ///   under fault plans: scripted losses, dead links, reroute spills
+    ///   and no-route drops all land in the [`FaultLog`]).
+    ///
+    /// Returns the first violation as a description, or `Ok(())`. Pure
+    /// reads — calling this never perturbs the simulation.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        for (idx, node) in self.switches.iter().enumerate() {
+            if let Some(frame) = &node.frame {
+                if !frame.verify() {
+                    return Err(format!("switch {idx}: frame schedule inconsistent"));
+                }
+            }
+            if !node.voq.capacity_invariant_holds() {
+                return Err(format!("switch {idx}: VOQ occupancy exceeds capacity"));
+            }
+        }
+        let queued = self.queued() as u64;
+        let in_flight = self.in_flight_cells();
+        let dropped = self.log.cells_dropped();
+        let accounted = self.delivered_ledger + queued + in_flight + dropped;
+        if self.injected_ledger != accounted {
+            return Err(format!(
+                "cell conservation violated: injected {} != delivered {} + queued {queued} \
+                 + in-flight {in_flight} + dropped {dropped}",
+                self.injected_ledger, self.delivered_ledger
+            ));
+        }
+        Ok(())
+    }
+
     /// Resets the delivery counters (warmup truncation); queues and
     /// scheduler state are preserved.
     pub fn reset_counters(&mut self) {
@@ -713,6 +777,7 @@ impl Network {
                 (go, s.switch, s.port, flow)
             };
             if go {
+                self.injected_ledger += 1;
                 self.enqueue(sw, port, flow, now);
             }
         }
@@ -759,6 +824,7 @@ impl Network {
                         }
                     }
                     PortTarget::Sink => {
+                        self.delivered_ledger += 1;
                         *self.delivered.entry(cell.flow).or_insert(0) += 1;
                         *self.latency_sum.entry(cell.flow).or_insert(0) +=
                             now - cell.arrival_slot;
@@ -1354,6 +1420,25 @@ mod tests {
         net.reset_counters();
         assert_eq!(net.delivered(f1), 0);
         assert_eq!(net.slot(), 100);
+        // The lifetime ledgers survive the reset, so conservation still
+        // balances afterwards.
+        net.verify_invariants().unwrap();
+        assert!(net.delivered_cells() > 0);
+    }
+
+    #[test]
+    fn conservation_holds_under_overload_and_no_route() {
+        let mut net = Network::new(9);
+        let s = net.add_switch(2);
+        let (f1, f2) = (FlowId(1), FlowId(2));
+        net.add_route(s, f1, OutputPort::new(0)).unwrap();
+        // f2 has no route: every injection becomes a NoRoute drop.
+        net.add_source(s, InputPort::new(0), vec![f1], 1.0).unwrap();
+        net.add_source(s, InputPort::new(1), vec![f2], 1.0).unwrap();
+        net.run(50);
+        net.verify_invariants().unwrap();
+        assert_eq!(net.injected_cells(), 100);
+        assert_eq!(net.fault_log().cells_dropped(), 50);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 // its own `#[allow(unsafe_code)]` and a CPU-dispatch equivalence test.
 #![deny(unsafe_code)]
 
+pub mod check;
 pub mod costmodel;
 pub mod fifo;
 mod frame;
@@ -61,6 +62,7 @@ mod scheduler;
 pub mod stat;
 pub mod subframe;
 
+pub use check::{checking_enabled, CheckedScheduler, Violation};
 pub use frame::{FrameSchedule, ReservationError};
 pub use matching::{Matching, PairConflict};
 pub use pim::{AcceptPolicy, IterationLimit, Pim, PimStats};

@@ -114,6 +114,10 @@ pub struct Pim<R: SelectRng = Xoshiro256> {
     input_rng: Vec<R>,
     /// Round-robin accept pointers (used by `AcceptPolicy::RoundRobin`).
     accept_ptr: Vec<usize>,
+    /// Test-only accept skew (see [`Pim::debug_set_accept_skew`]); 0 in
+    /// every real configuration, in which case it is never read on the
+    /// accept path beyond one predictable branch.
+    accept_skew: usize,
     /// Scratch: `requests_to[j]` rebuilt every iteration. Owned by the
     /// scheduler so `schedule()` touches no heap after construction.
     requests_to: Vec<PortSet>,
@@ -193,6 +197,7 @@ impl<R: SelectRng> Pim<R> {
             output_rng,
             input_rng,
             accept_ptr: vec![0; n],
+            accept_skew: 0,
             requests_to: vec![PortSet::new(); n],
             grants_to: vec![PortSet::new(); n],
             accepts: Vec::with_capacity(n),
@@ -214,6 +219,17 @@ impl<R: SelectRng> Pim<R> {
     /// The accept policy in force.
     pub fn accept_policy(&self) -> AcceptPolicy {
         self.accept
+    }
+
+    /// Installs a deliberate off-by-`skew` bug in the accept phase: every
+    /// accepted output index is rotated by `skew` mod `n` *after* the policy
+    /// (and any random draw) has chosen, so accepted pairs may not have been
+    /// requested. Exists solely so the invariant-checking layer can prove it
+    /// catches a realistic scheduler defect; `skew == 0` (the constructor
+    /// default) restores correct behaviour bit-for-bit.
+    #[doc(hidden)]
+    pub fn debug_set_accept_skew(&mut self, skew: usize) {
+        self.accept_skew = skew % self.n;
     }
 
     /// Schedules one time slot and returns per-iteration statistics along
@@ -393,9 +409,19 @@ impl<R: SelectRng> Pim<R> {
                     }
                     AcceptPolicy::LowestIndex => grants.first().expect("non-empty grant set"),
                 };
-                matching
-                    .pair(InputPort::new(i), OutputPort::new(j))
-                    .expect("grant/accept produced a conflicting pair");
+                // Seeded-bug hook: skew is 0 outside checker self-tests.
+                let j = if self.accept_skew == 0 {
+                    j
+                } else {
+                    (j + self.accept_skew) % n
+                };
+                match matching.pair(InputPort::new(i), OutputPort::new(j)) {
+                    Ok(()) => {}
+                    // A skewed accept can collide with an existing pair;
+                    // skip it so the buggy scheduler still terminates.
+                    Err(_) if self.accept_skew != 0 => continue,
+                    Err(e) => panic!("grant/accept produced a conflicting pair: {e}"),
+                }
                 unmatched_inputs.remove(i);
                 unmatched_outputs.remove(j);
                 if track {

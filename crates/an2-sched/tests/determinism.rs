@@ -17,7 +17,8 @@ use an2_sched::maximum::MaximumMatching;
 use an2_sched::rng::Xoshiro256;
 use an2_sched::stat::{ReservationTable, StatisticalMatcher};
 use an2_sched::{
-    AcceptPolicy, InputPort, IterationLimit, Matching, Pim, RequestMatrix, Scheduler,
+    AcceptPolicy, CheckedScheduler, InputPort, IterationLimit, Matching, Pim, RequestMatrix,
+    Scheduler,
 };
 
 const SLOTS: usize = 128;
@@ -153,6 +154,68 @@ fn kgrant_pim_speedup2() {
         }
     }
     assert_digest(d.0, 0xad737cbfd822d37f);
+}
+
+/// The invariant checker must be a pure observer: wrapping a scheduler in
+/// [`CheckedScheduler`] (checks enabled or not) must reproduce the exact
+/// pinned digests — the checker draws no randomness and alters no
+/// decision, so digests stay bit-identical with checking on and off.
+#[test]
+fn checked_wrapper_reproduces_pinned_digests() {
+    let cases: [(Box<dyn Fn() -> Pim>, u64); 4] = [
+        (
+            Box::new(|| Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::Random)),
+            0xbd1c7ae0bbea76c9,
+        ),
+        (
+            Box::new(|| {
+                Pim::with_options(N, 42, IterationLimit::ToCompletion, AcceptPolicy::Random)
+            }),
+            0x204f4cddd3762200,
+        ),
+        (
+            Box::new(|| {
+                Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::RoundRobin)
+            }),
+            0x015195618db34220,
+        ),
+        (
+            Box::new(|| {
+                Pim::with_options(N, 42, IterationLimit::Fixed(4), AcceptPolicy::LowestIndex)
+            }),
+            0x93c54e9f10936bc1,
+        ),
+    ];
+    for (make, expected) in &cases {
+        let mut checked = CheckedScheduler::new(make());
+        let mut d = Digest::new();
+        for reqs in &request_sequence() {
+            d.matching(&checked.schedule(reqs));
+        }
+        assert_digest(d.0, *expected);
+        assert_eq!(checked.violations(), &[], "checker flagged a correct PIM");
+        if an2_sched::checking_enabled() {
+            assert!(checked.checks_run() > 0, "checks must run in checked builds");
+        } else {
+            assert_eq!(checked.checks_run(), 0, "checks must vanish in plain release");
+        }
+        // name() forwards, so reports and digests keyed by name also agree.
+        assert_eq!(checked.name(), make().name());
+    }
+}
+
+/// Same bit-identity bar for the ToCompletion + maximality expectation —
+/// the strictest checking mode must still be a pure observer.
+#[test]
+fn checked_maximal_expectation_is_also_an_observer() {
+    let inner = Pim::with_options(N, 42, IterationLimit::ToCompletion, AcceptPolicy::Random);
+    let mut checked = CheckedScheduler::expecting_maximal(inner);
+    let mut d = Digest::new();
+    for reqs in &request_sequence() {
+        d.matching(&checked.schedule(reqs));
+    }
+    assert_digest(d.0, 0x204f4cddd3762200);
+    assert_eq!(checked.violations(), &[]);
 }
 
 /// The stats path must keep reporting the same per-iteration trajectory

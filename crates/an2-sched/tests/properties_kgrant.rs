@@ -1,0 +1,75 @@
+//! Property-based tests for the k-grant PIM variant (§3.6's replicated
+//! fabric): assignments stay legal, output load never exceeds the
+//! replication factor, and enough iterations always reach k-maximality.
+
+use an2_sched::kgrant::KGrantPim;
+use an2_sched::{OutputPort, RequestMatrix};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn request_matrix(max_n: usize) -> impl Strategy<Value = RequestMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::bool::ANY, n * n)
+            .prop_map(move |bits| RequestMatrix::from_fn(n, |i, j| bits[i * n + j]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn kgrant_output_is_legal_and_within_fabric_capacity(
+        reqs in request_matrix(16),
+        k in 1usize..5,
+        iters in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = reqs.n();
+        let mut s = KGrantPim::new(n, k, iters, seed);
+        let mm = s.schedule(&reqs);
+        prop_assert!(mm.respects(&reqs));
+        // Each output is replicated k times, never more.
+        for j in 0..n {
+            prop_assert!(mm.output_load(OutputPort::new(j)) <= k);
+        }
+        // Each input still sends at most one cell; pairs() and output_of
+        // agree; len() counts the pairs.
+        let pairs: Vec<_> = mm.pairs().collect();
+        prop_assert_eq!(pairs.len(), mm.len());
+        let inputs: BTreeSet<usize> = pairs.iter().map(|(i, _)| i.index()).collect();
+        prop_assert_eq!(inputs.len(), pairs.len(), "an input assigned twice");
+        for (i, j) in pairs {
+            prop_assert_eq!(mm.output_of(i), Some(j));
+        }
+    }
+
+    #[test]
+    fn kgrant_with_enough_iterations_is_k_maximal(
+        reqs in request_matrix(16),
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Every iteration that is not yet k-maximal assigns at least one
+        // new input, so n iterations always suffice.
+        let n = reqs.n();
+        let mut s = KGrantPim::new(n, k, n, seed);
+        let mm = s.schedule(&reqs);
+        prop_assert!(mm.respects(&reqs));
+        prop_assert!(
+            mm.is_maximal(&reqs),
+            "an unassigned input still has a request for an output with spare capacity"
+        );
+    }
+
+    #[test]
+    fn kgrant_with_k1_is_an_ordinary_matching(
+        reqs in request_matrix(16),
+        seed in any::<u64>(),
+    ) {
+        let n = reqs.n();
+        let mut s = KGrantPim::new(n, 1, n, seed);
+        let mm = s.schedule(&reqs);
+        // k = 1 degenerates to unicast PIM: outputs are distinct too.
+        let outputs: BTreeSet<usize> = mm.pairs().map(|(_, j)| j.index()).collect();
+        prop_assert_eq!(outputs.len(), mm.len(), "an output driven twice at k = 1");
+        prop_assert!(mm.is_maximal(&reqs));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for multicast PIM (§3.7): served copies are
+//! always a subset of the requested fanouts, every requested output
+//! carries a copy each slot (one-round maximality), and residual fanouts
+//! drain in at most n slots.
+
+use an2_sched::multicast::{FanoutRequests, McPim};
+use an2_sched::{InputPort, OutputPort, PortSet};
+use proptest::prelude::*;
+
+/// Strategy: `n` and a fanout set per input (outputs reduced mod n).
+fn fanouts(max_n: usize) -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (1..=max_n).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(
+                proptest::collection::vec(0usize..16, 0..8),
+                n..=n,
+            ),
+        )
+    })
+}
+
+fn build(n: usize, sets: &[Vec<usize>]) -> FanoutRequests {
+    let mut reqs = FanoutRequests::new(n);
+    for (i, set) in sets.iter().enumerate() {
+        reqs.set(InputPort::new(i), set.iter().map(|j| j % n).collect());
+    }
+    reqs
+}
+
+proptest! {
+    #[test]
+    fn mcpim_serves_only_requested_copies_and_every_requested_output(
+        instance in fanouts(16),
+        seed in any::<u64>(),
+    ) {
+        let (n, sets) = instance;
+        let reqs = build(n, &sets);
+        let mut s = McPim::new(n, seed);
+        let m = s.schedule(&reqs);
+        prop_assert!(m.respects(&reqs));
+        // Output ownership is consistent with the served sets.
+        for j in 0..n {
+            let owners: Vec<usize> = (0..n)
+                .filter(|&i| m.served(InputPort::new(i)).contains(j))
+                .collect();
+            prop_assert!(owners.len() <= 1, "output {j} double-driven");
+            prop_assert_eq!(
+                m.input_of(OutputPort::new(j)).map(|i| i.index()),
+                owners.first().copied()
+            );
+            // One-round maximality: any requested output carries a copy.
+            let requested = (0..n).any(|i| reqs.fanout(InputPort::new(i)).contains(j));
+            prop_assert_eq!(m.input_of(OutputPort::new(j)).is_some(), requested);
+        }
+        prop_assert_eq!(
+            m.copies(),
+            (0..n).map(|i| m.served(InputPort::new(i)).len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn residual_fanouts_drain_within_n_slots(
+        instance in fanouts(12),
+        seed in any::<u64>(),
+    ) {
+        let (n, sets) = instance;
+        // Each slot serves every still-requested output once, so the
+        // worst-case drain time is the heaviest output contention <= n.
+        let mut reqs = build(n, &sets);
+        let total: usize = (0..n).map(|i| reqs.fanout(InputPort::new(i)).len()).sum();
+        let mut s = McPim::new(n, seed);
+        let mut delivered = 0usize;
+        let mut slots = 0usize;
+        while !reqs.is_empty() {
+            let m = s.schedule(&reqs);
+            prop_assert!(m.respects(&reqs));
+            prop_assert!(m.copies() > 0, "a non-empty fanout made no progress");
+            delivered += m.copies();
+            for i in 0..n {
+                let ip = InputPort::new(i);
+                let residual: PortSet = reqs
+                    .fanout(ip)
+                    .difference(m.served(ip));
+                reqs.set(ip, residual);
+            }
+            slots += 1;
+            prop_assert!(slots <= n, "drain exceeded the n-slot bound");
+        }
+        prop_assert_eq!(delivered, total, "copies lost or duplicated while draining");
+    }
+}

@@ -134,6 +134,13 @@ impl HybridSwitch {
         (self.cbr_departures, self.vbr_departures)
     }
 
+    /// Cells rejected at admission across both buffer pools (drop-tail
+    /// under a finite capacity; 0 when unbounded). Part of the
+    /// conservation ledger: offered = admitted arrivals + `drops()`.
+    pub fn drops(&self) -> u64 {
+        self.cbr.drops() + self.vbr.drops()
+    }
+
     /// Advances one slot with class-tagged arrivals.
     ///
     /// # Panics

@@ -186,6 +186,19 @@ impl SwitchReport {
         }
     }
 
+    /// Whether the cells this report measured are conserved: every admitted
+    /// arrival either departed or is still buffered.
+    ///
+    /// Only meaningful when the measurement window covers the whole run
+    /// (no warmup, no preloaded queues): `arrivals` is window-scoped, so a
+    /// cell admitted before the window starts would depart "unpaid". The
+    /// invariant layer uses this on purpose-built full-window probes;
+    /// dropped cells are accounted separately (`VoqBuffers::drops` — a
+    /// rejected cell never increments `arrivals`).
+    pub fn is_conserved(&self) -> bool {
+        self.arrivals == self.departures + self.final_occupancy as u64
+    }
+
     /// Per-flow throughput in cells per slot, keyed by flow id.
     pub fn flow_throughput(&self) -> Vec<(u64, f64)> {
         self.departures_per_flow

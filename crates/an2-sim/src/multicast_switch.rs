@@ -239,7 +239,7 @@ mod tests {
         let copies: Vec<crate::cell::Arrival> = (0..8)
             .map(|j| crate::cell::Arrival::pair(8, InputPort::new(0), an2_sched::OutputPort::new(j)))
             .collect();
-        uni.preload(&copies);
+        assert_eq!(uni.preload(&copies), 0);
         let mut slots = 0;
         while uni.queued() > 0 {
             uni.step(&[]);

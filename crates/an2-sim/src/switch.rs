@@ -226,16 +226,25 @@ impl<S: Scheduler> CrossbarSwitch<S> {
     /// before the observation window); cells are stamped with the current
     /// slot.
     ///
+    /// Returns the number of cells that were *not* admitted (non-zero only
+    /// with a finite per-VOQ capacity); callers must account for them so
+    /// the conservation ledger stays balanced.
+    ///
     /// # Panics
     ///
     /// Panics if any port is out of range or a flow changes output.
-    pub fn preload(&mut self, arrivals: &[crate::cell::Arrival]) {
+    #[must_use = "dropped preload cells must feed the conservation ledger"]
+    pub fn preload(&mut self, arrivals: &[crate::cell::Arrival]) -> usize {
         let slot = self.metrics.slot();
+        let mut dropped = 0;
         for a in arrivals {
             if self.voq.push(a.into_cell(slot)).is_admitted() {
                 self.metrics.on_arrival();
+            } else {
+                dropped += 1;
             }
         }
+        dropped
     }
 }
 
@@ -276,6 +285,12 @@ pub trait SizedScheduler: Scheduler {
 impl<R: an2_sched::rng::SelectRng> SizedScheduler for an2_sched::Pim<R> {
     fn ports(&self) -> usize {
         self.n()
+    }
+}
+
+impl<S: SizedScheduler> SizedScheduler for an2_sched::CheckedScheduler<S> {
+    fn ports(&self) -> usize {
+        self.inner().ports()
     }
 }
 

@@ -166,6 +166,22 @@ impl VoqBuffers {
         self.capacity
     }
 
+    /// Whether every per-pair occupancy respects the configured capacity.
+    ///
+    /// Vacuously `true` when unbounded. May legitimately be `false` right
+    /// after [`VoqBuffers::set_pair_capacity`] *lowers* the budget below an
+    /// existing queue length (those cells stay queued and drain), so the
+    /// invariant layer checks it only on runs whose capacity was fixed
+    /// before the first push.
+    pub fn capacity_invariant_holds(&self) -> bool {
+        let Some(cap) = self.capacity else {
+            return true;
+        };
+        self.pair_count
+            .iter()
+            .all(|row| row.iter().all(|&c| c <= cap))
+    }
+
     /// Cells discarded so far (drop-tail on full VOQs, redirect overflow,
     /// and flows dropped by [`VoqBuffers::drop_flow`]).
     pub fn drops(&self) -> u64 {

@@ -1,0 +1,311 @@
+//! Naive reference implementations the optimised schedulers are checked
+//! against.
+//!
+//! Every oracle here favours obviousness over speed: plain `Vec`s, no
+//! bitsets, no scratch reuse, recursion where recursion is clearest. A
+//! differential test runs the optimised implementation and its oracle on
+//! the same instances and fails on the first divergence.
+
+use an2_sched::pim::{AcceptPolicy, IterationLimit};
+use an2_sched::rng::{SelectRng, Xoshiro256};
+use an2_sched::RequestMatrix;
+
+/// Textbook PIM over `Vec<Vec<bool>>` request matrices.
+///
+/// Replicates `an2_sched::Pim`'s randomness *exactly*: the same per-port
+/// streams (`root.split(j)` for output grants, `root.split(0x1_0000 + i)`
+/// for input accepts), the same draw discipline (an empty candidate set
+/// draws nothing; a non-empty one draws one bounded index and picks the
+/// index-th smallest member), the same phase order and early exit. Given
+/// the same seed and request sequence, the reference and the optimised
+/// scheduler must therefore produce **identical matchings, slot after
+/// slot** — any divergence convicts one of them.
+#[derive(Clone, Debug)]
+pub struct ReferencePim {
+    n: usize,
+    limit: IterationLimit,
+    accept: AcceptPolicy,
+    output_rng: Vec<Xoshiro256>,
+    input_rng: Vec<Xoshiro256>,
+    accept_ptr: Vec<usize>,
+}
+
+impl ReferencePim {
+    /// Mirrors `Pim::new`: four iterations, random accept.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_options(n, seed, IterationLimit::Fixed(4), AcceptPolicy::Random)
+    }
+
+    /// Mirrors `Pim::with_options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_options(
+        n: usize,
+        seed: u64,
+        limit: IterationLimit,
+        accept: AcceptPolicy,
+    ) -> Self {
+        assert!(n > 0, "switch must have at least one port");
+        let root = Xoshiro256::seed_from(seed);
+        Self {
+            n,
+            limit,
+            accept,
+            output_rng: (0..n).map(|j| root.split(j as u64)).collect(),
+            input_rng: (0..n).map(|i| root.split(0x1_0000 + i as u64)).collect(),
+            accept_ptr: vec![0; n],
+        }
+    }
+
+    /// The switch radix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Schedules one slot; `out[i]` is the output matched to input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is not `n`×`n`.
+    pub fn schedule(&mut self, requests: &[Vec<bool>]) -> Vec<Option<usize>> {
+        let n = self.n;
+        assert_eq!(requests.len(), n, "request matrix must be n x n");
+        for row in requests {
+            assert_eq!(row.len(), n, "request matrix must be n x n");
+        }
+        let mut out_of: Vec<Option<usize>> = vec![None; n];
+        let mut in_of: Vec<Option<usize>> = vec![None; n];
+        let max_iters = match self.limit {
+            IterationLimit::Fixed(k) => k,
+            IterationLimit::ToCompletion => n,
+        };
+        for _ in 0..max_iters {
+            // Request phase: unmatched inputs with a cell for unmatched j,
+            // in ascending input order (the order `PortSet` iterates).
+            let mut requests_to: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut any_request = false;
+            for (j, to) in requests_to.iter_mut().enumerate() {
+                if in_of[j].is_some() {
+                    continue;
+                }
+                for (i, row) in requests.iter().enumerate() {
+                    if out_of[i].is_none() && row[j] {
+                        to.push(i);
+                    }
+                }
+                any_request |= !to.is_empty();
+            }
+            if any_request {
+                // matches the optimised early exit before any draw
+            } else {
+                break;
+            }
+
+            // Grant phase: each output with requests draws once.
+            let mut grants_to: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for j in 0..n {
+                if in_of[j].is_some() {
+                    continue;
+                }
+                let cands = &requests_to[j];
+                if cands.is_empty() {
+                    continue;
+                }
+                let i = cands[self.output_rng[j].index(cands.len())];
+                grants_to[i].push(j);
+            }
+
+            // Accept phase: each granted input picks one grant. `grants`
+            // is ascending because the grant loop ran in ascending j.
+            for i in 0..n {
+                if out_of[i].is_some() {
+                    continue;
+                }
+                let grants = &grants_to[i];
+                if grants.is_empty() {
+                    continue;
+                }
+                let j = match self.accept {
+                    AcceptPolicy::Random => grants[self.input_rng[i].index(grants.len())],
+                    AcceptPolicy::RoundRobin => {
+                        let ptr = self.accept_ptr[i];
+                        let j = grants
+                            .iter()
+                            .copied()
+                            .find(|&g| g >= ptr)
+                            .unwrap_or(grants[0]);
+                        self.accept_ptr[i] = (j + 1) % n;
+                        j
+                    }
+                    AcceptPolicy::LowestIndex => grants[0],
+                };
+                out_of[i] = Some(j);
+                in_of[j] = Some(i);
+            }
+        }
+        out_of
+    }
+}
+
+/// Kuhn's augmenting-path maximum matching — the classic `O(V · E)`
+/// recursive formulation — returning the maximum matching size.
+///
+/// The reference oracle for the optimised bitset Hopcroft–Karp: both must
+/// report the same size on every instance (the matchings themselves may
+/// legitimately differ).
+pub fn kuhn_maximum_matching_size(requests: &RequestMatrix) -> usize {
+    const NIL: usize = usize::MAX;
+    let n = requests.n();
+
+    fn try_augment(
+        i: usize,
+        requests: &RequestMatrix,
+        seen: &mut [bool],
+        match_out: &mut [usize],
+    ) -> bool {
+        let n = requests.n();
+        for j in 0..n {
+            if !requests.has(an2_sched::InputPort::new(i), an2_sched::OutputPort::new(j))
+                || seen[j]
+            {
+                continue;
+            }
+            seen[j] = true;
+            if match_out[j] == NIL || try_augment(match_out[j], requests, seen, match_out) {
+                match_out[j] = i;
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut match_out = vec![NIL; n];
+    let mut size = 0;
+    for i in 0..n {
+        let mut seen = vec![false; n];
+        if try_augment(i, requests, &mut seen, &mut match_out) {
+            size += 1;
+        }
+    }
+    size
+}
+
+/// Brute-force frame-schedule feasibility: can `demand` (cells per pair
+/// per frame) be decomposed into `frame_len` partial matchings?
+///
+/// Exhaustive backtracking over unit cells with one symmetry reduction
+/// (empty frame slots are interchangeable, so only the first empty slot
+/// is ever tried). The oracle for the incremental Slepian–Duguid insert:
+/// by the theorem, feasibility should hold exactly when every input and
+/// output load is at most `frame_len` — this search proves it per
+/// instance without invoking the theorem. Keep instances small (`n`,
+/// `frame_len` ≲ 6): the search is exponential by design.
+///
+/// # Panics
+///
+/// Panics if `demand` is not square.
+pub fn frame_demand_feasible(demand: &[Vec<usize>], frame_len: usize) -> bool {
+    let n = demand.len();
+    for row in demand {
+        assert_eq!(row.len(), n, "demand matrix must be square");
+    }
+    let mut cells = Vec::new();
+    for (i, row) in demand.iter().enumerate() {
+        for (j, &count) in row.iter().enumerate() {
+            for _ in 0..count {
+                cells.push((i, j));
+            }
+        }
+    }
+    if cells.len() > n * frame_len {
+        return false;
+    }
+
+    struct Search<'a> {
+        cells: &'a [(usize, usize)],
+        in_used: Vec<Vec<bool>>,
+        out_used: Vec<Vec<bool>>,
+        slot_load: Vec<usize>,
+    }
+    impl Search<'_> {
+        fn place(&mut self, k: usize) -> bool {
+            if k == self.cells.len() {
+                return true;
+            }
+            let (i, j) = self.cells[k];
+            let mut tried_empty = false;
+            for s in 0..self.slot_load.len() {
+                if self.slot_load[s] == 0 {
+                    if tried_empty {
+                        continue; // interchangeable with the one we tried
+                    }
+                    tried_empty = true;
+                }
+                if self.in_used[s][i] || self.out_used[s][j] {
+                    continue;
+                }
+                self.in_used[s][i] = true;
+                self.out_used[s][j] = true;
+                self.slot_load[s] += 1;
+                if self.place(k + 1) {
+                    return true;
+                }
+                self.in_used[s][i] = false;
+                self.out_used[s][j] = false;
+                self.slot_load[s] -= 1;
+            }
+            false
+        }
+    }
+
+    Search {
+        cells: &cells,
+        in_used: vec![vec![false; n]; frame_len],
+        out_used: vec![vec![false; n]; frame_len],
+        slot_load: vec![0; frame_len],
+    }
+    .place(0)
+}
+
+/// Whether `measured` agrees with an analytic `predicted` value within
+/// `rel_tol` relative error (plus `abs_tol` slack for near-zero targets).
+///
+/// The confidence bound for the M/D/1 / Karol cross-checks: simulations
+/// are finite, so exact equality is never expected.
+pub fn within_confidence(measured: f64, predicted: f64, rel_tol: f64, abs_tol: f64) -> bool {
+    (measured - predicted).abs() <= predicted.abs() * rel_tol + abs_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kuhn_on_a_known_instance() {
+        // Perfect matching exists on the identity plus one extra edge.
+        let reqs = RequestMatrix::from_fn(4, |i, j| i == j || (i == 0 && j == 1));
+        assert_eq!(kuhn_maximum_matching_size(&reqs), 4);
+        // A star: all inputs want output 0 only.
+        let star = RequestMatrix::from_fn(4, |_, j| j == 0);
+        assert_eq!(kuhn_maximum_matching_size(&star), 1);
+    }
+
+    #[test]
+    fn frame_feasibility_matches_the_load_condition() {
+        // Loads <= frame_len: feasible.
+        let ok = vec![vec![2, 1, 0], vec![1, 0, 2], vec![0, 2, 1]];
+        assert!(frame_demand_feasible(&ok, 3));
+        // One output overloaded: infeasible.
+        let over = vec![vec![2, 0, 0], vec![2, 0, 0], vec![0, 0, 0]];
+        assert!(!frame_demand_feasible(&over, 3));
+    }
+
+    #[test]
+    fn confidence_bounds() {
+        assert!(within_confidence(1.02, 1.0, 0.05, 0.0));
+        assert!(!within_confidence(1.2, 1.0, 0.05, 0.0));
+        assert!(within_confidence(0.001, 0.0, 0.05, 0.01));
+    }
+}

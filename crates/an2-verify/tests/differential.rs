@@ -1,0 +1,181 @@
+//! Differential oracles: every optimised implementation re-checked
+//! against a naive reference on random instances, and simulated delays
+//! cross-checked against the paper's analytic formulas.
+
+use an2_sched::maximum::hopcroft_karp;
+use an2_sched::pim::{AcceptPolicy, IterationLimit};
+use an2_sched::rng::{SelectRng, Xoshiro256};
+use an2_sched::{FrameSchedule, InputPort, OutputPort, Pim, RequestMatrix, Scheduler};
+use an2_sim::analytic::{hol_saturation_throughput, output_queueing_mean_delay};
+use an2_sched::fifo::FifoPriority;
+use an2_sim::fifo_switch::FifoSwitch;
+use an2_sim::output_queued::OutputQueuedSwitch;
+use an2_sim::sim::{simulate, SimConfig};
+use an2_sim::traffic::RateMatrixTraffic;
+use an2_verify::oracle::{
+    frame_demand_feasible, kuhn_maximum_matching_size, within_confidence, ReferencePim,
+};
+
+/// Draws an identical instance in both representations.
+fn random_instance(n: usize, density: f64, rng: &mut Xoshiro256) -> (RequestMatrix, Vec<Vec<bool>>) {
+    let bools: Vec<Vec<bool>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.bernoulli(density)).collect())
+        .collect();
+    let reqs = RequestMatrix::from_fn(n, |i, j| bools[i][j]);
+    (reqs, bools)
+}
+
+/// The core differential: the optimised `Pim` and the naive
+/// `ReferencePim`, seeded identically, must produce *identical* matchings
+/// slot after slot — for every accept policy and iteration limit, across
+/// densities from empty to full. Any divergence convicts one of them.
+#[test]
+fn optimised_pim_equals_reference_pim_exactly() {
+    let n = 16;
+    let policies = [
+        AcceptPolicy::Random,
+        AcceptPolicy::RoundRobin,
+        AcceptPolicy::LowestIndex,
+    ];
+    let limits = [
+        IterationLimit::Fixed(1),
+        IterationLimit::Fixed(4),
+        IterationLimit::ToCompletion,
+    ];
+    for &policy in &policies {
+        for &limit in &limits {
+            let seed = 0xD1FF ^ (policy as u64) << 8;
+            let mut fast = Pim::with_options(n, seed, limit, policy);
+            let mut slow = ReferencePim::with_options(n, seed, limit, policy);
+            let mut traffic_rng = Xoshiro256::seed_from(0xABC);
+            let densities = [0.1, 0.5, 0.9, 1.0, 0.0];
+            for slot in 0..200u64 {
+                let density = densities[(slot as usize) % densities.len()];
+                let (reqs, bools) = random_instance(n, density, &mut traffic_rng);
+                let m = fast.schedule(&reqs);
+                let r = slow.schedule(&bools);
+                for (i, ri) in r.iter().enumerate() {
+                    assert_eq!(
+                        m.output_of(InputPort::new(i)).map(|j| j.index()),
+                        *ri,
+                        "policy {policy:?} limit {limit:?} slot {slot} input {i} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Hopcroft–Karp (word-parallel bitset rewrite) vs Kuhn (textbook
+/// recursion): identical maximum-matching size on every instance.
+#[test]
+fn hopcroft_karp_matches_kuhn_sizes() {
+    let mut rng = Xoshiro256::seed_from(0x7357);
+    for trial in 0..300u64 {
+        let n = 1 + (rng.index(24));
+        let density = rng.uniform_f64();
+        let (reqs, _) = random_instance(n, density, &mut rng);
+        let hk = hopcroft_karp(&reqs);
+        assert!(hk.respects(&reqs));
+        assert!(hk.is_maximal(&reqs));
+        assert_eq!(
+            hk.len(),
+            kuhn_maximum_matching_size(&reqs),
+            "trial {trial}: n={n} density={density}"
+        );
+    }
+}
+
+/// The incremental Slepian–Duguid insert vs exhaustive backtracking:
+/// a random demand matrix is admitted by `FrameSchedule` exactly when the
+/// brute-force search can decompose it into frame slots — and both agree
+/// with the load condition the theorem predicts.
+#[test]
+fn frame_schedule_matches_brute_force_feasibility() {
+    let mut rng = Xoshiro256::seed_from(0xF3A5);
+    for trial in 0..150u64 {
+        let n = 2 + rng.index(3); // 2..=4
+        let frame_len = 2 + rng.index(3); // 2..=4
+        let demand: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.index(frame_len + 1)).collect())
+            .collect();
+
+        let max_load = (0..n)
+            .map(|k| {
+                let row: usize = demand[k].iter().sum();
+                let col: usize = (0..n).map(|i| demand[i][k]).sum();
+                row.max(col)
+            })
+            .max()
+            .unwrap();
+        let feasible_by_load = max_load <= frame_len;
+
+        let feasible_by_search = frame_demand_feasible(&demand, frame_len);
+        assert_eq!(
+            feasible_by_search, feasible_by_load,
+            "trial {trial}: brute force disagrees with the Slepian–Duguid load condition"
+        );
+
+        let mut fs = FrameSchedule::new(n, frame_len);
+        let mut admitted_all = true;
+        'reserve: for (i, row) in demand.iter().enumerate() {
+            for (j, &cells) in row.iter().enumerate() {
+                if cells > 0
+                    && fs
+                        .reserve(InputPort::new(i), OutputPort::new(j), cells)
+                        .is_err()
+                {
+                    admitted_all = false;
+                    break 'reserve;
+                }
+            }
+        }
+        assert_eq!(
+            admitted_all, feasible_by_search,
+            "trial {trial}: FrameSchedule admission disagrees with brute force"
+        );
+        if admitted_all {
+            assert!(fs.verify(), "trial {trial}: admitted schedule inconsistent");
+        }
+    }
+}
+
+/// Simulated perfect-output-queueing delay vs the paper's M/D/1-based
+/// closed form, within confidence bounds.
+#[test]
+fn output_queueing_delay_matches_analytic_formula() {
+    let n = 16;
+    let cfg = SimConfig {
+        warmup_slots: 4_000,
+        measure_slots: 30_000,
+    };
+    for rho in [0.4, 0.7, 0.9] {
+        let mut sw = OutputQueuedSwitch::new(n);
+        let mut t = RateMatrixTraffic::uniform(n, rho, 0x0DD5);
+        let measured = simulate(&mut sw, &mut t, cfg).delay.mean();
+        let predicted = output_queueing_mean_delay(n, rho);
+        assert!(
+            within_confidence(measured, predicted, 0.08, 0.05),
+            "rho={rho}: simulated {measured} vs analytic {predicted}"
+        );
+    }
+}
+
+/// Simulated FIFO saturation throughput vs Karol's exact finite-N values.
+#[test]
+fn fifo_saturation_matches_karol_values() {
+    let cfg = SimConfig {
+        warmup_slots: 4_000,
+        measure_slots: 30_000,
+    };
+    for n in [2usize, 4, 8] {
+        let mut sw = FifoSwitch::new(n, FifoPriority::Random, 0xF1F0);
+        let mut t = RateMatrixTraffic::uniform(n, 1.0, 0xF1F1);
+        let measured = simulate(&mut sw, &mut t, cfg).mean_output_utilization();
+        let predicted = hol_saturation_throughput(n).unwrap();
+        assert!(
+            within_confidence(measured, predicted, 0.03, 0.0),
+            "N={n}: simulated saturation {measured} vs Karol {predicted}"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Acceptance tests for the replay + shrink harness: a seeded scheduler
+//! bug must be caught by the invariant checker, captured as a
+//! self-contained `replay.json`, replayed to the exact failing slot, and
+//! shrunk to a small failing case.
+
+use an2_verify::{run_case, shrink, ReplayCase};
+
+/// The seeded bug from ISSUE.md: an off-by-one in PIM's accept phase,
+/// injected through `Pim::debug_set_accept_skew`.
+fn seeded_bug_case() -> ReplayCase {
+    let mut case = ReplayCase::new(16, 0xA11CE, 0.3, 4096);
+    case.accept_skew = 1;
+    case
+}
+
+#[test]
+fn checker_catches_the_seeded_accept_bug() {
+    let out = run_case(&seeded_bug_case());
+    let v = out.violation.expect("the skewed accept phase must be caught");
+    assert_eq!(v.rule, "respects", "a skewed accept matches unrequested pairs");
+    assert_eq!(out.slots_run, v.slot + 1, "the run stops at the failing slot");
+}
+
+#[test]
+fn replay_json_round_trips_and_reproduces_the_exact_slot() {
+    let mut case = seeded_bug_case();
+    let v = run_case(&case).violation.expect("must fail");
+    case.annotate(&v);
+
+    // What an2-repro writes on violation...
+    let json = case.to_json();
+    // ...is what `an2-repro replay <file>` reads back,
+    let parsed = ReplayCase::from_json(&json).expect("replay.json must parse");
+    assert_eq!(parsed, case, "serialisation must be lossless");
+
+    // and re-running it lands on the same slot with the same rule.
+    let replayed = run_case(&parsed)
+        .violation
+        .expect("a captured case must still fail on replay");
+    assert_eq!(replayed.slot, v.slot);
+    assert_eq!(replayed.rule, v.rule);
+}
+
+#[test]
+fn shrinker_reduces_to_a_small_failing_case() {
+    let case = seeded_bug_case();
+    let shrunk = shrink(&case).expect("a failing case must shrink to a failing case");
+
+    // ISSUE.md acceptance: the shrunk reproduction is tiny.
+    assert!(
+        shrunk.slots <= 32,
+        "shrunk case still needs {} slots",
+        shrunk.slots
+    );
+    assert!(
+        shrunk.active_ports < case.active_ports,
+        "shrinking should retire idle ports (still {})",
+        shrunk.active_ports
+    );
+
+    // The shrunk case still fails, exactly where its annotations claim.
+    let out = run_case(&shrunk);
+    let v = out.violation.expect("shrunk case must preserve the failure");
+    assert_eq!(shrunk.failing_slot, Some(v.slot));
+    assert_eq!(shrunk.rule.as_deref(), Some(v.rule));
+
+    // And it round-trips through JSON like any other case.
+    let parsed = ReplayCase::from_json(&shrunk.to_json()).unwrap();
+    assert_eq!(parsed, shrunk);
+    assert!(run_case(&parsed).violation.is_some());
+}
+
+#[test]
+fn clean_cases_do_not_shrink() {
+    assert!(shrink(&ReplayCase::new(8, 0xC1EA4, 0.5, 128)).is_none());
+}
