@@ -1,0 +1,515 @@
+//! Per-file structural analysis on top of the token stream.
+//!
+//! The rules need more than raw tokens: which tokens sit inside
+//! `#[cfg(test)]` items, which `fn` bodies exist (and in which `impl`), and
+//! which lines carry `// an2-lint:` annotations or `// SAFETY:` rationales.
+//! This module computes all of that once per file.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// A source file handed to the linter, with a workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// Full file contents.
+    pub src: String,
+}
+
+/// A `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The self type of the innermost enclosing `impl`, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range `[open, close]` of the `{…}` body, if the fn has
+    /// one (trait method declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// Whether the fn sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+    /// Whether a `// an2-lint: hot` comment marks this fn as a hot-path
+    /// seed.
+    pub hot_annotated: bool,
+    /// Whether a `// an2-lint: cold` comment excludes this fn from the
+    /// hot-path closure.
+    pub cold_annotated: bool,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Significant tokens.
+    pub toks: Vec<Tok>,
+    /// Raw source lines (for snippets).
+    pub lines: Vec<String>,
+    /// For each token index holding an open/close delimiter, the index of
+    /// its partner; `usize::MAX` elsewhere or when unbalanced.
+    pub match_of: Vec<usize>,
+    /// Token-index ranges (inclusive) covering test-only items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// All `fn` items in the file.
+    pub fns: Vec<FnItem>,
+    /// Lines on which a given rule is suppressed by `// an2-lint: allow(…)`.
+    pub allows: BTreeMap<u32, Vec<String>>,
+    /// Concatenated comment text per source line (for `SAFETY:` lookups).
+    pub comment_on_line: BTreeMap<u32, String>,
+}
+
+impl FileAnalysis {
+    /// Analyzes one source file.
+    pub fn new(file: &SourceFile) -> Self {
+        let lexed = lex(&file.src);
+        let toks = lexed.toks;
+        let lines: Vec<String> = file.src.lines().map(str::to_string).collect();
+        let match_of = match_delims(&toks);
+        let test_ranges = find_test_ranges(&toks, &match_of);
+
+        let mut comment_on_line: BTreeMap<u32, String> = BTreeMap::new();
+        let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        let mut hot_lines = Vec::new();
+        let mut cold_lines = Vec::new();
+        for c in &lexed.comments {
+            for l in c.line..=c.end_line {
+                comment_on_line.entry(l).or_default().push_str(&c.text);
+            }
+            if let Some(rules) = parse_allow(&c.text) {
+                // A trailing comment suppresses its own line; a comment on
+                // its own line suppresses the next one.
+                for rule in rules {
+                    allows.entry(c.line).or_default().push(rule.clone());
+                    allows.entry(c.end_line + 1).or_default().push(rule);
+                }
+            }
+            if c.text.contains("an2-lint: hot") {
+                hot_lines.push(c.end_line);
+            }
+            if c.text.contains("an2-lint: cold") {
+                cold_lines.push(c.end_line);
+            }
+        }
+
+        let mut fns = find_fns(&toks, &match_of, &test_ranges);
+        for &l in &hot_lines {
+            mark_next_fn(&mut fns, l, true);
+        }
+        for &l in &cold_lines {
+            mark_next_fn(&mut fns, l, false);
+        }
+
+        Self {
+            path: file.path.clone(),
+            toks,
+            lines,
+            match_of,
+            test_ranges,
+            fns,
+            allows,
+            comment_on_line,
+        }
+    }
+
+    /// Is token index `i` inside a test-only item?
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| i >= a && i <= b)
+    }
+
+    /// Is `rule` suppressed on `line` by an `an2-lint: allow(…)` comment?
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+    }
+
+    /// The trimmed source text of a 1-based line, truncated for reports.
+    pub fn snippet(&self, line: u32) -> String {
+        let mut s = self
+            .lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        if s.len() > 120 {
+            s.truncate(117);
+            s.push_str("...");
+        }
+        s
+    }
+
+    /// Walks comment lines upward from `line` (inclusive) looking for a
+    /// `SAFETY:` rationale; stops at the first line that carries no comment.
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        // The unsafe token's own line may carry a trailing `// SAFETY:`.
+        if self
+            .comment_on_line
+            .get(&line)
+            .is_some_and(|t| t.contains("SAFETY:"))
+        {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            match self.comment_on_line.get(&l) {
+                Some(t) if t.contains("SAFETY:") => return true,
+                // Attribute lines between the comment and the `unsafe`
+                // keyword (e.g. `#[target_feature(...)]`) keep the walk
+                // alive.
+                Some(_) => {}
+                None => {
+                    let trimmed = self
+                        .lines
+                        .get(l as usize - 1)
+                        .map(|s| s.trim())
+                        .unwrap_or("");
+                    if !(trimmed.starts_with("#[") || trimmed.starts_with("#![")) {
+                        return false;
+                    }
+                }
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// Extracts rule names from an `// an2-lint: allow(rule, rule)` comment.
+fn parse_allow(text: &str) -> Option<Vec<String>> {
+    let at = text.find("an2-lint: allow(")?;
+    let rest = &text[at + "an2-lint: allow(".len()..];
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+    )
+}
+
+/// Marks the first fn at or after `line` as hot (or cold).
+fn mark_next_fn(fns: &mut [FnItem], line: u32, hot: bool) {
+    // The annotation must sit within a few lines of the fn it marks so a
+    // stray comment cannot silently annotate something far away.
+    if let Some(f) = fns
+        .iter_mut()
+        .filter(|f| f.line >= line && f.line <= line + 8)
+        .min_by_key(|f| f.line)
+    {
+        if hot {
+            f.hot_annotated = true;
+        } else {
+            f.cold_annotated = true;
+        }
+    }
+}
+
+/// Pairs up `(`/`)`, `[`/`]`, `{`/`}` tokens.
+fn match_delims(toks: &[Tok]) -> Vec<usize> {
+    let mut match_of = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct(c @ ('(' | '[' | '{')) => stack.push((c, i)),
+            TokKind::Punct(c @ (')' | ']' | '}')) => {
+                let open = match c {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                // Pop to the nearest matching opener; unbalanced input
+                // (malformed code) just leaves entries unmatched.
+                while let Some((oc, oi)) = stack.pop() {
+                    if oc == open {
+                        match_of[oi] = i;
+                        match_of[i] = oi;
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    match_of
+}
+
+fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct(c)
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Finds token ranges covered by `#[test]`-like or `#[cfg(test)]` items.
+fn find_test_ranges(toks: &[Tok], match_of: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        // Outer attribute `#[…]` (not the inner `#![…]`).
+        if is_punct(&toks[i], '#') && is_punct(&toks[i + 1], '[') {
+            let open = i + 1;
+            let close = match_of[open];
+            if close == usize::MAX {
+                i += 1;
+                continue;
+            }
+            let mentions_test = toks[open + 1..close]
+                .iter()
+                .any(|t| is_ident(t, "test") || is_ident(t, "tests"));
+            if mentions_test {
+                if let Some(range) = attribute_target_body(toks, match_of, close + 1) {
+                    ranges.push(range);
+                    i = range.1 + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// From the token just after an attribute, finds the `{…}` body of the item
+/// the attribute decorates, skipping further attributes and signature
+/// tokens (and balanced `(…)`/`[…]` groups inside the signature).
+fn attribute_target_body(
+    toks: &[Tok],
+    match_of: &[usize],
+    mut i: usize,
+) -> Option<(usize, usize)> {
+    while i < toks.len() {
+        if is_punct(&toks[i], '#') && i + 1 < toks.len() && is_punct(&toks[i + 1], '[') {
+            let close = match_of[i + 1];
+            if close == usize::MAX {
+                return None;
+            }
+            i = close + 1;
+            continue;
+        }
+        match toks[i].kind {
+            TokKind::Punct('{') => {
+                let close = match_of[i];
+                if close == usize::MAX {
+                    return None;
+                }
+                return Some((i, close));
+            }
+            TokKind::Punct(';') => return None,
+            TokKind::Punct('(' | '[') => {
+                let close = match_of[i];
+                if close == usize::MAX {
+                    return None;
+                }
+                i = close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Finds every `fn` item, resolving the innermost `impl` self type.
+fn find_fns(toks: &[Tok], match_of: &[usize], test_ranges: &[(usize, usize)]) -> Vec<FnItem> {
+    // First collect impl body ranges with their self types.
+    let mut impls: Vec<(String, (usize, usize))> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_ident(&toks[i], "impl") {
+            if let Some((ty, body)) = parse_impl_header(toks, match_of, i) {
+                impls.push((ty, body));
+            }
+        }
+        i += 1;
+    }
+
+    let in_test =
+        |idx: usize| -> bool { test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b) };
+
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if is_ident(&toks[i], "fn") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            let body = fn_body(toks, match_of, i + 2);
+            let impl_type = impls
+                .iter()
+                .filter(|(_, (a, b))| i > *a && i < *b)
+                .min_by_key(|(_, (a, b))| b - a)
+                .map(|(ty, _)| ty.clone());
+            fns.push(FnItem {
+                name,
+                impl_type,
+                line,
+                body,
+                in_test: in_test(i),
+                hot_annotated: false,
+                cold_annotated: false,
+            });
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// From the token after a fn's name, finds its `{…}` body (or `None` for a
+/// bodyless trait-method declaration).
+fn fn_body(toks: &[Tok], match_of: &[usize], mut i: usize) -> Option<(usize, usize)> {
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('{') => {
+                let close = match_of[i];
+                if close == usize::MAX {
+                    return None;
+                }
+                return Some((i, close));
+            }
+            TokKind::Punct(';') => return None,
+            TokKind::Punct('(' | '[') => {
+                let close = match_of[i];
+                if close == usize::MAX {
+                    return None;
+                }
+                i = close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Parses `impl … {` starting at the `impl` token: returns the self type
+/// name and the body token range.
+fn parse_impl_header(
+    toks: &[Tok],
+    match_of: &[usize],
+    impl_idx: usize,
+) -> Option<(String, (usize, usize))> {
+    let mut i = impl_idx + 1;
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('<') => angle_depth += 1,
+            TokKind::Punct('>') => angle_depth -= 1,
+            TokKind::Punct('{') => {
+                let close = match_of[i];
+                if close == usize::MAX {
+                    return None;
+                }
+                return last_ident.map(|ty| (ty, (i, close)));
+            }
+            TokKind::Punct(';') => return None,
+            TokKind::Punct('(' | '[') => {
+                // Tuple/array self types like `impl Trait for (A, B)`;
+                // skip the group wholesale.
+                let close = match_of[i];
+                if close == usize::MAX {
+                    return None;
+                }
+                i = close + 1;
+                continue;
+            }
+            TokKind::Ident if angle_depth == 0 => {
+                let t = &toks[i].text;
+                if t == "for" {
+                    last_ident = None; // the self type follows `for`
+                } else if t == "where" {
+                    // Type name is fixed by now; skip to the body.
+                } else if t != "dyn" && t != "impl" && t != "crate" && t != "super" && t != "self"
+                {
+                    last_ident = Some(t.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> FileAnalysis {
+        FileAnalysis::new(&SourceFile {
+            path: "crates/demo/src/lib.rs".into(),
+            src: src.into(),
+        })
+    }
+
+    #[test]
+    fn fns_and_impl_types_are_found() {
+        let a = analyze(
+            "struct Foo;\n\
+             impl Foo { fn new() -> Self { Foo } fn go(&self) {} }\n\
+             impl<T: Clone> Bar for Foo { fn schedule(&mut self) {} }\n\
+             fn free() {}\n\
+             trait T { fn decl(&self); }\n",
+        );
+        let by_name = |n: &str| a.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("new").impl_type.as_deref(), Some("Foo"));
+        assert_eq!(by_name("go").impl_type.as_deref(), Some("Foo"));
+        assert_eq!(by_name("schedule").impl_type.as_deref(), Some("Foo"));
+        assert_eq!(by_name("free").impl_type, None);
+        assert!(by_name("decl").body.is_none());
+        assert!(by_name("free").body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_their_items() {
+        let a = analyze(
+            "fn prod() { hot(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n",
+        );
+        let helper = a.fns.iter().find(|f| f.name == "helper").unwrap();
+        let case = a.fns.iter().find(|f| f.name == "case").unwrap();
+        let prod = a.fns.iter().find(|f| f.name == "prod").unwrap();
+        assert!(helper.in_test);
+        assert!(case.in_test);
+        assert!(!prod.in_test);
+    }
+
+    #[test]
+    fn annotations_attach_to_the_next_fn() {
+        let a = analyze(
+            "// an2-lint: hot\nfn fast() {}\n\n// an2-lint: cold\n#[inline]\nfn slow() {}\nfn plain() {}\n",
+        );
+        let by_name = |n: &str| a.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("fast").hot_annotated);
+        assert!(by_name("slow").cold_annotated);
+        assert!(!by_name("plain").hot_annotated && !by_name("plain").cold_annotated);
+    }
+
+    #[test]
+    fn allow_comments_suppress_their_line_and_the_next() {
+        let a = analyze(
+            "fn f() {\n    x.push(1); // an2-lint: allow(alloc-in-hot-path)\n    // an2-lint: allow(determinism) -- reason\n    let m = 0;\n}\n",
+        );
+        assert!(a.allowed("alloc-in-hot-path", 2));
+        assert!(a.allowed("determinism", 4));
+        assert!(!a.allowed("determinism", 5));
+    }
+
+    #[test]
+    fn safety_walks_through_comments_and_attributes() {
+        let a = analyze(
+            "// SAFETY: the feature was probed at runtime.\n\
+             #[target_feature(enable = \"bmi2\")]\n\
+             unsafe fn fast() {}\n\
+             \n\
+             unsafe fn bare() {}\n\
+             fn g() { unsafe { core() } } // SAFETY: trailing rationale\n",
+        );
+        assert!(a.has_safety_comment(3));
+        assert!(!a.has_safety_comment(5));
+        assert!(a.has_safety_comment(6));
+    }
+}

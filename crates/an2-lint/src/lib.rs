@@ -1,0 +1,138 @@
+//! `an2-lint` — the workspace invariant linter.
+//!
+//! PRs 1–4 established the AN2 reproduction's hard invariants *dynamically*:
+//! a zero-allocation scheduler hot path (counting-allocator tests),
+//! bit-identical output at any `--threads N` (pinned digests), an
+//! unsafe-free workspace outside one audited BMI2 intrinsic, and stdout
+//! byte-identity under `--check`. Dynamic proof is necessary but late: a
+//! `Vec::new()` slipped into `pim.rs` only fails once a test happens to
+//! execute it. This crate proves the same rules **at the source level**,
+//! before anything runs, with a hand-rolled Rust lexer (no external
+//! dependencies — the build environment is offline) and a token-stream rule
+//! engine:
+//!
+//! 1. [`rules::RULE_HOT_ALLOC`] — no allocating calls in functions reachable
+//!    from `schedule()` in the hot scheduler modules, via a name-resolved
+//!    call-graph closure seeded by `fn schedule` and `// an2-lint: hot`
+//!    annotations.
+//! 2. [`rules::RULE_DETERMINISM`] — no wall clocks, random-state hash
+//!    collections, env reads or foreign RNGs in the deterministic crates.
+//! 3. [`rules::RULE_UNSAFE`] — `unsafe` only in files listed in
+//!    `lint/unsafe-allowlist.txt`, each occurrence with a `// SAFETY:`
+//!    rationale.
+//! 4. [`rules::RULE_STDOUT`] — `println!`/`print!`/`dbg!` only in bin
+//!    targets (protects the `--check` byte-identity contract).
+//! 5. [`rules::RULE_DEPS`] — `Cargo.lock` may only contain crates listed in
+//!    `lint/deps-allowlist.txt`.
+//!
+//! Run with `cargo run -p an2-lint`; the outcome is also written to
+//! `results/LINT.json`. `--fix-baseline` records current violations in
+//! `lint/baseline.txt` so a rule can be introduced before its last
+//! violations are purged (the committed baseline is empty and should stay
+//! that way).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyze;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use analyze::SourceFile;
+pub use config::{BaselineEntry, Config};
+pub use rules::{lint_files, lint_lockfile, Violation};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects every workspace `.rs` file under `root`, as [`SourceFile`]s
+/// with sorted, `/`-separated workspace-relative paths. `target/`, hidden
+/// directories and the configured skip prefixes are excluded.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking or file reads.
+pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, root, cfg, &mut paths)?;
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel))?;
+            Ok(SourceFile { path: rel, src })
+        })
+        .collect()
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let rel = rel_path(root, &path);
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            let rel_dir = format!("{rel}/");
+            if cfg
+                .walk_skip_prefixes
+                .iter()
+                .any(|p| rel_dir.starts_with(p.as_str()))
+            {
+                continue;
+            }
+            walk(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Splits `violations` into (kept, baseline-suppressed-count) against the
+/// committed baseline. Matching is by (rule, file, line).
+pub fn apply_baseline(
+    violations: Vec<Violation>,
+    baseline: &[BaselineEntry],
+) -> (Vec<Violation>, usize) {
+    let mut suppressed = 0usize;
+    let kept = violations
+        .into_iter()
+        .filter(|v| {
+            let hit = baseline
+                .iter()
+                .any(|b| b.rule == v.rule && b.file == v.file && b.line == v.line);
+            if hit {
+                suppressed += 1;
+            }
+            !hit
+        })
+        .collect();
+    (kept, suppressed)
+}
+
+/// The workspace root this binary was built in: `crates/an2-lint/../..`.
+pub fn default_root() -> PathBuf {
+    let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    raw.canonicalize().unwrap_or(raw)
+}

@@ -1,0 +1,130 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p an2-lint [-- --root PATH] [--fix-baseline] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations, 2 = configuration/usage error.
+//! The machine-readable report always lands in `results/LINT.json`.
+
+use an2_lint::{
+    apply_baseline, collect_files, config::baseline_line, default_root, lint_files,
+    lint_lockfile, report, Config,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    fix_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        fix_baseline: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = PathBuf::from(v);
+            }
+            "--fix-baseline" => args.fix_baseline = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: an2-lint [--root PATH] [--fix-baseline] [--quiet]".into())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("an2-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("an2-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let root = &args.root;
+    let cfg = Config::load(root)?;
+
+    let files = collect_files(root, &cfg).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let files_scanned = files.len();
+    let mut violations = lint_files(&files, &cfg);
+
+    let lock_path = root.join("Cargo.lock");
+    let lock = std::fs::read_to_string(&lock_path)
+        .map_err(|e| format!("cannot read {}: {e}", lock_path.display()))?;
+    violations.extend(lint_lockfile(&lock, &cfg));
+
+    if args.fix_baseline {
+        let mut text = String::from(
+            "# an2-lint baseline: violations tolerated until fixed.\n\
+             # Regenerate with `cargo run -p an2-lint -- --fix-baseline`.\n\
+             # Keep this file empty: a non-empty baseline is debt, not policy.\n",
+        );
+        for v in &violations {
+            text.push_str(&baseline_line(v.rule, &v.file, v.line));
+            text.push('\n');
+        }
+        let path = root.join("lint/baseline.txt");
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "an2-lint: wrote {} baseline entr{} to lint/baseline.txt",
+            violations.len(),
+            if violations.len() == 1 { "y" } else { "ies" }
+        );
+        return Ok(true);
+    }
+
+    let (violations, suppressed) = apply_baseline(violations, &cfg.baseline);
+
+    let json = report::to_json(&violations, files_scanned, suppressed);
+    let results_dir = root.join("results");
+    std::fs::create_dir_all(&results_dir)
+        .map_err(|e| format!("creating {}: {e}", results_dir.display()))?;
+    let report_path = results_dir.join("LINT.json");
+    std::fs::write(&report_path, json)
+        .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+
+    if !args.quiet {
+        for v in &violations {
+            println!("{}", report::human_line(v));
+        }
+    }
+    let status = if violations.is_empty() { "clean" } else { "FAILED" };
+    println!(
+        "an2-lint: {status} — {} file(s) scanned, {} violation(s){} (report: results/LINT.json)",
+        files_scanned,
+        violations.len(),
+        if suppressed > 0 {
+            format!(", {suppressed} baseline-suppressed")
+        } else {
+            String::new()
+        },
+    );
+    Ok(violations.is_empty())
+}

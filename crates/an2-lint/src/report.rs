@@ -1,0 +1,85 @@
+//! Machine-readable report (`results/LINT.json`) and human diagnostics.
+
+use crate::rules::Violation;
+use std::fmt::Write as _;
+
+/// Serializes the lint outcome as the `results/LINT.json` document
+/// (version 1 schema): rule, file, line, snippet and message per violation,
+/// plus scan counters. Violations must already be sorted; the writer
+/// preserves order so the report is byte-stable for a given tree.
+pub fn to_json(violations: &[Violation], files_scanned: usize, baseline_suppressed: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(s, "  \"baseline_suppressed\": {baseline_suppressed},");
+    let _ = writeln!(s, "  \"violation_count\": {},", violations.len());
+    s.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        let _ = write!(s, "\"rule\": \"{}\", ", esc(v.rule));
+        let _ = write!(s, "\"file\": \"{}\", ", esc(&v.file));
+        let _ = write!(s, "\"line\": {}, ", v.line);
+        let _ = write!(s, "\"snippet\": \"{}\", ", esc(&v.snippet));
+        let _ = write!(s, "\"message\": \"{}\"", esc(&v.message));
+        s.push('}');
+    }
+    if !violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// One-line human diagnostic: `rule file:line: message`.
+pub fn human_line(v: &Violation) -> String {
+    format!(
+        "[{}] {}:{}: {}\n    {}",
+        v.rule, v.file, v.line, v.message, v.snippet
+    )
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_STDOUT;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let v = Violation {
+            rule: RULE_STDOUT,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            snippet: "println!(\"hi\\there\")".into(),
+            message: "no \"stdout\"".into(),
+        };
+        let json = to_json(&[v], 10, 0);
+        assert!(json.contains("\"violation_count\": 1"));
+        assert!(json.contains("\\\"hi\\\\there\\\""));
+        assert!(json.contains("\"files_scanned\": 10"));
+        let empty = to_json(&[], 2, 1);
+        assert!(empty.contains("\"violations\": []"));
+        assert!(empty.contains("\"baseline_suppressed\": 1"));
+    }
+}

@@ -1,0 +1,518 @@
+//! The five invariant rules.
+//!
+//! Every rule reports [`Violation`]s with a stable rule name, the
+//! workspace-relative file, a 1-based line and the offending source line, so
+//! a failure in CI names exactly what to fix. Inline escapes use
+//! `// an2-lint: allow(<rule>) — reason` on the offending line or the line
+//! above; they are deliberately line-granular so each tolerated allocation
+//! or collection carries its own justification in the diff.
+
+use crate::analyze::{FileAnalysis, FnItem, SourceFile};
+use crate::config::Config;
+use crate::lexer::TokKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule: no allocating calls in functions reachable from `schedule()`.
+pub const RULE_HOT_ALLOC: &str = "alloc-in-hot-path";
+/// Rule: no wall clocks, random hashers, env reads or foreign RNGs in
+/// deterministic crates.
+pub const RULE_DETERMINISM: &str = "determinism";
+/// Rule: `unsafe` only in allowlisted files, always with a `// SAFETY:`
+/// rationale.
+pub const RULE_UNSAFE: &str = "unsafe-hygiene";
+/// Rule: stdout belongs to `an2-repro` bins only (`--check` byte-identity).
+pub const RULE_STDOUT: &str = "stdout-purity";
+/// Rule: `Cargo.lock` may only contain allowlisted crates.
+pub const RULE_DEPS: &str = "dependency-audit";
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule name (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Trimmed source line for the report.
+    pub snippet: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// Runs the four source-level rules over `files` (the dependency audit runs
+/// separately via [`lint_lockfile`]). Results are sorted by file, line,
+/// rule.
+pub fn lint_files(files: &[SourceFile], cfg: &Config) -> Vec<Violation> {
+    let analyses: Vec<FileAnalysis> = files.iter().map(FileAnalysis::new).collect();
+    let mut out = Vec::new();
+    for a in &analyses {
+        check_unsafe(a, cfg, &mut out);
+        check_stdout(a, cfg, &mut out);
+        check_determinism(a, cfg, &mut out);
+    }
+    check_hot_alloc(&analyses, cfg, &mut out);
+    out.sort_by(|x, y| {
+        (&x.file, x.line, x.rule).cmp(&(&y.file, y.line, y.rule))
+    });
+    out.dedup();
+    out
+}
+
+/// Audits `Cargo.lock` against the dependency allowlist.
+pub fn lint_lockfile(text: &str, cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_package = false;
+    let mut current_name: Option<(String, u32)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line == "[[package]]" {
+            in_package = true;
+            current_name = None;
+            continue;
+        }
+        if line.starts_with('[') && line != "[[package]]" {
+            in_package = false;
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(name) = toml_str_value(line, "name") {
+            if !cfg.deps_allowlist.contains(&name) {
+                out.push(Violation {
+                    rule: RULE_DEPS,
+                    file: "Cargo.lock".to_string(),
+                    line: line_no,
+                    snippet: line.to_string(),
+                    message: format!(
+                        "crate `{name}` is not in lint/deps-allowlist.txt; the workspace \
+                         builds offline from path dependencies only"
+                    ),
+                });
+            }
+            current_name = Some((name, line_no));
+        } else if let Some(source) = toml_str_value(line, "source") {
+            let name = current_name
+                .as_ref()
+                .map(|(n, _)| n.as_str())
+                .unwrap_or("<unknown>");
+            out.push(Violation {
+                rule: RULE_DEPS,
+                file: "Cargo.lock".to_string(),
+                line: line_no,
+                snippet: line.to_string(),
+                message: format!(
+                    "crate `{name}` resolves to external source `{source}`; every \
+                     dependency must be an in-workspace path crate"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts `value` from a `key = "value"` TOML line.
+fn toml_str_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.strip_prefix(key)?.trim_start().strip_prefix('=')?;
+    let rest = rest.trim();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest.strip_suffix('"')?.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// File classification
+// ---------------------------------------------------------------------------
+
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+fn is_bin_path(path: &str) -> bool {
+    path.ends_with("src/main.rs") || path.contains("/src/bin/")
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: unsafe hygiene
+// ---------------------------------------------------------------------------
+
+fn check_unsafe(a: &FileAnalysis, cfg: &Config, out: &mut Vec<Violation>) {
+    for t in &a.toks {
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        if a.allowed(RULE_UNSAFE, t.line) {
+            continue;
+        }
+        if !cfg.unsafe_allowlist.contains(&a.path) {
+            out.push(violation(
+                RULE_UNSAFE,
+                a,
+                t.line,
+                "`unsafe` in a file not listed in lint/unsafe-allowlist.txt; the \
+                 workspace is unsafe-free outside audited exceptions"
+                    .to_string(),
+            ));
+        } else if !a.has_safety_comment(t.line) {
+            out.push(violation(
+                RULE_UNSAFE,
+                a,
+                t.line,
+                "`unsafe` without a `// SAFETY:` rationale on the preceding line".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: stdout purity
+// ---------------------------------------------------------------------------
+
+fn check_stdout(a: &FileAnalysis, cfg: &Config, out: &mut Vec<Violation>) {
+    if is_bin_path(&a.path)
+        || is_test_path(&a.path)
+        || cfg
+            .stdout_exempt_prefixes
+            .iter()
+            .any(|p| a.path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for (i, t) in a.toks.iter().enumerate() {
+        let is_macro = t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "println" | "print" | "dbg")
+            && a.toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct('!'));
+        if !is_macro || a.in_test(i) || a.allowed(RULE_STDOUT, t.line) {
+            continue;
+        }
+        out.push(violation(
+            RULE_STDOUT,
+            a,
+            t.line,
+            format!(
+                "`{}!` outside an2-repro bins breaks the `--check` stdout byte-identity \
+                 contract; report on stderr (`eprintln!`) or return data to the caller",
+                t.text
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: determinism
+// ---------------------------------------------------------------------------
+
+const RANDOM_STATE_IDENTS: [&str; 5] =
+    ["HashMap", "HashSet", "RandomState", "DefaultHashBuilder", "ahash"];
+const WALL_CLOCK_IDENTS: [&str; 2] = ["Instant", "SystemTime"];
+const FOREIGN_RNG_IDENTS: [&str; 5] =
+    ["thread_rng", "from_entropy", "OsRng", "StdRng", "SmallRng"];
+
+fn check_determinism(a: &FileAnalysis, cfg: &Config, out: &mut Vec<Violation>) {
+    if is_test_path(&a.path)
+        || !cfg.det_prefixes.iter().any(|p| a.path.starts_with(p.as_str()))
+        || cfg.det_exempt_files.contains(&a.path)
+    {
+        return;
+    }
+    let report = |out: &mut Vec<Violation>, line: u32, message: String| {
+        out.push(violation(RULE_DETERMINISM, a, line, message));
+    };
+    for (i, t) in a.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || a.in_test(i) || a.allowed(RULE_DETERMINISM, t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if RANDOM_STATE_IDENTS.contains(&name) {
+            report(
+                out,
+                t.line,
+                format!(
+                    "`{name}` uses a per-process random hasher whose iteration order \
+                     varies between runs; use an2_sched::det::DetHashMap / DetHashSet \
+                     (fixed-key SipHash) or a BTree collection"
+                ),
+            );
+        } else if WALL_CLOCK_IDENTS.contains(&name) {
+            report(
+                out,
+                t.line,
+                format!(
+                    "`{name}` reads a wall clock; deterministic crates must take time \
+                     from the simulated slot counter, never the host"
+                ),
+            );
+        } else if FOREIGN_RNG_IDENTS.contains(&name) {
+            report(
+                out,
+                t.line,
+                format!(
+                    "`{name}` draws entropy outside an2_sched::rng; all randomness must \
+                     come from seeded Xoshiro256 streams (task_seed-derived)"
+                ),
+            );
+        } else if name == "std"
+            && ident_path_next(a, i).is_some_and(|n| n == "env")
+        {
+            report(
+                out,
+                t.line,
+                "`std::env` read; deterministic crates must receive configuration as \
+                 arguments so a run is a pure function of its seed"
+                    .to_string(),
+            );
+        } else if name == "rand" && is_path_sep(a, i + 1) {
+            report(
+                out,
+                t.line,
+                "external `rand` crate use; all randomness must come from \
+                 an2_sched::rng"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// If token `i` begins `X :: y`, returns `y`'s text.
+fn ident_path_next(a: &FileAnalysis, i: usize) -> Option<&str> {
+    if is_path_sep(a, i + 1) {
+        let t = a.toks.get(i + 3)?;
+        if t.kind == TokKind::Ident {
+            return Some(&t.text);
+        }
+    }
+    None
+}
+
+fn is_path_sep(a: &FileAnalysis, i: usize) -> bool {
+    a.toks.get(i).is_some_and(|t| t.kind == TokKind::Punct(':'))
+        && a.toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Punct(':'))
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: alloc-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// Types whose associated constructors allocate.
+const ALLOC_TYPES: [&str; 8] = [
+    "Vec", "Box", "String", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+/// Associated functions on [`ALLOC_TYPES`] that allocate or may allocate.
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+/// Method names that allocate (or may grow) on heap-backed receivers.
+const ALLOC_METHODS: [&str; 12] = [
+    "push",
+    "push_back",
+    "push_front",
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "extend",
+    "reserve",
+    "append",
+    "resize",
+];
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// A call site extracted from a fn body.
+#[derive(Debug)]
+enum Call {
+    /// `foo(…)` — a free function.
+    Free(String),
+    /// `Type::foo(…)` — an associated function (qualifier, name).
+    Qualified(String, String),
+    /// `x.foo(…)` — a method.
+    Method(String),
+}
+
+fn check_hot_alloc(analyses: &[FileAnalysis], cfg: &Config, out: &mut Vec<Violation>) {
+    // Domain: the configured hot files plus any file carrying a hot
+    // annotation.
+    let domain: Vec<&FileAnalysis> = analyses
+        .iter()
+        .filter(|a| {
+            cfg.hot_files.contains(&a.path)
+                || a.fns.iter().any(|f| f.hot_annotated)
+        })
+        .collect();
+    if domain.is_empty() {
+        return;
+    }
+
+    // Candidate fns: non-test, with a body, not marked cold.
+    let mut fns: Vec<(usize, &FnItem)> = Vec::new(); // (domain file idx, fn)
+    for (fi, a) in domain.iter().enumerate() {
+        for f in &a.fns {
+            if !f.in_test && f.body.is_some() && !f.cold_annotated {
+                fns.push((fi, f));
+            }
+        }
+    }
+
+    // Indexes for call resolution.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qualified: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (idx, (_, f)) in fns.iter().enumerate() {
+        by_name.entry(&f.name).or_default().push(idx);
+        match &f.impl_type {
+            Some(ty) => by_qualified
+                .entry((ty.as_str(), f.name.as_str()))
+                .or_default()
+                .push(idx),
+            None => free_by_name.entry(&f.name).or_default().push(idx),
+        }
+    }
+
+    // Seeds: `schedule()` in the configured hot files, plus annotations.
+    let mut hot: BTreeSet<usize> = BTreeSet::new();
+    let mut work: Vec<usize> = Vec::new();
+    for (idx, (fi, f)) in fns.iter().enumerate() {
+        let seeded = (cfg.hot_seed_fns.contains(&f.name)
+            && cfg.hot_files.iter().any(|p| *p == domain[*fi].path))
+            || f.hot_annotated;
+        if seeded && hot.insert(idx) {
+            work.push(idx);
+        }
+    }
+
+    // Reachability closure over the name-resolved call graph.
+    while let Some(idx) = work.pop() {
+        let (fi, f) = fns[idx];
+        let a = domain[fi];
+        for call in body_calls(a, f) {
+            let targets: Vec<usize> = match &call {
+                Call::Method(name) => by_name.get(name.as_str()).cloned().unwrap_or_default(),
+                Call::Free(name) => {
+                    free_by_name.get(name.as_str()).cloned().unwrap_or_default()
+                }
+                Call::Qualified(q, name) => {
+                    let q = if q == "Self" {
+                        f.impl_type.as_deref().unwrap_or("Self")
+                    } else {
+                        q.as_str()
+                    };
+                    match by_qualified.get(&(q, name.as_str())) {
+                        Some(v) => v.clone(),
+                        // An unmatched qualifier may be a module path
+                        // (`maximum::hopcroft_karp`); fall back to free fns.
+                        None => free_by_name.get(name.as_str()).cloned().unwrap_or_default(),
+                    }
+                }
+            };
+            for t in targets {
+                if hot.insert(t) {
+                    work.push(t);
+                }
+            }
+        }
+    }
+
+    // Scan every hot fn body for allocating constructs.
+    for &idx in &hot {
+        let (fi, f) = fns[idx];
+        let a = domain[fi];
+        let (open, close) = f.body.expect("hot candidates all have bodies");
+        let mut i = open + 1;
+        while i < close {
+            let t = &a.toks[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let next_is = |c: char| a.toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct(c));
+            let name = t.text.as_str();
+            let hit: Option<String> = if ALLOC_MACROS.contains(&name) && next_is('!') {
+                Some(format!("allocating macro `{name}!`"))
+            } else if ALLOC_TYPES.contains(&name)
+                && is_path_sep(a, i + 1)
+                && a.toks.get(i + 3).is_some_and(|m| {
+                    m.kind == TokKind::Ident && ALLOC_CTORS.contains(&m.text.as_str())
+                })
+            {
+                Some(format!(
+                    "allocating constructor `{name}::{}`",
+                    a.toks[i + 3].text
+                ))
+            } else if ALLOC_METHODS.contains(&name)
+                && next_is('(')
+                && i > open + 1
+                && a.toks[i - 1].kind == TokKind::Punct('.')
+            {
+                Some(format!("allocating (or capacity-growing) call `.{name}()`"))
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                if !a.allowed(RULE_HOT_ALLOC, t.line) {
+                    out.push(violation(
+                        RULE_HOT_ALLOC,
+                        a,
+                        t.line,
+                        format!(
+                            "{what} inside `{}`, which is reachable from `schedule()`; \
+                             the scheduler hot path must stay zero-allocation (use a \
+                             scratch buffer on self, or justify with \
+                             `// an2-lint: allow({RULE_HOT_ALLOC})`)",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Extracts the call sites of a fn body.
+fn body_calls(a: &FileAnalysis, f: &FnItem) -> Vec<Call> {
+    let (open, close) = f.body.expect("caller checked body presence");
+    let mut calls = Vec::new();
+    for i in open + 1..close {
+        let t = &a.toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let followed_by_paren = a
+            .toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Punct('('));
+        if !followed_by_paren {
+            continue;
+        }
+        let prev = |k: usize| a.toks.get(i.wrapping_sub(k));
+        if prev(1).is_some_and(|p| p.kind == TokKind::Punct('.')) {
+            calls.push(Call::Method(t.text.clone()));
+        } else if prev(1).is_some_and(|p| p.kind == TokKind::Punct(':'))
+            && prev(2).is_some_and(|p| p.kind == TokKind::Punct(':'))
+            && prev(3).is_some_and(|p| p.kind == TokKind::Ident)
+        {
+            calls.push(Call::Qualified(
+                prev(3).expect("checked").text.clone(),
+                t.text.clone(),
+            ));
+        } else {
+            calls.push(Call::Free(t.text.clone()));
+        }
+    }
+    calls
+}
+
+fn violation(rule: &'static str, a: &FileAnalysis, line: u32, message: String) -> Violation {
+    Violation {
+        rule,
+        file: a.path.clone(),
+        line,
+        snippet: a.snippet(line),
+        message,
+    }
+}

@@ -1,0 +1,208 @@
+//! Self-tests: every rule must fire on its bad fixture and stay silent on
+//! the good twin. Fixtures live in `tests/fixtures/` as raw lint input —
+//! the workspace walker skips that directory, and cargo never compiles
+//! files in test subdirectories, so deliberate violations are inert.
+
+use an2_lint::rules::{
+    RULE_DETERMINISM, RULE_DEPS, RULE_HOT_ALLOC, RULE_STDOUT, RULE_UNSAFE,
+};
+use an2_lint::{lint_files, lint_lockfile, Config, SourceFile, Violation};
+use std::path::Path;
+
+/// Loads a fixture and pretends it sits at `fake_path` in the workspace,
+/// which is what places it in (or out of) each rule's scope.
+fn fixture(name: &str, fake_path: &str) -> SourceFile {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    SourceFile {
+        path: fake_path.to_string(),
+        src: std::fs::read_to_string(&disk)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", disk.display())),
+    }
+}
+
+fn lint_one(file: SourceFile, cfg: &Config) -> Vec<Violation> {
+    lint_files(&[file], cfg)
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn hot_alloc_fires_through_a_method_call() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("hot_alloc_bad.rs", "crates/an2-sched/src/pim.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&v), [RULE_HOT_ALLOC], "{v:#?}");
+    // The diagnostic must point at the `.push(1)` inside `fill`, the
+    // callee, not at `schedule` itself.
+    assert!(v[0].snippet.contains("push"), "{v:#?}");
+    assert!(v[0].message.contains("fill"), "{v:#?}");
+    assert!(v[0].message.contains("schedule"), "{v:#?}");
+}
+
+#[test]
+fn hot_alloc_respects_allow_and_cold_annotations() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("hot_alloc_good.rs", "crates/an2-sched/src/pim.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn hot_alloc_ignores_files_outside_the_hot_set() {
+    let cfg = Config::base();
+    // Same allocating code, but in a crate with no hot-path contract.
+    let v = lint_one(
+        fixture("hot_alloc_bad.rs", "crates/an2-bench/src/lib.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn determinism_fires_on_every_nondeterminism_source() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("determinism_bad.rs", "crates/an2-sim/src/voq.rs"),
+        &cfg,
+    );
+    assert!(v.iter().all(|v| v.rule == RULE_DETERMINISM), "{v:#?}");
+    let text = v
+        .iter()
+        .map(|v| format!("{} {}", v.message, v.snippet))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("HashMap"), "{text}");
+    assert!(text.contains("Instant"), "{text}");
+    assert!(text.contains("env"), "{text}");
+}
+
+#[test]
+fn determinism_accepts_det_collections_and_test_code() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("determinism_good.rs", "crates/an2-sim/src/voq.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn determinism_is_scoped_to_the_simulation_crates() {
+    let cfg = Config::base();
+    // The same nondeterministic code outside det_prefixes is fine.
+    let v = lint_one(
+        fixture("determinism_bad.rs", "crates/an2-bench/src/lib.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn unsafe_without_rationale_fires_even_when_allowlisted() {
+    let mut cfg = Config::base();
+    cfg.unsafe_allowlist
+        .push("crates/an2-sched/src/fixture.rs".to_string());
+    let v = lint_one(
+        fixture("unsafe_bad.rs", "crates/an2-sched/src/fixture.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&v), [RULE_UNSAFE], "{v:#?}");
+    assert!(v[0].message.contains("SAFETY"), "{v:#?}");
+}
+
+#[test]
+fn unsafe_outside_the_allowlist_fires_despite_a_rationale() {
+    let cfg = Config::base(); // empty allowlist
+    let v = lint_one(
+        fixture("unsafe_good.rs", "crates/an2-sched/src/fixture.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&v), [RULE_UNSAFE], "{v:#?}");
+    assert!(v[0].message.contains("allowlist"), "{v:#?}");
+}
+
+#[test]
+fn unsafe_with_rationale_in_allowlisted_file_passes() {
+    let mut cfg = Config::base();
+    cfg.unsafe_allowlist
+        .push("crates/an2-sched/src/fixture.rs".to_string());
+    let v = lint_one(
+        fixture("unsafe_good.rs", "crates/an2-sched/src/fixture.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn stdout_macros_fire_outside_binary_targets() {
+    let cfg = Config::base();
+    let v = lint_one(fixture("stdout_bad.rs", "crates/an2-net/src/lib.rs"), &cfg);
+    assert_eq!(
+        rules_of(&v),
+        [RULE_STDOUT, RULE_STDOUT, RULE_STDOUT],
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn stdout_is_allowed_in_bins_stderr_strings_and_tests() {
+    let cfg = Config::base();
+    // Good twin in a library: nothing fires.
+    let v = lint_one(fixture("stdout_good.rs", "crates/an2-net/src/lib.rs"), &cfg);
+    assert!(v.is_empty(), "{v:#?}");
+    // The bad twin relocated into a bin target: also nothing.
+    let v = lint_one(fixture("stdout_bad.rs", "crates/an2-bench/src/main.rs"), &cfg);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn lockfile_rejects_unknown_crates_and_external_sources() {
+    let mut cfg = Config::base();
+    cfg.deps_allowlist = vec!["an2-sched".to_string()];
+    let lock = r#"
+version = 3
+
+[[package]]
+name = "an2-sched"
+version = "0.1.0"
+
+[[package]]
+name = "rand"
+version = "0.8.5"
+source = "registry+https://github.com/rust-lang/crates.io-index"
+"#;
+    let v = lint_lockfile(lock, &cfg);
+    assert_eq!(rules_of(&v), [RULE_DEPS, RULE_DEPS], "{v:#?}");
+    assert!(v[0].message.contains("rand"), "{v:#?}");
+    assert!(v[1].message.contains("external source"), "{v:#?}");
+}
+
+#[test]
+fn lockfile_accepts_the_workspace_closure() {
+    let mut cfg = Config::base();
+    cfg.deps_allowlist = vec!["an2-sched".to_string(), "an2-sim".to_string()];
+    let lock = r#"
+version = 3
+
+[[package]]
+name = "an2-sched"
+version = "0.1.0"
+
+[[package]]
+name = "an2-sim"
+version = "0.1.0"
+dependencies = [
+ "an2-sched",
+]
+"#;
+    let v = lint_lockfile(lock, &cfg);
+    assert!(v.is_empty(), "{v:#?}");
+}

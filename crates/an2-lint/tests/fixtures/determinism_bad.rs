@@ -1,0 +1,11 @@
+//! Fixture (bad): every nondeterminism source in one file — random-hasher
+//! collections, wall-clock reads, and environment reads must all fire.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn now_len(map: &HashMap<u32, u32>) -> usize {
+    let _t = Instant::now();
+    let _home = std::env::var("HOME");
+    map.len()
+}

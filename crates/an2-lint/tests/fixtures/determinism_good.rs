@@ -1,0 +1,20 @@
+//! Fixture (good): deterministic equivalents pass, and `#[cfg(test)]` code
+//! may hash however it likes.
+
+use an2_sched::det::DetHashMap;
+
+pub fn len(map: &DetHashMap<u32, u32>) -> usize {
+    map.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn maps_work() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture (bad): an allocation reachable from `schedule()` must fire the
+//! alloc-in-hot-path rule, including through one level of method call.
+
+pub struct Sched {
+    buf: Vec<u32>,
+}
+
+impl Sched {
+    pub fn schedule(&mut self) -> u32 {
+        self.fill();
+        self.buf.len() as u32
+    }
+
+    fn fill(&mut self) {
+        self.buf.push(1);
+    }
+}

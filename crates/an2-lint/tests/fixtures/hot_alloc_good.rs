@@ -1,0 +1,33 @@
+//! Fixture (good): the same shape with a fixed-size buffer, a justified
+//! allocation behind an inline allow, and a `// an2-lint: cold` rebuild
+//! function that allocates but is excluded from the closure.
+
+pub struct Sched {
+    buf: [u32; 8],
+    scratch: Vec<u32>,
+    len: usize,
+}
+
+impl Sched {
+    pub fn schedule(&mut self) -> u32 {
+        self.fill();
+        self.warm();
+        self.len as u32
+    }
+
+    fn fill(&mut self) {
+        self.buf[self.len] = 1;
+        self.len += 1;
+    }
+
+    fn warm(&mut self) {
+        // an2-lint: allow(alloc-in-hot-path) capacity reserved at build; reused after warm-up
+        self.scratch.push(0);
+    }
+
+    // an2-lint: cold
+    fn rebuild(&mut self) {
+        let grown: Vec<u32> = (0..8).collect();
+        self.len = grown.len();
+    }
+}

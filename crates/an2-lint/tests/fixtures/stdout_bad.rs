@@ -1,0 +1,8 @@
+//! Fixture (bad): stdout writes outside a binary target — all three macros
+//! must fire.
+
+pub fn noisy(x: u32) -> u32 {
+    println!("x = {x}");
+    print!("more");
+    dbg!(x + 1)
+}

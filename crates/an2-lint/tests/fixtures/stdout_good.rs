@@ -1,0 +1,16 @@
+//! Fixture (good): stderr is fine, `println!` in a string is data, and
+//! test code may print.
+
+pub fn quiet(x: u32) -> u32 {
+    eprintln!("diagnostics go to stderr: {x}");
+    let _doc = "println! in a string is data, not code";
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("visible with --nocapture");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture (bad): `unsafe` without a `// SAFETY:` rationale on the
+//! preceding line must fire even in an allowlisted file.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    unsafe { *v.as_ptr() }
+}

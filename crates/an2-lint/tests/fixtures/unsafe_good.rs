@@ -1,0 +1,10 @@
+//! Fixture (good): a justified `unsafe` in an allowlisted file passes, with
+//! the rationale walking over an attribute line.
+
+#[inline]
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the slice has a first byte, so
+    // the pointer read is within bounds of a live allocation.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,52 @@
+//! The committed tree must lint clean — this is the same check CI's `lint`
+//! job runs, wired into `cargo test` so a violation fails locally too.
+
+use an2_lint::rules::RULE_HOT_ALLOC;
+use an2_lint::{collect_files, default_root, lint_files, lint_lockfile, Config, SourceFile};
+
+fn render(violations: &[an2_lint::Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("[{}] {}:{}: {}", v.rule, v.file, v.line, v.message))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = default_root();
+    let cfg = Config::load(&root).expect("lint/ allowlists must be present and readable");
+    let files = collect_files(&root, &cfg).expect("workspace walk failed");
+    assert!(
+        files.len() > 50,
+        "walker found only {} files — wrong root?",
+        files.len()
+    );
+    let mut violations = lint_files(&files, &cfg);
+    let lock = std::fs::read_to_string(root.join("Cargo.lock")).expect("Cargo.lock unreadable");
+    violations.extend(lint_lockfile(&lock, &cfg));
+    assert!(
+        violations.is_empty(),
+        "the committed tree has lint violations:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn an_injected_violation_is_caught() {
+    let root = default_root();
+    let cfg = Config::load(&root).expect("lint/ allowlists must be present and readable");
+    let mut files = collect_files(&root, &cfg).expect("workspace walk failed");
+    // A synthetic hot file whose schedule() allocates: if the linter ever
+    // stops seeing this, the clean result above is vacuous.
+    files.push(SourceFile {
+        path: "crates/an2-sched/src/islip.rs".to_string(),
+        src: "pub fn schedule(v: &mut Vec<u32>) { v.push(1); }\n".to_string(),
+    });
+    let violations = lint_files(&files, &cfg);
+    assert!(
+        violations.iter().any(|v| v.rule == RULE_HOT_ALLOC),
+        "injected hot-path allocation was not detected:\n{}",
+        render(&violations)
+    );
+}

@@ -10,7 +10,7 @@
 //! slots, per flow, with a configurable [`ExcessPolicy`].
 
 use an2_sim::cell::FlowId;
-use std::collections::HashMap;
+use an2_sched::det::DetHashMap;
 use std::fmt;
 
 /// What happens to cells beyond the reservation.
@@ -60,9 +60,9 @@ pub struct FrameMeter {
     frame_len: u64,
     policy: ExcessPolicy,
     /// Reserved cells per frame, per flow.
-    reservations: HashMap<FlowId, u64>,
+    reservations: DetHashMap<FlowId, u64>,
     /// (frame index, cells sent in that frame) per flow.
-    usage: HashMap<FlowId, (u64, u64)>,
+    usage: DetHashMap<FlowId, (u64, u64)>,
     /// Counters.
     conforming: u64,
     excess: u64,
@@ -79,8 +79,8 @@ impl FrameMeter {
         Self {
             frame_len,
             policy,
-            reservations: HashMap::new(),
-            usage: HashMap::new(),
+            reservations: DetHashMap::default(),
+            usage: DetHashMap::default(),
             conforming: 0,
             excess: 0,
         }

@@ -30,7 +30,8 @@ use an2_sched::{FrameSchedule, InputPort, OutputPort, Pim, PortMask, Scheduler};
 use an2_sim::cell::{Cell, FlowId};
 use an2_sim::fault::{DropCause, FaultKind, FaultLog, FaultPlan, PortSide};
 use an2_sim::voq::{ServiceDiscipline, VoqBuffers};
-use std::collections::{BTreeMap, HashMap};
+use an2_sched::det::DetHashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a switch within a [`Network`].
@@ -189,7 +190,7 @@ struct SwitchNode {
     voq: VoqBuffers,
     scheduler: Box<dyn Scheduler>,
     /// Flow → output port at this switch.
-    routes: HashMap<FlowId, OutputPort>,
+    routes: DetHashMap<FlowId, OutputPort>,
     /// Wiring of output ports; unwired ports are sinks.
     targets: Vec<PortTarget>,
     /// Ports currently in service; mirrors what the scheduler was told.
@@ -279,9 +280,9 @@ pub struct Network {
     /// Cells in flight on links, keyed by delivery slot.
     in_flight: BTreeMap<u64, Vec<(SwitchId, InputPort, FlowId, u64)>>,
     /// Cells delivered end-to-end, per flow.
-    delivered: HashMap<FlowId, u64>,
+    delivered: DetHashMap<FlowId, u64>,
     /// Sum of end-to-end latencies (slots), per flow.
-    latency_sum: HashMap<FlowId, u64>,
+    latency_sum: DetHashMap<FlowId, u64>,
     slot: u64,
     seed: u64,
     /// Scripted faults; empty by default (and then entirely inert).
@@ -289,7 +290,7 @@ pub struct Network {
     /// Everything the fault layer did: applied events, drops, recoveries.
     log: FaultLog,
     /// Per-flow recovery state, registered by [`Network::add_source`].
-    flows: HashMap<FlowId, FlowSpec>,
+    flows: DetHashMap<FlowId, FlowSpec>,
     /// Pending CBR re-reservation retries (exponential backoff).
     retries: Vec<Retry>,
     /// `(switch, input, cause)` arrival faults active this slot only.
@@ -320,13 +321,13 @@ impl Network {
             switches: Vec::new(),
             sources: Vec::new(),
             in_flight: BTreeMap::new(),
-            delivered: HashMap::new(),
-            latency_sum: HashMap::new(),
+            delivered: DetHashMap::default(),
+            latency_sum: DetHashMap::default(),
             slot: 0,
             seed,
             plan: FaultPlan::new(),
             log: FaultLog::new(),
-            flows: HashMap::new(),
+            flows: DetHashMap::default(),
             retries: Vec::new(),
             arrival_faults: Vec::new(),
             injected_ledger: 0,
@@ -366,7 +367,7 @@ impl Network {
         self.switches.push(SwitchNode {
             voq: VoqBuffers::with_discipline(n, discipline),
             scheduler,
-            routes: HashMap::new(),
+            routes: DetHashMap::default(),
             targets: vec![PortTarget::Sink; n],
             mask: PortMask::all(n),
             drift_until: 0,
@@ -987,7 +988,7 @@ impl Network {
         let mut hops = Vec::new();
         let mut here = start;
         let mut inp = entry_port;
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = an2_sched::det::DetHashSet::default();
         loop {
             if !visited.insert(here) {
                 return None;
@@ -1264,7 +1265,7 @@ impl Network {
         start: SwitchId,
     ) -> Result<Vec<(SwitchId, OutputPort)>, TopologyError> {
         let mut path = Vec::new();
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = an2_sched::det::DetHashSet::default();
         let mut here = start;
         loop {
             if !visited.insert(here) {

@@ -1,0 +1,57 @@
+//! Deterministic hash collections.
+//!
+//! `std`'s `HashMap`/`HashSet` default to `RandomState`, which seeds SipHash
+//! with per-process random keys: iteration order differs from run to run.
+//! The repo's contract is bit-identical output for a fixed seed (see
+//! `tests/determinism.rs`), so any map whose iteration order could ever
+//! reach an observable ordering must not depend on process-random state.
+//!
+//! These aliases keep SipHash (same DoS resistance margin as `RandomState`
+//! minus the key randomization, which is irrelevant here: all keys are
+//! internal port/flow identifiers, not attacker-controlled strings) but use
+//! `DefaultHasher::default()`'s fixed keys, making iteration order a pure
+//! function of the inserted keys.
+//!
+//! The an2-lint `determinism` rule bans raw `HashMap`/`HashSet` in the
+//! simulation crates and points here.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+/// Fixed-key SipHash build hasher: deterministic across processes.
+pub type DetBuildHasher = BuildHasherDefault<DefaultHasher>;
+
+/// A `HashMap` whose iteration order depends only on the inserted keys.
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+/// A `HashSet` whose iteration order depends only on the inserted keys.
+pub type DetHashSet<T> = HashSet<T, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_a_function_of_keys() {
+        let build = |keys: &[u64]| {
+            let mut m = DetHashMap::default();
+            for &k in keys {
+                m.insert(k, k * 2);
+            }
+            m.iter().map(|(&k, _)| k).collect::<Vec<_>>()
+        };
+        // Same insertions, two independent maps: identical order.
+        let keys: Vec<u64> = (0..64).map(|i| i * 2654435761 % 1009).collect();
+        assert_eq!(build(&keys), build(&keys));
+    }
+
+    #[test]
+    fn det_set_behaves_like_a_set() {
+        let mut s = DetHashSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(&3));
+        assert!(!s.contains(&4));
+    }
+}

@@ -41,12 +41,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 // `deny` rather than `forbid`: the single sanctioned exception is the
-// BMI2 rank-select intrinsic in `port::select_in_word_bmi2`, which carries
-// its own `#[allow(unsafe_code)]` and a CPU-dispatch equivalence test.
+// BMI2 rank-select intrinsic in `port::select_in_word_bmi2`. The allow is
+// scoped to the whole `port` module (below) rather than sprinkled on items,
+// and an2-lint's unsafe-hygiene rule independently requires every `unsafe`
+// there to carry a `// SAFETY:` rationale.
 #![deny(unsafe_code)]
 
 pub mod check;
 pub mod costmodel;
+pub mod det;
 pub mod fifo;
 mod frame;
 pub mod islip;
@@ -55,6 +58,9 @@ mod matching;
 pub mod maximum;
 pub mod multicast;
 pub mod pim;
+// The one module permitted to contain `unsafe`: the runtime-dispatched
+// BMI2 fast path. See lint/unsafe-allowlist.txt.
+#[allow(unsafe_code)]
 mod port;
 mod requests;
 pub mod rng;

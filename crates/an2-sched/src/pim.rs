@@ -301,6 +301,7 @@ impl<R: SelectRng> Pim<R> {
     /// when the next iteration finds no request, and that early exit
     /// happens *before* any output draws from its grant stream, so the RNG
     /// streams stay bit-aligned with the tracked paths.
+    // an2-lint: hot
     fn run_from(
         &mut self,
         requests: &RequestMatrix,
@@ -425,6 +426,7 @@ impl<R: SelectRng> Pim<R> {
                 unmatched_inputs.remove(i);
                 unmatched_outputs.remove(j);
                 if track {
+                    // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only; the untracked hot path never reaches this
                     self.accepts.push((InputPort::new(i), OutputPort::new(j)));
                 }
             }
@@ -433,14 +435,19 @@ impl<R: SelectRng> Pim<R> {
                 let unresolved = matching.unresolved_requests(requests);
                 if let Some(stats) = stats.as_deref_mut() {
                     stats.iterations_run = iter_no;
+                    // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only
                     stats.matches_after.push(matching.len());
+                    // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only
                     stats.unresolved_after.push(unresolved);
                 }
                 if let Some(observer) = observer.as_deref_mut() {
                     observer(&IterationRecord {
                         iteration: iter_no,
+                        // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
                         requests: self.requests_to.clone(),
+                        // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
                         grants: self.grants_to.clone(),
+                        // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
                         accepts: self.accepts.clone(),
                         unresolved_after: unresolved,
                     });

@@ -344,17 +344,26 @@ fn select_in_word(word: u64, k: u32) -> u32 {
     debug_assert!(k < word.count_ones());
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("bmi2") {
-        // SAFETY: the bmi2 feature was just verified at runtime.
-        #[allow(unsafe_code)]
+        // SAFETY: `select_in_word_bmi2`'s only precondition is that the CPU
+        // supports BMI2 (its `#[target_feature]`), which the branch above
+        // just verified at runtime on this exact core.
         return unsafe { select_in_word_bmi2(word, k) };
     }
     select_in_word_generic(word, k)
 }
 
+// SAFETY: `unsafe` purely because of `#[target_feature(enable = "bmi2")]` —
+// calling this on a CPU without BMI2 is undefined behaviour, so callers must
+// gate on `is_x86_feature_detected!("bmi2")` first. The body itself has no
+// memory-safety obligations: `_pdep_u64(1 << k, word)` deposits the single
+// set bit of `1 << k` into the position of `word`'s k-th set bit (PDEP
+// scatters source bits into the mask's set-bit positions, in order), and
+// `trailing_zeros` reads that position back; both are pure register ops on
+// any values, including `k >= word.count_ones()` (the result is then
+// meaningless but well-defined: PDEP yields 0 and trailing_zeros yields 64).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "bmi2")]
 #[inline]
-#[allow(unsafe_code)]
 unsafe fn select_in_word_bmi2(word: u64, k: u32) -> u32 {
     std::arch::x86_64::_pdep_u64(1u64 << k, word).trailing_zeros()
 }

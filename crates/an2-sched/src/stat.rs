@@ -434,6 +434,7 @@ impl<R: SelectRng> StatisticalMatcher<R> {
 
     /// Runs the configured number of rounds and returns the reserved-traffic
     /// matching for one time slot.
+    // an2-lint: hot
     pub fn next_match(&mut self) -> Matching {
         let n = self.table.n();
         let mut matching = Matching::new(n);
@@ -453,6 +454,7 @@ impl<R: SelectRng> StatisticalMatcher<R> {
     }
 
     /// One independent grant/accept round.
+    // an2-lint: hot
     fn one_round(&mut self) -> Matching {
         let n = self.table.n();
         let x = self.table.x();
@@ -467,6 +469,7 @@ impl<R: SelectRng> StatisticalMatcher<R> {
             let cum = &self.grant_cum[j];
             let k = cum.partition_point(|&(c, _)| c <= u);
             if k < cum.len() {
+                // an2-lint: allow(alloc-in-hot-path) scratch Vec sized n at build; a row holds at most n grants so capacity is never exceeded after warm-up
                 self.grants_to[cum[k].1].push(j);
             }
         }
@@ -481,6 +484,7 @@ impl<R: SelectRng> StatisticalMatcher<R> {
                     .expect("grant implies a positive reservation");
                 let count = cdf.sample(&mut self.input_rng[i]);
                 if count > 0 {
+                    // an2-lint: allow(alloc-in-hot-path) scratch Vec with capacity n reserved at build; at most n virtual grants per input
                     self.virtuals.push((j, count));
                     total += count;
                 }

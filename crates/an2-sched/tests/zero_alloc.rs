@@ -33,18 +33,32 @@ fn bump() {
     let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: a pure pass-through to `System`: every method forwards its
+// arguments unchanged and returns `System`'s result unchanged, so the
+// GlobalAlloc contract (valid layouts in, valid blocks out, dealloc only
+// of live blocks) holds exactly as it does for `System` itself. The only
+// addition, `bump()`, touches a thread-local counter and never the heap.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
+        // SAFETY: `layout` is the caller's, passed through unmodified.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `System.alloc` (every allocation
+        // in this process goes through the forwarding impl above) and
+        // `layout` is the one it was allocated with, per the caller.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
+        // SAFETY: `ptr`/`layout` describe a live System allocation (see
+        // dealloc) and `new_size` is the caller's, passed through.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

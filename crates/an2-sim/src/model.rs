@@ -7,7 +7,7 @@
 
 use crate::cell::{Arrival, Cell};
 use crate::metrics::{DelayStats, SwitchReport};
-use std::collections::HashMap;
+use an2_sched::det::DetHashMap;
 
 /// A switch simulated slot-by-slot.
 ///
@@ -54,7 +54,7 @@ pub(crate) struct ModelMetrics {
     arrivals: u64,
     departures: u64,
     per_output: Vec<u64>,
-    per_flow: HashMap<u64, u64>,
+    per_flow: DetHashMap<u64, u64>,
     delay: DelayStats,
     peak_occupancy: usize,
 }
@@ -68,7 +68,7 @@ impl ModelMetrics {
             arrivals: 0,
             departures: 0,
             per_output: vec![0; n],
-            per_flow: HashMap::new(),
+            per_flow: DetHashMap::default(),
             delay: DelayStats::new(),
             peak_occupancy: 0,
         }

@@ -17,7 +17,8 @@
 use crate::cell::{Arrival, Cell, FlowId};
 use crate::metrics::SwitchReport;
 use crate::model::{validate_arrivals, ModelMetrics, SwitchModel};
-use std::collections::{BinaryHeap, HashMap};
+use an2_sched::det::DetHashMap;
+use std::collections::BinaryHeap;
 
 /// A queued cell ordered by (virtual timestamp, arrival sequence).
 #[derive(Clone, Debug)]
@@ -69,8 +70,8 @@ impl PartialOrd for Stamped {
 pub struct VirtualClockSwitch {
     n: usize,
     default_rate: f64,
-    rates: HashMap<FlowId, f64>,
-    vclock: HashMap<FlowId, f64>,
+    rates: DetHashMap<FlowId, f64>,
+    vclock: DetHashMap<FlowId, f64>,
     queues: Vec<BinaryHeap<Stamped>>,
     next_seq: u64,
     metrics: ModelMetrics,
@@ -93,8 +94,8 @@ impl VirtualClockSwitch {
         Self {
             n,
             default_rate,
-            rates: HashMap::new(),
-            vclock: HashMap::new(),
+            rates: DetHashMap::default(),
+            vclock: DetHashMap::default(),
             queues: vec![BinaryHeap::new(); n],
             next_seq: 0,
             metrics: ModelMetrics::new(n),

@@ -16,7 +16,8 @@
 
 use crate::cell::{Cell, FlowId};
 use an2_sched::{InputPort, OutputPort, RequestMatrix};
-use std::collections::{HashMap, VecDeque};
+use an2_sched::det::DetHashMap;
+use std::collections::VecDeque;
 
 /// Outcome of [`VoqBuffers::push`]: whether the buffer admitted the cell.
 ///
@@ -86,9 +87,9 @@ pub struct VoqBuffers {
     /// Monotonic push counter; orders cells across flows for `Fifo`.
     next_seq: u64,
     /// Per-flow FIFO queues of (arrival sequence, cell).
-    flows: HashMap<FlowId, VecDeque<(u64, Cell)>>,
+    flows: DetHashMap<FlowId, VecDeque<(u64, Cell)>>,
     /// Fixed output of each flow seen so far (flows never change route, §2).
-    flow_output: HashMap<FlowId, OutputPort>,
+    flow_output: DetHashMap<FlowId, OutputPort>,
     /// `eligible[i][j]` = round-robin queue of flows with cells at input
     /// `i` for output `j`.
     eligible: Vec<Vec<VecDeque<FlowId>>>,
@@ -139,8 +140,8 @@ impl VoqBuffers {
             n,
             discipline,
             next_seq: 0,
-            flows: HashMap::new(),
-            flow_output: HashMap::new(),
+            flows: DetHashMap::default(),
+            flow_output: DetHashMap::default(),
             eligible: vec![vec![VecDeque::new(); n]; n],
             total: 0,
             per_input: vec![0; n],

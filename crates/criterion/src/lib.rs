@@ -11,6 +11,8 @@
 //! its mean time per iteration (and throughput when configured), which
 //! is enough for the regression-guard role these benches play.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

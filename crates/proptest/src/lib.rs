@@ -17,6 +17,8 @@
 //! - the default case count is 64 (the real default of 256 exists to
 //!   feed the shrinker; without one the extra cases buy little).
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
