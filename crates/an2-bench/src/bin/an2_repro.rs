@@ -73,8 +73,14 @@ experiments:
                written to BENCH_sched.json (not part of `all`)
   bench-compare [OLD NEW]  print per-case speedup between two saved
                BENCH_sched.json files (defaults: results/BENCH_sched_pre.json
-               vs BENCH_sched.json)
-  all          everything above (except faults, perf, bench-compare)";
+               vs BENCH_sched.json); with --fail-below R, exit non-zero
+               unless the geometric-mean speedup is at least R
+  batch1024    N=1024 single-switch run on the batched SoA engine;
+               deterministic report digest on stdout, timing on stderr
+  net1000      1000-switch sharded ring network (10k slots with --full);
+               stdout is byte-identical for every --threads value
+  all          everything above (except faults, perf, bench-compare,
+               batch1024, net1000)";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -87,6 +93,7 @@ fn main() {
     let mut threads = 0usize; // 0 = all available cores
     let mut verify_serial = false;
     let mut check = false;
+    let mut fail_below: Option<f64> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let rest: Vec<String> = args.collect();
@@ -114,6 +121,18 @@ fn main() {
                         eprintln!("--threads needs an integer >= 1");
                         std::process::exit(2);
                     });
+            }
+            "--fail-below" => {
+                i += 1;
+                fail_below = Some(
+                    rest.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&r: &f64| r.is_finite() && r > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--fail-below needs a positive ratio");
+                            std::process::exit(2);
+                        }),
+                );
             }
             "--out" => {
                 i += 1;
@@ -200,7 +219,9 @@ fn main() {
         ),
         "perf" => run_perf(effort, seed, &pool, out_dir.as_deref()),
         "faults" => run_faults(effort, seed, out_dir.as_deref()),
-        "bench-compare" => run_bench_compare(&positional),
+        "bench-compare" => run_bench_compare(&positional, fail_below),
+        "batch1024" => run_batch1024(effort, seed),
+        "net1000" => run_net1000(effort, seed, &pool),
         "replay" => run_replay(&positional),
         "-h" | "--help" | "help" => println!("{USAGE}"),
         other => {
@@ -256,8 +277,9 @@ fn run_faults(effort: Effort, seed: u64, out_dir: Option<&std::path::Path>) {
 }
 
 /// `bench-compare`: print the per-case speedup between two saved
-/// `BENCH_sched.json` reports.
-fn run_bench_compare(paths: &[String]) {
+/// `BENCH_sched.json` reports; with `--fail-below R`, exit non-zero when
+/// the geometric-mean speedup falls under `R` (the CI regression gate).
+fn run_bench_compare(paths: &[String], fail_below: Option<f64>) {
     let (old_path, new_path) = match paths {
         [] => ("results/BENCH_sched_pre.json", "BENCH_sched.json"),
         [old, new] => (old.as_str(), new.as_str()),
@@ -272,13 +294,115 @@ fn run_bench_compare(paths: &[String]) {
             std::process::exit(1);
         })
     };
-    match perf::compare(&read(old_path), &read(new_path)) {
-        Ok(table) => print!("{table}"),
+    match perf::compare_with_geomean(&read(old_path), &read(new_path)) {
+        Ok((table, geomean)) => {
+            print!("{table}");
+            if let Some(floor) = fail_below {
+                if geomean < floor {
+                    eprintln!(
+                        "bench-compare: geometric-mean speedup {geomean:.2}x \
+                         is below the required {floor:.2}x"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("[bench-compare: {geomean:.2}x >= required {floor:.2}x]");
+            }
+        }
         Err(e) => {
             eprintln!("bench-compare: {e}");
             std::process::exit(1);
         }
     }
+}
+
+/// `batch1024`: run the batched SoA engine on a 1024-port switch under
+/// uniform load and print a deterministic digest of its report. The
+/// digest is a pure function of the seed, so CI can byte-diff runs.
+fn run_batch1024(effort: Effort, seed: u64) {
+    use an2_sched::WidePim;
+    use an2_sim::batch::BatchCrossbar;
+    use an2_sim::traffic::{SparseUniformTraffic, Traffic as _};
+    use an2_sim::SwitchModel as _;
+
+    let n = 1024;
+    let s = task_seed(seed, "batch1024");
+    // The headline operating point: light uniform load (~51 cells/slot at
+    // N=1024), where the engine sustains >=100k slots/sec.
+    let load = 0.05;
+    let warmup = effort.scale(500, 2_000);
+    let measure = effort.scale(5_000, 50_000);
+    let mut engine: BatchCrossbar<_, 16> = BatchCrossbar::new(n, WidePim::new(n, s));
+    let mut traffic = SparseUniformTraffic::new(n, load, task_seed(s, "traffic"));
+    let mut buf = Vec::with_capacity(n);
+    for slot in 0..warmup {
+        buf.clear();
+        traffic.arrivals(slot, &mut buf);
+        engine.step_slot(&buf);
+    }
+    engine.start_measurement();
+    let started = std::time::Instant::now();
+    for slot in warmup..warmup + measure {
+        buf.clear();
+        traffic.arrivals(slot, &mut buf);
+        engine.step_slot(&buf);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let r = engine.report();
+    // Deterministic fields only on stdout; wall-clock to stderr.
+    let mut digest = fnv1a(&r.slots.to_le_bytes());
+    for v in [
+        r.arrivals,
+        r.departures,
+        r.peak_occupancy as u64,
+        r.final_occupancy as u64,
+        r.delay.count(),
+        r.delay.max(),
+        r.delay.mean().to_bits(),
+        r.delay.percentile(0.5),
+        r.delay.percentile(0.99),
+    ] {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&digest.to_le_bytes());
+        bytes[8..].copy_from_slice(&v.to_le_bytes());
+        digest = fnv1a(&bytes);
+    }
+    println!("# batch1024: pim4, load {load}, {measure} measured slots");
+    println!(
+        "arrivals {}  departures {}  peak {}  final {}",
+        r.arrivals, r.departures, r.peak_occupancy, r.final_occupancy
+    );
+    println!(
+        "delay mean {:.4}  p50 {}  p99 {}  max {}",
+        r.delay.mean(),
+        r.delay.percentile(0.5),
+        r.delay.percentile(0.99),
+        r.delay.max()
+    );
+    println!("digest {digest:#018x}");
+    eprintln!(
+        "[batch1024 finished in {wall:.3}s — {:.0} slots/sec]",
+        measure as f64 / wall.max(1e-12)
+    );
+}
+
+/// `net1000`: the sharded ring-network scenario. Stdout carries only
+/// seed-deterministic values, so `--threads 1` and `--threads N` runs are
+/// byte-identical — the CI determinism smoke diffs them.
+fn run_net1000(effort: Effort, seed: u64, pool: &Pool) {
+    use an2_net::shard::{run_shard_net, ShardNetConfig};
+
+    let mut cfg = ShardNetConfig::thousand();
+    cfg.seed = task_seed(seed, "net1000");
+    cfg.slots = effort.scale(2_000, 10_000);
+    let started = std::time::Instant::now();
+    let report = run_shard_net(&cfg, pool);
+    println!("{report}");
+    eprintln!(
+        "[net1000 finished in {:.3}s on {} threads — {:.0} switch-slots/sec]",
+        started.elapsed().as_secs_f64(),
+        pool.threads(),
+        cfg.switches as f64 * cfg.slots as f64 / started.elapsed().as_secs_f64().max(1e-12)
+    );
 }
 
 #[allow(clippy::too_many_arguments)]

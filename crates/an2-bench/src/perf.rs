@@ -8,26 +8,64 @@
 //! loop to stay allocation-free — this harness records the slots/sec
 //! trajectory so regressions in the hot path are visible across commits.
 //!
-//! Each case drives one scheduler over a fixed pool of pre-generated
-//! random request matrices (generation and construction excluded from the
-//! timed region) and reports slots/sec and matches/sec. Cases are
-//! independent tasks on the shared work-stealing pool, each seeded by
-//! `task_seed(seed, "perf/<scheduler>/n<n>/load<load>")`. Results
-//! serialize to `BENCH_sched.json` (see [`PerfReport::to_json`],
-//! `version` 2), and [`compare`] prints per-case speedups between two
-//! saved reports.
+//! Each kernel case drives one scheduler over a fixed pool of
+//! pre-generated random request matrices (generation and construction
+//! excluded from the timed region) and reports slots/sec and matches/sec.
+//! Cases are independent tasks on the shared work-stealing pool, each
+//! seeded by `task_seed(seed, "perf/<scheduler>/n<n>/load<load>")`.
+//!
+//! The `version` 3 schema adds two measurements of the *simulation
+//! engine* rather than bare kernels: a `scaling` section (full
+//! [`BatchCrossbar`] slots — traffic, VOQ bookkeeping and scheduling — at
+//! [`SCALING_SIZES`] up to N=1024) and a `network` record (the
+//! thousand-switch sharded ring of [`ShardNetConfig::thousand`]). Both
+//! run serially *after* the parallel kernel grid so their wall-clock
+//! numbers are uncontended and honest. Results serialize to
+//! `BENCH_sched.json` (see [`PerfReport::to_json`]), and [`compare`]
+//! prints per-case speedups between two saved reports plus their
+//! geometric mean (`bench-compare --fail-below R` turns that mean into a
+//! CI gate).
 
 use crate::Effort;
-use an2_sched::islip::RoundRobinMatching;
+use an2_net::shard::{run_shard_net, ShardNetConfig};
+use an2_sched::islip::{RoundRobinMatching, WideRoundRobinMatching};
 use an2_sched::maximum::MaximumMatching;
 use an2_sched::rng::Xoshiro256;
 use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
+use an2_sched::{WidePim, WideRequestMatrix};
+use an2_sim::batch::BatchCrossbar;
+use an2_sim::traffic::{SparseUniformTraffic, Traffic};
+use an2_sim::SwitchModel;
 use an2_task::{task_seed, Pool};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Switch sizes measured.
 pub const SIZES: [usize; 3] = [16, 64, 256];
+
+/// The wide-width radix added by the v3 schema; cases at this size run
+/// the 16-word (1024-port) scheduler kernels.
+pub const WIDE_SIZE: usize = 1024;
+
+/// Schedulers measured at [`WIDE_SIZE`]. `pim` (run-to-completion) and
+/// `maximum` are excluded: dense 1024-port maximum matching costs seconds
+/// per slot, which would dwarf the grid without informing the hot path.
+pub const WIDE_SCHEDULERS: [&str; 3] = ["pim4", "islip4", "rrm4"];
+
+/// Switch sizes of the simulation-engine scaling curve (the `scaling`
+/// section of the v3 schema): full [`BatchCrossbar`] slots — traffic
+/// generation, VOQ bookkeeping and scheduling — not bare kernel calls.
+pub const SCALING_SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+/// Schedulers traced in the scaling curve.
+pub const SCALING_SCHEDULERS: [&str; 2] = ["pim4", "islip4"];
+
+/// Offered load of the scaling-curve runs (uniform traffic via the
+/// skip-sampling generator). The curve's job is the N-trend of the
+/// engine, so one light operating point keeps the runs comparable across
+/// sizes; 0.05 per input is also the headline N=1024 operating point
+/// (~51 cells/slot there), where the batch engine holds ≥100k slots/sec.
+pub const SCALING_LOAD: f64 = 0.05;
 
 /// Request densities measured (probability that a given input has a cell
 /// queued for a given output — the workload of the paper's Table 1).
@@ -82,9 +120,14 @@ pub struct PerfReport {
     pub threads: usize,
     /// Wall-clock seconds for the whole case grid.
     pub total_wall_sec: f64,
-    /// One entry per (scheduler, N, load), in `SCHEDULERS`×`SIZES`×`LOADS`
-    /// order.
+    /// One entry per (scheduler, N, load): the `SCHEDULERS`×`SIZES`×`LOADS`
+    /// narrow grid followed by the `WIDE_SCHEDULERS`×[`WIDE_SIZE`]×`LOADS`
+    /// wide cases.
     pub cases: Vec<PerfCase>,
+    /// Simulation-engine scaling curve, `SCALING_SCHEDULERS`×`SCALING_SIZES`.
+    pub scaling: Vec<ScalingCase>,
+    /// The thousand-switch sharded network scenario.
+    pub network: NetCase,
 }
 
 fn make_scheduler(name: &str, n: usize, seed: u64) -> Box<dyn Scheduler> {
@@ -108,10 +151,29 @@ fn make_scheduler(name: &str, n: usize, seed: u64) -> Box<dyn Scheduler> {
     }
 }
 
+fn make_wide_scheduler(name: &str, n: usize, seed: u64) -> Box<dyn Scheduler<16>> {
+    match name {
+        "pim4" => Box::new(WidePim::new(n, seed)),
+        "islip4" => Box::new(WideRoundRobinMatching::islip(n, 4)),
+        "rrm4" => Box::new(WideRoundRobinMatching::rrm(n, 4)),
+        other => unreachable!("unknown wide scheduler {other}"),
+    }
+}
+
 /// Slots to time for one case: a per-effort budget split across the
 /// switch size, so large radices get proportionally fewer slots.
 fn slots_for(effort: Effort, n: usize) -> u64 {
     (effort.scale(160_000, 1_600_000) / n as u64).max(100)
+}
+
+/// Timed window of a scaling-curve run. The kernel grid's `1/n` window
+/// shrink (scheduler cost grows with `n`) is wrong for the full engine at
+/// light load, whose per-slot work is O(arrivals) — a 1562-slot window at
+/// N=1024 would be dominated by first-touch faults on the ~64 MB pair
+/// table and cold caches. A floor keeps the measured region in steady
+/// state at every size.
+fn scaling_slots_for(effort: Effort, n: usize) -> u64 {
+    slots_for(effort, n).max(effort.scale(1_000, 10_000))
 }
 
 fn run_case(scheduler: &'static str, n: usize, load: f64, slots: u64, seed: u64) -> PerfCase {
@@ -139,9 +201,131 @@ fn run_case(scheduler: &'static str, n: usize, load: f64, slots: u64, seed: u64)
     }
 }
 
-/// Runs every (scheduler, N, load) case on the pool. Counts (slots,
-/// matches) are a pure function of the derived case seeds and therefore
-/// of `seed` alone; only the timings vary between runs.
+/// The 16-word-width twin of [`run_case`]; only the request/matching
+/// types differ, so wide cases land in the same [`PerfCase`] rows.
+fn run_wide_case(scheduler: &'static str, n: usize, load: f64, slots: u64, seed: u64) -> PerfCase {
+    let mut pool_rng = Xoshiro256::seed_from(seed).split(0x9_0000);
+    let pool: Vec<WideRequestMatrix> = (0..POOL)
+        .map(|_| WideRequestMatrix::random(n, load, &mut pool_rng))
+        .collect();
+    let mut sched = make_wide_scheduler(scheduler, n, seed);
+    let mut matches = 0u64;
+    let started = Instant::now();
+    for s in 0..slots {
+        let m = sched.schedule(&pool[(s as usize) % POOL]);
+        matches += m.len() as u64;
+    }
+    let task_wall_sec = started.elapsed().as_secs_f64();
+    PerfCase {
+        scheduler,
+        n,
+        load,
+        slots,
+        matches,
+        task_wall_sec,
+    }
+}
+
+/// One point of the simulation-engine scaling curve: a full
+/// [`BatchCrossbar`] run (traffic generation, VOQ bookkeeping and
+/// scheduling per slot) at [`SCALING_LOAD`] uniform load. Every size runs
+/// the wide (16-word) width so the curve isolates the N-dependence rather
+/// than mixing bitset widths.
+#[derive(Clone, Debug)]
+pub struct ScalingCase {
+    /// Scheduler name, one of [`SCALING_SCHEDULERS`].
+    pub name: &'static str,
+    /// Switch radix.
+    pub n: usize,
+    /// Offered uniform load.
+    pub load: f64,
+    /// Simulated slots in the timed region.
+    pub slots: u64,
+    /// Cells departed during the timed region (seed-deterministic).
+    pub departures: u64,
+    /// Wall-clock seconds for the timed region.
+    pub task_wall_sec: f64,
+}
+
+impl ScalingCase {
+    /// Full simulated slots per second (not bare kernel calls).
+    pub fn sim_slots_per_sec(&self) -> f64 {
+        self.slots as f64 / self.task_wall_sec.max(1e-12)
+    }
+}
+
+fn run_scaling_case(name: &'static str, n: usize, slots: u64, seed: u64) -> ScalingCase {
+    let mut engine: BatchCrossbar<_, 16> =
+        BatchCrossbar::new(n, make_wide_scheduler(name, n, seed));
+    let mut traffic = SparseUniformTraffic::new(n, SCALING_LOAD, seed ^ 0x7261_6666);
+    let mut buf = Vec::with_capacity(n);
+    // Short warmup fills the queues to steady state; the timed region is
+    // the measurement window.
+    let warmup = (slots / 8).max(1);
+    for slot in 0..warmup {
+        buf.clear();
+        traffic.arrivals(slot, &mut buf);
+        engine.step_slot(&buf);
+    }
+    engine.start_measurement();
+    let started = Instant::now();
+    for slot in warmup..warmup + slots {
+        buf.clear();
+        traffic.arrivals(slot, &mut buf);
+        engine.step_slot(&buf);
+    }
+    let task_wall_sec = started.elapsed().as_secs_f64();
+    let report = engine.report();
+    ScalingCase {
+        name,
+        n,
+        load: SCALING_LOAD,
+        slots,
+        departures: report.departures,
+        task_wall_sec,
+    }
+}
+
+/// Result of the thousand-switch sharded network scenario (see
+/// [`ShardNetConfig::thousand`]); the v3 schema records it so the
+/// "interactive speed at network scale" claim is pinned in the benchmark
+/// file.
+#[derive(Clone, Debug)]
+pub struct NetCase {
+    /// Switches on the ring.
+    pub switches: usize,
+    /// Slots simulated.
+    pub slots: u64,
+    /// Cells injected by hosts (seed-deterministic).
+    pub injected: u64,
+    /// Cells delivered end-to-end (seed-deterministic).
+    pub delivered: u64,
+    /// Thread-count-independent run digest.
+    pub digest: u64,
+    /// Wall-clock seconds for the whole network run.
+    pub task_wall_sec: f64,
+}
+
+fn run_net_case(effort: Effort, seed: u64, pool: &Pool) -> NetCase {
+    let mut cfg = ShardNetConfig::thousand();
+    cfg.seed = seed;
+    cfg.slots = effort.scale(500, 10_000);
+    let started = Instant::now();
+    let report = run_shard_net(&cfg, pool);
+    NetCase {
+        switches: cfg.switches,
+        slots: cfg.slots,
+        injected: report.injected,
+        delivered: report.delivered,
+        digest: report.digest,
+        task_wall_sec: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs every (scheduler, N, load) case on the pool, then the scaling
+/// curve and the network scenario. Counts (slots, matches, departures,
+/// digest) are a pure function of the derived case seeds and therefore of
+/// `seed` alone; only the timings vary between runs.
 pub fn run(effort: Effort, seed: u64, pool: &Pool) -> PerfReport {
     let mut specs: Vec<(&'static str, usize, f64, u64, u64)> = Vec::new();
     for &scheduler in &SCHEDULERS {
@@ -152,16 +336,40 @@ pub fn run(effort: Effort, seed: u64, pool: &Pool) -> PerfReport {
             }
         }
     }
+    for &scheduler in &WIDE_SCHEDULERS {
+        for &load in &LOADS {
+            let n = WIDE_SIZE;
+            let case_seed = task_seed(seed, &format!("perf/{scheduler}/n{n}/load{load}"));
+            specs.push((scheduler, n, load, slots_for(effort, n), case_seed));
+        }
+    }
     let started = Instant::now();
     let cases = pool.map(specs, |_, (scheduler, n, load, slots, case_seed)| {
-        run_case(scheduler, n, load, slots, case_seed)
+        if n > 256 {
+            run_wide_case(scheduler, n, load, slots, case_seed)
+        } else {
+            run_case(scheduler, n, load, slots, case_seed)
+        }
     });
+    // Scaling and network runs go serially: their wall-clock numbers back
+    // the engine's headline throughput claims, so they must not contend
+    // with each other for cores.
+    let mut scaling = Vec::new();
+    for &name in &SCALING_SCHEDULERS {
+        for &n in &SCALING_SIZES {
+            let case_seed = task_seed(seed, &format!("perf/scaling/{name}/n{n}"));
+            scaling.push(run_scaling_case(name, n, scaling_slots_for(effort, n), case_seed));
+        }
+    }
+    let network = run_net_case(effort, task_seed(seed, "perf/net1000"), pool);
     PerfReport {
         effort,
         seed,
         threads: pool.threads(),
         total_wall_sec: started.elapsed().as_secs_f64(),
         cases,
+        scaling,
+        network,
     }
 }
 
@@ -198,22 +406,58 @@ impl PerfReport {
                 c.matches_per_sec()
             );
         }
+        let _ = writeln!(out, "# engine scaling (full simulated slots/sec vs N)");
+        let _ = writeln!(
+            out,
+            "{:<9} {:>5} {:>5} {:>8} {:>10} {:>14}",
+            "scheduler", "n", "load", "slots", "elapsed", "slots/sec"
+        );
+        for s in &self.scaling {
+            let _ = writeln!(
+                out,
+                "{:<9} {:>5} {:>5.2} {:>8} {:>9.3}s {:>14.0}",
+                s.name,
+                s.n,
+                s.load,
+                s.slots,
+                s.task_wall_sec,
+                s.sim_slots_per_sec()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# network: {} switches, {} slots in {:.3}s ({:.0} switch-slots/sec), \
+             {} delivered, digest {:#018x}",
+            self.network.switches,
+            self.network.slots,
+            self.network.task_wall_sec,
+            self.network.switches as f64 * self.network.slots as f64
+                / self.network.task_wall_sec.max(1e-12),
+            self.network.delivered,
+            self.network.digest
+        );
         out
     }
 
     /// Serializes the report as the `BENCH_sched.json` document.
     ///
-    /// Schema (`version` 2): top-level `effort`, `seed`, `threads`,
-    /// `total_wall_sec`, and `cases`, an array of objects with
+    /// Schema (`version` 3): the v2 layout — top-level `effort`, `seed`,
+    /// `threads`, `total_wall_sec`, and `cases`, an array of objects with
     /// `scheduler`, `n`, `load`, `slots`, `matches`, `task_wall_sec`,
-    /// `slots_per_sec`, and `matches_per_sec`. (Version 1, kept in
+    /// `slots_per_sec`, and `matches_per_sec` — plus a `scaling` array
+    /// (objects keyed by `name`, recording full simulated slots/sec per
+    /// switch size) and a `network` object (the thousand-switch run).
+    /// Case lines keep starting with `{"scheduler` and scaling lines start
+    /// with `{"name`, so the v1/v2 line-oriented readers skip the new
+    /// sections unchanged. (Version 1, kept in
     /// `results/BENCH_sched_pre.json` as the serial baseline, named the
     /// per-case timing `elapsed_sec` and had no `threads` or
-    /// `total_wall_sec`.)
+    /// `total_wall_sec`; version 2 added those but had no `scaling` or
+    /// `network`.)
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"version\": 2,");
+        let _ = writeln!(out, "  \"version\": 3,");
         let _ = writeln!(
             out,
             "  \"effort\": \"{}\",",
@@ -243,10 +487,75 @@ impl PerfReport {
                 c.matches_per_sec()
             );
         }
-        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"scaling\": [");
+        for (idx, s) in self.scaling.iter().enumerate() {
+            let comma = if idx + 1 < self.scaling.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"n\": {}, \"load\": {:?}, \"slots\": {}, \
+                 \"departures\": {}, \"task_wall_sec\": {:.6}, \
+                 \"sim_slots_per_sec\": {:.1}}}{comma}",
+                s.name,
+                s.n,
+                s.load,
+                s.slots,
+                s.departures,
+                s.task_wall_sec,
+                s.sim_slots_per_sec()
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(
+            out,
+            "  \"network\": {{\"switches\": {}, \"slots\": {}, \"injected\": {}, \
+             \"delivered\": {}, \"digest\": \"{:#018x}\", \"task_wall_sec\": {:.6}}}",
+            self.network.switches,
+            self.network.slots,
+            self.network.injected,
+            self.network.delivered,
+            self.network.digest,
+            self.network.task_wall_sec
+        );
         let _ = writeln!(out, "}}");
         out
     }
+}
+
+/// One point parsed back out of a v3 `scaling` array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedScaling {
+    /// Scheduler name.
+    pub name: String,
+    /// Switch radix.
+    pub n: usize,
+    /// Recorded full simulated slots per second.
+    pub sim_slots_per_sec: f64,
+}
+
+/// Parses the `scaling` array of a saved v3 `BENCH_sched.json`. Returns
+/// an empty vector for v1/v2 documents (no such section).
+pub fn parse_scaling(json: &str) -> Result<Vec<ParsedScaling>, String> {
+    let mut points = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"name\"") {
+            continue;
+        }
+        let get = |key: &str| {
+            field(line, key).ok_or_else(|| format!("scaling line missing \"{key}\": {line}"))
+        };
+        points.push(ParsedScaling {
+            name: get("name")?.to_string(),
+            n: get("n")?
+                .parse()
+                .map_err(|e| format!("bad n in {line}: {e}"))?,
+            sim_slots_per_sec: get("sim_slots_per_sec")?
+                .parse()
+                .map_err(|e| format!("bad sim_slots_per_sec in {line}: {e}"))?,
+        });
+    }
+    Ok(points)
 }
 
 /// One case parsed back out of a saved `BENCH_sched.json` (v1 or v2).
@@ -309,6 +618,12 @@ pub fn parse_cases(json: &str) -> Result<Vec<ParsedCase>, String> {
 /// per-case speedup of `new` over `old` (matching cases by
 /// (scheduler, n, load); cases present in only one report are skipped).
 pub fn compare(old_json: &str, new_json: &str) -> Result<String, String> {
+    compare_with_geomean(old_json, new_json).map(|(table, _)| table)
+}
+
+/// Like [`compare`], but also returns the geometric-mean speedup so
+/// callers (the `--fail-below` CI gate) can act on the number.
+pub fn compare_with_geomean(old_json: &str, new_json: &str) -> Result<(String, f64), String> {
     let old = parse_cases(old_json)?;
     let new = parse_cases(new_json)?;
     let mut out = String::new();
@@ -343,7 +658,7 @@ pub fn compare(old_json: &str, new_json: &str) -> Result<String, String> {
         "geometric mean speedup over {} cases: {geomean:.2}x",
         ratios.len()
     );
-    Ok(out)
+    Ok((out, geomean))
 }
 
 #[cfg(test)]
@@ -384,6 +699,22 @@ mod tests {
                 matches: 150,
                 task_wall_sec: 0.5,
             }],
+            scaling: vec![ScalingCase {
+                name: "pim4",
+                n: 1024,
+                load: 0.25,
+                slots: 200,
+                departures: 5000,
+                task_wall_sec: 0.001,
+            }],
+            network: NetCase {
+                switches: 1000,
+                slots: 2000,
+                injected: 400_000,
+                delivered: 399_000,
+                digest: 0x1234,
+                task_wall_sec: 2.5,
+            },
         }
     }
 
@@ -391,19 +722,71 @@ mod tests {
     fn json_schema_is_stable() {
         let report = sample_report();
         let json = report.to_json();
-        assert!(json.contains("\"version\": 2"), "{json}");
+        assert!(json.contains("\"version\": 3"), "{json}");
         assert!(json.contains("\"threads\": 4"), "{json}");
         assert!(json.contains("\"total_wall_sec\": 1.250000"), "{json}");
         assert!(json.contains("\"load\": 1.0"), "{json}");
         assert!(json.contains("\"task_wall_sec\": 0.500000"), "{json}");
         assert!(json.contains("\"slots_per_sec\": 20.0"), "{json}");
         assert!(json.contains("\"matches_per_sec\": 300.0"), "{json}");
+        assert!(json.contains("\"sim_slots_per_sec\": 200000.0"), "{json}");
+        assert!(json.contains("\"network\": {\"switches\": 1000"), "{json}");
+        // Old readers key on the line prefix: cases keep `{"scheduler`,
+        // scaling must NOT collide with it.
+        for line in json.lines() {
+            let line = line.trim();
+            if line.contains("\"sim_slots_per_sec\"") {
+                assert!(line.starts_with("{\"name\""), "{line}");
+                assert!(!line.starts_with("{\"scheduler\""), "{line}");
+            }
+        }
         // Hand-rolled JSON: balanced braces/brackets, no trailing comma.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  ]"), "{json}");
         let rendered = report.render();
         assert!(rendered.contains("pim4"), "{rendered}");
         assert!(rendered.contains("4 threads"), "{rendered}");
+        assert!(rendered.contains("engine scaling"), "{rendered}");
+        assert!(rendered.contains("1000 switches"), "{rendered}");
+    }
+
+    #[test]
+    fn scaling_section_round_trips_and_is_invisible_to_v2_readers() {
+        let json = sample_report().to_json();
+        let scaling = parse_scaling(&json).expect("own scaling parses");
+        assert_eq!(
+            scaling,
+            vec![ParsedScaling {
+                name: "pim4".to_string(),
+                n: 1024,
+                sim_slots_per_sec: 200000.0,
+            }]
+        );
+        // The v1/v2 case reader sees exactly the cases, not the new rows.
+        let cases = parse_cases(&json).expect("cases parse");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].scheduler, "pim4");
+        assert_eq!(cases[0].n, 16);
+        // v1 documents simply have no scaling section.
+        assert_eq!(parse_scaling("{}").expect("empty ok"), vec![]);
+    }
+
+    #[test]
+    fn wide_case_runs_the_wide_kernels() {
+        for name in WIDE_SCHEDULERS {
+            let c = run_wide_case(name, 300, 0.5, 20, 9);
+            assert_eq!(c.slots, 20);
+            assert!(c.matches > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn scaling_case_counts_are_seed_deterministic() {
+        let a = run_scaling_case("pim4", 32, 100, 5);
+        let b = run_scaling_case("pim4", 32, 100, 5);
+        assert_eq!(a.departures, b.departures);
+        assert!(a.departures > 0);
+        assert_eq!(a.load, SCALING_LOAD);
     }
 
     #[test]
@@ -462,11 +845,20 @@ mod tests {
     fn run_produces_the_full_grid() {
         let pool = Pool::new(2);
         let r = run(Effort::Quick, 5, &pool);
-        assert_eq!(r.cases.len(), SCHEDULERS.len() * SIZES.len() * LOADS.len());
+        assert_eq!(
+            r.cases.len(),
+            (SCHEDULERS.len() * SIZES.len() + WIDE_SCHEDULERS.len()) * LOADS.len()
+        );
+        assert_eq!(
+            r.scaling.len(),
+            SCALING_SCHEDULERS.len() * SCALING_SIZES.len()
+        );
         assert_eq!(r.threads, 2);
         assert!(r.total_wall_sec > 0.0);
+        assert!(r.network.injected >= r.network.delivered);
         // Counts are derived-seed-deterministic: a rerun at a different
-        // thread count matches (slots, matches) exactly.
+        // thread count matches (slots, matches) exactly — including the
+        // network digest, which the CI smoke diffs across thread counts.
         let r1 = run(Effort::Quick, 5, &Pool::serial());
         for (a, b) in r.cases.iter().zip(&r1.cases) {
             assert_eq!(
@@ -474,5 +866,9 @@ mod tests {
                 (b.scheduler, b.n, b.slots, b.matches)
             );
         }
+        for (a, b) in r.scaling.iter().zip(&r1.scaling) {
+            assert_eq!((a.name, a.n, a.departures), (b.name, b.n, b.departures));
+        }
+        assert_eq!(r.network.digest, r1.network.digest);
     }
 }

@@ -72,6 +72,13 @@ impl Config {
                 "crates/an2-sched/src/requests.rs",
                 "crates/an2-sched/src/rng.rs",
                 "crates/an2-sched/src/scheduler.rs",
+                // The PR 6 batched engines: the single-switch SoA slot
+                // loop and the sharded network's per-switch step. Their
+                // `// an2-lint: hot` slot functions must stay
+                // allocation-free; the spill/grow paths are annotated
+                // cold by design (amortized, off the steady-state path).
+                "crates/an2-sim/src/batch.rs",
+                "crates/an2-net/src/shard.rs",
             ]
             .map(String::from)
             .to_vec(),

@@ -32,7 +32,9 @@ pub mod clock;
 pub mod fairness;
 pub mod meter;
 pub mod netsim;
+pub mod shard;
 
 pub use cbr::{simulate_cbr_chain, CbrChainConfig, CbrChainReport, CbrConfigError};
 pub use clock::{ClockPolicy, FrameClock};
 pub use netsim::{Network, ReserveFlowError, SwitchId, TopologyError};
+pub use shard::{run_shard_net, ShardNetConfig, ShardReport};

@@ -1,0 +1,478 @@
+//! Sharded thousand-switch network stepper.
+//!
+//! [`Network`](crate::netsim::Network) is a single-threaded, fully general
+//! simulator (arbitrary topologies, faults, rerouting); stepping a
+//! 1000-switch network through 10k slots with it is a minutes-scale job.
+//! This module is the scale-out companion: a fixed **ring** of identical
+//! crossbar switches whose per-slot work is sharded across an
+//! [`an2_task::Pool`] with a deterministic serial merge, so the same run
+//! is bit-identical at any thread count.
+//!
+//! Determinism argument: every switch's state — its traffic generator,
+//! its PIM scheduler streams, its VOQ contents — is a function of its own
+//! seed (`task_seed(root, "sw{k}")`) and of the cells its ring
+//! predecessor hands it. A slot advances in two phases:
+//!
+//! 1. **Phase A (parallel)**: each switch consumes its inbox, injects
+//!    host traffic from its private RNG, schedules its crossbar and fills
+//!    its outbox. Switches touch only their own state, so how the pool
+//!    chunks them across workers cannot affect any value.
+//! 2. **Phase B (serial merge)**: outboxes are moved to successor
+//!    inboxes in switch-index order (one-slot link latency).
+//!
+//! The end-of-run [`ShardReport`] aggregates per-switch counters in index
+//! order and carries an FNV digest over them, so `--threads 1` and
+//! `--threads 8` runs can be byte-compared.
+
+use an2_sched::rng::{SelectRng, Xoshiro256};
+use an2_sched::{Pim, RequestMatrix, Scheduler};
+use an2_sim::metrics::QuantileSketch;
+use an2_task::{task_seed, Pool};
+use std::fmt;
+
+/// Number of switch chunks handed to the pool per slot. Fixed (not the
+/// worker count) so the chunk boundaries are part of the scenario, not of
+/// the machine; correctness does not depend on it because switches are
+/// independent within a phase.
+const CHUNKS: usize = 64;
+
+/// A growable FIFO of packed transit cells with power-of-two capacity;
+/// the per-pair VOQ storage of a shard switch. Same shape as the batch
+/// engine's slot ring, but carrying `u64` payloads (routed cells), not
+/// bare arrival slots.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Box<[u64]>,
+    head: u32,
+    len: u32,
+}
+
+impl Ring {
+    #[inline]
+    fn enqueue(&mut self, v: u64) {
+        if self.len as usize == self.buf.len() {
+            self.grow();
+        }
+        let mask = self.buf.len() - 1;
+        let tail = (self.head as usize + self.len as usize) & mask;
+        self.buf[tail] = v;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> u64 {
+        debug_assert!(self.len > 0, "dequeue from empty ring");
+        let mask = self.buf.len() - 1;
+        let v = self.buf[self.head as usize];
+        self.head = ((self.head as usize + 1) & mask) as u32;
+        self.len -= 1;
+        v
+    }
+
+    /// Doubles capacity, compacting the live window to the front.
+    // an2-lint: cold
+    #[cold]
+    fn grow(&mut self) {
+        let cap = self.buf.len();
+        let mut next = vec![0u64; (cap * 2).max(4)].into_boxed_slice();
+        let mask = cap.max(1) - 1;
+        for k in 0..self.len as usize {
+            next[k] = self.buf[(self.head as usize + k) & mask];
+        }
+        self.buf = next;
+        self.head = 0;
+    }
+}
+
+/// Scenario parameters for a sharded ring-network run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardNetConfig {
+    /// Switches on the ring.
+    pub switches: usize,
+    /// Ports per switch; port 0 is the ring link, ports `1..radix` face
+    /// hosts.
+    pub radix: usize,
+    /// Destination span: each injected cell targets a switch uniformly
+    /// `1..=span` hops ahead on the ring.
+    pub span: usize,
+    /// Per-host-port Bernoulli injection probability per slot. Keep
+    /// `host_load * (radix-1) * (span+1) / 2` under 1.0 or the shared
+    /// ring link saturates and queues diverge.
+    pub host_load: f64,
+    /// Root seed; switch `k` derives its streams via
+    /// `task_seed(seed, "sw{k}")`.
+    pub seed: u64,
+    /// Slots to simulate.
+    pub slots: u64,
+}
+
+impl ShardNetConfig {
+    /// The thousand-switch scaling scenario the benchmarks record.
+    pub fn thousand() -> Self {
+        Self {
+            switches: 1000,
+            radix: 16,
+            span: 4,
+            host_load: 0.015,
+            seed: 0xA2,
+            slots: 10_000,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.switches >= 2, "a ring needs at least two switches");
+        assert!(
+            self.radix >= 2 && self.radix <= 256,
+            "shard switches use the narrow scheduler width (radix 2..=256)"
+        );
+        assert!(self.span >= 1 && self.span < self.switches, "span out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.host_load),
+            "host_load must be a probability"
+        );
+        assert!(self.slots < u32::MAX as u64, "slot counter is packed in 32 bits");
+    }
+}
+
+/// Packed transit cell: destination switch (20 bits), destination host
+/// port (12 bits), injection slot (32 bits).
+#[inline]
+fn pack(dst_switch: usize, dst_port: usize, slot: u64) -> u64 {
+    ((dst_switch as u64) << 44) | ((dst_port as u64) << 32) | slot
+}
+
+#[inline]
+fn dst_switch(cell: u64) -> usize {
+    (cell >> 44) as usize
+}
+
+#[inline]
+fn dst_port(cell: u64) -> usize {
+    ((cell >> 32) & 0xFFF) as usize
+}
+
+#[inline]
+fn inject_slot(cell: u64) -> u64 {
+    cell & 0xFFFF_FFFF
+}
+
+/// One ring switch: private RNG, PIM scheduler, per-pair VOQ rings, and
+/// the single-cell link buffers the merge phase moves.
+#[derive(Debug)]
+struct SwitchShard {
+    k: usize,
+    switches: usize,
+    radix: usize,
+    span: usize,
+    host_load: f64,
+    rng: Xoshiro256,
+    sched: Pim,
+    requests: RequestMatrix,
+    rings: Vec<Ring>,
+    inbox: Option<u64>,
+    outbox: Option<u64>,
+    queued: u64,
+    injected: u64,
+    delivered: u64,
+    delay_sum: u128,
+    sketch: QuantileSketch,
+}
+
+impl SwitchShard {
+    fn new(cfg: &ShardNetConfig, k: usize) -> Self {
+        let seed = task_seed(cfg.seed, &format!("sw{k}"));
+        let mut rings = Vec::new();
+        rings.resize_with(cfg.radix * cfg.radix, Ring::default);
+        Self {
+            k,
+            switches: cfg.switches,
+            radix: cfg.radix,
+            span: cfg.span,
+            host_load: cfg.host_load,
+            rng: Xoshiro256::seed_from(seed),
+            sched: Pim::new(cfg.radix, seed),
+            requests: RequestMatrix::new(cfg.radix),
+            rings,
+            inbox: None,
+            outbox: None,
+            queued: 0,
+            injected: 0,
+            delivered: 0,
+            delay_sum: 0,
+            sketch: QuantileSketch::new(),
+        }
+    }
+
+    #[inline]
+    fn enqueue_cell(&mut self, input: usize, cell: u64) {
+        let output = if dst_switch(cell) == self.k {
+            dst_port(cell)
+        } else {
+            0
+        };
+        let p = input * self.radix + output;
+        if self.rings[p].len == 0 {
+            self.requests.set(
+                an2_sched::InputPort::new(input),
+                an2_sched::OutputPort::new(output),
+            );
+        }
+        self.rings[p].enqueue(cell);
+        self.queued += 1;
+    }
+
+    /// Phase A for one slot: consume the inbox, inject host traffic,
+    /// schedule the crossbar, deliver local cells and fill the outbox.
+    // an2-lint: hot
+    fn step(&mut self, slot: u64) {
+        if let Some(cell) = self.inbox.take() {
+            self.enqueue_cell(0, cell);
+        }
+        for h in 1..self.radix {
+            if self.rng.bernoulli(self.host_load) {
+                let d = (self.k + 1 + self.rng.index(self.span)) % self.switches;
+                let q = 1 + self.rng.index(self.radix - 1);
+                self.enqueue_cell(h, pack(d, q, slot));
+                self.injected += 1;
+            }
+        }
+        let matching = self.sched.schedule(&self.requests);
+        for (i, j) in matching.pairs() {
+            let p = i.index() * self.radix + j.index();
+            let cell = self.rings[p].dequeue();
+            if self.rings[p].len == 0 {
+                self.requests.clear(i, j);
+            }
+            self.queued -= 1;
+            if j.index() == 0 {
+                debug_assert!(self.outbox.is_none(), "two cells matched onto the ring link");
+                self.outbox = Some(cell);
+            } else {
+                let d = slot - inject_slot(cell);
+                self.delivered += 1;
+                self.delay_sum += d as u128;
+                self.sketch.record(d);
+            }
+        }
+    }
+
+    /// Cells still inside this switch (VOQs plus undelivered link buffers).
+    fn in_flight(&self) -> u64 {
+        self.queued + self.inbox.is_some() as u64 + self.outbox.is_some() as u64
+    }
+}
+
+/// Aggregate result of a sharded network run; identical at any thread
+/// count for a given [`ShardNetConfig`].
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Slots simulated.
+    pub slots: u64,
+    /// Switches on the ring.
+    pub switches: usize,
+    /// Cells injected by hosts.
+    pub injected: u64,
+    /// Cells delivered to their destination host port.
+    pub delivered: u64,
+    /// Cells still queued or on a link at the end of the run.
+    pub in_flight: u64,
+    /// End-to-end delay distribution of delivered cells (injection slot to
+    /// delivery slot), in the O(1)-memory sketch.
+    pub delay: QuantileSketch,
+    /// Exact mean end-to-end delay in slots.
+    pub mean_delay: f64,
+    /// FNV-1a digest over per-switch `(injected, delivered, in_flight)`
+    /// triples in switch-index order — a thread-count-independence probe.
+    pub digest: u64,
+}
+
+impl ShardReport {
+    /// Every injected cell is delivered or still in flight.
+    pub fn is_conserved(&self) -> bool {
+        self.injected == self.delivered + self.in_flight
+    }
+}
+
+impl fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "shard-net: {} switches x {} slots",
+            self.switches, self.slots
+        )?;
+        writeln!(
+            f,
+            "  injected {}  delivered {}  in-flight {}",
+            self.injected, self.delivered, self.in_flight
+        )?;
+        writeln!(
+            f,
+            "  delay mean {:.4}  p50 {}  p99 {}  max {}",
+            self.mean_delay,
+            self.delay.quantile(0.50),
+            self.delay.quantile(0.99),
+            self.delay.max()
+        )?;
+        write!(f, "  digest {:#018x}", self.digest)
+    }
+}
+
+/// Runs the configured ring network on `pool` and returns the merged
+/// report.
+///
+/// # Panics
+///
+/// Panics if the configuration is out of range (see [`ShardNetConfig`]
+/// field docs) or if cell conservation is violated.
+pub fn run_shard_net(cfg: &ShardNetConfig, pool: &Pool) -> ShardReport {
+    cfg.validate();
+    let k = cfg.switches;
+    let mut chunks: Vec<Vec<SwitchShard>> = Vec::new();
+    let chunk_len = k.div_ceil(CHUNKS.min(k));
+    let mut next = 0usize;
+    while next < k {
+        let end = (next + chunk_len).min(k);
+        chunks.push((next..end).map(|i| SwitchShard::new(cfg, i)).collect());
+        next = end;
+    }
+    let locate = |i: usize| (i / chunk_len, i % chunk_len);
+
+    for slot in 0..cfg.slots {
+        // Phase A: independent per-switch work, sharded across the pool.
+        chunks = pool.map(std::mem::take(&mut chunks), |_, mut chunk| {
+            for sw in &mut chunk {
+                sw.step(slot);
+            }
+            chunk
+        });
+        // Phase B: serial merge in switch-index order — ring links carry
+        // one cell with one slot of latency.
+        for i in 0..k {
+            let (c, o) = locate(i);
+            let Some(cell) = chunks[c][o].outbox.take() else {
+                continue;
+            };
+            let (nc, no) = locate((i + 1) % k);
+            debug_assert!(chunks[nc][no].inbox.is_none());
+            chunks[nc][no].inbox = Some(cell);
+        }
+    }
+
+    // Deterministic reduction in switch-index order.
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    let mut in_flight = 0u64;
+    let mut delay_sum = 0u128;
+    let mut delay = QuantileSketch::new();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let fold = |d: &mut u64, v: u64| {
+        for b in v.to_le_bytes() {
+            *d ^= b as u64;
+            *d = d.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    };
+    for i in 0..k {
+        let (c, o) = locate(i);
+        let sw = &chunks[c][o];
+        injected += sw.injected;
+        delivered += sw.delivered;
+        in_flight += sw.in_flight();
+        delay_sum += sw.delay_sum;
+        delay.merge(&sw.sketch);
+        fold(&mut digest, sw.injected);
+        fold(&mut digest, sw.delivered);
+        fold(&mut digest, sw.in_flight());
+    }
+    let report = ShardReport {
+        slots: cfg.slots,
+        switches: k,
+        injected,
+        delivered,
+        in_flight,
+        mean_delay: if delivered == 0 {
+            0.0
+        } else {
+            delay_sum as f64 / delivered as f64
+        },
+        delay,
+        digest,
+    };
+    assert!(
+        report.is_conserved(),
+        "cell conservation violated: {} injected, {} delivered, {} in flight",
+        report.injected,
+        report.delivered,
+        report.in_flight
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ShardNetConfig {
+        ShardNetConfig {
+            switches: 32,
+            radix: 8,
+            span: 3,
+            host_load: 0.02,
+            seed: 7,
+            slots: 400,
+        }
+    }
+
+    #[test]
+    fn serial_run_conserves_and_delivers() {
+        let r = run_shard_net(&small(), &Pool::serial());
+        assert!(r.is_conserved());
+        assert!(r.delivered > 0, "no cells delivered");
+        assert!(r.delay.max() >= 2, "ring transit takes at least two slots");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_run() {
+        let a = run_shard_net(&small(), &Pool::serial());
+        let b = run_shard_net(&small(), &Pool::new(4));
+        let c = run_shard_net(&small(), &Pool::new(3));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.digest, c.digest);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.to_string(), c.to_string());
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_runs() {
+        let mut cfg = small();
+        let a = run_shard_net(&cfg, &Pool::serial());
+        cfg.seed = 8;
+        let b = run_shard_net(&cfg, &Pool::serial());
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn ring_latency_reflects_span() {
+        // With span 1 every cell crosses exactly one link: scheduled out
+        // in the injection slot at the earliest, delivered no sooner than
+        // the next slot — delay is at least 1.
+        let cfg = ShardNetConfig {
+            switches: 8,
+            radix: 4,
+            span: 1,
+            host_load: 0.01,
+            seed: 3,
+            slots: 500,
+        };
+        let r = run_shard_net(&cfg, &Pool::serial());
+        assert!(r.delivered > 0);
+        assert!(r.delay.quantile(0.5) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two switches")]
+    fn single_switch_ring_rejected() {
+        let mut cfg = small();
+        cfg.switches = 1;
+        run_shard_net(&cfg, &Pool::serial());
+    }
+}

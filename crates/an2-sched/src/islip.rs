@@ -14,11 +14,15 @@
 //! * **iSLIP**: identical, except pointers advance **only when the grant is
 //!   accepted, and only in the first iteration** — the one-line change that
 //!   de-synchronizes the pointers and restores ~100% throughput.
+//!
+//! Like PIM, the scheduler is generic over the bitset width `W`
+//! ([`RoundRobinMatchingN`]); [`RoundRobinMatching`] is the four-word
+//! 256-port alias and [`WideRoundRobinMatching`] the 1024-port one.
 
-use crate::matching::Matching;
-use crate::port::{InputPort, OutputPort, PortSet};
-use crate::requests::RequestMatrix;
-use crate::scheduler::Scheduler;
+use crate::matching::MatchingN;
+use crate::port::{InputPort, OutputPort, PortSetN};
+use crate::requests::RequestMatrixN;
+use crate::scheduler::{PortMaskN, Scheduler};
 
 /// Pointer-update discipline distinguishing RRM from iSLIP.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -30,7 +34,11 @@ pub enum PointerUpdate {
     OnAcceptFirstIteration,
 }
 
-/// A round-robin iterative matching scheduler (RRM or iSLIP).
+/// A round-robin iterative matching scheduler (RRM or iSLIP), generic over
+/// the bitset width `W`.
+///
+/// Use the [`RoundRobinMatching`] alias unless you are driving a wide
+/// (up to 1024-port) switch.
 ///
 /// # Examples
 ///
@@ -42,7 +50,7 @@ pub enum PointerUpdate {
 /// assert!(m.respects(&reqs));
 /// ```
 #[derive(Clone, Debug)]
-pub struct RoundRobinMatching {
+pub struct RoundRobinMatchingN<const W: usize = 4> {
     n: usize,
     iterations: usize,
     update: PointerUpdate,
@@ -50,21 +58,29 @@ pub struct RoundRobinMatching {
     grant_ptr: Vec<usize>,
     /// Accept pointer per input.
     accept_ptr: Vec<usize>,
-    /// Scratch: `grants_to[i]`, cleared and refilled every iteration so
-    /// `schedule()` allocates nothing.
-    grants_to: Vec<PortSet>,
+    /// Scratch: `grants_to[i]`, cleared lazily on an input's first grant of
+    /// the iteration so `schedule()` allocates nothing.
+    grants_to: Vec<PortSetN<W>>,
     /// Healthy input ports; failed inputs never request or accept.
-    active_inputs: PortSet,
+    active_inputs: PortSetN<W>,
     /// Healthy output ports; failed outputs never grant.
-    active_outputs: PortSet,
+    active_outputs: PortSetN<W>,
 }
 
-impl RoundRobinMatching {
+/// The default-width round-robin scheduler (up to [`crate::MAX_PORTS`]
+/// ports).
+pub type RoundRobinMatching = RoundRobinMatchingN<4>;
+
+/// The wide round-robin scheduler (up to [`crate::MAX_WIDE_PORTS`] ports).
+pub type WideRoundRobinMatching = RoundRobinMatchingN<16>;
+
+impl<const W: usize> RoundRobinMatchingN<W> {
     /// Creates an iSLIP scheduler running `iterations` iterations per slot.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `n > MAX_PORTS`, or `iterations == 0`.
+    /// Panics if `n == 0`, `n` exceeds the width's capacity (`W * 64`), or
+    /// `iterations == 0`.
     pub fn islip(n: usize, iterations: usize) -> Self {
         Self::with_update(n, iterations, PointerUpdate::OnAcceptFirstIteration)
     }
@@ -73,7 +89,8 @@ impl RoundRobinMatching {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `n > MAX_PORTS`, or `iterations == 0`.
+    /// Panics if `n == 0`, `n` exceeds the width's capacity, or
+    /// `iterations == 0`.
     pub fn rrm(n: usize, iterations: usize) -> Self {
         Self::with_update(n, iterations, PointerUpdate::Always)
     }
@@ -82,10 +99,11 @@ impl RoundRobinMatching {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `n > MAX_PORTS`, or `iterations == 0`.
+    /// Panics if `n == 0`, `n` exceeds the width's capacity, or
+    /// `iterations == 0`.
     pub fn with_update(n: usize, iterations: usize, update: PointerUpdate) -> Self {
         assert!(n > 0, "switch must have at least one port");
-        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        assert!(n <= PortSetN::<W>::CAPACITY, "switch size {n} out of range");
         assert!(iterations > 0, "iteration count must be at least 1");
         Self {
             n,
@@ -93,9 +111,9 @@ impl RoundRobinMatching {
             update,
             grant_ptr: vec![0; n],
             accept_ptr: vec![0; n],
-            grants_to: vec![PortSet::new(); n],
-            active_inputs: PortSet::all(n),
-            active_outputs: PortSet::all(n),
+            grants_to: vec![PortSetN::new(); n],
+            active_inputs: PortSetN::all(n),
+            active_outputs: PortSetN::all(n),
         }
     }
 
@@ -110,8 +128,9 @@ impl RoundRobinMatching {
     }
 }
 
-impl Scheduler for RoundRobinMatching {
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+impl<const W: usize> Scheduler<W> for RoundRobinMatchingN<W> {
+    // an2-lint: hot
+    fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         assert_eq!(
             requests.n(),
             self.n,
@@ -120,7 +139,7 @@ impl Scheduler for RoundRobinMatching {
             self.n
         );
         let n = self.n;
-        let mut matching = Matching::new(n);
+        let mut matching = MatchingN::new(n);
         // Failed ports sit out every phase; pointer updates never fire for
         // them either, so a masked run leaves their pointers untouched.
         // With a full mask these are `all(n)` — identical to unmasked runs.
@@ -129,15 +148,12 @@ impl Scheduler for RoundRobinMatching {
 
         for iter_no in 1..=self.iterations {
             // Grant phase: each unmatched output grants the requesting
-            // unmatched input nearest its pointer.
-            for g in &mut self.grants_to[..n] {
-                g.clear();
-            }
+            // unmatched input nearest its pointer. Walking the unmatched
+            // set directly (instead of `0..n` with a membership test)
+            // visits the same outputs in the same ascending order.
+            let mut granted = PortSetN::<W>::new();
             let mut any = false;
-            for j in 0..n {
-                if !unmatched_outputs.contains(j) {
-                    continue;
-                }
+            for j in unmatched_outputs.iter() {
                 let reqs = requests
                     .col(OutputPort::new(j))
                     .intersection(&unmatched_inputs);
@@ -148,6 +164,11 @@ impl Scheduler for RoundRobinMatching {
                 let i = reqs
                     .first_at_or_after(self.grant_ptr[j])
                     .expect("request set checked non-empty");
+                if granted.insert(i) {
+                    // First grant for `i` this iteration: drop the stale
+                    // scratch from earlier iterations/slots.
+                    self.grants_to[i].clear();
+                }
                 self.grants_to[i].insert(j);
                 if self.update == PointerUpdate::Always && iter_no == 1 {
                     self.grant_ptr[j] = (i + 1) % n;
@@ -157,12 +178,10 @@ impl Scheduler for RoundRobinMatching {
                 break;
             }
 
-            // Accept phase.
-            for i in 0..n {
+            // Accept phase: only inputs actually holding a grant are
+            // visited, in the same ascending order as the `0..n` walk.
+            for i in granted.iter() {
                 let grants = &self.grants_to[i];
-                if grants.is_empty() {
-                    continue;
-                }
                 let j = grants
                     .first_at_or_after(self.accept_ptr[i])
                     .expect("grant set checked non-empty");
@@ -194,7 +213,7 @@ impl Scheduler for RoundRobinMatching {
         }
     }
 
-    fn set_port_mask(&mut self, mask: crate::scheduler::PortMask) {
+    fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         assert_eq!(
             mask.n(),
             self.n,
@@ -210,6 +229,7 @@ impl Scheduler for RoundRobinMatching {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::requests::RequestMatrix;
 
     #[test]
     fn names() {
@@ -239,6 +259,16 @@ mod tests {
         let reqs = RequestMatrix::from_fn(8, |_, _| true);
         let m = islip.schedule(&reqs);
         assert!(m.is_perfect());
+    }
+
+    #[test]
+    fn wide_islip_spans_word_boundaries() {
+        use crate::requests::WideRequestMatrix;
+        let mut islip = WideRoundRobinMatching::islip(130, 130);
+        let reqs = WideRequestMatrix::from_fn(130, |_, _| true);
+        let m = islip.schedule(&reqs);
+        assert!(m.is_perfect());
+        assert!(m.respects(&reqs));
     }
 
     #[test]

@@ -70,9 +70,11 @@ pub mod subframe;
 
 pub use check::{checking_enabled, CheckedScheduler, Violation};
 pub use frame::{FrameSchedule, ReservationError};
-pub use matching::{Matching, PairConflict};
-pub use pim::{AcceptPolicy, IterationLimit, Pim, PimStats};
-pub use port::{InputPort, OutputPort, PortSet, MAX_PORTS};
-pub use requests::RequestMatrix;
-pub use scheduler::{PortMask, Scheduler};
+pub use matching::{Matching, MatchingN, PairConflict, WideMatching};
+pub use pim::{AcceptPolicy, IterationLimit, Pim, PimN, PimStats, WidePim};
+pub use port::{
+    InputPort, OutputPort, PortSet, PortSetN, WidePortSet, MAX_PORTS, MAX_WIDE_PORTS, WIDE_WORDS,
+};
+pub use requests::{RequestMatrix, RequestMatrixN, WideRequestMatrix};
+pub use scheduler::{PortMask, PortMaskN, Scheduler, WidePortMask};
 pub use stat::{ReservationTable, StatisticalMatcher};

@@ -8,14 +8,16 @@
 //! exposed via [`Matching::is_maximal`] and checked against
 //! [`crate::maximum::hopcroft_karp`] in the test suite.
 
-use crate::port::{InputPort, OutputPort, PortSet};
-use crate::requests::RequestMatrix;
+use crate::port::{InputPort, OutputPort, PortSetN};
+use crate::requests::RequestMatrixN;
 use std::fmt;
 
-/// A conflict-free pairing of inputs to outputs (a partial permutation).
+/// A conflict-free pairing of inputs to outputs (a partial permutation),
+/// generic over the bitset width `W` (64 ports per word).
 ///
 /// The two direction maps are kept consistent by construction; `pair` is the
-/// only way to add an edge and it rejects conflicts.
+/// only way to add an edge and it rejects conflicts. Use the [`Matching`]
+/// alias (`W = 4`) for paper-scale switches.
 ///
 /// # Examples
 ///
@@ -27,20 +29,27 @@ use std::fmt;
 /// assert_eq!(m.input_of(OutputPort::new(2)), Some(InputPort::new(0)));
 /// assert_eq!(m.len(), 1);
 /// ```
-/// The maps are fixed `u8` arrays plus matched-port bitsets rather than
-/// `Vec<Option<…>>`: creating a `Matching` then touches no heap, which the
+///
+/// The maps are fixed `u16` arrays plus matched-port bitsets rather than
+/// `Vec<Option<…>>`: creating a matching touches no heap, which the
 /// schedulers' zero-allocation hot path depends on (one fresh matching per
-/// time slot). A `u8` holds any port index because `MAX_PORTS` = 256;
+/// time slot). A `u16` holds any port index up to the 1024-port wide width;
 /// presence is carried by the bitsets, and unmatched entries are kept at 0
 /// so the derived `PartialEq` stays exact.
 #[derive(Clone, PartialEq, Eq)]
-pub struct Matching {
+pub struct MatchingN<const W: usize> {
     n: usize,
-    input_to_output: [u8; crate::MAX_PORTS],
-    output_to_input: [u8; crate::MAX_PORTS],
-    matched_inputs: PortSet,
-    matched_outputs: PortSet,
+    input_to_output: [[u16; 64]; W],
+    output_to_input: [[u16; 64]; W],
+    matched_inputs: PortSetN<W>,
+    matched_outputs: PortSetN<W>,
 }
+
+/// The default-width matching (up to [`crate::MAX_PORTS`] ports).
+pub type Matching = MatchingN<4>;
+
+/// The wide matching (up to [`crate::MAX_WIDE_PORTS`] ports).
+pub type WideMatching = MatchingN<16>;
 
 /// Error returned by [`Matching::pair`] when an endpoint is already matched.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,21 +72,21 @@ impl fmt::Display for PairConflict {
 
 impl std::error::Error for PairConflict {}
 
-impl Matching {
+impl<const W: usize> MatchingN<W> {
     /// Creates an empty matching for an `n`×`n` switch.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    /// Panics if `n == 0` or `n` exceeds the width's capacity (`W * 64`).
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "switch must have at least one port");
-        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        assert!(n <= PortSetN::<W>::CAPACITY, "switch size {n} out of range");
         Self {
             n,
-            input_to_output: [0; crate::MAX_PORTS],
-            output_to_input: [0; crate::MAX_PORTS],
-            matched_inputs: PortSet::new(),
-            matched_outputs: PortSet::new(),
+            input_to_output: [[0; 64]; W],
+            output_to_input: [[0; 64]; W],
+            matched_inputs: PortSetN::new(),
+            matched_outputs: PortSetN::new(),
         }
     }
 
@@ -105,11 +114,28 @@ impl Matching {
                 output: j,
             });
         }
-        self.input_to_output[i.index()] = j.index() as u8;
-        self.output_to_input[j.index()] = i.index() as u8;
+        self.input_to_output[i.index() >> 6][i.index() & 63] = j.index() as u16;
+        self.output_to_input[j.index() >> 6][j.index() & 63] = i.index() as u16;
         self.matched_inputs.insert(i.index());
         self.matched_outputs.insert(j.index());
         Ok(())
+    }
+
+    /// [`pair`](Self::pair) without the conflict check, for scheduler hot
+    /// paths that prove conflict-freedom structurally (each accept consumes
+    /// input `i` from the unmatched set and output `j` granted to exactly
+    /// one input). Debug builds still assert the invariant.
+    #[inline]
+    pub(crate) fn pair_unchecked(&mut self, i: InputPort, j: OutputPort) {
+        debug_assert!(i.index() < self.n && j.index() < self.n);
+        debug_assert!(
+            !self.matched_inputs.contains(i.index()) && !self.matched_outputs.contains(j.index()),
+            "pair_unchecked called with an already-matched port ({i},{j})"
+        );
+        self.input_to_output[i.index() >> 6][i.index() & 63] = j.index() as u16;
+        self.output_to_input[j.index() >> 6][j.index() & 63] = i.index() as u16;
+        self.matched_inputs.insert(i.index());
+        self.matched_outputs.insert(j.index());
     }
 
     /// Removes the pairing of input `i`, if any; returns its former partner.
@@ -122,10 +148,10 @@ impl Matching {
         if !self.matched_inputs.remove(i.index()) {
             return None;
         }
-        let j = self.input_to_output[i.index()] as usize;
+        let j = self.input_to_output[i.index() >> 6][i.index() & 63] as usize;
         // Zero the stale entries so derived equality keeps working.
-        self.input_to_output[i.index()] = 0;
-        self.output_to_input[j] = 0;
+        self.input_to_output[i.index() >> 6][i.index() & 63] = 0;
+        self.output_to_input[j >> 6][j & 63] = 0;
         self.matched_outputs.remove(j);
         Some(OutputPort::new(j))
     }
@@ -139,7 +165,9 @@ impl Matching {
     pub fn output_of(&self, i: InputPort) -> Option<OutputPort> {
         assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
         if self.matched_inputs.contains(i.index()) {
-            Some(OutputPort::new(self.input_to_output[i.index()] as usize))
+            Some(OutputPort::new(
+                self.input_to_output[i.index() >> 6][i.index() & 63] as usize,
+            ))
         } else {
             None
         }
@@ -158,7 +186,9 @@ impl Matching {
             self.n
         );
         if self.matched_outputs.contains(j.index()) {
-            Some(InputPort::new(self.output_to_input[j.index()] as usize))
+            Some(InputPort::new(
+                self.output_to_input[j.index() >> 6][j.index() & 63] as usize,
+            ))
         } else {
             None
         }
@@ -196,26 +226,26 @@ impl Matching {
         self.matched_inputs.iter().map(|i| {
             (
                 InputPort::new(i),
-                OutputPort::new(self.input_to_output[i] as usize),
+                OutputPort::new(self.input_to_output[i >> 6][i & 63] as usize),
             )
         })
     }
 
     /// The set of unmatched input indices.
-    pub fn unmatched_inputs(&self) -> PortSet {
-        PortSet::all(self.n).difference(&self.matched_inputs)
+    pub fn unmatched_inputs(&self) -> PortSetN<W> {
+        PortSetN::all(self.n).difference(&self.matched_inputs)
     }
 
     /// The set of unmatched output indices.
-    pub fn unmatched_outputs(&self) -> PortSet {
-        PortSet::all(self.n).difference(&self.matched_outputs)
+    pub fn unmatched_outputs(&self) -> PortSetN<W> {
+        PortSetN::all(self.n).difference(&self.matched_outputs)
     }
 
     /// Returns `true` if every matched pair is a request in `requests`.
     ///
     /// A scheduler must never connect a pair with no queued cell; the
     /// simulator asserts this on every slot.
-    pub fn respects(&self, requests: &RequestMatrix) -> bool {
+    pub fn respects(&self, requests: &RequestMatrixN<W>) -> bool {
         self.n == requests.n() && self.pairs().all(|(i, j)| requests.has(i, j))
     }
 
@@ -223,7 +253,7 @@ impl Matching {
     /// `requests`: no unmatched input has a request to an unmatched output
     /// (§3.4: "each node is either matched or has no edge to an unmatched
     /// node").
-    pub fn is_maximal(&self, requests: &RequestMatrix) -> bool {
+    pub fn is_maximal(&self, requests: &RequestMatrixN<W>) -> bool {
         if self.n != requests.n() {
             return false;
         }
@@ -239,7 +269,7 @@ impl Matching {
     ///
     /// This is the quantity Appendix A shows shrinks by an expected factor
     /// of 4 per PIM iteration.
-    pub fn unresolved_requests(&self, requests: &RequestMatrix) -> usize {
+    pub fn unresolved_requests(&self, requests: &RequestMatrixN<W>) -> usize {
         let free_outputs = self.unmatched_outputs();
         self.unmatched_inputs()
             .iter()
@@ -262,7 +292,7 @@ impl Matching {
     }
 }
 
-impl fmt::Debug for Matching {
+impl<const W: usize> fmt::Debug for MatchingN<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matching({}x{}) {{", self.n, self.n)?;
         let mut first = true;
@@ -280,6 +310,7 @@ impl fmt::Debug for Matching {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::requests::{RequestMatrix, WideRequestMatrix};
 
     fn ip(i: usize) -> InputPort {
         InputPort::new(i)
@@ -340,6 +371,22 @@ mod tests {
         }
         assert!(m.is_perfect());
         assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn wide_matching_spans_high_indices() {
+        let mut m = WideMatching::new(1024);
+        m.pair(ip(1023), op(0)).unwrap();
+        m.pair(ip(0), op(1023)).unwrap();
+        m.pair(ip(512), op(513)).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.output_of(ip(1023)), Some(op(0)));
+        assert_eq!(m.input_of(op(1023)), Some(ip(0)));
+        assert_eq!(m.unpair_input(ip(512)), Some(op(513)));
+        assert_eq!(m.input_of(op(513)), None);
+        assert_eq!(m.unmatched_inputs().len(), 1022);
+        let reqs = WideRequestMatrix::from_pairs(1024, [(1023, 0), (0, 1023)]);
+        assert!(m.respects(&reqs));
     }
 
     #[test]

@@ -17,10 +17,10 @@
 //! phase. Everything runs on stack bitsets plus the reusable scratch arrays,
 //! preserving the zero-allocation hot path.
 
-use crate::matching::Matching;
-use crate::port::{InputPort, OutputPort, PortSet};
-use crate::requests::RequestMatrix;
-use crate::scheduler::{PortMask, Scheduler};
+use crate::matching::MatchingN;
+use crate::port::{InputPort, OutputPort, PortSetN};
+use crate::requests::RequestMatrixN;
+use crate::scheduler::{PortMaskN, Scheduler};
 
 const NIL: usize = usize::MAX;
 const INF: u32 = u32::MAX;
@@ -29,7 +29,8 @@ const INF: u32 = u32::MAX;
 ///
 /// Deterministic: ties break toward lower port indices (which is exactly the
 /// behaviour that produces the §3.4 starvation example — see
-/// [`MaximumMatching`] for the scheduler wrapper and its tests).
+/// [`MaximumMatching`] for the scheduler wrapper and its tests). Generic over
+/// the bitset width `W`, which is inferred from the request matrix.
 ///
 /// # Examples
 ///
@@ -39,12 +40,12 @@ const INF: u32 = u32::MAX;
 /// let reqs = RequestMatrix::from_pairs(2, [(0, 0), (0, 1), (1, 0)]);
 /// assert_eq!(hopcroft_karp(&reqs).len(), 2);
 /// ```
-pub fn hopcroft_karp(requests: &RequestMatrix) -> Matching {
+pub fn hopcroft_karp<const W: usize>(requests: &RequestMatrixN<W>) -> MatchingN<W> {
     let n = requests.n();
     hopcroft_karp_masked(
         requests,
-        &PortSet::all(n),
-        &PortSet::all(n),
+        &PortSetN::all(n),
+        &PortSetN::all(n),
         &mut HkScratch::default(),
     )
 }
@@ -65,12 +66,12 @@ struct HkScratch {
 /// to the unmasked algorithm (it is fully deterministic — no RNG alignment
 /// to worry about).
 // an2-lint: hot
-fn hopcroft_karp_masked(
-    requests: &RequestMatrix,
-    active_inputs: &PortSet,
-    active_outputs: &PortSet,
+fn hopcroft_karp_masked<const W: usize>(
+    requests: &RequestMatrixN<W>,
+    active_inputs: &PortSetN<W>,
+    active_outputs: &PortSetN<W>,
     scratch: &mut HkScratch,
-) -> Matching {
+) -> MatchingN<W> {
     let n = requests.n();
     // match_in[i] = output matched to input i (NIL if free), and vice versa.
     // clear+resize reuses capacity; only the first call on a given size
@@ -107,18 +108,18 @@ fn hopcroft_karp_masked(
         // not-yet-visited outputs. Stops at the first layer containing a
         // free output — all augmenting paths this phase end there.
         dist.fill(INF);
-        let mut frontier = PortSet::new();
+        let mut frontier = PortSetN::<W>::new();
         for i in active_inputs.iter() {
             if match_in[i] == NIL {
                 dist[i] = 0;
                 frontier.insert(i);
             }
         }
-        let mut visited_out = PortSet::new();
+        let mut visited_out = PortSetN::<W>::new();
         let mut depth: u32 = 0;
         let mut found_augmenting_layer = false;
         while !frontier.is_empty() {
-            let mut reach = PortSet::new();
+            let mut reach = PortSetN::<W>::new();
             for i in frontier.iter() {
                 reach = reach.union(requests.row(InputPort::new(i)));
             }
@@ -129,7 +130,7 @@ fn hopcroft_karp_masked(
             }
             visited_out = visited_out.union(&reach);
             depth += 1;
-            let mut next = PortSet::new();
+            let mut next = PortSetN::<W>::new();
             for j in reach.iter() {
                 // Every output in `reach` is matched (the free ones broke out
                 // above); its partner input is the sole continuation.
@@ -164,7 +165,7 @@ fn hopcroft_karp_masked(
         }
     }
 
-    let mut m = Matching::new(n);
+    let mut m = MatchingN::new(n);
     for (i, &j) in match_in.iter().enumerate() {
         if j != NIL {
             m.pair(InputPort::new(i), OutputPort::new(j))
@@ -175,14 +176,14 @@ fn hopcroft_karp_masked(
 }
 
 // an2-lint: hot
-fn try_augment(
-    requests: &RequestMatrix,
+fn try_augment<const W: usize>(
+    requests: &RequestMatrixN<W>,
     i: usize,
     match_in: &mut [usize],
     match_out: &mut [usize],
     dist: &mut [u32],
-    avail: &mut PortSet,
-    free_out: &mut PortSet,
+    avail: &mut PortSetN<W>,
+    free_out: &mut PortSetN<W>,
 ) -> bool {
     let candidates = requests.row(InputPort::new(i)).intersection(avail);
     for j in candidates.iter() {
@@ -226,27 +227,37 @@ fn try_augment(
 ///
 /// Carries reusable Hopcroft–Karp working arrays so repeated `schedule`
 /// calls on a fixed radix allocate nothing; the scratch is not semantic
-/// state (the algorithm is stateless across slots).
+/// state (the algorithm is stateless across slots). Generic over the bitset
+/// width `W`; use the [`MaximumMatching`] alias unless you are driving a
+/// wide (up to 1024-port) switch.
 #[derive(Clone, Debug, Default)]
-pub struct MaximumMatching {
+pub struct MaximumMatchingN<const W: usize = 4> {
     scratch: HkScratch,
     /// Port health mask; `None` until `set_port_mask` is first called. The
     /// scheduler is radix-agnostic, so the size check happens per `schedule`
     /// call against the presented request matrix.
-    mask: Option<PortMask>,
+    mask: Option<PortMaskN<W>>,
 }
 
-impl MaximumMatching {
+/// The default-width maximum-matching scheduler (up to [`crate::MAX_PORTS`]
+/// ports).
+pub type MaximumMatching = MaximumMatchingN<4>;
+
+/// The wide maximum-matching scheduler (up to [`crate::MAX_WIDE_PORTS`]
+/// ports).
+pub type WideMaximumMatching = MaximumMatchingN<16>;
+
+impl<const W: usize> MaximumMatchingN<W> {
     /// Creates the scheduler.
     pub fn new() -> Self {
         Self::default()
     }
 }
 
-impl Scheduler for MaximumMatching {
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+impl<const W: usize> Scheduler<W> for MaximumMatchingN<W> {
+    fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         let n = requests.n();
-        let full = PortSet::all(n);
+        let full = PortSetN::all(n);
         let (active_inputs, active_outputs) = match &self.mask {
             Some(mask) => {
                 assert_eq!(
@@ -266,7 +277,7 @@ impl Scheduler for MaximumMatching {
         "maximum"
     }
 
-    fn set_port_mask(&mut self, mask: PortMask) {
+    fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         self.mask = Some(mask);
     }
 }
@@ -275,7 +286,9 @@ impl Scheduler for MaximumMatching {
 mod tests {
     use super::*;
     use crate::pim::{AcceptPolicy, IterationLimit, Pim};
+    use crate::requests::RequestMatrix;
     use crate::rng::Xoshiro256;
+    use crate::scheduler::PortMask;
 
     #[test]
     fn empty_graph() {
@@ -410,6 +423,18 @@ mod tests {
                 assert!(m.respects(&reqs));
             }
         }
+    }
+
+    #[test]
+    fn wide_hopcroft_karp_spans_word_boundaries() {
+        use crate::requests::WideRequestMatrix;
+        // Reverse chain at n=520 (crosses eight 64-bit words): perfect
+        // matching exists but only via augmentation.
+        let n = 520;
+        let reqs = WideRequestMatrix::from_fn(n, |i, j| j == i || j + 1 == i);
+        let m = hopcroft_karp(&reqs);
+        assert_eq!(m.len(), n);
+        assert!(m.respects(&reqs));
     }
 
     #[test]

@@ -20,12 +20,121 @@
 //! policy is pluggable ([`AcceptPolicy`]) because the paper requires inputs
 //! to "choose among grants in a round-robin or other fair fashion" for the
 //! no-starvation argument (§3.4) while the grant side must be random.
+//!
+//! The scheduler is generic over the bitset width `W` ([`PimN`]); the
+//! [`Pim`] alias is the four-word 256-port configuration every paper-scale
+//! experiment uses, and [`WidePim`] (`W = 16`) drives the 1024-port scaling
+//! benches through the identical code path.
 
-use crate::matching::Matching;
-use crate::port::{InputPort, OutputPort, PortSet};
-use crate::requests::RequestMatrix;
+use crate::matching::MatchingN;
+use crate::port::{InputPort, OutputPort, PortSetN};
+use crate::requests::RequestMatrixN;
 use crate::rng::{SelectRng, Xoshiro256};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{PortMaskN, Scheduler};
+
+/// Grants per input kept in the fast path's inline sorted list before
+/// spilling to the bitset scratch. An input collects `Binomial(unmatched
+/// outputs, 1/unmatched inputs)` grants per iteration — approximately
+/// `Poisson(1)` under symmetric load — so more than eight is a `~1e-6`
+/// event even at `N = 1024`.
+const GRANT_INLINE: usize = 8;
+
+/// Rejection-sampling attempts per wide grant draw before falling back to
+/// the exact rank-select (see [`grant_draw`]).
+const GRANT_REJECT_CAP: usize = 8;
+
+/// One grant draw: a uniformly random member of `set` (whose size `len` the
+/// caller already knows), or `None` when it is empty — consuming no
+/// randomness in that case, exactly like [`SelectRng::choose`].
+///
+/// For the narrow widths (capacity <= 256 ports) this *is* `choose`'s
+/// `index(len)` + `select_nth` draw, preserving the pinned determinism
+/// digests bit for bit. Wide widths (capacity > 256) have no pinned
+/// digests, only cross-path and cross-thread equivalences, so they may
+/// consume randomness differently: when the set covers at least half of
+/// `0..n`, rejection sampling (draw an index, keep it if it is a member)
+/// finds a member in ~2 attempts instead of a 16-word rank-select, falling
+/// back to the exact draw after [`GRANT_REJECT_CAP`] misses (probability
+/// `<= 2^-8` at the density threshold). Every branch picks uniformly among
+/// members — an accepted rejection draw is uniform over members by symmetry,
+/// and the fallback is uniform outright — and *both* the fast and tracked
+/// paths route through this one helper, so results agree at every width and
+/// thread count.
+#[inline]
+fn grant_draw<R: SelectRng, const W: usize>(
+    rng: &mut R,
+    set: &PortSetN<W>,
+    len: usize,
+    n: usize,
+) -> Option<usize> {
+    grant_draw_with(
+        rng,
+        len,
+        n,
+        PortSetN::<W>::CAPACITY > 256,
+        |p| set.contains(p),
+        |k| set.select_nth(k).expect("rank < len"),
+    )
+}
+
+/// A uniform draw from `col(out) ∩ unmatched` — the grant choice of an
+/// iteration where some inputs are already matched.
+///
+/// Narrow widths (capacity <= 256) materialize the intersection and draw
+/// exactly as [`grant_draw`] does, preserving the pinned digests. Wide
+/// widths prepend a word-parallel `intersects` emptiness check — consuming
+/// no randomness on an empty eligible set, like every other draw — which
+/// is the common case in a simulation's later iterations, where a sparse
+/// column's few requesters have usually all been matched already. (Drawing
+/// by rejection instead of materializing was tried here and lost: with a
+/// mostly-matched switch the eligible density is too low for any sensible
+/// attempt cap, and the capped misses plus the exact fallback cost more
+/// than the intersection they were meant to avoid.) The fast and tracked
+/// paths share this helper, so wide results agree across paths and thread
+/// counts.
+#[inline]
+fn eligible_grant_draw<R: SelectRng, const W: usize>(
+    rng: &mut R,
+    requests: &RequestMatrixN<W>,
+    out: OutputPort,
+    unmatched: &PortSetN<W>,
+    n: usize,
+) -> Option<usize> {
+    let col = requests.col(out);
+    if PortSetN::<W>::CAPACITY > 256 && !col.intersects(unmatched) {
+        return None;
+    }
+    let e = col.intersection(unmatched);
+    grant_draw(rng, &e, e.len(), n)
+}
+
+/// The draw scheme of [`grant_draw`] with the membership test and exact
+/// rank-select abstracted out, so call sites holding a cheaper equivalent
+/// representation (the request matrix's per-word popcount cache) draw
+/// through the identical decision structure — one helper, no drift between
+/// the fast and tracked paths.
+#[inline]
+fn grant_draw_with<R: SelectRng>(
+    rng: &mut R,
+    len: usize,
+    n: usize,
+    wide: bool,
+    contains: impl Fn(usize) -> bool,
+    select: impl FnOnce(usize) -> usize,
+) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    if wide && len * 2 >= n {
+        for _ in 0..GRANT_REJECT_CAP {
+            let p = rng.index(n);
+            if contains(p) {
+                return Some(p);
+            }
+        }
+    }
+    Some(select(rng.index(len)))
+}
 
 /// How an input chooses among the grants it receives in step 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,14 +166,14 @@ pub enum IterationLimit {
 
 /// Per-iteration record produced when scheduling with an observer.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct IterationRecord {
+pub struct IterationRecord<const W: usize = 4> {
     /// 1-based iteration number.
     pub iteration: usize,
     /// `requests[j]` = inputs that requested output `j` this iteration
     /// (only unmatched inputs request, and only unmatched outputs listen).
-    pub requests: Vec<PortSet>,
+    pub requests: Vec<PortSetN<W>>,
     /// `grants[i]` = outputs that granted to input `i` this iteration.
-    pub grants: Vec<PortSet>,
+    pub grants: Vec<PortSetN<W>>,
     /// Pairs `(input, output)` accepted this iteration.
     pub accepts: Vec<(InputPort, OutputPort)>,
     /// Unresolved requests remaining *after* this iteration.
@@ -87,11 +196,13 @@ pub struct PimStats {
     pub completed: bool,
 }
 
-/// The Parallel Iterative Matching scheduler.
+/// The Parallel Iterative Matching scheduler, generic over the bitset width
+/// `W`.
 ///
 /// Owns one independent random stream per output port (grant phase) and per
 /// input port (random accept phase), split from a single seed for
-/// reproducibility.
+/// reproducibility. Use the [`Pim`] alias unless you are driving a wide
+/// (up to 1024-port) switch.
 ///
 /// # Examples
 ///
@@ -104,7 +215,7 @@ pub struct PimStats {
 /// assert!(m.len() >= 2); // (2,3) always matches; one of the 0/1 conflicts resolves
 /// ```
 #[derive(Clone, Debug)]
-pub struct Pim<R: SelectRng = Xoshiro256> {
+pub struct PimN<R: SelectRng = Xoshiro256, const W: usize = 4> {
     n: usize,
     limit: IterationLimit,
     accept: AcceptPolicy,
@@ -119,25 +230,43 @@ pub struct Pim<R: SelectRng = Xoshiro256> {
     /// accept path beyond one predictable branch.
     accept_skew: usize,
     /// Scratch: `requests_to[j]` rebuilt every iteration. Owned by the
-    /// scheduler so `schedule()` touches no heap after construction.
-    requests_to: Vec<PortSet>,
-    /// Scratch: `grants_to[i]`, cleared and refilled every iteration.
-    grants_to: Vec<PortSet>,
+    /// scheduler so `schedule()` touches no heap after construction. Only
+    /// the tracked (observer/stats) paths materialize it; the fast path
+    /// intersects columns on the fly.
+    requests_to: Vec<PortSetN<W>>,
+    /// Scratch: `grants_to[i]`, refilled every iteration. The tracked paths
+    /// materialize it fully; the fast path spills into it only when an input
+    /// collects more than [`GRANT_INLINE`] grants in one iteration.
+    grants_to: Vec<PortSetN<W>>,
+    /// Scratch: grants received by input `i` this iteration, valid only for
+    /// inputs in the iteration's granted set (fast path).
+    grant_count: Vec<u16>,
+    /// Scratch: the first [`GRANT_INLINE`] grants to input `i`, in ascending
+    /// output order (outputs are visited in ascending order, so pushes
+    /// arrive sorted). `list[k]` is therefore the `k`-th smallest grant —
+    /// the same member a rank-select on the equivalent bitset would return.
+    grant_list: Vec<[u16; GRANT_INLINE]>,
     /// Scratch: pairs accepted this iteration (traced path only).
     accepts: Vec<(InputPort, OutputPort)>,
     /// Healthy input ports; failed inputs never request or accept.
-    active_inputs: PortSet,
+    active_inputs: PortSetN<W>,
     /// Healthy output ports; failed outputs never listen or grant.
-    active_outputs: PortSet,
+    active_outputs: PortSetN<W>,
 }
 
-impl Pim<Xoshiro256> {
+/// The default-width PIM scheduler (up to [`crate::MAX_PORTS`] ports).
+pub type Pim<R = Xoshiro256> = PimN<R, 4>;
+
+/// The wide PIM scheduler (up to [`crate::MAX_WIDE_PORTS`] ports).
+pub type WidePim<R = Xoshiro256> = PimN<R, 16>;
+
+impl<const W: usize> PimN<Xoshiro256, W> {
     /// Creates a PIM scheduler for an `n`×`n` switch with the AN2 default of
     /// four iterations and random accept, seeded from `seed`.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    /// Panics if `n == 0` or `n` exceeds the width's capacity (`W * 64`).
     pub fn new(n: usize, seed: u64) -> Self {
         Self::with_options(n, seed, IterationLimit::Fixed(4), AcceptPolicy::Random)
     }
@@ -147,7 +276,8 @@ impl Pim<Xoshiro256> {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `n > MAX_PORTS`, or the limit is `Fixed(0)`.
+    /// Panics if `n == 0`, `n` exceeds the width's capacity, or the limit
+    /// is `Fixed(0)`.
     pub fn with_options(
         n: usize,
         seed: u64,
@@ -165,7 +295,7 @@ impl Pim<Xoshiro256> {
     }
 }
 
-impl<R: SelectRng> Pim<R> {
+impl<R: SelectRng, const W: usize> PimN<R, W> {
     /// Creates a PIM scheduler from explicit per-port random streams, for
     /// experiments that vary RNG quality (§3.3 ablation).
     ///
@@ -175,7 +305,7 @@ impl<R: SelectRng> Pim<R> {
     /// # Panics
     ///
     /// Panics if the stream vectors are not both length `n`, if `n` is out
-    /// of range, or if the limit is `Fixed(0)`.
+    /// of range for the width, or if the limit is `Fixed(0)`.
     pub fn from_streams(
         n: usize,
         limit: IterationLimit,
@@ -184,7 +314,7 @@ impl<R: SelectRng> Pim<R> {
         input_rng: Vec<R>,
     ) -> Self {
         assert!(n > 0, "switch must have at least one port");
-        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        assert!(n <= PortSetN::<W>::CAPACITY, "switch size {n} out of range");
         assert_eq!(output_rng.len(), n, "need one grant stream per output");
         assert_eq!(input_rng.len(), n, "need one accept stream per input");
         if let IterationLimit::Fixed(k) = limit {
@@ -198,11 +328,13 @@ impl<R: SelectRng> Pim<R> {
             input_rng,
             accept_ptr: vec![0; n],
             accept_skew: 0,
-            requests_to: vec![PortSet::new(); n],
-            grants_to: vec![PortSet::new(); n],
+            requests_to: vec![PortSetN::new(); n],
+            grants_to: vec![PortSetN::new(); n],
+            grant_count: vec![0; n],
+            grant_list: vec![[0; GRANT_INLINE]; n],
             accepts: Vec::with_capacity(n),
-            active_inputs: PortSet::all(n),
-            active_outputs: PortSet::all(n),
+            active_inputs: PortSetN::all(n),
+            active_outputs: PortSetN::all(n),
         }
     }
 
@@ -238,9 +370,12 @@ impl<R: SelectRng> Pim<R> {
     /// # Panics
     ///
     /// Panics if `requests.n() != self.n()`.
-    pub fn schedule_with_stats(&mut self, requests: &RequestMatrix) -> (Matching, PimStats) {
+    pub fn schedule_with_stats(
+        &mut self,
+        requests: &RequestMatrixN<W>,
+    ) -> (MatchingN<W>, PimStats) {
         let mut stats = PimStats::default();
-        let m = self.run_from(requests, Matching::new(self.n), None, Some(&mut stats));
+        let m = self.run_from(requests, MatchingN::new(self.n), None, Some(&mut stats));
         (m, stats)
     }
 
@@ -257,7 +392,11 @@ impl<R: SelectRng> Pim<R> {
     /// # Panics
     ///
     /// Panics if `requests.n()` or `initial.n()` differs from `self.n()`.
-    pub fn schedule_from(&mut self, requests: &RequestMatrix, initial: Matching) -> Matching {
+    pub fn schedule_from(
+        &mut self,
+        requests: &RequestMatrixN<W>,
+        initial: MatchingN<W>,
+    ) -> MatchingN<W> {
         assert_eq!(
             initial.n(),
             self.n,
@@ -277,13 +416,13 @@ impl<R: SelectRng> Pim<R> {
     /// Panics if `requests.n() != self.n()`.
     pub fn schedule_traced(
         &mut self,
-        requests: &RequestMatrix,
-        observer: &mut dyn FnMut(&IterationRecord),
-    ) -> (Matching, PimStats) {
+        requests: &RequestMatrixN<W>,
+        observer: &mut dyn FnMut(&IterationRecord<W>),
+    ) -> (MatchingN<W>, PimStats) {
         let mut stats = PimStats::default();
         let m = self.run_from(
             requests,
-            Matching::new(self.n),
+            MatchingN::new(self.n),
             Some(observer),
             Some(&mut stats),
         );
@@ -293,22 +432,34 @@ impl<R: SelectRng> Pim<R> {
     /// The iteration loop shared by all entry points.
     ///
     /// When neither `observer` nor `stats` is supplied (the simulator's
-    /// per-slot path), this performs **zero heap allocations**: the
-    /// request/grant/accept working sets live in scratch buffers on `self`,
-    /// the matching is fixed-size, and the `unresolved_requests` recount —
-    /// an O(N) set scan only diagnostics need — is skipped entirely.
-    /// Skipping it cannot change any decision: `unresolved == 0` exactly
-    /// when the next iteration finds no request, and that early exit
-    /// happens *before* any output draws from its grant stream, so the RNG
-    /// streams stay bit-aligned with the tracked paths.
+    /// per-slot path), this performs **zero heap allocations** and runs a
+    /// fused fast path: the request and grant phases collapse into one scan
+    /// over the unmatched outputs, each output's eligible-requester set is
+    /// intersected on the fly (or read straight from the column when every
+    /// input is still unmatched — the common first iteration), and an
+    /// input's grant scratch is cleared lazily on its first grant of the
+    /// iteration, so per-iteration work shrinks with the matching instead
+    /// of staying O(N·W).
+    ///
+    /// The fast path consumes randomness identically to the tracked path:
+    /// grant draws happen for exactly the non-empty requester sets, in
+    /// ascending output order ([`SelectRng::choose`] draws nothing on an
+    /// empty set), and accept draws happen for exactly the inputs holding
+    /// at least one grant, in ascending input order. The
+    /// `unresolved_requests` recount — an O(N) scan only diagnostics need —
+    /// is skipped entirely; skipping it cannot change any decision:
+    /// `unresolved == 0` exactly when the next iteration finds no request,
+    /// and that early exit happens *before* any output draws from its grant
+    /// stream, so the per-port RNG streams stay bit-aligned with the
+    /// tracked paths.
     // an2-lint: hot
     fn run_from(
         &mut self,
-        requests: &RequestMatrix,
-        initial: Matching,
-        mut observer: Option<&mut dyn FnMut(&IterationRecord)>,
+        requests: &RequestMatrixN<W>,
+        initial: MatchingN<W>,
+        mut observer: Option<&mut dyn FnMut(&IterationRecord<W>)>,
         mut stats: Option<&mut PimStats>,
-    ) -> Matching {
+    ) -> MatchingN<W> {
         assert_eq!(
             requests.n(),
             self.n,
@@ -338,26 +489,156 @@ impl<R: SelectRng> Pim<R> {
             .intersection(&self.active_outputs);
 
         for iter_no in 1..=max_iters {
-            // --- Request phase -------------------------------------------
+            if !track {
+                // ---- Fast path: fused request + grant phases -------------
+                // Visit only unmatched outputs with a non-empty requester
+                // column, in ascending order. The skipped outputs would
+                // find an empty eligible set and draw nothing, so pruning
+                // them consumes the same randomness as the phased walk
+                // below (`grant_draw` returns `None` without drawing when
+                // `len == 0`), while skipping the scratch materialization
+                // entirely.
+                let inputs_full = unmatched_inputs.len() == n;
+                let candidates = unmatched_outputs.intersection(requests.nonempty_cols());
+                let mut granted = PortSetN::<W>::new();
+                let mut any_request = false;
+                for j in candidates.iter() {
+                    let out = OutputPort::new(j);
+                    let choice = if inputs_full {
+                        // Every input is unmatched and healthy, so the
+                        // eligibility intersection is the identity, the
+                        // cached column length sizes the draw for free, and
+                        // the rank-select reads the per-word popcount cache
+                        // plus one column word instead of the whole column.
+                        grant_draw_with(
+                            &mut self.output_rng[j],
+                            requests.col_len(out),
+                            n,
+                            PortSetN::<W>::CAPACITY > 256,
+                            |p| requests.col(out).contains(p),
+                            |k| requests.col_select_nth(out, k).expect("rank < len"),
+                        )
+                    } else {
+                        eligible_grant_draw(
+                            &mut self.output_rng[j],
+                            requests,
+                            out,
+                            &unmatched_inputs,
+                            n,
+                        )
+                    };
+                    // `choice` is `Some` exactly when the eligible set was
+                    // non-empty, so it doubles as the any-request signal.
+                    if let Some(i) = choice {
+                        any_request = true;
+                        if granted.insert(i) {
+                            // First grant for `i` this iteration: restart
+                            // its inline list.
+                            self.grant_count[i] = 1;
+                            self.grant_list[i][0] = j as u16;
+                        } else {
+                            let count = self.grant_count[i] as usize;
+                            if count < GRANT_INLINE {
+                                self.grant_list[i][count] = j as u16;
+                            } else {
+                                if count == GRANT_INLINE {
+                                    // Inline list overflowed: spill it to
+                                    // the bitset scratch and keep going
+                                    // there.
+                                    self.grants_to[i].clear();
+                                    for &g in &self.grant_list[i] {
+                                        self.grants_to[i].insert(g as usize);
+                                    }
+                                }
+                                self.grants_to[i].insert(j);
+                            }
+                            self.grant_count[i] = (count + 1) as u16;
+                        }
+                    }
+                }
+                if !any_request {
+                    break;
+                }
+
+                // ---- Accept phase (fast) ---------------------------------
+                // Only inputs actually holding a grant are visited; the
+                // skipped inputs have empty grant sets and would draw
+                // nothing anyway. The inline list holds the grants in
+                // ascending output order, so `list[k]` is the `k`-th
+                // smallest — the same member the tracked path's bitset
+                // rank-select returns for the same drawn rank. `iter()`
+                // walks a snapshot of the words, so shrinking `unmatched_*`
+                // mid-loop is sound.
+                for i in granted.iter() {
+                    let count = self.grant_count[i] as usize;
+                    let list = &self.grant_list[i];
+                    let j = match self.accept {
+                        AcceptPolicy::Random => {
+                            let k = self.input_rng[i].index(count);
+                            if count <= GRANT_INLINE {
+                                list[k] as usize
+                            } else {
+                                self.grants_to[i].select_nth(k).expect("rank < count")
+                            }
+                        }
+                        AcceptPolicy::RoundRobin => {
+                            let j = if count <= GRANT_INLINE {
+                                // First grant at or after the pointer,
+                                // wrapping — the list-shaped twin of
+                                // `PortSetN::first_at_or_after`.
+                                let ptr = self.accept_ptr[i];
+                                list[..count]
+                                    .iter()
+                                    .map(|&g| g as usize)
+                                    .find(|&g| g >= ptr)
+                                    .unwrap_or(list[0] as usize)
+                            } else {
+                                self.grants_to[i]
+                                    .first_at_or_after(self.accept_ptr[i])
+                                    .expect("non-empty grant set")
+                            };
+                            self.accept_ptr[i] = (j + 1) % n;
+                            j
+                        }
+                        AcceptPolicy::LowestIndex => list[0] as usize,
+                    };
+                    if self.accept_skew == 0 {
+                        // Conflict-freedom holds structurally here: each
+                        // output grants at most one input per iteration and
+                        // only while unmatched, and each granted input
+                        // accepts exactly once.
+                        matching.pair_unchecked(InputPort::new(i), OutputPort::new(j));
+                    } else {
+                        // Seeded-bug hook (checker self-tests only): a
+                        // skewed accept can collide with an existing pair;
+                        // skip it so the buggy scheduler still terminates.
+                        let j = (j + self.accept_skew) % n;
+                        if matching.pair(InputPort::new(i), OutputPort::new(j)).is_err() {
+                            continue;
+                        }
+                        unmatched_inputs.remove(i);
+                        unmatched_outputs.remove(j);
+                        continue;
+                    }
+                    unmatched_inputs.remove(i);
+                    unmatched_outputs.remove(j);
+                }
+                continue;
+            }
+
+            // ---- Tracked path (observer / stats) -------------------------
+            // Observers see the full request/grant vectors; clear the
+            // stale scratch entries for them.
+            for r in &mut self.requests_to[..n] {
+                r.clear();
+            }
+            for g in &mut self.grants_to[..n] {
+                g.clear();
+            }
+            // Request phase:
             // requests_to[j] = unmatched inputs with a cell for unmatched j.
             // (Matched outputs ignore requests; inputs that matched earlier
             // drop all other requests — §3.3's wire-level optimization.)
-            // Only unmatched ports are visited in any phase: matched ports
-            // carry no requests and draw nothing, so skipping them keeps the
-            // RNG streams bit-aligned while the per-iteration work shrinks
-            // with the matching instead of staying O(N).
-            if track {
-                // Observers see the full request/grant vectors; clear the
-                // matched ports' stale scratch entries for them. The
-                // untracked path leaves the stale entries: it never reads
-                // them.
-                for r in &mut self.requests_to[..n] {
-                    r.clear();
-                }
-                for g in &mut self.grants_to[..n] {
-                    g.clear();
-                }
-            }
             let mut any_request = false;
             for j in unmatched_outputs.iter() {
                 let r = requests
@@ -370,27 +651,29 @@ impl<R: SelectRng> Pim<R> {
                 break;
             }
 
-            // --- Grant phase ----------------------------------------------
-            // grants_to[i] = outputs that granted to input i. Outputs with
-            // no requests draw nothing from their stream (`choose` checks
-            // emptiness first), which keeps all paths RNG-aligned.
-            if !track {
-                // Grants land only on unmatched inputs; clearing just those
-                // suffices (the tracked path cleared everything above).
-                for i in unmatched_inputs.iter() {
-                    self.grants_to[i].clear();
-                }
-            }
+            // Grant phase: grants_to[i] = outputs that granted to input i.
+            // Outputs with no eligible requesters draw nothing from their
+            // stream (`eligible_grant_draw` checks emptiness first), which
+            // keeps all paths RNG-aligned; routing through the same helper
+            // as the fast path keeps the wide widths' rejection draws
+            // aligned too. (`requests_to[j]` equals the helper's implied
+            // `col ∩ unmatched_inputs` — it exists for the observers.)
             for j in unmatched_outputs.iter() {
-                if let Some(i) = self.output_rng[j].choose(&self.requests_to[j]) {
+                let choice = eligible_grant_draw(
+                    &mut self.output_rng[j],
+                    requests,
+                    OutputPort::new(j),
+                    &unmatched_inputs,
+                    n,
+                );
+                if let Some(i) = choice {
                     self.grants_to[i].insert(j);
                 }
             }
 
-            // --- Accept phase ---------------------------------------------
-            // `iter()` walks a snapshot of the words, so removing accepted
-            // inputs mid-loop is sound and the visit order matches the
-            // pre-accept set.
+            // Accept phase: `iter()` walks a snapshot of the words, so
+            // removing accepted inputs mid-loop is sound and the visit
+            // order matches the pre-accept set.
             self.accepts.clear();
             for i in unmatched_inputs.iter() {
                 let grants = &self.grants_to[i];
@@ -425,39 +708,35 @@ impl<R: SelectRng> Pim<R> {
                 }
                 unmatched_inputs.remove(i);
                 unmatched_outputs.remove(j);
-                if track {
-                    // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only; the untracked hot path never reaches this
-                    self.accepts.push((InputPort::new(i), OutputPort::new(j)));
-                }
+                // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only; the untracked hot path never reaches this
+                self.accepts.push((InputPort::new(i), OutputPort::new(j)));
             }
 
-            if track {
-                let unresolved = matching.unresolved_requests(requests);
-                if let Some(stats) = stats.as_deref_mut() {
-                    stats.iterations_run = iter_no;
-                    // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only
-                    stats.matches_after.push(matching.len());
-                    // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only
-                    stats.unresolved_after.push(unresolved);
-                }
-                if let Some(observer) = observer.as_deref_mut() {
-                    observer(&IterationRecord {
-                        iteration: iter_no,
-                        // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
-                        requests: self.requests_to.clone(),
-                        // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
-                        grants: self.grants_to.clone(),
-                        // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
-                        accepts: self.accepts.clone(),
-                        unresolved_after: unresolved,
-                    });
-                }
-                // The untracked path omits this early exit: its next
-                // iteration's request phase finds nothing and breaks before
-                // consuming randomness, so decisions are identical.
-                if unresolved == 0 {
-                    break;
-                }
+            let unresolved = matching.unresolved_requests(requests);
+            if let Some(stats) = stats.as_deref_mut() {
+                stats.iterations_run = iter_no;
+                // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only
+                stats.matches_after.push(matching.len());
+                // an2-lint: allow(alloc-in-hot-path) tracked/diagnostic mode only
+                stats.unresolved_after.push(unresolved);
+            }
+            if let Some(observer) = observer.as_deref_mut() {
+                observer(&IterationRecord {
+                    iteration: iter_no,
+                    // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
+                    requests: self.requests_to.clone(),
+                    // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
+                    grants: self.grants_to.clone(),
+                    // an2-lint: allow(alloc-in-hot-path) observer snapshot; tracked mode only
+                    accepts: self.accepts.clone(),
+                    unresolved_after: unresolved,
+                });
+            }
+            // The untracked path omits this early exit: its next
+            // iteration's request phase finds nothing and breaks before
+            // consuming randomness, so decisions are identical.
+            if unresolved == 0 {
+                break;
             }
         }
 
@@ -468,16 +747,16 @@ impl<R: SelectRng> Pim<R> {
     }
 }
 
-impl<R: SelectRng> Scheduler for Pim<R> {
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
-        self.run_from(requests, Matching::new(self.n), None, None)
+impl<R: SelectRng, const W: usize> Scheduler<W> for PimN<R, W> {
+    fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
+        self.run_from(requests, MatchingN::new(self.n), None, None)
     }
 
     fn name(&self) -> &'static str {
         "pim"
     }
 
-    fn set_port_mask(&mut self, mask: crate::scheduler::PortMask) {
+    fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         assert_eq!(
             mask.n(),
             self.n,
@@ -493,6 +772,7 @@ impl<R: SelectRng> Scheduler for Pim<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::requests::RequestMatrix;
 
     fn pim_complete(n: usize, seed: u64) -> Pim {
         Pim::with_options(n, seed, IterationLimit::ToCompletion, AcceptPolicy::Random)
@@ -523,6 +803,54 @@ mod tests {
         masked.set_port_mask(PortMask::all(8));
         let recovered = masked.schedule(&reqs);
         assert!(recovered.is_perfect());
+    }
+
+    /// The fused fast path and the phased tracked path must consume
+    /// randomness identically: same-seed schedulers, one driven through
+    /// `schedule` (untracked) and one through `schedule_with_stats`
+    /// (tracked), must emit identical matchings slot after slot.
+    #[test]
+    fn untracked_fast_path_matches_tracked_path() {
+        let mut root = Xoshiro256::seed_from(0xFA57);
+        for trial in 0..50 {
+            let p = [0.05, 0.3, 0.7, 1.0][trial % 4];
+            let n = [3, 8, 16, 64][trial % 4];
+            let reqs = RequestMatrix::random(n, p, &mut root);
+            for policy in [
+                AcceptPolicy::Random,
+                AcceptPolicy::RoundRobin,
+                AcceptPolicy::LowestIndex,
+            ] {
+                let mut fast =
+                    Pim::with_options(n, trial as u64, IterationLimit::Fixed(4), policy);
+                let mut tracked =
+                    Pim::with_options(n, trial as u64, IterationLimit::Fixed(4), policy);
+                for slot in 0..8 {
+                    let a = fast.schedule(&reqs);
+                    let (b, _) = tracked.schedule_with_stats(&reqs);
+                    assert_eq!(a, b, "trial {trial} slot {slot} policy {policy:?}");
+                }
+            }
+        }
+    }
+
+    /// Same equivalence on the wide width, across word boundaries.
+    #[test]
+    fn wide_fast_path_matches_tracked_path() {
+        use crate::requests::WideRequestMatrix;
+        let mut root = Xoshiro256::seed_from(0x71DE);
+        for trial in 0..8 {
+            let n = [65, 130, 512, 1024][trial % 4];
+            let reqs = WideRequestMatrix::random(n, 0.5, &mut root);
+            let mut fast = WidePim::new(n, trial as u64);
+            let mut tracked = WidePim::new(n, trial as u64);
+            for _ in 0..3 {
+                let a = fast.schedule(&reqs);
+                let (b, _) = tracked.schedule_with_stats(&reqs);
+                assert_eq!(a, b, "trial {trial} n {n}");
+                assert!(a.respects(&reqs));
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,34 @@
 //! Port identifiers and port sets.
 //!
 //! A switch has `n` input ports and `n` output ports. The paper's AN2
-//! prototype is 16×16; the algorithms here are designed for "moderate scale"
-//! switches (§2.1), which we cap at [`MAX_PORTS`] = 256 so that a set of
-//! ports fits in four machine words and is `Copy`.
+//! prototype is 16×16; the algorithms here were designed for "moderate
+//! scale" switches (§2.1), and the default [`PortSet`] width keeps a set of
+//! up to [`MAX_PORTS`] = 256 ports in four machine words. The underlying
+//! bitset [`PortSetN`] is width-parameterized, so the same kernels also run
+//! wide switches — up to [`MAX_WIDE_PORTS`] = 1024 ports via
+//! [`WidePortSet`] — without touching the narrow hot path.
 
 use std::fmt;
 
-/// Maximum switch radix supported by this crate.
+/// Radix of the default (narrow) [`PortSet`] width.
 ///
-/// The paper targets 16×16 to 64×64 switches (§2.1); 256 leaves headroom for
-/// the scaling experiments (Appendix A bench sweeps N) while keeping
-/// [`PortSet`] a fixed-size, allocation-free value.
+/// The paper targets 16×16 to 64×64 switches (§2.1); 256 leaves headroom
+/// for the scaling experiments while keeping the default [`PortSet`] a
+/// four-word, allocation-free value. This is **not** a crate-wide cap any
+/// more: every scheduler kernel is generic over the bitset width
+/// [`PortSetN`], and the wide aliases ([`WidePortSet`] and friends) run
+/// switches up to [`MAX_WIDE_PORTS`] = 1024 ports.
 pub const MAX_PORTS: usize = 256;
+
+/// Maximum switch radix supported by the crate across all widths.
+///
+/// Port identifiers are width-agnostic, so this is the one global cap:
+/// 1024 ports = a 16-word [`WidePortSet`], the largest width the scaling
+/// experiments exercise.
+pub const MAX_WIDE_PORTS: usize = 1024;
+
+/// Bitset words in the wide ([`MAX_WIDE_PORTS`]-port) width.
+pub const WIDE_WORDS: usize = MAX_WIDE_PORTS / 64;
 
 const WORDS: usize = MAX_PORTS / 64;
 
@@ -50,10 +66,10 @@ macro_rules! port_impls {
             ///
             /// # Panics
             ///
-            /// Panics if `index >= MAX_PORTS`.
+            /// Panics if `index >= MAX_WIDE_PORTS`.
             #[inline]
             pub fn new(index: usize) -> Self {
-                assert!(index < MAX_PORTS, "port index {index} out of range");
+                assert!(index < MAX_WIDE_PORTS, "port index {index} out of range");
                 Self(index)
             }
 
@@ -67,9 +83,9 @@ macro_rules! port_impls {
             ///
             /// # Panics
             ///
-            /// Panics if `n > MAX_PORTS`.
+            /// Panics if `n > MAX_WIDE_PORTS`.
             pub fn all(n: usize) -> impl Iterator<Item = Self> {
-                assert!(n <= MAX_PORTS, "switch size {n} out of range");
+                assert!(n <= MAX_WIDE_PORTS, "switch size {n} out of range");
                 (0..n).map(Self)
             }
         }
@@ -97,13 +113,14 @@ macro_rules! port_impls {
 port_impls!(InputPort, "in");
 port_impls!(OutputPort, "out");
 
-/// A set of port indices, stored as a fixed-size bitset.
+/// A set of port indices, stored as a fixed-size bitset of `W` words.
 ///
 /// Used for request rows/columns and matched/unmatched port tracking in the
-/// schedulers. All operations are O(`MAX_PORTS`/64) = O(4) word operations,
-/// which is what makes the per-iteration work of parallel iterative matching
-/// cheap in software (the hardware analogue is the request/grant wires of
-/// §3.3).
+/// schedulers. All operations are O(`W`) word operations, which is what
+/// makes the per-iteration work of parallel iterative matching cheap in
+/// software (the hardware analogue is the request/grant wires of §3.3).
+/// `W = 4` (the [`PortSet`] alias) covers the paper-scale switches;
+/// `W = 16` ([`WidePortSet`]) covers the 1024-port scaling experiments.
 ///
 /// The set is untyped with respect to input vs output; the surrounding
 /// context (e.g. [`crate::RequestMatrix::row`]) fixes the interpretation.
@@ -119,27 +136,42 @@ port_impls!(OutputPort, "out");
 /// assert!(s.contains(2));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 5]);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct PortSet {
-    words: [u64; WORDS],
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortSetN<const W: usize> {
+    words: [u64; W],
 }
 
-impl PortSet {
+/// The default four-word port set: up to [`MAX_PORTS`] = 256 ports.
+pub type PortSet = PortSetN<WORDS>;
+
+/// The wide sixteen-word port set: up to [`MAX_WIDE_PORTS`] = 1024 ports.
+pub type WidePortSet = PortSetN<WIDE_WORDS>;
+
+impl<const W: usize> Default for PortSetN<W> {
+    fn default() -> Self {
+        Self { words: [0; W] }
+    }
+}
+
+impl<const W: usize> PortSetN<W> {
+    /// Largest index this width can hold, plus one.
+    pub const CAPACITY: usize = W * 64;
+
     /// Creates an empty set.
     #[inline]
     pub fn new() -> Self {
-        Self::default()
+        Self { words: [0; W] }
     }
 
     /// Creates a set containing every index in `0..n`.
     ///
     /// # Panics
     ///
-    /// Panics if `n > MAX_PORTS`.
+    /// Panics if `n > Self::CAPACITY`.
     pub fn all(n: usize) -> Self {
-        assert!(n <= MAX_PORTS, "switch size {n} out of range");
+        assert!(n <= Self::CAPACITY, "switch size {n} out of range");
         let mut s = Self::new();
-        for w in 0..WORDS {
+        for w in 0..W {
             let lo = w * 64;
             if n >= lo + 64 {
                 s.words[w] = !0;
@@ -154,10 +186,10 @@ impl PortSet {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= MAX_PORTS`.
+    /// Panics if `index >= Self::CAPACITY`.
     #[inline]
     pub fn contains(&self, index: usize) -> bool {
-        assert!(index < MAX_PORTS, "port index {index} out of range");
+        assert!(index < Self::CAPACITY, "port index {index} out of range");
         self.words[index / 64] >> (index % 64) & 1 == 1
     }
 
@@ -165,10 +197,10 @@ impl PortSet {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= MAX_PORTS`.
+    /// Panics if `index >= Self::CAPACITY`.
     #[inline]
     pub fn insert(&mut self, index: usize) -> bool {
-        assert!(index < MAX_PORTS, "port index {index} out of range");
+        assert!(index < Self::CAPACITY, "port index {index} out of range");
         let w = &mut self.words[index / 64];
         let bit = 1u64 << (index % 64);
         let fresh = *w & bit == 0;
@@ -180,10 +212,10 @@ impl PortSet {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= MAX_PORTS`.
+    /// Panics if `index >= Self::CAPACITY`.
     #[inline]
     pub fn remove(&mut self, index: usize) -> bool {
-        assert!(index < MAX_PORTS, "port index {index} out of range");
+        assert!(index < Self::CAPACITY, "port index {index} out of range");
         let w = &mut self.words[index / 64];
         let bit = 1u64 << (index % 64);
         let present = *w & bit != 0;
@@ -206,14 +238,24 @@ impl PortSet {
     /// Removes all indices.
     #[inline]
     pub fn clear(&mut self) {
-        self.words = [0; WORDS];
+        self.words = [0; W];
+    }
+
+    /// The raw bitset words, least-significant indices first.
+    ///
+    /// Exposed so word-at-a-time consumers (the SoA batch engine's
+    /// request-matrix deltas, occupancy scans) can operate on whole words
+    /// without going through per-index calls.
+    #[inline]
+    pub fn words(&self) -> &[u64; W] {
+        &self.words
     }
 
     /// Set intersection.
     #[inline]
     pub fn intersection(&self, other: &Self) -> Self {
         let mut out = *self;
-        for w in 0..WORDS {
+        for w in 0..W {
             out.words[w] &= other.words[w];
         }
         out
@@ -223,7 +265,7 @@ impl PortSet {
     #[inline]
     pub fn union(&self, other: &Self) -> Self {
         let mut out = *self;
-        for w in 0..WORDS {
+        for w in 0..W {
             out.words[w] |= other.words[w];
         }
         out
@@ -233,7 +275,7 @@ impl PortSet {
     #[inline]
     pub fn difference(&self, other: &Self) -> Self {
         let mut out = *self;
-        for w in 0..WORDS {
+        for w in 0..W {
             out.words[w] &= !other.words[w];
         }
         out
@@ -283,17 +325,73 @@ impl PortSet {
     /// then rank-selects within the word by halving: six popcount steps
     /// regardless of how many bits precede the answer. This is the hot
     /// selection primitive behind [`crate::rng::SelectRng::choose`] — at
-    /// full load a 256-port request column has up to 256 members, and the
+    /// full load a wide request column has up to `W * 64` members, and the
     /// drop-lowest-bit loop of `nth` walks half of them on average.
-    pub fn select_nth(&self, mut k: usize) -> Option<usize> {
-        for (w, &word) in self.words.iter().enumerate() {
-            let ones = word.count_ones() as usize;
-            if k < ones {
-                return Some(w * 64 + select_in_word(word, k as u32) as usize);
+    pub fn select_nth(&self, k: usize) -> Option<usize> {
+        // Branchless prefix scan: an early-exit word loop mispredicts on
+        // random ranks (the exit word depends on the random `k`), so the
+        // target word is *counted* instead of searched — a word lies wholly
+        // before rank `k` iff the prefix popcount through it is `<= k`, so
+        // the target index is the number of such words and the in-word rank
+        // is `k` minus their popcount total. Pure adds and mask-ANDs, no
+        // data-dependent branches. For wider sets (`W` a multiple of 4
+        // beyond one block) the count runs in two levels — pick among
+        // 4-word blocks, then among the block's words — halving the serial
+        // prefix chain that dominates the flat scan at `W = 16`.
+        let kk = k as u32;
+        let mut word_idx = 0usize;
+        let mut base = 0u32;
+        if W.is_multiple_of(4) && W > 4 {
+            let mut blk = 0usize;
+            let mut prefix = 0u32;
+            for b in 0..W / 4 {
+                let c = self.words[4 * b].count_ones()
+                    + self.words[4 * b + 1].count_ones()
+                    + self.words[4 * b + 2].count_ones()
+                    + self.words[4 * b + 3].count_ones();
+                prefix += c;
+                // All-ones when this block lies wholly before rank `k`.
+                let before = ((prefix <= kk) as u32).wrapping_neg();
+                blk += (before & 1) as usize;
+                base += c & before;
             }
-            k -= ones;
+            if blk == W / 4 {
+                return None;
+            }
+            word_idx = 4 * blk;
+            let mut wprefix = base;
+            for w in 4 * blk..4 * blk + 3 {
+                let c = self.words[w].count_ones();
+                wprefix += c;
+                let before = ((wprefix <= kk) as u32).wrapping_neg();
+                word_idx += (before & 1) as usize;
+                base += c & before;
+            }
+        } else {
+            let mut prefix = 0u32;
+            for &word in &self.words {
+                let c = word.count_ones();
+                prefix += c;
+                let before = ((prefix <= kk) as u32).wrapping_neg();
+                word_idx += (before & 1) as usize;
+                base += c & before;
+            }
+            if word_idx == W {
+                return None;
+            }
         }
-        None
+        Some(word_idx * 64 + select_in_word(self.words[word_idx], kk - base) as usize)
+    }
+
+    /// Returns `true` if the two sets share at least one member, without
+    /// materializing the intersection — one branchless AND/OR pass.
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        let mut acc = 0u64;
+        for w in 0..W {
+            acc |= self.words[w] & other.words[w];
+        }
+        acc != 0
     }
 
     /// The smallest member `>= start`, wrapping to [`first`](Self::first)
@@ -306,15 +404,15 @@ impl PortSet {
     ///
     /// # Panics
     ///
-    /// Panics if `start >= MAX_PORTS`.
+    /// Panics if `start >= Self::CAPACITY`.
     pub fn first_at_or_after(&self, start: usize) -> Option<usize> {
-        assert!(start < MAX_PORTS, "port index {start} out of range");
+        assert!(start < Self::CAPACITY, "port index {start} out of range");
         let w0 = start / 64;
         let masked = self.words[w0] & (!0u64 << (start % 64));
         if masked != 0 {
             return Some(w0 * 64 + masked.trailing_zeros() as usize);
         }
-        for w in w0 + 1..WORDS {
+        for w in w0 + 1..W {
             if self.words[w] != 0 {
                 return Some(w * 64 + self.words[w].trailing_zeros() as usize);
             }
@@ -323,7 +421,7 @@ impl PortSet {
     }
 
     /// Iterates over the indices in the set in increasing order.
-    pub fn iter(&self) -> Iter {
+    pub fn iter(&self) -> Iter<W> {
         Iter {
             words: self.words,
             word_idx: 0,
@@ -340,7 +438,7 @@ impl PortSet {
 /// decision — only how fast it is made. (`is_x86_feature_detected!`
 /// caches, so the probe costs one predictable load per call.)
 #[inline]
-fn select_in_word(word: u64, k: u32) -> u32 {
+pub(crate) fn select_in_word(word: u64, k: u32) -> u32 {
     debug_assert!(k < word.count_ones());
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("bmi2") {
@@ -386,13 +484,13 @@ fn select_in_word_generic(word: u64, mut k: u32) -> u32 {
     pos
 }
 
-impl fmt::Debug for PortSet {
+impl<const W: usize> fmt::Debug for PortSetN<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set().entries(self.iter()).finish()
     }
 }
 
-impl FromIterator<usize> for PortSet {
+impl<const W: usize> FromIterator<usize> for PortSetN<W> {
     fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
         let mut s = Self::new();
         for i in iter {
@@ -402,7 +500,7 @@ impl FromIterator<usize> for PortSet {
     }
 }
 
-impl Extend<usize> for PortSet {
+impl<const W: usize> Extend<usize> for PortSetN<W> {
     fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
         for i in iter {
             self.insert(i);
@@ -410,36 +508,37 @@ impl Extend<usize> for PortSet {
     }
 }
 
-impl IntoIterator for PortSet {
+impl<const W: usize> IntoIterator for PortSetN<W> {
     type Item = usize;
-    type IntoIter = Iter;
+    type IntoIter = Iter<W>;
 
-    fn into_iter(self) -> Iter {
+    fn into_iter(self) -> Iter<W> {
         self.iter()
     }
 }
 
-impl IntoIterator for &PortSet {
+impl<const W: usize> IntoIterator for &PortSetN<W> {
     type Item = usize;
-    type IntoIter = Iter;
+    type IntoIter = Iter<W>;
 
-    fn into_iter(self) -> Iter {
+    fn into_iter(self) -> Iter<W> {
         self.iter()
     }
 }
 
-/// Iterator over the members of a [`PortSet`], produced by [`PortSet::iter`].
+/// Iterator over the members of a [`PortSetN`], produced by
+/// [`PortSetN::iter`].
 #[derive(Clone, Debug)]
-pub struct Iter {
-    words: [u64; WORDS],
+pub struct Iter<const W: usize = WORDS> {
+    words: [u64; W],
     word_idx: usize,
 }
 
-impl Iterator for Iter {
+impl<const W: usize> Iterator for Iter<W> {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        while self.word_idx < WORDS {
+        while self.word_idx < W {
             let word = &mut self.words[self.word_idx];
             if *word != 0 {
                 let bit = word.trailing_zeros() as usize;
@@ -460,7 +559,7 @@ impl Iterator for Iter {
     }
 }
 
-impl ExactSizeIterator for Iter {}
+impl<const W: usize> ExactSizeIterator for Iter<W> {}
 
 #[cfg(test)]
 mod tests {
@@ -583,6 +682,46 @@ mod tests {
     }
 
     #[test]
+    fn wide_set_spans_sixteen_words() {
+        let mut s = WidePortSet::new();
+        assert_eq!(WidePortSet::CAPACITY, MAX_WIDE_PORTS);
+        for i in [0usize, 63, 64, 255, 256, 511, 512, 1000, 1023] {
+            assert!(s.insert(i));
+        }
+        assert_eq!(s.len(), 9);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, 63, 64, 255, 256, 511, 512, 1000, 1023]
+        );
+        for k in 0..=s.len() {
+            assert_eq!(s.select_nth(k), s.nth(k), "k={k}");
+        }
+        assert_eq!(s.first_at_or_after(513), Some(1000));
+        assert_eq!(s.first_at_or_after(1001), Some(1023));
+        // Wraps across the full 16-word span.
+        s.remove(0);
+        assert_eq!(s.first_at_or_after(1023), Some(1023));
+        s.remove(1023);
+        assert_eq!(s.first_at_or_after(1001), Some(63));
+    }
+
+    #[test]
+    fn wide_all_and_algebra() {
+        for n in [0usize, 1, 64, 300, 1023, 1024] {
+            let s = WidePortSet::all(n);
+            assert_eq!(s.len(), n);
+            if n < MAX_WIDE_PORTS {
+                assert!(!s.contains(n));
+            }
+        }
+        let a = WidePortSet::all(1024);
+        let b: WidePortSet = [700usize, 999].into_iter().collect();
+        assert_eq!(a.intersection(&b), b);
+        assert_eq!(a.difference(&b).len(), 1022);
+        assert_eq!(WidePortSet::all(1024).select_nth(1023), Some(1023));
+    }
+
+    #[test]
     fn port_newtypes() {
         let i = InputPort::new(7);
         let o = OutputPort::new(7);
@@ -592,12 +731,14 @@ mod tests {
         assert_eq!(format!("{i}"), "7");
         assert_eq!(usize::from(i), 7);
         assert_eq!(InputPort::all(4).count(), 4);
+        // Ports address the wide width too.
+        assert_eq!(InputPort::new(MAX_WIDE_PORTS - 1).index(), 1023);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn port_index_out_of_range_panics() {
-        let _ = InputPort::new(MAX_PORTS);
+        let _ = InputPort::new(MAX_WIDE_PORTS);
     }
 
     #[test]

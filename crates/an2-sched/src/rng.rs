@@ -65,7 +65,12 @@ pub trait SelectRng {
     ///
     /// Draws nothing from the generator when the set is empty; the hot-path
     /// gating in `Pim::run_from` relies on that to keep RNG streams aligned.
-    fn choose(&mut self, set: &crate::PortSet) -> Option<usize> {
+    /// Generic over the bitset width so the wide (1024-port) schedulers draw
+    /// through the identical selection path as the narrow ones.
+    fn choose<const W: usize>(&mut self, set: &crate::port::PortSetN<W>) -> Option<usize>
+    where
+        Self: Sized,
+    {
         let len = set.len();
         if len == 0 {
             return None;

@@ -1,23 +1,30 @@
 //! The [`Scheduler`] trait: one matching per cell time slot.
 //!
 //! Every crossbar scheduler in this crate (PIM, iSLIP, RRM, maximum
-//! matching, statistical matching with PIM fill) produces a [`Matching`]
-//! from a [`RequestMatrix`] once per slot; the simulator in `an2-sim` is
+//! matching, statistical matching with PIM fill) produces a
+//! [`crate::Matching`] from a [`crate::RequestMatrix`] once per slot; the
+//! simulator in `an2-sim` is
 //! generic over this trait. FIFO input queueing does **not** implement it —
 //! a FIFO switch only exposes head-of-line cells, not the full request
 //! matrix — and is modeled separately.
+//!
+//! The trait carries the bitset width `W` as a defaulted const parameter:
+//! `Scheduler` (no argument) is the four-word, 256-port width every
+//! paper-scale experiment uses; `Scheduler<16>` is the wide 1024-port
+//! variant behind the scaling benches.
 
-use crate::matching::Matching;
-use crate::port::PortSet;
-use crate::requests::RequestMatrix;
+use crate::matching::MatchingN;
+use crate::port::PortSetN;
+use crate::requests::RequestMatrixN;
 use std::fmt;
 
-/// Which ports of a switch are currently healthy.
+/// Which ports of a switch are currently healthy, generic over the bitset
+/// width `W`.
 ///
 /// A fault-injection layer (see `an2-sim`'s `fault` module) marks failed
 /// input or output ports here and hands the mask to the scheduler via
 /// [`Scheduler::set_port_mask`]; masked ports are excluded from the
-/// request/grant/accept rounds. The mask is a pair of [`PortSet`]s, so it
+/// request/grant/accept rounds. The mask is a pair of [`PortSetN`]s, so it
 /// is `Copy` and applying it allocates nothing.
 ///
 /// A freshly built mask has every port active; a full mask must leave the
@@ -38,25 +45,31 @@ use std::fmt;
 /// assert!(mask.is_full());
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq)]
-pub struct PortMask {
+pub struct PortMaskN<const W: usize> {
     n: usize,
-    inputs: PortSet,
-    outputs: PortSet,
+    inputs: PortSetN<W>,
+    outputs: PortSetN<W>,
 }
 
-impl PortMask {
+/// The default-width port mask (up to [`crate::MAX_PORTS`] ports).
+pub type PortMask = PortMaskN<4>;
+
+/// The wide port mask (up to [`crate::MAX_WIDE_PORTS`] ports).
+pub type WidePortMask = PortMaskN<16>;
+
+impl<const W: usize> PortMaskN<W> {
     /// Creates a mask for an `n`-port switch with every port active.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `n > MAX_PORTS`.
+    /// Panics if `n == 0` or `n` exceeds the width's capacity (`W * 64`).
     pub fn all(n: usize) -> Self {
         assert!(n > 0, "switch must have at least one port");
-        assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
+        assert!(n <= PortSetN::<W>::CAPACITY, "switch size {n} out of range");
         Self {
             n,
-            inputs: PortSet::all(n),
-            outputs: PortSet::all(n),
+            inputs: PortSetN::all(n),
+            outputs: PortSetN::all(n),
         }
     }
 
@@ -66,12 +79,12 @@ impl PortMask {
     }
 
     /// The set of healthy input ports.
-    pub fn active_inputs(&self) -> &PortSet {
+    pub fn active_inputs(&self) -> &PortSetN<W> {
         &self.inputs
     }
 
     /// The set of healthy output ports.
-    pub fn active_outputs(&self) -> &PortSet {
+    pub fn active_outputs(&self) -> &PortSetN<W> {
         &self.outputs
     }
 
@@ -146,7 +159,7 @@ impl PortMask {
     }
 }
 
-impl fmt::Debug for PortMask {
+impl<const W: usize> fmt::Debug for PortMaskN<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PortMask")
             .field("n", &self.n)
@@ -161,18 +174,21 @@ impl fmt::Debug for PortMask {
 ///
 /// Implementations are stateful across slots (random streams, round-robin
 /// pointers) — call [`schedule`](Scheduler::schedule) once per time slot.
+/// The const parameter `W` is the bitset width of the request/matching
+/// types; it defaults to 4 words (256 ports), so existing
+/// `Box<dyn Scheduler>` and `S: Scheduler` code means the narrow width.
 ///
 /// # Contract
 ///
 /// The returned matching must satisfy
-/// [`Matching::respects`]`(requests)`: a scheduler must never connect an
+/// [`MatchingN::respects`]`(requests)`: a scheduler must never connect an
 /// input–output pair that has no queued cell. The simulator debug-asserts
 /// this every slot, and property tests enforce it for every implementation
 /// in this crate.
-pub trait Scheduler {
+pub trait Scheduler<const W: usize = 4> {
     /// Computes the matching that configures the crossbar for the next time
     /// slot, given the current queued-cell requests.
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching;
+    fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W>;
 
     /// A short stable identifier for reports ("pim", "islip", ...).
     fn name(&self) -> &'static str;
@@ -190,13 +206,13 @@ pub trait Scheduler {
     /// # Panics
     ///
     /// Implementations panic if `mask.n()` differs from the scheduler size.
-    fn set_port_mask(&mut self, mask: PortMask) {
+    fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         let _ = mask;
     }
 }
 
-impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+impl<const W: usize, S: Scheduler<W> + ?Sized> Scheduler<W> for Box<S> {
+    fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         (**self).schedule(requests)
     }
 
@@ -204,7 +220,7 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
         (**self).name()
     }
 
-    fn set_port_mask(&mut self, mask: PortMask) {
+    fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         (**self).set_port_mask(mask);
     }
 }
@@ -213,6 +229,7 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 mod tests {
     use super::*;
     use crate::pim::Pim;
+    use crate::requests::RequestMatrix;
 
     #[test]
     fn boxed_scheduler_delegates() {

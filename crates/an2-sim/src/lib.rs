@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analytic;
+pub mod batch;
 pub mod cell;
 pub mod experiment;
 pub mod fault;
@@ -48,6 +49,7 @@ pub mod units;
 pub mod virtual_clock;
 pub mod voq;
 
+pub use batch::BatchCrossbar;
 pub use cell::{Arrival, Cell, FlowId};
 pub use fault::{DropCause, FaultEvent, FaultKind, FaultLog, FaultPlan, PortSide};
 pub use metrics::{DelayStats, SwitchReport};

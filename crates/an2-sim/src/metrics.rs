@@ -145,6 +145,167 @@ impl fmt::Display for DelayStats {
     }
 }
 
+/// Exact buckets below this value; octave sub-buckets above.
+const SKETCH_EXACT: u64 = 64;
+/// 64 exact buckets + 8 sub-buckets for each of the 58 octaves `2^6..2^63`.
+const SKETCH_BUCKETS: usize = 64 + 58 * 8;
+
+/// Streaming fixed-memory delay quantile sketch.
+///
+/// [`DelayStats`] keeps an exact histogram, which is cheap for the delay
+/// ranges single-switch runs produce but grows with the largest delay and
+/// costs a bounds-checked lazy resize on the record path. This sketch is
+/// the O(1)-memory companion for long network runs: delays below
+/// 64 slots land in exact unit buckets; larger delays land in one of 8
+/// logarithmic sub-buckets per octave, so any reported quantile is a
+/// lower bound within 12.5% relative error of the true value. Memory is a
+/// fixed 528-bucket table regardless of run length, and
+/// [`record`](QuantileSketch::record) never allocates.
+///
+/// # Examples
+///
+/// ```
+/// use an2_sim::metrics::QuantileSketch;
+/// let mut q = QuantileSketch::new();
+/// for d in 0..1000u64 {
+///     q.record(d);
+/// }
+/// let p50 = q.quantile(0.5);
+/// assert!(p50 <= 500 && 500 - p50 <= 500 / 8);
+/// ```
+#[derive(Clone)]
+pub struct QuantileSketch {
+    buckets: Box<[u64; SKETCH_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch (one fixed 528-bucket table).
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0u64; SKETCH_BUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SKETCH_EXACT {
+            v as usize
+        } else {
+            let e = 63 - v.leading_zeros() as usize;
+            64 + (e - 6) * 8 + ((v >> (e - 3)) & 7) as usize
+        }
+    }
+
+    /// Lower bound of the value range bucket `idx` covers.
+    fn bucket_lo(idx: usize) -> u64 {
+        if idx < SKETCH_EXACT as usize {
+            idx as u64
+        } else {
+            let rel = idx - 64;
+            let e = 6 + rel / 8;
+            let sub = (rel % 8) as u64;
+            (1u64 << e) + (sub << (e - 3))
+        }
+    }
+
+    /// Records one delay sample. O(1), allocation-free (enforced by the
+    /// counting-allocator test in `tests/alloc_probe.rs`).
+    #[inline]
+    pub fn record(&mut self, delay_slots: u64) {
+        self.count += 1;
+        self.sum += delay_slots as u128;
+        self.max = self.max.max(delay_slots);
+        self.buckets[Self::bucket_of(delay_slots)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-quantile as a lower bound: exact below 64 slots, within
+    /// 12.5% relative error above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Self::bucket_lo(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another sketch into this one (used by sharded network runs).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+impl fmt::Debug for QuantileSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuantileSketch")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl fmt::Display for QuantileSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
 /// Measured result of one switch simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct SwitchReport {
@@ -310,5 +471,96 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn bad_quantile_panics() {
         DelayStats::new().percentile(1.5);
+    }
+
+    #[test]
+    fn sketch_empty_is_zero() {
+        let q = QuantileSketch::new();
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.mean(), 0.0);
+        assert_eq!(q.max(), 0);
+        assert_eq!(q.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn sketch_exact_below_64() {
+        let mut q = QuantileSketch::new();
+        let mut d = DelayStats::new();
+        for x in [2u64, 4, 4, 4, 5, 5, 7, 9, 63] {
+            q.record(x);
+            d.record(x);
+        }
+        for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(q.quantile(p), d.percentile(p), "p={p}");
+        }
+        assert_eq!(q.max(), d.max());
+        assert!((q.mean() - d.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_bucket_roundtrip() {
+        // Every bucket's lower bound maps back to that bucket, and
+        // bucket_of is monotone over a wide value sweep.
+        for idx in 0..SKETCH_BUCKETS {
+            assert_eq!(QuantileSketch::bucket_of(QuantileSketch::bucket_lo(idx)), idx);
+        }
+        let mut prev = 0;
+        for e in 0..63u32 {
+            let mut offs = [0u64, 1, (1u64 << e) / 3, (1u64 << e) - 1];
+            offs.sort_unstable();
+            for off in offs {
+                let v = (1u64 << e) + off.min((1 << e) - 1);
+                let b = QuantileSketch::bucket_of(v);
+                assert!(b >= prev, "bucket_of not monotone at {v}");
+                assert!(QuantileSketch::bucket_lo(b) <= v);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_error_bound_vs_exact_histogram() {
+        // Geometric-ish delay mix spanning exact and octave buckets.
+        let mut q = QuantileSketch::new();
+        let mut d = DelayStats::new();
+        let mut x = 1u64;
+        for i in 0..5000u64 {
+            let v = (i * 37 + x) % 10_000;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1) >> 33;
+            q.record(v);
+            d.record(v);
+        }
+        for p in [0.5, 0.9, 0.99] {
+            let approx = q.quantile(p);
+            let exact = d.percentile(p);
+            assert!(approx <= exact, "p={p}: sketch {approx} > exact {exact}");
+            assert!(
+                exact - approx <= approx / 8 + 1,
+                "p={p}: sketch {approx} misses exact {exact} by more than 12.5%"
+            );
+        }
+        assert_eq!(q.max(), d.max());
+        assert_eq!(q.count(), d.count());
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_stream() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+            all.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        for p in [0.1, 0.5, 0.99] {
+            assert_eq!(a.quantile(p), all.quantile(p));
+        }
     }
 }
