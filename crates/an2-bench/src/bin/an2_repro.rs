@@ -34,13 +34,16 @@ options:
                    bit-identical output
   --out DIR        also write each experiment's render to DIR/<name>.txt
   --verify-serial  re-run each experiment on 1 thread and fail unless the
-                   output is byte-identical (skipped for perf, whose
-                   report contains wall-clock timings)
+                   output is byte-identical (also covers batch1024,
+                   net1000 and chaos; skipped for perf, whose report
+                   contains wall-clock timings)
   --check          after rendering, run the experiment's invariant probe
                    (matching validity/maximality, VOQ capacity, cell
                    conservation, CBR frame consistency); reports to stderr
                    only, so stdout stays byte-identical; on a violation
                    writes replay.json and exits non-zero
+  --scenarios N    chaos only: fault scenarios to soak (default 200
+                   --quick, 1000 --full)
 subcommands:
   replay FILE      re-execute a replay.json captured by --check to its
                    exact failing slot, then greedily shrink it and write
@@ -79,8 +82,13 @@ experiments:
                deterministic report digest on stdout, timing on stderr
   net1000      1000-switch sharded ring network (10k slots with --full);
                stdout is byte-identical for every --threads value
+  chaos        seeded fault campaigns over the wide-radix engines: faults,
+               degraded scheduling, recovery SLOs; writes
+               results/CHAOS.json; with --check verifies conservation,
+               drop ledgers and matching legality per scenario and writes
+               replay.json on a violation
   all          everything above (except faults, perf, bench-compare,
-               batch1024, net1000)";
+               batch1024, net1000, chaos)";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -94,6 +102,7 @@ fn main() {
     let mut verify_serial = false;
     let mut check = false;
     let mut fail_below: Option<f64> = None;
+    let mut scenarios: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let rest: Vec<String> = args.collect();
@@ -119,6 +128,18 @@ fn main() {
                     .filter(|&t| t >= 1)
                     .unwrap_or_else(|| {
                         eprintln!("--threads needs an integer >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            "--scenarios" => {
+                i += 1;
+                scenarios = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&c| c >= 1)
+                    .map(Some)
+                    .unwrap_or_else(|| {
+                        eprintln!("--scenarios needs an integer >= 1");
                         std::process::exit(2);
                     });
             }
@@ -220,8 +241,18 @@ fn main() {
         "perf" => run_perf(effort, seed, &pool, out_dir.as_deref()),
         "faults" => run_faults(effort, seed, out_dir.as_deref()),
         "bench-compare" => run_bench_compare(&positional, fail_below),
-        "batch1024" => run_batch1024(effort, seed),
-        "net1000" => run_net1000(effort, seed, &pool),
+        "batch1024" => run_batch1024(effort, seed, verify_serial),
+        "net1000" => run_net1000(effort, seed, &pool, verify_serial),
+        "chaos" => run_chaos(
+            effort,
+            seed,
+            &pool,
+            scenarios,
+            check,
+            skew,
+            verify_serial,
+            out_dir.as_deref(),
+        ),
         "replay" => run_replay(&positional),
         "-h" | "--help" | "help" => println!("{USAGE}"),
         other => {
@@ -315,14 +346,15 @@ fn run_bench_compare(paths: &[String], fail_below: Option<f64>) {
     }
 }
 
-/// `batch1024`: run the batched SoA engine on a 1024-port switch under
-/// uniform load and print a deterministic digest of its report. The
-/// digest is a pure function of the seed, so CI can byte-diff runs.
-fn run_batch1024(effort: Effort, seed: u64) {
+/// Renders the `batch1024` report: deterministic fields only, so repeated
+/// runs byte-compare. Returns the render plus the wall-clock and measured
+/// slot count for the stderr timing line.
+fn render_batch1024(effort: Effort, seed: u64) -> (String, f64, u64) {
     use an2_sched::WidePim;
     use an2_sim::batch::BatchCrossbar;
     use an2_sim::traffic::{SparseUniformTraffic, Traffic as _};
     use an2_sim::SwitchModel as _;
+    use std::fmt::Write as _;
 
     let n = 1024;
     let s = task_seed(seed, "batch1024");
@@ -348,7 +380,7 @@ fn run_batch1024(effort: Effort, seed: u64) {
     }
     let wall = started.elapsed().as_secs_f64();
     let r = engine.report();
-    // Deterministic fields only on stdout; wall-clock to stderr.
+    // Deterministic fields only in the render; wall-clock goes to stderr.
     let mut digest = fnv1a(&r.slots.to_le_bytes());
     for v in [
         r.arrivals,
@@ -366,42 +398,161 @@ fn run_batch1024(effort: Effort, seed: u64) {
         bytes[8..].copy_from_slice(&v.to_le_bytes());
         digest = fnv1a(&bytes);
     }
-    println!("# batch1024: pim4, load {load}, {measure} measured slots");
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(out, "# batch1024: pim4, load {load}, {measure} measured slots");
+    let _ = writeln!(
+        out,
         "arrivals {}  departures {}  peak {}  final {}",
         r.arrivals, r.departures, r.peak_occupancy, r.final_occupancy
     );
-    println!(
+    let _ = writeln!(
+        out,
         "delay mean {:.4}  p50 {}  p99 {}  max {}",
         r.delay.mean(),
         r.delay.percentile(0.5),
         r.delay.percentile(0.99),
         r.delay.max()
     );
-    println!("digest {digest:#018x}");
+    let _ = writeln!(out, "digest {digest:#018x}");
+    (out, wall, measure)
+}
+
+/// `batch1024`: run the batched SoA engine on a 1024-port switch under
+/// uniform load and print a deterministic digest of its report. The
+/// digest is a pure function of the seed, so CI can byte-diff runs.
+/// `--verify-serial` re-runs the (single-threaded) engine and demands the
+/// same bytes, catching any nondeterminism in the engine itself.
+fn run_batch1024(effort: Effort, seed: u64, verify_serial: bool) {
+    let (out, wall, measure) = render_batch1024(effort, seed);
+    print!("{out}");
+    if verify_serial {
+        let (again, _, _) = render_batch1024(effort, seed);
+        if again != out {
+            eprintln!(
+                "[batch1024: DETERMINISM VIOLATION — re-run output differs \
+                 (digests {:#018x} vs {:#018x})]",
+                fnv1a(out.as_bytes()),
+                fnv1a(again.as_bytes())
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[batch1024: re-run is byte-identical]");
+    }
     eprintln!(
         "[batch1024 finished in {wall:.3}s — {:.0} slots/sec]",
         measure as f64 / wall.max(1e-12)
     );
 }
 
-/// `net1000`: the sharded ring-network scenario. Stdout carries only
-/// seed-deterministic values, so `--threads 1` and `--threads N` runs are
-/// byte-identical — the CI determinism smoke diffs them.
-fn run_net1000(effort: Effort, seed: u64, pool: &Pool) {
+/// Renders the `net1000` report for a given pool.
+fn render_net1000(effort: Effort, seed: u64, pool: &Pool) -> String {
     use an2_net::shard::{run_shard_net, ShardNetConfig};
 
     let mut cfg = ShardNetConfig::thousand();
     cfg.seed = task_seed(seed, "net1000");
     cfg.slots = effort.scale(2_000, 10_000);
+    format!("{}\n", run_shard_net(&cfg, pool))
+}
+
+/// `net1000`: the sharded ring-network scenario. Stdout carries only
+/// seed-deterministic values, so `--threads 1` and `--threads N` runs are
+/// byte-identical — the CI determinism smoke diffs them, and
+/// `--verify-serial` proves it in-process.
+fn run_net1000(effort: Effort, seed: u64, pool: &Pool, verify_serial: bool) {
     let started = std::time::Instant::now();
-    let report = run_shard_net(&cfg, pool);
-    println!("{report}");
+    let out = render_net1000(effort, seed, pool);
+    print!("{out}");
+    if verify_serial && pool.threads() > 1 {
+        let serial = render_net1000(effort, seed, &Pool::serial());
+        if serial != out {
+            eprintln!(
+                "[net1000: DETERMINISM VIOLATION — {}-thread output differs from serial \
+                 (digests {:#018x} vs {:#018x})]",
+                pool.threads(),
+                fnv1a(out.as_bytes()),
+                fnv1a(serial.as_bytes())
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[net1000: serial re-run is byte-identical]");
+    }
+    let slots = effort.scale(2_000, 10_000);
     eprintln!(
         "[net1000 finished in {:.3}s on {} threads — {:.0} switch-slots/sec]",
         started.elapsed().as_secs_f64(),
         pool.threads(),
-        cfg.switches as f64 * cfg.slots as f64 / started.elapsed().as_secs_f64().max(1e-12)
+        1000.0 * slots as f64 / started.elapsed().as_secs_f64().max(1e-12)
+    );
+}
+
+/// `chaos`: soak randomized fault campaigns through the wide-radix stack,
+/// record recovery SLOs to `results/CHAOS.json`, and (with `--check`)
+/// fail on any invariant violation, capturing a replayable case.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos(
+    effort: Effort,
+    seed: u64,
+    pool: &Pool,
+    scenarios: Option<usize>,
+    check: bool,
+    skew: usize,
+    verify_serial: bool,
+    out_dir: Option<&std::path::Path>,
+) {
+    let count = scenarios.unwrap_or(effort.scale(200, 1_000) as usize);
+    let root = task_seed(seed, "chaos");
+    let started = std::time::Instant::now();
+    let report = an2_bench::chaos::run(count, root, check, skew, pool);
+    let out = report.render();
+    print!("{out}");
+    if verify_serial && pool.threads() > 1 {
+        let serial = an2_bench::chaos::run(count, root, check, skew, &Pool::serial());
+        if serial.render() != out {
+            eprintln!(
+                "[chaos: DETERMINISM VIOLATION — {}-thread output differs from serial]",
+                pool.threads()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[chaos: serial re-run is byte-identical]");
+    }
+    let dir = out_dir.unwrap_or(std::path::Path::new("results"));
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let json_path = dir.join("CHAOS.json");
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        std::process::exit(1);
+    }
+    if let Some(fail) = report.first_failure() {
+        eprintln!(
+            "[chaos: INVARIANT VIOLATION in scenario {} ({} {}) — {}]",
+            fail.index,
+            fail.engine,
+            fail.pattern,
+            fail.violation.as_deref().unwrap_or("")
+        );
+        let case = report.replay_case().expect("failure implies a case");
+        let path = out_dir
+            .unwrap_or(std::path::Path::new("."))
+            .join("replay.json");
+        match std::fs::write(&path, case.to_json()) {
+            Ok(()) => eprintln!(
+                "[chaos: wrote {}; run `an2-repro replay {}` to reproduce and shrink]",
+                path.display(),
+                path.display()
+            ),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[chaos finished in {:.3}s on {} threads — {count} scenarios, 0 violations; wrote {}]",
+        started.elapsed().as_secs_f64(),
+        pool.threads(),
+        json_path.display()
     );
 }
 

@@ -14,6 +14,7 @@
 pub mod appendix_a;
 pub mod appendix_b;
 pub mod appendix_c;
+pub mod chaos;
 pub mod check;
 pub mod delay_curves;
 pub mod engine;

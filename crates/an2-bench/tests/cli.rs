@@ -30,6 +30,10 @@ fn help_lists_every_experiment() {
         "stat-fairness",
         "subframes",
         "bench-compare",
+        "batch1024",
+        "net1000",
+        "chaos",
+        "--scenarios",
         "--threads",
         "--verify-serial",
     ] {

@@ -79,6 +79,10 @@ impl Config {
                 // cold by design (amortized, off the steady-state path).
                 "crates/an2-sim/src/batch.rs",
                 "crates/an2-net/src/shard.rs",
+                // The PR 7 chaos engine: fault-plan delivery runs inside
+                // the faulted slot loops; the log's record paths are cold
+                // (they grow the forensic event list, not the slot loop).
+                "crates/an2-sim/src/fault.rs",
             ]
             .map(String::from)
             .to_vec(),

@@ -37,4 +37,7 @@ pub mod shard;
 pub use cbr::{simulate_cbr_chain, CbrChainConfig, CbrChainReport, CbrConfigError};
 pub use clock::{ClockPolicy, FrameClock};
 pub use netsim::{Network, ReserveFlowError, SwitchId, TopologyError};
-pub use shard::{run_shard_net, ShardNetConfig, ShardReport};
+pub use shard::{
+    run_shard_net, run_shard_net_faulted, ShardFaultReport, ShardNetConfig, ShardReport,
+    FAULT_WINDOW,
+};

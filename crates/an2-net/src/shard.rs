@@ -25,7 +25,8 @@
 //! `--threads 8` runs can be byte-compared.
 
 use an2_sched::rng::{SelectRng, Xoshiro256};
-use an2_sched::{Pim, RequestMatrix, Scheduler};
+use an2_sched::{Pim, PortMask, PortSet, RequestMatrix, Scheduler};
+use an2_sim::fault::{FaultEvent, FaultKind, FaultPlan, PortSide};
 use an2_sim::metrics::QuantileSketch;
 use an2_task::{task_seed, Pool};
 use std::fmt;
@@ -35,6 +36,16 @@ use std::fmt;
 /// the machine; correctness does not depend on it because switches are
 /// independent within a phase.
 const CHUNKS: usize = 64;
+
+/// Longest gap between ring-link re-reservation probes (slots). Backoff
+/// doubles from 1 up to this bound, so a switch whose outgoing link died
+/// probes the link within `MAX_BACKOFF` slots of it physically returning.
+const MAX_BACKOFF: u64 = 64;
+
+/// Slots per throughput-recovery window in faulted runs: delivered-cell
+/// counts are bucketed at this granularity so the chaos driver can find
+/// the slot where post-fault throughput regains its pre-fault baseline.
+pub const FAULT_WINDOW: u64 = 32;
 
 /// A growable FIFO of packed transit cells with power-of-two capacity;
 /// the per-pair VOQ storage of a shard switch. Same shape as the batch
@@ -176,6 +187,38 @@ struct SwitchShard {
     delivered: u64,
     delay_sum: u128,
     sketch: QuantileSketch,
+    // --- fault state (inert in fault-free runs) ---------------------
+    /// This switch's slice of the campaign's fault plan.
+    plan: FaultPlan,
+    /// Port health; failed ports are masked out of scheduling only.
+    mask: PortMask,
+    /// Scheduling is suspended while `slot < drift_until` (clock drift).
+    drift_until: u64,
+    /// Physical state of the outgoing ring link (LinkDown/LinkUp events).
+    link_up: bool,
+    /// A re-reservation backoff loop is running for the ring link.
+    reserving: bool,
+    /// Slot of the next re-reservation probe.
+    retry_at: u64,
+    /// Current probe gap; doubles per failure up to [`MAX_BACKOFF`].
+    backoff: u64,
+    /// Slot the current ring-link outage began (for recovery SLOs).
+    down_since: u64,
+    /// Cells lost at this switch (injected drops, corrupted CRCs, cells
+    /// in flight on a dying link).
+    dropped: u64,
+    /// Fault events applied here.
+    applied: u64,
+    /// Ring-link re-reservation probes sent / probes that failed.
+    res_attempts: u64,
+    res_failures: u64,
+    /// Completed ring-link recoveries, and their summed outage-to-
+    /// reservation latency in slots.
+    recoveries: u64,
+    recovery_slots: u64,
+    /// Delivered-cell counts per [`FAULT_WINDOW`]-slot bucket; empty in
+    /// fault-free runs (the faulted runner pre-sizes it).
+    windows: Vec<u32>,
 }
 
 impl SwitchShard {
@@ -200,6 +243,21 @@ impl SwitchShard {
             delivered: 0,
             delay_sum: 0,
             sketch: QuantileSketch::new(),
+            plan: FaultPlan::new(),
+            mask: PortMask::all(cfg.radix),
+            drift_until: 0,
+            link_up: true,
+            reserving: false,
+            retry_at: 0,
+            backoff: 1,
+            down_since: 0,
+            dropped: 0,
+            applied: 0,
+            res_attempts: 0,
+            res_failures: 0,
+            recoveries: 0,
+            recovery_slots: 0,
+            windows: Vec::new(),
         }
     }
 
@@ -225,16 +283,128 @@ impl SwitchShard {
     /// schedule the crossbar, deliver local cells and fill the outbox.
     // an2-lint: hot
     fn step(&mut self, slot: u64) {
+        let none = PortSet::new();
+        self.advance(slot, &none, &none, false);
+    }
+
+    /// Phase A under this switch's fault plan: applies due events (mask
+    /// changes, on-the-wire cell losses, clock drift), runs the bounded-
+    /// backoff re-reservation probe for a failed ring link, then the
+    /// ordinary inject/schedule/transmit sequence. With an empty plan the
+    /// slot is bit-identical to [`SwitchShard::step`] — the RNG draw order
+    /// never depends on fault state.
+    // an2-lint: hot
+    fn step_faulted(&mut self, slot: u64) {
+        let mut injected = PortSet::new();
+        let mut corrupted = PortSet::new();
+        let mut mask_changed = false;
+        // Move the plan out so event handling can borrow `self` freely.
+        let mut plan = std::mem::take(&mut self.plan);
+        for ev in plan.due(slot) {
+            match ev.kind {
+                FaultKind::LinkDown { output, .. } => {
+                    if output == 0 {
+                        // The outgoing ring link died: lose anything on
+                        // the wire and start the re-reservation loop.
+                        self.link_up = false;
+                        if self.outbox.take().is_some() {
+                            self.dropped += 1;
+                        }
+                        if !self.reserving {
+                            self.reserving = true;
+                            self.down_since = slot;
+                            self.backoff = 1;
+                            self.retry_at = slot + 1;
+                        }
+                    }
+                    mask_changed |= self.mask.fail_output(output);
+                }
+                FaultKind::LinkUp { output, .. } => {
+                    if output == 0 {
+                        // Physical repair only: the output stays masked
+                        // until a re-reservation probe succeeds.
+                        self.link_up = true;
+                    } else {
+                        mask_changed |= self.mask.recover_output(output);
+                    }
+                }
+                FaultKind::PortFail { side, port, .. } => {
+                    mask_changed |= match side {
+                        PortSide::Input => self.mask.fail_input(port),
+                        PortSide::Output => self.mask.fail_output(port),
+                    };
+                }
+                FaultKind::PortRecover { side, port, .. } => {
+                    mask_changed |= match side {
+                        PortSide::Input => self.mask.recover_input(port),
+                        PortSide::Output => self.mask.recover_output(port),
+                    };
+                }
+                FaultKind::CellDrop { input, .. } => {
+                    injected.insert(input);
+                }
+                FaultKind::CellCorrupt { input, .. } => {
+                    corrupted.insert(input);
+                }
+                FaultKind::ClockDrift { slots, .. } => {
+                    self.drift_until = self.drift_until.max(slot.saturating_add(slots));
+                }
+            }
+            self.applied += 1;
+        }
+        self.plan = plan;
+        // Bounded-backoff re-reservation: probe the dead ring link on the
+        // backoff schedule; once it is physically up a probe re-reserves
+        // the slot capacity and unmasks the output.
+        if self.reserving && slot >= self.retry_at {
+            self.res_attempts += 1;
+            if self.link_up {
+                self.reserving = false;
+                mask_changed |= self.mask.recover_output(0);
+                self.recoveries += 1;
+                self.recovery_slots += slot - self.down_since;
+            } else {
+                self.res_failures += 1;
+                self.backoff = (self.backoff * 2).min(MAX_BACKOFF);
+                self.retry_at = slot + self.backoff;
+            }
+        }
+        if mask_changed {
+            self.sched.set_port_mask(self.mask);
+        }
+        let skip_schedule = slot < self.drift_until;
+        self.advance(slot, &injected, &corrupted, skip_schedule);
+    }
+
+    /// The Phase A engine shared by [`SwitchShard::step`] (no faults) and
+    /// [`SwitchShard::step_faulted`]. RNG draws happen for every host
+    /// arrival whether or not a fault consumes it, so masking and drops
+    /// are draw-neutral.
+    // an2-lint: hot
+    fn advance(&mut self, slot: u64, injected: &PortSet, corrupted: &PortSet, skip_schedule: bool) {
         if let Some(cell) = self.inbox.take() {
-            self.enqueue_cell(0, cell);
+            if injected.contains(0) || corrupted.contains(0) {
+                // The cell in flight on the (dying or glitching) ring link
+                // is lost at the receiver.
+                self.dropped += 1;
+            } else {
+                self.enqueue_cell(0, cell);
+            }
         }
         for h in 1..self.radix {
             if self.rng.bernoulli(self.host_load) {
                 let d = (self.k + 1 + self.rng.index(self.span)) % self.switches;
                 let q = 1 + self.rng.index(self.radix - 1);
-                self.enqueue_cell(h, pack(d, q, slot));
                 self.injected += 1;
+                if injected.contains(h) || corrupted.contains(h) {
+                    self.dropped += 1;
+                } else {
+                    self.enqueue_cell(h, pack(d, q, slot));
+                }
             }
+        }
+        if skip_schedule {
+            return;
         }
         let matching = self.sched.schedule(&self.requests);
         for (i, j) in matching.pairs() {
@@ -252,6 +422,9 @@ impl SwitchShard {
                 self.delivered += 1;
                 self.delay_sum += d as u128;
                 self.sketch.record(d);
+                if !self.windows.is_empty() {
+                    self.windows[(slot / FAULT_WINDOW) as usize] += 1;
+                }
             }
         }
     }
@@ -407,6 +580,262 @@ pub fn run_shard_net(cfg: &ShardNetConfig, pool: &Pool) -> ShardReport {
     report
 }
 
+/// Aggregate result of a faulted sharded run; identical at any thread
+/// count for a given `(ShardNetConfig, FaultPlan)` pair.
+#[derive(Clone, Debug)]
+pub struct ShardFaultReport {
+    /// Slots simulated.
+    pub slots: u64,
+    /// Switches on the ring.
+    pub switches: usize,
+    /// Cells injected by hosts.
+    pub injected: u64,
+    /// Cells delivered to their destination host port.
+    pub delivered: u64,
+    /// Cells still queued or on a link at the end of the run.
+    pub in_flight: u64,
+    /// Cells lost to faults (injected drops, corrupted CRCs, cells caught
+    /// on a dying ring link).
+    pub dropped: u64,
+    /// Fault events applied across the network.
+    pub faults_applied: u64,
+    /// Ring-link re-reservation probes sent, and probes that found the
+    /// link still down.
+    pub res_attempts: u64,
+    /// Failed re-reservation probes (link still physically down).
+    pub res_failures: u64,
+    /// Completed ring-link recoveries.
+    pub recoveries: u64,
+    /// Summed outage-begin-to-reservation latency over all recoveries.
+    pub recovery_slots: u64,
+    /// Exact mean end-to-end delay of delivered cells, in slots.
+    pub mean_delay: f64,
+    /// End-to-end delay distribution of delivered cells.
+    pub delay: QuantileSketch,
+    /// Network-wide delivered-cell counts per [`FAULT_WINDOW`]-slot
+    /// bucket, for throughput-recovery SLOs.
+    pub windows: Vec<u64>,
+    /// FNV-1a digest over per-switch `(injected, delivered, in_flight,
+    /// dropped)` quadruples in switch-index order.
+    pub digest: u64,
+}
+
+impl ShardFaultReport {
+    /// Every injected cell is delivered, still in flight, or accounted as
+    /// a fault drop.
+    pub fn is_conserved(&self) -> bool {
+        self.injected == self.delivered + self.in_flight + self.dropped
+    }
+
+    /// Mean slots from ring-link outage to successful re-reservation.
+    pub fn mean_recovery_slots(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_slots as f64 / self.recoveries as f64
+        }
+    }
+}
+
+impl fmt::Display for ShardFaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "shard-net faulted: {} switches x {} slots",
+            self.switches, self.slots
+        )?;
+        writeln!(
+            f,
+            "  injected {}  delivered {}  in-flight {}  dropped {}",
+            self.injected, self.delivered, self.in_flight, self.dropped
+        )?;
+        writeln!(
+            f,
+            "  faults {}  probes {} ({} failed)  recoveries {}  mean-recovery {:.2}",
+            self.faults_applied,
+            self.res_attempts,
+            self.res_failures,
+            self.recoveries,
+            self.mean_recovery_slots()
+        )?;
+        writeln!(
+            f,
+            "  delay mean {:.4}  p50 {}  p99 {}  max {}",
+            self.mean_delay,
+            self.delay.quantile(0.50),
+            self.delay.quantile(0.99),
+            self.delay.max()
+        )?;
+        write!(f, "  digest {:#018x}", self.digest)
+    }
+}
+
+/// Splits a network-wide fault plan into per-switch plans.
+///
+/// A ring `LinkDown {..., output: 0}` is additionally mirrored as a
+/// synthetic `CellDrop { switch: successor, input: 0 }` at the same slot:
+/// the cell in flight on the dying link sits in the successor's inbox
+/// under the one-slot link-latency model, and only the successor can
+/// drop it without crossing shard boundaries during the parallel phase.
+fn split_plan(plan: &FaultPlan, switches: usize) -> Vec<Vec<FaultEvent>> {
+    let mut per_switch: Vec<Vec<FaultEvent>> = vec![Vec::new(); switches];
+    for ev in plan.events() {
+        let s = ev.kind.switch();
+        debug_assert!(s < switches, "fault event targets switch {s} of {switches}");
+        if s >= switches {
+            continue;
+        }
+        per_switch[s].push(*ev);
+        if let FaultKind::LinkDown { output: 0, .. } = ev.kind {
+            let succ = (s + 1) % switches;
+            per_switch[succ].push(FaultEvent {
+                slot: ev.slot,
+                kind: FaultKind::CellDrop {
+                    switch: succ,
+                    input: 0,
+                },
+            });
+        }
+    }
+    per_switch
+}
+
+/// Runs the configured ring network under `plan` on `pool` and returns
+/// the merged fault report. With an empty plan the per-switch dynamics
+/// are bit-identical to [`run_shard_net`].
+///
+/// # Panics
+///
+/// Panics if the configuration is out of range or if cell conservation
+/// (injected == delivered + in flight + dropped) is violated.
+pub fn run_shard_net_faulted(
+    cfg: &ShardNetConfig,
+    plan: &FaultPlan,
+    pool: &Pool,
+) -> ShardFaultReport {
+    cfg.validate();
+    let k = cfg.switches;
+    let mut plans = split_plan(plan, k);
+    let buckets = cfg.slots.div_ceil(FAULT_WINDOW).max(1) as usize;
+    let mut chunks: Vec<Vec<SwitchShard>> = Vec::new();
+    let chunk_len = k.div_ceil(CHUNKS.min(k));
+    let mut next = 0usize;
+    while next < k {
+        let end = (next + chunk_len).min(k);
+        chunks.push(
+            (next..end)
+                .map(|i| {
+                    let mut sw = SwitchShard::new(cfg, i);
+                    sw.plan = FaultPlan::from_events(std::mem::take(&mut plans[i]));
+                    sw.windows = vec![0u32; buckets];
+                    sw
+                })
+                .collect(),
+        );
+        next = end;
+    }
+    let locate = |i: usize| (i / chunk_len, i % chunk_len);
+
+    for slot in 0..cfg.slots {
+        // Phase A: independent per-switch faulted work.
+        chunks = pool.map(std::mem::take(&mut chunks), |_, mut chunk| {
+            for sw in &mut chunk {
+                sw.step_faulted(slot);
+            }
+            chunk
+        });
+        // Phase B: serial merge in switch-index order. A sender whose
+        // ring link is physically down loses the cell (defensive: the
+        // mask normally prevents the outbox from filling while down).
+        for i in 0..k {
+            let (c, o) = locate(i);
+            let Some(cell) = chunks[c][o].outbox.take() else {
+                continue;
+            };
+            if !chunks[c][o].link_up {
+                chunks[c][o].dropped += 1;
+                continue;
+            }
+            let (nc, no) = locate((i + 1) % k);
+            debug_assert!(chunks[nc][no].inbox.is_none());
+            chunks[nc][no].inbox = Some(cell);
+        }
+    }
+
+    // Deterministic reduction in switch-index order.
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    let mut in_flight = 0u64;
+    let mut dropped = 0u64;
+    let mut faults_applied = 0u64;
+    let mut res_attempts = 0u64;
+    let mut res_failures = 0u64;
+    let mut recoveries = 0u64;
+    let mut recovery_slots = 0u64;
+    let mut delay_sum = 0u128;
+    let mut delay = QuantileSketch::new();
+    let mut windows = vec![0u64; buckets];
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let fold = |d: &mut u64, v: u64| {
+        for b in v.to_le_bytes() {
+            *d ^= b as u64;
+            *d = d.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    };
+    for i in 0..k {
+        let (c, o) = locate(i);
+        let sw = &chunks[c][o];
+        injected += sw.injected;
+        delivered += sw.delivered;
+        in_flight += sw.in_flight();
+        dropped += sw.dropped;
+        faults_applied += sw.applied;
+        res_attempts += sw.res_attempts;
+        res_failures += sw.res_failures;
+        recoveries += sw.recoveries;
+        recovery_slots += sw.recovery_slots;
+        delay_sum += sw.delay_sum;
+        delay.merge(&sw.sketch);
+        for (w, &v) in windows.iter_mut().zip(sw.windows.iter()) {
+            *w += v as u64;
+        }
+        fold(&mut digest, sw.injected);
+        fold(&mut digest, sw.delivered);
+        fold(&mut digest, sw.in_flight());
+        fold(&mut digest, sw.dropped);
+    }
+    let report = ShardFaultReport {
+        slots: cfg.slots,
+        switches: k,
+        injected,
+        delivered,
+        in_flight,
+        dropped,
+        faults_applied,
+        res_attempts,
+        res_failures,
+        recoveries,
+        recovery_slots,
+        mean_delay: if delivered == 0 {
+            0.0
+        } else {
+            delay_sum as f64 / delivered as f64
+        },
+        delay,
+        windows,
+        digest,
+    };
+    assert!(
+        report.is_conserved(),
+        "cell conservation violated under faults: {} injected, {} delivered, {} in flight, {} dropped",
+        report.injected,
+        report.delivered,
+        report.in_flight,
+        report.dropped
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,5 +903,124 @@ mod tests {
         let mut cfg = small();
         cfg.switches = 1;
         run_shard_net(&cfg, &Pool::serial());
+    }
+
+    #[test]
+    fn empty_plan_matches_the_fault_free_run() {
+        let cfg = small();
+        let base = run_shard_net(&cfg, &Pool::serial());
+        let faulted = run_shard_net_faulted(&cfg, &FaultPlan::new(), &Pool::serial());
+        assert_eq!(base.injected, faulted.injected);
+        assert_eq!(base.delivered, faulted.delivered);
+        assert_eq!(base.in_flight, faulted.in_flight);
+        assert_eq!(faulted.dropped, 0);
+        assert_eq!(faulted.faults_applied, 0);
+        assert_eq!(base.mean_delay, faulted.mean_delay);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(base.delay.quantile(q), faulted.delay.quantile(q));
+        }
+        assert_eq!(
+            faulted.windows.iter().sum::<u64>(),
+            faulted.delivered,
+            "window buckets must sum to the delivered total"
+        );
+    }
+
+    fn burst_plan() -> FaultPlan {
+        FaultPlan::from_events(vec![
+            FaultEvent {
+                slot: 50,
+                kind: FaultKind::LinkDown { switch: 5, output: 0 },
+            },
+            FaultEvent {
+                slot: 90,
+                kind: FaultKind::LinkUp { switch: 5, output: 0 },
+            },
+            FaultEvent {
+                slot: 60,
+                kind: FaultKind::PortFail {
+                    switch: 11,
+                    side: PortSide::Input,
+                    port: 3,
+                },
+            },
+            FaultEvent {
+                slot: 120,
+                kind: FaultKind::PortRecover {
+                    switch: 11,
+                    side: PortSide::Input,
+                    port: 3,
+                },
+            },
+            FaultEvent {
+                slot: 70,
+                kind: FaultKind::CellDrop { switch: 2, input: 4 },
+            },
+            FaultEvent {
+                slot: 75,
+                kind: FaultKind::ClockDrift { switch: 9, slots: 8 },
+            },
+        ])
+    }
+
+    #[test]
+    fn faulted_run_is_thread_count_independent() {
+        let cfg = small();
+        let plan = burst_plan();
+        let a = run_shard_net_faulted(&cfg, &plan, &Pool::serial());
+        let b = run_shard_net_faulted(&cfg, &plan, &Pool::new(4));
+        let c = run_shard_net_faulted(&cfg, &plan, &Pool::new(3));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.digest, c.digest);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.to_string(), c.to_string());
+    }
+
+    #[test]
+    fn ring_link_outage_recovers_with_bounded_backoff() {
+        let cfg = small();
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                slot: 100,
+                kind: FaultKind::LinkDown { switch: 7, output: 0 },
+            },
+            FaultEvent {
+                slot: 140,
+                kind: FaultKind::LinkUp { switch: 7, output: 0 },
+            },
+        ]);
+        let r = run_shard_net_faulted(&cfg, &plan, &Pool::serial());
+        assert!(r.is_conserved());
+        assert_eq!(r.recoveries, 1, "one outage, one recovery");
+        // The outage lasted 40 slots; backoff doubles 1,2,4,... so the
+        // reservation lands within MAX_BACKOFF slots of the repair.
+        assert!(r.recovery_slots >= 40, "recovered before the link came back");
+        assert!(
+            r.recovery_slots < 140 - 100 + MAX_BACKOFF,
+            "recovery {} slots exceeds the backoff bound",
+            r.recovery_slots
+        );
+        assert!(r.res_attempts > r.recoveries, "probes should precede recovery");
+        assert!(r.delivered > 0);
+        // applied = 2 scripted events + 1 synthetic in-flight drop probe.
+        assert_eq!(r.faults_applied, 3);
+    }
+
+    #[test]
+    fn faulted_drops_are_charged_to_the_ledger() {
+        let mut cfg = small();
+        cfg.host_load = 0.2; // busy enough that drops actually strike
+        let mut events = Vec::new();
+        for slot in 100..140 {
+            events.push(FaultEvent {
+                slot,
+                kind: FaultKind::CellDrop { switch: 3, input: 2 },
+            });
+        }
+        let plan = FaultPlan::from_events(events);
+        let r = run_shard_net_faulted(&cfg, &plan, &Pool::serial());
+        assert!(r.is_conserved());
+        assert!(r.dropped > 0, "forty drop slots at 20% load must hit");
+        assert_eq!(r.faults_applied, 40);
     }
 }

@@ -21,9 +21,10 @@
 //! `an2-repro --check`). In a plain release build [`checking_enabled`]
 //! is a compile-time `false` and the entire verify body folds away.
 
-use crate::matching::Matching;
-use crate::requests::RequestMatrix;
-use crate::scheduler::{PortMask, Scheduler};
+use crate::matching::MatchingN;
+use crate::port::PortSetN;
+use crate::requests::RequestMatrixN;
+use crate::scheduler::{PortMaskN, Scheduler};
 use std::fmt;
 
 /// Whether invariant checking is compiled into this build.
@@ -79,12 +80,16 @@ pub enum Expectation {
 ///   `mask`'s healthy ports when a mask is installed.
 ///
 /// Pure reads only: no RNG, no allocation beyond `out` growth on failure.
-pub fn matching_violations(
+///
+/// Generic over the bitset width `W` so the same derivation covers the
+/// narrow (`W = 4`, up to 256 ports) and wide (`W = 16`, up to 1024
+/// ports) scheduler kernels; width is inferred from the arguments.
+pub fn matching_violations<const W: usize>(
     slot: u64,
-    requests: &RequestMatrix,
-    matching: &Matching,
+    requests: &RequestMatrixN<W>,
+    matching: &MatchingN<W>,
     expect: Expectation,
-    mask: Option<&PortMask>,
+    mask: Option<&PortMaskN<W>>,
     out: &mut Vec<Violation>,
 ) {
     let n = matching.n();
@@ -101,8 +106,8 @@ pub fn matching_violations(
     }
 
     // -- permutation: re-derive both directions from the pair list ------
-    let mut seen_inputs = crate::PortSet::new();
-    let mut seen_outputs = crate::PortSet::new();
+    let mut seen_inputs = PortSetN::<W>::new();
+    let mut seen_outputs = PortSetN::<W>::new();
     let mut pair_count = 0usize;
     for (i, j) in matching.pairs() {
         pair_count += 1;
@@ -217,16 +222,16 @@ pub fn matching_violations(
 /// }
 /// ```
 #[derive(Debug)]
-pub struct CheckedScheduler<S> {
+pub struct CheckedScheduler<S, const W: usize = 4> {
     inner: S,
     expect: Expectation,
-    mask: Option<PortMask>,
+    mask: Option<PortMaskN<W>>,
     slot: u64,
     checks_run: u64,
     violations: Vec<Violation>,
 }
 
-impl<S: Scheduler> CheckedScheduler<S> {
+impl<const W: usize, S: Scheduler<W>> CheckedScheduler<S, W> {
     /// Wraps `inner`, expecting legal (but not necessarily maximal)
     /// matchings — the right setting for any fixed-iteration scheduler.
     pub fn new(inner: S) -> Self {
@@ -288,8 +293,8 @@ impl<S: Scheduler> CheckedScheduler<S> {
     }
 }
 
-impl<S: Scheduler> Scheduler for CheckedScheduler<S> {
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+impl<const W: usize, S: Scheduler<W>> Scheduler<W> for CheckedScheduler<S, W> {
+    fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         let matching = self.inner.schedule(requests);
         if checking_enabled() {
             self.checks_run += 1;
@@ -311,7 +316,7 @@ impl<S: Scheduler> Scheduler for CheckedScheduler<S> {
         self.inner.name()
     }
 
-    fn set_port_mask(&mut self, mask: PortMask) {
+    fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         self.mask = Some(mask);
         self.inner.set_port_mask(mask);
     }
@@ -322,6 +327,7 @@ mod tests {
     use super::*;
     use crate::pim::{AcceptPolicy, IterationLimit, Pim};
     use crate::rng::Xoshiro256;
+    use crate::{Matching, PortMask, RequestMatrix};
 
     #[test]
     fn clean_scheduler_records_nothing() {

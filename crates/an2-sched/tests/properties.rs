@@ -296,6 +296,57 @@ proptest! {
         }
     }
 
+    /// Degraded scheduling at the wide radices (W = 16, N up to 1024):
+    /// the masked wide PIM kernel must never match a failed port, must
+    /// stay legal, and must remain maximal over the unmasked sub-switch —
+    /// the same contract the narrow kernel pins below, proven on the
+    /// chaos engine's operating sizes.
+    #[test]
+    fn masked_wide_pim_is_maximal_over_unmasked_ports(
+        n in prop_oneof![Just(64usize), Just(256), Just(1024)],
+        edges in proptest::collection::vec((0usize..1024, 0usize..1024), 1..160),
+        seed in any::<u64>(),
+        fails in proptest::collection::btree_set((0usize..1024, proptest::bool::ANY), 0..12),
+    ) {
+        use an2_sched::{WidePim, WidePortMask, WideRequestMatrix};
+        let mut reqs = WideRequestMatrix::new(n);
+        for &(i, j) in edges.iter().filter(|&&(i, j)| i < n && j < n) {
+            reqs.set(InputPort::new(i), OutputPort::new(j));
+        }
+        let mut mask = WidePortMask::all(n);
+        let mut fail_in = BTreeSet::new();
+        let mut fail_out = BTreeSet::new();
+        for &(p, input_side) in fails.iter().filter(|&&(p, _)| p < n) {
+            if input_side {
+                mask.fail_input(p);
+                fail_in.insert(p);
+            } else {
+                mask.fail_output(p);
+                fail_out.insert(p);
+            }
+        }
+        let mut pim =
+            WidePim::with_options(n, seed, IterationLimit::ToCompletion, AcceptPolicy::Random);
+        pim.set_port_mask(mask);
+        let m = pim.schedule(&reqs);
+        prop_assert!(m.respects(&reqs));
+        for (i, j) in m.pairs() {
+            prop_assert!(!fail_in.contains(&i.index()), "matched failed wide input {i}");
+            prop_assert!(!fail_out.contains(&j.index()), "matched failed wide output {j}");
+        }
+        // The healthy sub-switch: requests between active ports only.
+        let mut healthy = WideRequestMatrix::new(n);
+        for &(i, j) in edges.iter().filter(|&&(i, j)| i < n && j < n) {
+            if !fail_in.contains(&i) && !fail_out.contains(&j) {
+                healthy.set(InputPort::new(i), OutputPort::new(j));
+            }
+        }
+        prop_assert!(m.is_maximal(&healthy));
+        let max = hopcroft_karp(&healthy);
+        prop_assert!(2 * m.len() >= max.len(),
+            "masked wide maximal {} fell below half the maximum {}", m.len(), max.len());
+    }
+
     /// Degraded scheduling: with ports masked out, PIM must never match a
     /// failed port, must stay legal, and must still find a maximal matching
     /// of the healthy sub-switch — hence at least half the maximum (§3.4's

@@ -39,6 +39,7 @@
 //! histogram would grow unboundedly).
 
 use crate::cell::{Arrival, FlowId};
+use crate::fault::{DropCause, FaultKind, FaultLog, FaultPlan, PortSide};
 use crate::metrics::{DelayStats, QuantileSketch, SwitchReport};
 use crate::model::SwitchModel;
 use an2_sched::{PortMaskN, PortSetN, RequestMatrixN, Scheduler};
@@ -70,6 +71,9 @@ struct PairQueue {
     len: u32,
     /// Ring head index; meaningful only once spilled.
     head: u32,
+    /// Cells of this pair lost to injected faults over the engine's whole
+    /// lifetime (never reset: the drop ledger spans measurement windows).
+    dropped: u32,
     /// Departures from this pair in the measurement window.
     count: u64,
     /// Spilled ring storage; empty means unspilled, else a power of two.
@@ -176,6 +180,17 @@ pub struct BatchCrossbar<S, const W: usize = 4> {
     delay: DelayStats,
     sketch: QuantileSketch,
     peak_occupancy: usize,
+    /// Port health as seen by [`BatchCrossbar::step_faulted`]; failed
+    /// ports keep buffering arrivals but are masked out of scheduling.
+    mask: PortMaskN<W>,
+    /// Scheduling is suspended while `slot < drift_until` (clock drift).
+    drift_until: u64,
+    /// Lifetime cells admitted to a pair queue (never reset).
+    admitted_total: u64,
+    /// Lifetime cells transmitted (never reset).
+    departed_total: u64,
+    /// Lifetime cells consumed by injected faults before admission.
+    dropped: u64,
 }
 
 impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
@@ -211,13 +226,95 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
             delay: DelayStats::new(),
             sketch: QuantileSketch::new(),
             peak_occupancy: 0,
+            mask: PortMaskN::all(n),
+            drift_until: 0,
+            admitted_total: 0,
+            departed_total: 0,
+            dropped: 0,
         }
     }
 
     /// Installs a port health mask on the underlying scheduler.
     pub fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         assert_eq!(mask.n(), self.n, "mask size mismatch");
+        self.mask = mask;
         self.scheduler.set_port_mask(mask);
+    }
+
+    /// The current port health mask (mutated by [`BatchCrossbar::step_faulted`]).
+    pub fn port_mask(&self) -> PortMaskN<W> {
+        self.mask
+    }
+
+    /// The wrapped scheduler (e.g. to read a `CheckedScheduler`'s
+    /// violation list after a chaos campaign).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Lifetime cells consumed by injected faults before admission.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Lifetime cells offered to the switch: admitted plus fault-dropped.
+    pub fn offered(&self) -> u64 {
+        self.admitted_total + self.dropped
+    }
+
+    /// Lifetime cells admitted into the VOQs (offered minus fault drops).
+    pub fn admitted(&self) -> u64 {
+        self.admitted_total
+    }
+
+    /// Lifetime cells transmitted through the crossbar — the cheap counter
+    /// chaos drivers difference per slot for windowed throughput.
+    pub fn departed(&self) -> u64 {
+        self.departed_total
+    }
+
+    /// Lifetime fault drops charged to pair `(i, j)`.
+    pub fn pair_drops(&self, i: usize, j: usize) -> u64 {
+        assert!(i < self.n && j < self.n, "pair ({i},{j}) out of range");
+        u64::from(self.pairs[i * self.n + j].dropped)
+    }
+
+    /// The O(1) conservation ledger: every cell ever offered to the switch
+    /// is admitted or fault-dropped, and every admitted cell has departed
+    /// or is still queued. Holds after every slot, faulted or not.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the imbalance when the ledger is violated.
+    pub fn verify_conservation(&self) -> Result<(), String> {
+        let expect = self.departed_total + self.queued as u64;
+        if self.admitted_total != expect {
+            return Err(format!(
+                "conservation violated: {} admitted != {} departed + {} queued",
+                self.admitted_total, self.departed_total, self.queued
+            ));
+        }
+        Ok(())
+    }
+
+    /// The O(n^2) half of the drop ledger: the per-pair drop counters must
+    /// sum to the engine total. Intended for end-of-run audits, not the
+    /// slot loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the imbalance when a per-pair counter and
+    /// the total disagree.
+    pub fn verify_drop_ledger(&self) -> Result<(), String> {
+        let per_pair: u64 = self.pairs.iter().map(|q| u64::from(q.dropped)).sum();
+        if per_pair != self.dropped {
+            return Err(format!(
+                "drop ledger violated: per-pair drops sum to {per_pair} \
+                 but the engine counted {}",
+                self.dropped
+            ));
+        }
+        Ok(())
     }
 
     /// The streaming quantile sketch over measured delays (same samples as
@@ -236,6 +333,84 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
     /// an arrival's flow id is not `FlowId::for_pair` for its pair.
     // an2-lint: hot
     pub fn step_slot(&mut self, arrivals: &[Arrival]) {
+        let none = PortSetN::<W>::new();
+        self.advance(arrivals, &none, &none, false, None);
+    }
+
+    /// Advances one slot under a fault plan: applies the plan's events due
+    /// this slot (masking ports, losing arrivals, suspending scheduling
+    /// during clock drift), then runs the ordinary arrival/schedule/
+    /// transmit sequence, recording every applied fault and lost cell in
+    /// `log`.
+    ///
+    /// Same semantics as the scalar
+    /// [`CrossbarSwitch::step_faulted`](crate::switch::CrossbarSwitch::step_faulted):
+    /// the `switch` tag on events is ignored (build per-switch plans when
+    /// driving several switches), failed ports keep *buffering* arrivals —
+    /// the mask only gates scheduling — and with an empty plan the slot is
+    /// bit-identical to [`BatchCrossbar::step_slot`] (pinned by
+    /// `tests/batch_faults.rs` at N ∈ {64, 256, 1024}).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the usual arrival violations, or if an event names a port
+    /// outside the switch.
+    // an2-lint: hot
+    pub fn step_faulted(&mut self, arrivals: &[Arrival], plan: &mut FaultPlan, log: &mut FaultLog) {
+        let slot = self.slot;
+        let mut injected = PortSetN::<W>::new();
+        let mut corrupted = PortSetN::<W>::new();
+        let mut mask_changed = false;
+        for ev in plan.due(slot) {
+            match ev.kind {
+                FaultKind::LinkDown { output, .. } => {
+                    mask_changed |= self.mask.fail_output(output);
+                }
+                FaultKind::LinkUp { output, .. } => {
+                    mask_changed |= self.mask.recover_output(output);
+                }
+                FaultKind::PortFail { side, port, .. } => {
+                    mask_changed |= match side {
+                        PortSide::Input => self.mask.fail_input(port),
+                        PortSide::Output => self.mask.fail_output(port),
+                    };
+                }
+                FaultKind::PortRecover { side, port, .. } => {
+                    mask_changed |= match side {
+                        PortSide::Input => self.mask.recover_input(port),
+                        PortSide::Output => self.mask.recover_output(port),
+                    };
+                }
+                FaultKind::CellDrop { input, .. } => {
+                    injected.insert(input);
+                }
+                FaultKind::CellCorrupt { input, .. } => {
+                    corrupted.insert(input);
+                }
+                FaultKind::ClockDrift { slots, .. } => {
+                    self.drift_until = self.drift_until.max(slot.saturating_add(slots));
+                }
+            }
+            log.record_applied(*ev);
+        }
+        if mask_changed {
+            self.scheduler.set_port_mask(self.mask);
+        }
+        let skip_schedule = slot < self.drift_until;
+        self.advance(arrivals, &injected, &corrupted, skip_schedule, Some(log));
+    }
+
+    /// The per-slot engine shared by [`BatchCrossbar::step_slot`] (no
+    /// faults) and [`BatchCrossbar::step_faulted`].
+    // an2-lint: hot
+    fn advance(
+        &mut self,
+        arrivals: &[Arrival],
+        injected: &PortSetN<W>,
+        corrupted: &PortSetN<W>,
+        skip_schedule: bool,
+        mut log: Option<&mut FaultLog>,
+    ) {
         let slot = self.slot;
         assert!(slot < u32::MAX as u64, "batch engine caps runs at 2^32 slots");
         let n = self.n;
@@ -273,6 +448,25 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
                 a.output
             );
             let p = i * n + j;
+            // A scripted fault consumes the arrival on the wire: charged to
+            // the drop ledger instead of the pair FIFO. Failed ports still
+            // buffer (the mask only gates scheduling), matching the scalar
+            // engine's semantics.
+            let lost = if injected.contains(i) {
+                Some(DropCause::Injected)
+            } else if corrupted.contains(i) {
+                Some(DropCause::Corrupted)
+            } else {
+                None
+            };
+            if let Some(cause) = lost {
+                self.pairs[p].dropped += 1;
+                self.dropped += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.record_drop(slot, 0, i, a.flow.0, cause);
+                }
+                continue;
+            }
             let q = &mut self.pairs[p];
             if q.len == 0 {
                 self.requests.set(a.input, a.output);
@@ -280,6 +474,13 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
             q.enqueue(slot as u32);
             self.queued += 1;
             self.arrivals += 1;
+            self.admitted_total += 1;
+        }
+        if skip_schedule {
+            // Clock drift: the crossbar cannot schedule; queues only grow.
+            self.peak_occupancy = self.peak_occupancy.max(self.queued);
+            self.slot += 1;
+            return;
         }
         let matching = self.scheduler.schedule(&self.requests);
         debug_assert!(
@@ -303,6 +504,7 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
             }
             self.queued -= 1;
             self.departures += 1;
+            self.departed_total += 1;
             self.per_output[j.index()] += 1;
             if at >= self.measure_start {
                 let d = slot - at;

@@ -1,0 +1,395 @@
+//! Generative chaos scenarios for the wide-radix engines.
+//!
+//! PR 2's fault layer is scripted: each experiment hand-writes a
+//! [`FaultPlan`]. A chaos campaign needs the opposite — thousands of
+//! *sampled* fault scenarios, each reproducible from a single derived
+//! seed, spanning the failure shapes the AN2 fabric must survive (§2's
+//! link failures and clock drift, §5's reservation recovery). This module
+//! is the scenario grammar: [`ChaosScenario::generate`] maps `(seed,
+//! index)` to a fully specified campaign — an engine (a wide
+//! [`BatchCrossbar`](crate::batch::BatchCrossbar) or a sharded ring
+//! network), a load point, a slot budget and a fault plan drawn from one
+//! of five patterns:
+//!
+//! * **burst** — several ports fail in the same slot and recover
+//!   together; models a line-card power event (Tiny Tera's 32-port
+//!   building block failing as a unit).
+//! * **flapping** — one link toggles down/up with a fixed period; the
+//!   scheduler's mask churns and must stay RNG-draw-neutral.
+//! * **correlated-group** — a contiguous port group fails for a window
+//!   while cell drops strike inside it; models a shared-component fault.
+//! * **recovery-window** — a single outage bracketed by clean slots on
+//!   both sides; the calibration pattern for slots-to-recover SLOs.
+//! * **soup** — [`FaultPlan::random`]'s unstructured mix, including
+//!   clock-drift excursions.
+//!
+//! Every pattern leaves the final quarter of the run fault-free (all
+//! recoveries land before `recovery_deadline`), so post-recovery
+//! throughput is always measurable. Generation draws from a private
+//! xoshiro stream seeded by the caller (derived via `task_seed` in the
+//! chaos driver), so scenario `i` is the same bytes at any thread count.
+
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, PortSide, RandomFaultConfig};
+use an2_sched::rng::{SelectRng, Xoshiro256};
+
+/// Which engine a scenario drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEngine {
+    /// A single wide-radix batch crossbar with `n` ports (scheduler width
+    /// `W = 16`, so `n` may reach 1024).
+    Batch {
+        /// Switch radix.
+        n: usize,
+    },
+    /// A sharded ring network of `switches` crossbars, `radix` ports each
+    /// (port 0 is the ring link).
+    ShardNet {
+        /// Switches on the ring.
+        switches: usize,
+        /// Ports per switch.
+        radix: usize,
+    },
+}
+
+/// One sampled fault campaign, reproducible from `(seed, index)`.
+#[derive(Clone, Debug)]
+pub struct ChaosScenario {
+    /// Position in the campaign (stable across thread counts).
+    pub index: usize,
+    /// The derived seed this scenario was generated from; also seeds the
+    /// engine's traffic and scheduler streams.
+    pub seed: u64,
+    /// Scenario grammar pattern ("burst", "flapping", "correlated-group",
+    /// "recovery-window", "soup").
+    pub pattern: &'static str,
+    /// Engine under test.
+    pub engine: ChaosEngine,
+    /// Per-input (batch) or per-host-port (shard) Bernoulli load.
+    pub load: f64,
+    /// Slots to run.
+    pub slots: u64,
+    /// The sampled fault schedule.
+    pub plan: FaultPlan,
+}
+
+impl ChaosScenario {
+    /// Samples scenario `index` from `seed`.
+    ///
+    /// The caller derives `seed` per scenario (`task_seed(root,
+    /// "chaos{index}")` in the driver) so campaigns are embarrassingly
+    /// parallel: scenario generation never shares a random stream.
+    pub fn generate(seed: u64, index: usize) -> Self {
+        let mut rng = Xoshiro256::seed_from(seed);
+        // Slot budget first: every pattern scales its windows off it.
+        let slots = 256 + rng.next_u64() % 257; // 256..=512
+        let engine = if rng.index(8) == 0 {
+            ChaosEngine::ShardNet {
+                switches: [8, 16, 32][rng.index(3)],
+                radix: 8,
+            }
+        } else {
+            // N=1024 appears with weight 2/8: heavy enough to soak the
+            // wide kernels every few scenarios, light enough that a
+            // thousand-scenario campaign stays minutes-scale.
+            ChaosEngine::Batch {
+                n: [64, 64, 64, 256, 256, 256, 1024, 1024][rng.index(8)],
+            }
+        };
+        let load = match engine {
+            ChaosEngine::Batch { .. } => 0.05 + rng.uniform_f64() * 0.25,
+            ChaosEngine::ShardNet { .. } => 0.005 + rng.uniform_f64() * 0.02,
+        };
+        let (pattern, plan) = sample_plan(&mut rng, engine, slots);
+        Self {
+            index,
+            seed,
+            pattern,
+            engine,
+            load,
+            slots,
+            plan,
+        }
+    }
+
+    /// Last slot by which every scripted recovery has landed: the final
+    /// quarter of the run past this point is guaranteed fault-free.
+    pub fn recovery_deadline(&self) -> u64 {
+        recovery_deadline(self.slots)
+    }
+
+    /// Slot of the first scripted fault, if any.
+    pub fn first_fault_slot(&self) -> Option<u64> {
+        self.plan.events().first().map(|e| e.slot)
+    }
+
+    /// Slot of the last scripted event (fault or recovery), if any.
+    pub fn last_event_slot(&self) -> Option<u64> {
+        self.plan.events().last().map(|e| e.slot)
+    }
+}
+
+/// Slot by which all recoveries must land: three quarters of the run.
+fn recovery_deadline(slots: u64) -> u64 {
+    slots - slots / 4
+}
+
+/// Ports (batch) or switches (shard) the pattern generators target, plus
+/// the per-target event emitters, differ by engine; this captures both.
+fn sample_plan(
+    rng: &mut Xoshiro256,
+    engine: ChaosEngine,
+    slots: u64,
+) -> (&'static str, FaultPlan) {
+    match rng.index(5) {
+        0 => ("burst", burst(rng, engine, slots)),
+        1 => ("flapping", flapping(rng, engine, slots)),
+        2 => ("correlated-group", correlated_group(rng, engine, slots)),
+        3 => ("recovery-window", recovery_window(rng, engine, slots)),
+        _ => ("soup", soup(rng, engine, slots)),
+    }
+}
+
+/// Number of distinct fault targets an engine offers: ports of the batch
+/// switch, or switches of the ring (each failing via its ring link).
+fn target_count(engine: ChaosEngine) -> usize {
+    match engine {
+        ChaosEngine::Batch { n } => n,
+        ChaosEngine::ShardNet { switches, .. } => switches,
+    }
+}
+
+/// Emits a paired outage for target `t`: a batch port fails (alternating
+/// link/input flavours by parity so both mask sides are exercised), or a
+/// ring switch loses its outgoing link.
+fn emit_outage(events: &mut Vec<FaultEvent>, engine: ChaosEngine, t: usize, down: u64, up: u64) {
+    match engine {
+        ChaosEngine::Batch { .. } => {
+            if t.is_multiple_of(2) {
+                events.push(FaultEvent {
+                    slot: down,
+                    kind: FaultKind::LinkDown { switch: 0, output: t },
+                });
+                events.push(FaultEvent {
+                    slot: up,
+                    kind: FaultKind::LinkUp { switch: 0, output: t },
+                });
+            } else {
+                events.push(FaultEvent {
+                    slot: down,
+                    kind: FaultKind::PortFail {
+                        switch: 0,
+                        side: PortSide::Input,
+                        port: t,
+                    },
+                });
+                events.push(FaultEvent {
+                    slot: up,
+                    kind: FaultKind::PortRecover {
+                        switch: 0,
+                        side: PortSide::Input,
+                        port: t,
+                    },
+                });
+            }
+        }
+        ChaosEngine::ShardNet { .. } => {
+            events.push(FaultEvent {
+                slot: down,
+                kind: FaultKind::LinkDown { switch: t, output: 0 },
+            });
+            events.push(FaultEvent {
+                slot: up,
+                kind: FaultKind::LinkUp { switch: t, output: 0 },
+            });
+        }
+    }
+}
+
+/// A cell-drop event at a random input of the engine.
+fn emit_drop(rng: &mut Xoshiro256, engine: ChaosEngine, slot: u64) -> FaultEvent {
+    let (switch, input) = match engine {
+        ChaosEngine::Batch { n } => (0, rng.index(n)),
+        ChaosEngine::ShardNet { switches, radix } => (rng.index(switches), rng.index(radix)),
+    };
+    let kind = if rng.bernoulli(0.5) {
+        FaultKind::CellDrop { switch, input }
+    } else {
+        FaultKind::CellCorrupt { switch, input }
+    };
+    FaultEvent { slot, kind }
+}
+
+/// Several targets fail in one slot and recover together.
+fn burst(rng: &mut Xoshiro256, engine: ChaosEngine, slots: u64) -> FaultPlan {
+    let targets = target_count(engine);
+    let deadline = recovery_deadline(slots);
+    let width = 8 + rng.next_u64() % 56; // outage of 8..=63 slots
+    let down = 32 + rng.next_u64() % (deadline - width - 32);
+    let k = 2 + rng.index((targets / 8).max(2));
+    let mut events = Vec::new();
+    let mut hit = vec![false; targets];
+    for _ in 0..k {
+        let t = rng.index(targets);
+        if std::mem::replace(&mut hit[t], true) {
+            continue; // duplicate draw: fewer failures, never a re-fail
+        }
+        emit_outage(&mut events, engine, t, down, down + width);
+    }
+    FaultPlan::from_events(events)
+}
+
+/// One target toggles down/up with a fixed period.
+fn flapping(rng: &mut Xoshiro256, engine: ChaosEngine, slots: u64) -> FaultPlan {
+    let deadline = recovery_deadline(slots);
+    let t = rng.index(target_count(engine));
+    let period = 4 + rng.next_u64() % 13; // 4..=16 slots down, then up
+    let cycles = 2 + rng.next_u64() % 5; // 2..=6 down/up pairs
+    let start = 32 + rng.next_u64() % (deadline - 32 - 2 * period * cycles);
+    let mut events = Vec::new();
+    for c in 0..cycles {
+        let down = start + 2 * c * period;
+        emit_outage(&mut events, engine, t, down, down + period);
+    }
+    FaultPlan::from_events(events)
+}
+
+/// A contiguous run of targets fails for one window, with cell drops
+/// striking inside the outage.
+fn correlated_group(rng: &mut Xoshiro256, engine: ChaosEngine, slots: u64) -> FaultPlan {
+    let targets = target_count(engine);
+    let deadline = recovery_deadline(slots);
+    let width = 16 + rng.next_u64() % 48; // 16..=63 slots
+    let down = 32 + rng.next_u64() % (deadline - width - 32);
+    let group = (2 + rng.index(15)).min(targets / 2); // 2..=16 targets
+    let base = rng.index(targets - group);
+    let mut events = Vec::new();
+    for t in base..base + group {
+        emit_outage(&mut events, engine, t, down, down + width);
+    }
+    for _ in 0..4 + rng.index(8) {
+        let slot = down + rng.next_u64() % width;
+        events.push(emit_drop(rng, engine, slot));
+    }
+    FaultPlan::from_events(events)
+}
+
+/// A single outage bracketed by clean slots: the SLO calibration pattern.
+fn recovery_window(rng: &mut Xoshiro256, engine: ChaosEngine, slots: u64) -> FaultPlan {
+    let deadline = recovery_deadline(slots);
+    let width = 16 + rng.next_u64() % 80; // 16..=95 slots
+    let down = 32 + rng.next_u64() % (deadline - width - 32);
+    let t = rng.index(target_count(engine));
+    let mut events = Vec::new();
+    emit_outage(&mut events, engine, t, down, down + width);
+    for _ in 0..rng.index(6) {
+        let slot = down + rng.next_u64() % width;
+        events.push(emit_drop(rng, engine, slot));
+    }
+    FaultPlan::from_events(events)
+}
+
+/// [`FaultPlan::random`]'s unstructured mix, horizon-clamped so the
+/// recovery tail stays clean.
+fn soup(rng: &mut Xoshiro256, engine: ChaosEngine, slots: u64) -> FaultPlan {
+    let deadline = recovery_deadline(slots);
+    let max_outage = 32;
+    let (switches, ports) = match engine {
+        ChaosEngine::Batch { n } => (1, n),
+        ChaosEngine::ShardNet { switches, radix } => (switches, radix),
+    };
+    let cfg = RandomFaultConfig {
+        switches,
+        ports,
+        // `random` pairs each failure at `slot < horizon` with a recovery
+        // at `slot + outage <= horizon + max_outage`; keep that inside the
+        // deadline. ClockDrift excursions obey the same bound.
+        horizon: deadline.saturating_sub(max_outage).max(1),
+        faults: 4 + rng.index(12),
+        max_outage,
+    };
+    FaultPlan::random(rng.next_u64(), &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        for index in 0..64 {
+            let a = ChaosScenario::generate(0xC4A05 + index as u64, index);
+            let b = ChaosScenario::generate(0xC4A05 + index as u64, index);
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.engine, b.engine);
+            assert_eq!(a.slots, b.slots);
+            assert_eq!(a.load, b.load);
+            assert_eq!(a.plan, b.plan);
+        }
+    }
+
+    #[test]
+    fn every_pattern_appears_and_recoveries_beat_the_deadline() {
+        let mut seen = std::collections::BTreeSet::new();
+        for index in 0..256 {
+            let s = ChaosScenario::generate(0xFEED + index as u64, index);
+            seen.insert(s.pattern);
+            assert!(!s.plan.is_empty(), "scenario {index} scripted no faults");
+            let deadline = s.recovery_deadline();
+            for e in s.plan.events() {
+                assert!(
+                    e.slot <= deadline,
+                    "scenario {index} ({}) schedules an event at slot {} \
+                     past the recovery deadline {deadline}",
+                    s.pattern,
+                    e.slot
+                );
+                // Every masking fault is paired with a later recovery.
+                match e.kind {
+                    FaultKind::LinkDown { switch, output } => assert!(
+                        s.plan.events().iter().any(|u| u.slot > e.slot
+                            && u.kind == FaultKind::LinkUp { switch, output }),
+                        "scenario {index}: unpaired LinkDown"
+                    ),
+                    FaultKind::PortFail { switch, side, port } => assert!(
+                        s.plan.events().iter().any(|u| u.slot > e.slot
+                            && u.kind == FaultKind::PortRecover { switch, side, port }),
+                        "scenario {index}: unpaired PortFail"
+                    ),
+                    _ => {}
+                }
+            }
+        }
+        for p in ["burst", "flapping", "correlated-group", "recovery-window", "soup"] {
+            assert!(seen.contains(p), "pattern {p} never sampled in 256 draws");
+        }
+    }
+
+    #[test]
+    fn events_target_the_engine_in_range() {
+        for index in 0..128 {
+            let s = ChaosScenario::generate(0xB0B + index as u64, index);
+            let (switches, ports) = match s.engine {
+                ChaosEngine::Batch { n } => (1, n),
+                ChaosEngine::ShardNet { switches, radix } => (switches, radix),
+            };
+            for e in s.plan.events() {
+                assert!(e.kind.switch() < switches, "switch tag out of range");
+                let port = match e.kind {
+                    FaultKind::LinkDown { output, .. } | FaultKind::LinkUp { output, .. } => {
+                        Some(output)
+                    }
+                    FaultKind::PortFail { port, .. } | FaultKind::PortRecover { port, .. } => {
+                        Some(port)
+                    }
+                    FaultKind::CellDrop { input, .. } | FaultKind::CellCorrupt { input, .. } => {
+                        Some(input)
+                    }
+                    FaultKind::ClockDrift { .. } => None,
+                };
+                if let Some(p) = port {
+                    assert!(p < ports, "port {p} out of range for {:?}", s.engine);
+                }
+            }
+        }
+    }
+}

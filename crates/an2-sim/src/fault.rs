@@ -233,6 +233,13 @@ impl FaultPlan {
         self.events.len() - self.cursor
     }
 
+    /// All scripted events in slot order, without consuming them — the
+    /// read-only view SLO analysis uses to locate fault and recovery
+    /// windows before (or after) a harness drains the plan via `due`.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
     /// Returns the events due at or before `slot` that have not been
     /// returned yet, advancing the internal cursor past them. Call once
     /// per slot with a non-decreasing clock.
@@ -434,11 +441,13 @@ impl FaultLog {
     }
 
     /// Records a fault event the moment it is applied.
+    // an2-lint: cold — forensic log growth is amortized, off the slot loop
     pub fn record_applied(&mut self, event: FaultEvent) {
         self.applied.push(event);
     }
 
     /// Records a lost cell.
+    // an2-lint: cold — forensic log growth is amortized, off the slot loop
     pub fn record_drop(&mut self, slot: u64, switch: usize, input: usize, flow: u64, cause: DropCause) {
         self.drops.push(DropRecord {
             slot,
@@ -450,11 +459,13 @@ impl FaultLog {
     }
 
     /// Records a successful reroute.
+    // an2-lint: cold — forensic log growth is amortized, off the slot loop
     pub fn record_reroute(&mut self, slot: u64, flow: u64, hops: usize) {
         self.reroutes.push(RerouteRecord { slot, flow, hops });
     }
 
     /// Records a CBR re-reservation attempt.
+    // an2-lint: cold — forensic log growth is amortized, off the slot loop
     pub fn record_reservation(&mut self, slot: u64, flow: u64, attempt: u32, ok: bool) {
         self.reservations.push(ReservationRecord {
             slot,
@@ -465,6 +476,7 @@ impl FaultLog {
     }
 
     /// Records a flow degrading to best-effort after retries ran out.
+    // an2-lint: cold — forensic log growth is amortized, off the slot loop
     pub fn record_degraded(&mut self, flow: u64) {
         self.degraded.push(flow);
     }

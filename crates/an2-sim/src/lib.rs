@@ -33,6 +33,7 @@
 pub mod analytic;
 pub mod batch;
 pub mod cell;
+pub mod chaos;
 pub mod experiment;
 pub mod fault;
 pub mod fifo_switch;
@@ -51,6 +52,7 @@ pub mod voq;
 
 pub use batch::BatchCrossbar;
 pub use cell::{Arrival, Cell, FlowId};
+pub use chaos::{ChaosEngine, ChaosScenario};
 pub use fault::{DropCause, FaultEvent, FaultKind, FaultLog, FaultPlan, PortSide};
 pub use metrics::{DelayStats, SwitchReport};
 pub use model::SwitchModel;
