@@ -74,10 +74,12 @@ experiments:
                results/FAULTS.json (not part of `all`)
   perf         implementation throughput: slots/sec per scheduler,
                written to BENCH_sched.json (not part of `all`)
-  bench-compare [OLD NEW]  print per-case speedup between two saved
-               BENCH_sched.json files (defaults: results/BENCH_sched_pre.json
+  bench-compare [OLD NEW]  print per-row speedup between two saved
+               BENCH_sched.json files — kernel cases and the engine
+               scaling section (defaults: results/BENCH_sched_pre.json
                vs BENCH_sched.json); with --fail-below R, exit non-zero
-               unless the geometric-mean speedup is at least R
+               unless the geometric-mean speedup over all matched rows
+               is at least R
   batch1024    N=1024 single-switch run on the batched SoA engine;
                deterministic report digest on stdout, timing on stderr
   net1000      1000-switch sharded ring network (10k slots with --full);

@@ -60,12 +60,20 @@ pub const SCALING_SIZES: [usize; 4] = [16, 64, 256, 1024];
 /// Schedulers traced in the scaling curve.
 pub const SCALING_SCHEDULERS: [&str; 2] = ["pim4", "islip4"];
 
-/// Offered load of the scaling-curve runs (uniform traffic via the
-/// skip-sampling generator). The curve's job is the N-trend of the
-/// engine, so one light operating point keeps the runs comparable across
-/// sizes; 0.05 per input is also the headline N=1024 operating point
-/// (~51 cells/slot there), where the batch engine holds ≥100k slots/sec.
-pub const SCALING_LOAD: f64 = 0.05;
+/// Offered loads of the scaling-curve runs (uniform traffic via the
+/// skip-sampling generator). The original curve ran the single light
+/// operating point 0.05 — the headline N=1024 point (~51 cells/slot),
+/// where the batch engine holds ≥100k slots/sec. The sparse active-pair
+/// scheduling path makes per-slot cost track traffic rather than N, so
+/// the curve now also records moderate loads (0.25 and 0.5) where that
+/// win is visible without saturating the fabric.
+pub const SCALING_LOADS: [f64; 3] = [0.05, 0.25, 0.5];
+
+/// The headline (lightest) scaling operating point. Rows at this load
+/// keep their original `perf/scaling/<name>/n<n>` task-seed keys, so
+/// their deterministic departure counts are comparable with reports
+/// written before [`SCALING_LOADS`] existed.
+pub const SCALING_LOAD: f64 = SCALING_LOADS[0];
 
 /// Request densities measured (probability that a given input has a cell
 /// queued for a given output — the workload of the paper's Table 1).
@@ -124,7 +132,8 @@ pub struct PerfReport {
     /// narrow grid followed by the `WIDE_SCHEDULERS`×[`WIDE_SIZE`]×`LOADS`
     /// wide cases.
     pub cases: Vec<PerfCase>,
-    /// Simulation-engine scaling curve, `SCALING_SCHEDULERS`×`SCALING_SIZES`.
+    /// Simulation-engine scaling curve,
+    /// `SCALING_SCHEDULERS`×`SCALING_SIZES`×`SCALING_LOADS`.
     pub scaling: Vec<ScalingCase>,
     /// The thousand-switch sharded network scenario.
     pub network: NetCase,
@@ -228,9 +237,9 @@ fn run_wide_case(scheduler: &'static str, n: usize, load: f64, slots: u64, seed:
 
 /// One point of the simulation-engine scaling curve: a full
 /// [`BatchCrossbar`] run (traffic generation, VOQ bookkeeping and
-/// scheduling per slot) at [`SCALING_LOAD`] uniform load. Every size runs
-/// the wide (16-word) width so the curve isolates the N-dependence rather
-/// than mixing bitset widths.
+/// scheduling per slot) at one of the [`SCALING_LOADS`] uniform loads.
+/// Every size runs the wide (16-word) width so the curve isolates the
+/// N-dependence rather than mixing bitset widths.
 #[derive(Clone, Debug)]
 pub struct ScalingCase {
     /// Scheduler name, one of [`SCALING_SCHEDULERS`].
@@ -254,10 +263,10 @@ impl ScalingCase {
     }
 }
 
-fn run_scaling_case(name: &'static str, n: usize, slots: u64, seed: u64) -> ScalingCase {
+fn run_scaling_case(name: &'static str, n: usize, load: f64, slots: u64, seed: u64) -> ScalingCase {
     let mut engine: BatchCrossbar<_, 16> =
         BatchCrossbar::new(n, make_wide_scheduler(name, n, seed));
-    let mut traffic = SparseUniformTraffic::new(n, SCALING_LOAD, seed ^ 0x7261_6666);
+    let mut traffic = SparseUniformTraffic::new(n, load, seed ^ 0x7261_6666);
     let mut buf = Vec::with_capacity(n);
     // Short warmup fills the queues to steady state; the timed region is
     // the measurement window.
@@ -279,7 +288,7 @@ fn run_scaling_case(name: &'static str, n: usize, slots: u64, seed: u64) -> Scal
     ScalingCase {
         name,
         n,
-        load: SCALING_LOAD,
+        load,
         slots,
         departures: report.departures,
         task_wall_sec,
@@ -357,8 +366,25 @@ pub fn run(effort: Effort, seed: u64, pool: &Pool) -> PerfReport {
     let mut scaling = Vec::new();
     for &name in &SCALING_SCHEDULERS {
         for &n in &SCALING_SIZES {
-            let case_seed = task_seed(seed, &format!("perf/scaling/{name}/n{n}"));
-            scaling.push(run_scaling_case(name, n, scaling_slots_for(effort, n), case_seed));
+            for &load in &SCALING_LOADS {
+                // The headline load keeps its pre-SCALING_LOADS task key so
+                // its deterministic departure counts stay comparable with
+                // older reports; the moderate-load rows get load-qualified
+                // keys of their own.
+                let key = if load == SCALING_LOAD {
+                    format!("perf/scaling/{name}/n{n}")
+                } else {
+                    format!("perf/scaling/{name}/n{n}/load{load}")
+                };
+                let case_seed = task_seed(seed, &key);
+                scaling.push(run_scaling_case(
+                    name,
+                    n,
+                    load,
+                    scaling_slots_for(effort, n),
+                    case_seed,
+                ));
+            }
         }
     }
     let network = run_net_case(effort, task_seed(seed, "perf/net1000"), pool);
@@ -529,6 +555,8 @@ pub struct ParsedScaling {
     pub name: String,
     /// Switch radix.
     pub n: usize,
+    /// Offered uniform load.
+    pub load: f64,
     /// Recorded full simulated slots per second.
     pub sim_slots_per_sec: f64,
 }
@@ -550,6 +578,9 @@ pub fn parse_scaling(json: &str) -> Result<Vec<ParsedScaling>, String> {
             n: get("n")?
                 .parse()
                 .map_err(|e| format!("bad n in {line}: {e}"))?,
+            load: get("load")?
+                .parse()
+                .map_err(|e| format!("bad load in {line}: {e}"))?,
             sim_slots_per_sec: get("sim_slots_per_sec")?
                 .parse()
                 .map_err(|e| format!("bad sim_slots_per_sec in {line}: {e}"))?,
@@ -615,17 +646,24 @@ pub fn parse_cases(json: &str) -> Result<Vec<ParsedCase>, String> {
 }
 
 /// Compares two saved `BENCH_sched.json` documents and renders the
-/// per-case speedup of `new` over `old` (matching cases by
-/// (scheduler, n, load); cases present in only one report are skipped).
+/// per-row speedup of `new` over `old`: the kernel `cases` (matched by
+/// (scheduler, n, load)) and, when both reports carry one, the engine
+/// `scaling` section (matched by (name, n, load)). Rows present in only
+/// one report are skipped; a scaling section present in only one report
+/// is noted and skipped, so new reports stay comparable against v1/v2
+/// baselines and against pre-`SCALING_LOADS` v3 reports.
 pub fn compare(old_json: &str, new_json: &str) -> Result<String, String> {
     compare_with_geomean(old_json, new_json).map(|(table, _)| table)
 }
 
-/// Like [`compare`], but also returns the geometric-mean speedup so
+/// Like [`compare`], but also returns the geometric-mean speedup over
+/// every matched row — kernel cases and scaling rows together — so
 /// callers (the `--fail-below` CI gate) can act on the number.
 pub fn compare_with_geomean(old_json: &str, new_json: &str) -> Result<(String, f64), String> {
     let old = parse_cases(old_json)?;
     let new = parse_cases(new_json)?;
+    let old_scaling = parse_scaling(old_json)?;
+    let new_scaling = parse_scaling(new_json)?;
     let mut out = String::new();
     let _ = writeln!(out, "# speedup per case (new slots/sec over old slots/sec)");
     let _ = writeln!(
@@ -649,14 +687,48 @@ pub fn compare_with_geomean(old_json: &str, new_json: &str) -> Result<(String, f
             o.scheduler, o.n, o.load, o.slots_per_sec, n.slots_per_sec, ratio
         );
     }
+    let case_rows = ratios.len();
+    if !old_scaling.is_empty() && !new_scaling.is_empty() {
+        let _ = writeln!(
+            out,
+            "# scaling speedup (new sim slots/sec over old sim slots/sec)"
+        );
+        let _ = writeln!(
+            out,
+            "{:<9} {:>5} {:>5} {:>14} {:>14} {:>9}",
+            "scheduler", "n", "load", "old", "new", "speedup"
+        );
+        for o in &old_scaling {
+            let Some(n) = new_scaling
+                .iter()
+                .find(|s| s.name == o.name && s.n == o.n && s.load == o.load)
+            else {
+                continue;
+            };
+            let ratio = n.sim_slots_per_sec / o.sim_slots_per_sec.max(1e-12);
+            ratios.push(ratio);
+            let _ = writeln!(
+                out,
+                "{:<9} {:>5} {:>5.2} {:>14.0} {:>14.0} {:>8.2}x",
+                o.name, o.n, o.load, o.sim_slots_per_sec, n.sim_slots_per_sec, ratio
+            );
+        }
+    } else if old_scaling.is_empty() != new_scaling.is_empty() {
+        let _ = writeln!(
+            out,
+            "# scaling section present in only one report; not compared"
+        );
+    }
     if ratios.is_empty() {
         return Err("no common cases between the two reports".to_string());
     }
     let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     let _ = writeln!(
         out,
-        "geometric mean speedup over {} cases: {geomean:.2}x",
-        ratios.len()
+        "geometric mean speedup over {} rows ({} cases, {} scaling): {geomean:.2}x",
+        ratios.len(),
+        case_rows,
+        ratios.len() - case_rows
     );
     Ok((out, geomean))
 }
@@ -759,6 +831,7 @@ mod tests {
             vec![ParsedScaling {
                 name: "pim4".to_string(),
                 n: 1024,
+                load: 0.25,
                 sim_slots_per_sec: 200000.0,
             }]
         );
@@ -782,11 +855,14 @@ mod tests {
 
     #[test]
     fn scaling_case_counts_are_seed_deterministic() {
-        let a = run_scaling_case("pim4", 32, 100, 5);
-        let b = run_scaling_case("pim4", 32, 100, 5);
+        let a = run_scaling_case("pim4", 32, 0.25, 100, 5);
+        let b = run_scaling_case("pim4", 32, 0.25, 100, 5);
         assert_eq!(a.departures, b.departures);
         assert!(a.departures > 0);
-        assert_eq!(a.load, SCALING_LOAD);
+        assert_eq!(a.load, 0.25);
+        // Heavier offered load carries more cells through the same window.
+        let light = run_scaling_case("pim4", 32, SCALING_LOAD, 100, 5);
+        assert!(light.departures < a.departures);
     }
 
     #[test]
@@ -828,11 +904,48 @@ mod tests {
         let table = compare(&old.to_json(), &new.to_json()).expect("comparable");
         assert!(table.contains("2.00x"), "{table}");
         assert!(table.contains("geometric mean"), "{table}");
-        // Disjoint case sets are an error, not an empty table.
+        // Fully disjoint reports are an error, not an empty table.
         let mut other = sample_report();
         other.cases[0].scheduler = "islip4";
+        other.scaling[0].name = "islip4";
         assert!(compare(&old.to_json(), &other.to_json()).is_err());
         assert!(parse_cases("{}").is_err());
+    }
+
+    #[test]
+    fn compare_diffs_the_scaling_section() {
+        let old = sample_report();
+        let mut new = sample_report();
+        new.scaling[0].task_wall_sec = old.scaling[0].task_wall_sec / 4.0; // 4x faster
+        let (table, geomean) =
+            compare_with_geomean(&old.to_json(), &new.to_json()).expect("comparable");
+        assert!(table.contains("scaling speedup"), "{table}");
+        assert!(table.contains("4.00x"), "{table}");
+        assert!(table.contains("(1 cases, 1 scaling)"), "{table}");
+        // Geomean spans both sections: sqrt(1.0 * 4.0) = 2.0.
+        assert!((geomean - 2.0).abs() < 1e-9, "geomean {geomean}");
+        // Scaling rows are matched by load too: a load shift drops the row
+        // instead of comparing unlike operating points.
+        let mut shifted = sample_report();
+        shifted.scaling[0].load = 0.5;
+        let (table, geomean) =
+            compare_with_geomean(&old.to_json(), &shifted.to_json()).expect("comparable");
+        assert!(!table.contains("scaling speedup") || !table.contains("0.50"), "{table}");
+        assert!((geomean - 1.0).abs() < 1e-9, "geomean {geomean}");
+    }
+
+    #[test]
+    fn compare_degrades_gracefully_without_a_scaling_section() {
+        // A v1 baseline has no scaling section: the comparator must still
+        // diff the cases and say the scaling section was skipped.
+        let v1 =
+            "{\n  \"version\": 1,\n  \"cases\": [\n    {\"scheduler\": \"pim4\", \"n\": 16, \
+             \"load\": 1.0, \"slots\": 10, \"matches\": 150, \"elapsed_sec\": 0.5, \
+             \"slots_per_sec\": 20.0, \"matches_per_sec\": 300.0}\n  ]\n}\n";
+        let new = sample_report();
+        let (table, geomean) = compare_with_geomean(v1, &new.to_json()).expect("comparable");
+        assert!(table.contains("present in only one report"), "{table}");
+        assert!((geomean - 1.0).abs() < 1e-9, "geomean {geomean}");
     }
 
     #[test]
@@ -851,7 +964,7 @@ mod tests {
         );
         assert_eq!(
             r.scaling.len(),
-            SCALING_SCHEDULERS.len() * SCALING_SIZES.len()
+            SCALING_SCHEDULERS.len() * SCALING_SIZES.len() * SCALING_LOADS.len()
         );
         assert_eq!(r.threads, 2);
         assert!(r.total_wall_sec > 0.0);
@@ -867,7 +980,10 @@ mod tests {
             );
         }
         for (a, b) in r.scaling.iter().zip(&r1.scaling) {
-            assert_eq!((a.name, a.n, a.departures), (b.name, b.n, b.departures));
+            assert_eq!(
+                (a.name, a.n, a.load.to_bits(), a.departures),
+                (b.name, b.n, b.load.to_bits(), b.departures)
+            );
         }
         assert_eq!(r.network.digest, r1.network.digest);
     }

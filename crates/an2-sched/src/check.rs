@@ -320,6 +320,16 @@ impl<const W: usize, S: Scheduler<W>> Scheduler<W> for CheckedScheduler<S, W> {
         self.mask = Some(mask);
         self.inner.set_port_mask(mask);
     }
+
+    fn idle_slot_is_noop(&self) -> bool {
+        // Deliberately NOT forwarded: the wrapper counts slots and checks
+        // per `schedule` call, so letting an engine skip idle slots would
+        // desynchronize `slots_scheduled` from the engine's slot clock.
+        // The inner scheduler still behaves identically when called on an
+        // idle slot (that is what the flag asserts), so checked and
+        // unchecked runs stay bit-identical either way.
+        false
+    }
 }
 
 #[cfg(test)]

@@ -277,6 +277,13 @@ impl<const W: usize> Scheduler<W> for MaximumMatchingN<W> {
         "maximum"
     }
 
+    fn idle_slot_is_noop(&self) -> bool {
+        // Hopcroft–Karp is a pure function of the request matrix (the
+        // scratch is content-free between calls); an empty matrix yields
+        // an empty matching with no state change.
+        true
+    }
+
     fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         self.mask = Some(mask);
     }

@@ -78,22 +78,41 @@ fn grant_draw<R: SelectRng, const W: usize>(
 }
 
 /// A uniform draw from `col(out) ∩ unmatched` — the grant choice of an
-/// iteration where some inputs are already matched.
+/// iteration where some inputs are already matched — via the request
+/// matrix's **sparse** column intersection: only the column's nonzero
+/// words are touched ([`RequestMatrixN::col_eligible`]), so the per-output
+/// grant cost scales with the column's active words rather than `W`.
 ///
-/// Narrow widths (capacity <= 256) materialize the intersection and draw
-/// exactly as [`grant_draw`] does, preserving the pinned digests. Wide
-/// widths prepend a word-parallel `intersects` emptiness check — consuming
-/// no randomness on an empty eligible set, like every other draw — which
-/// is the common case in a simulation's later iterations, where a sparse
-/// column's few requesters have usually all been matched already. (Drawing
-/// by rejection instead of materializing was tried here and lost: with a
-/// mostly-matched switch the eligible density is too low for any sensible
-/// attempt cap, and the capped misses plus the exact fallback cost more
-/// than the intersection they were meant to avoid.) The fast and tracked
-/// paths share this helper, so wide results agree across paths and thread
-/// counts.
+/// `col_eligible` returns exactly the dense intersection and its exact
+/// popcount, so the draw — sized by that popcount, selected by the same
+/// rank-select, skipped without consuming randomness when empty — is
+/// bit-identical at every width to [`eligible_grant_draw_dense`], which
+/// the tracked path retains as the differential oracle (the fast-vs-
+/// tracked parity tests pin this equivalence, and the narrow pinned
+/// digests hold unchanged).
 #[inline]
 fn eligible_grant_draw<R: SelectRng, const W: usize>(
+    rng: &mut R,
+    requests: &RequestMatrixN<W>,
+    out: OutputPort,
+    unmatched: &PortSetN<W>,
+    n: usize,
+) -> Option<usize> {
+    let (e, len) = requests.col_eligible(out, unmatched);
+    grant_draw(rng, &e, len, n)
+}
+
+/// The dense twin of [`eligible_grant_draw`]: materializes the full
+/// `W`-word intersection (wide widths prepend a word-parallel `intersects`
+/// emptiness check — consuming no randomness on an empty eligible set,
+/// like every other draw). Kept on the tracked (observer/stats) path as
+/// the differential oracle the sparse fast path is tested against.
+/// (Drawing by rejection instead of materializing was tried here and
+/// lost: with a mostly-matched switch the eligible density is too low for
+/// any sensible attempt cap, and the capped misses plus the exact
+/// fallback cost more than the intersection they were meant to avoid.)
+#[inline]
+fn eligible_grant_draw_dense<R: SelectRng, const W: usize>(
     rng: &mut R,
     requests: &RequestMatrixN<W>,
     out: OutputPort,
@@ -653,13 +672,16 @@ impl<R: SelectRng, const W: usize> PimN<R, W> {
 
             // Grant phase: grants_to[i] = outputs that granted to input i.
             // Outputs with no eligible requesters draw nothing from their
-            // stream (`eligible_grant_draw` checks emptiness first), which
-            // keeps all paths RNG-aligned; routing through the same helper
-            // as the fast path keeps the wide widths' rejection draws
-            // aligned too. (`requests_to[j]` equals the helper's implied
+            // stream (`eligible_grant_draw_dense` checks emptiness first),
+            // which keeps all paths RNG-aligned. The tracked path draws
+            // through the *dense* helper deliberately: it is the
+            // differential oracle the fast path's sparse draws are proven
+            // against (both feed `grant_draw` the identical eligible set
+            // and popcount, so the wide widths' rejection draws align
+            // too). (`requests_to[j]` equals the helper's implied
             // `col ∩ unmatched_inputs` — it exists for the observers.)
             for j in unmatched_outputs.iter() {
-                let choice = eligible_grant_draw(
+                let choice = eligible_grant_draw_dense(
                     &mut self.output_rng[j],
                     requests,
                     OutputPort::new(j),
@@ -754,6 +776,14 @@ impl<R: SelectRng, const W: usize> Scheduler<W> for PimN<R, W> {
 
     fn name(&self) -> &'static str {
         "pim"
+    }
+
+    fn idle_slot_is_noop(&self) -> bool {
+        // With no requests the first iteration finds no candidate outputs
+        // and breaks before any output draws from its grant stream, so no
+        // RNG state or accept pointer moves; skipping the call entirely is
+        // behaviour-identical.
+        true
     }
 
     fn set_port_mask(&mut self, mask: PortMaskN<W>) {

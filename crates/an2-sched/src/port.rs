@@ -251,6 +251,14 @@ impl<const W: usize> PortSetN<W> {
         &self.words
     }
 
+    /// Mutable access to the raw words, for in-crate kernels that assemble
+    /// a set word-at-a-time (the request matrix's sparse column
+    /// intersection writes only the column's nonzero words).
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64; W] {
+        &mut self.words
+    }
+
     /// Set intersection.
     #[inline]
     pub fn intersection(&self, other: &Self) -> Self {

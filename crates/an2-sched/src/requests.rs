@@ -46,9 +46,26 @@ pub struct RequestMatrixN<const W: usize> {
     /// column, instead of popcount-scanning all `W` words — the difference
     /// between ~40 ns and ~15 ns per grant draw at `W = 16`.
     col_word_cnt: Vec<u16>,
+    /// `col_nz[j]` = bitmap of which of column `j`'s `W` words are nonzero
+    /// (bit `w` set iff `col_word_cnt[j*W+w] > 0`; requires `W <= 64`).
+    /// This is the top level of the sparse column scans: a grant select or
+    /// eligibility intersection walks only the set bits of this one word
+    /// instead of all `W` column words, so per-output work scales with the
+    /// column's active words, not the switch width.
+    col_nz: Vec<u64>,
+    /// `row_len[i]` = `rows[i].len()`, maintained incrementally so row
+    /// emptiness transitions update `nonempty_rows` without a popcount.
+    row_len: Vec<u16>,
     /// Outputs whose column is non-empty. Lets schedulers skip requestless
     /// outputs in one word-parallel intersection instead of probing all `n`.
     nonempty_cols: PortSetN<W>,
+    /// Inputs whose row is non-empty — the active-input summary mirror of
+    /// `nonempty_cols`, maintained on the same set/clear increments.
+    nonempty_rows: PortSetN<W>,
+    /// Total outstanding requests, maintained incrementally so
+    /// [`len`](Self::len)/[`is_empty`](Self::is_empty) are O(1) — this is
+    /// the active-pair count the batch engine reads every slot.
+    total: usize,
 }
 
 /// The default-width request matrix (up to [`crate::MAX_PORTS`] ports).
@@ -66,13 +83,18 @@ impl<const W: usize> RequestMatrixN<W> {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "switch must have at least one port");
         assert!(n <= PortSetN::<W>::CAPACITY, "switch size {n} out of range");
+        assert!(W <= 64, "the per-column nonzero-word bitmap requires W <= 64");
         Self {
             n,
             rows: vec![PortSetN::new(); n],
             cols: vec![PortSetN::new(); n],
             col_len: vec![0; n],
             col_word_cnt: vec![0; n * W],
+            col_nz: vec![0; n],
+            row_len: vec![0; n],
             nonempty_cols: PortSetN::new(),
+            nonempty_rows: PortSetN::new(),
+            total: 0,
         }
     }
 
@@ -148,8 +170,15 @@ impl<const W: usize> RequestMatrixN<W> {
         let added = self.cols[j.index()].insert(i.index());
         if added {
             self.col_len[j.index()] += 1;
-            self.col_word_cnt[j.index() * W + (i.index() >> 6)] += 1;
+            let cnt = &mut self.col_word_cnt[j.index() * W + (i.index() >> 6)];
+            *cnt += 1;
+            if *cnt == 1 {
+                self.col_nz[j.index()] |= 1u64 << (i.index() >> 6);
+            }
             self.nonempty_cols.insert(j.index());
+            self.row_len[i.index()] += 1;
+            self.nonempty_rows.insert(i.index());
+            self.total += 1;
         }
         self.rows[i.index()].insert(j.index())
     }
@@ -164,10 +193,19 @@ impl<const W: usize> RequestMatrixN<W> {
         let removed = self.cols[j.index()].remove(i.index());
         if removed {
             self.col_len[j.index()] -= 1;
-            self.col_word_cnt[j.index() * W + (i.index() >> 6)] -= 1;
+            let cnt = &mut self.col_word_cnt[j.index() * W + (i.index() >> 6)];
+            *cnt -= 1;
+            if *cnt == 0 {
+                self.col_nz[j.index()] &= !(1u64 << (i.index() >> 6));
+            }
             if self.col_len[j.index()] == 0 {
                 self.nonempty_cols.remove(j.index());
             }
+            self.row_len[i.index()] -= 1;
+            if self.row_len[i.index()] == 0 {
+                self.nonempty_rows.remove(i.index());
+            }
+            self.total -= 1;
         }
         self.rows[i.index()].remove(j.index())
     }
@@ -220,6 +258,125 @@ impl<const W: usize> RequestMatrixN<W> {
         &self.nonempty_cols
     }
 
+    /// The set of inputs with at least one outstanding request — the
+    /// active-input summary, maintained incrementally on set/clear.
+    #[inline]
+    pub fn nonempty_rows(&self) -> &PortSetN<W> {
+        &self.nonempty_rows
+    }
+
+    /// The first requester of output `j` at or after `start`, wrapping,
+    /// restricted to `eligible` inputs; `None` exactly when
+    /// `col(j) ∩ eligible` is empty.
+    ///
+    /// Returns exactly what
+    /// `col(j).intersection(eligible).first_at_or_after(start)` returns,
+    /// but via a two-level scan: the column's nonzero-word bitmap picks
+    /// candidate words, and only those words are intersected with
+    /// `eligible` and bit-scanned. This replaces iSLIP's linear pointer
+    /// walk — per-output grant cost becomes O(active words of the
+    /// column), not O(W) — without changing any decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j.index() >= n` or `start >= W * 64`.
+    #[inline]
+    pub fn col_first_at_or_after_in(
+        &self,
+        j: OutputPort,
+        start: usize,
+        eligible: &PortSetN<W>,
+    ) -> Option<usize> {
+        assert!(
+            j.index() < self.n,
+            "output {j} outside {0}x{0} switch",
+            self.n
+        );
+        assert!(
+            start < PortSetN::<W>::CAPACITY,
+            "port index {start} out of range"
+        );
+        let nz = self.col_nz[j.index()];
+        if nz == 0 {
+            return None;
+        }
+        let words = self.cols[j.index()].words();
+        let ew = eligible.words();
+        let w0 = start >> 6;
+        // The word holding `start`, masked to bits at or above it.
+        if nz >> w0 & 1 == 1 {
+            let m = words[w0] & ew[w0] & (!0u64 << (start & 63));
+            if m != 0 {
+                return Some(w0 * 64 + m.trailing_zeros() as usize);
+            }
+        }
+        // Nonzero words strictly above `start`'s word, in ascending order.
+        let mut rest = nz & !(u64::MAX >> (63 - w0));
+        while rest != 0 {
+            let w = rest.trailing_zeros() as usize;
+            let m = words[w] & ew[w];
+            if m != 0 {
+                return Some(w * 64 + m.trailing_zeros() as usize);
+            }
+            rest &= rest - 1;
+        }
+        // Wrap: no eligible requester at or after `start` exists, so every
+        // remaining member is below it and the answer is the overall first
+        // member — the lowest bit of the lowest nonzero intersection word.
+        let mut wrap = nz & (u64::MAX >> (63 - w0));
+        while wrap != 0 {
+            let w = wrap.trailing_zeros() as usize;
+            let m = words[w] & ew[w];
+            if m != 0 {
+                return Some(w * 64 + m.trailing_zeros() as usize);
+            }
+            wrap &= wrap - 1;
+        }
+        None
+    }
+
+    /// The eligible-requester set `col(j) ∩ eligible` together with its
+    /// size, assembled by touching only the column's nonzero words (dense
+    /// columns fall back to the word-parallel intersection, which is
+    /// cheaper once most words are live).
+    ///
+    /// Returns exactly (`col(j).intersection(eligible)`,
+    /// `col(j).intersection(eligible).len()`), so a grant draw sized and
+    /// selected from this pair is bit-identical at every width to one made
+    /// from the dense intersection — the sparse PIM path's guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j.index() >= n`.
+    #[inline]
+    pub fn col_eligible(&self, j: OutputPort, eligible: &PortSetN<W>) -> (PortSetN<W>, usize) {
+        assert!(
+            j.index() < self.n,
+            "output {j} outside {0}x{0} switch",
+            self.n
+        );
+        let nz = self.col_nz[j.index()];
+        if nz.count_ones() as usize * 2 >= W {
+            let e = self.cols[j.index()].intersection(eligible);
+            let len = e.len();
+            return (e, len);
+        }
+        let words = self.cols[j.index()].words();
+        let ew = eligible.words();
+        let mut out = PortSetN::new();
+        let mut len = 0usize;
+        let ow = out.words_mut();
+        let mut rest = nz;
+        while rest != 0 {
+            let w = rest.trailing_zeros() as usize;
+            let m = words[w] & ew[w];
+            ow[w] = m;
+            len += m.count_ones() as usize;
+            rest &= rest - 1;
+        }
+        (out, len)
+    }
+
     /// The `k`-th smallest input requesting output `j` (zero-based), or
     /// `None` if `k >= col_len(j)`.
     ///
@@ -261,20 +418,25 @@ impl<const W: usize> RequestMatrixN<W> {
         Some(word_idx * 64 + crate::port::select_in_word(word, kk - base) as usize)
     }
 
-    /// Total number of requests (edges in the bipartite graph).
+    /// Total number of requests (edges in the bipartite graph) — the
+    /// active-pair count, O(1) from the incremental counter.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.rows.iter().map(PortSetN::len).sum()
+        self.total
     }
 
-    /// Returns `true` if there are no requests at all.
+    /// Returns `true` if there are no requests at all, in O(1).
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.iter().all(PortSetN::is_empty)
+        self.total == 0
     }
 
-    /// Iterates over all `(input, output)` request pairs in row-major order.
+    /// Iterates over all `(input, output)` request pairs in row-major order,
+    /// visiting only the active rows.
     pub fn pairs(&self) -> impl Iterator<Item = (InputPort, OutputPort)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(i, row)| {
-            row.iter()
+        self.nonempty_rows.iter().flat_map(|i| {
+            self.rows[i]
+                .iter()
                 .map(move |j| (InputPort::new(i), OutputPort::new(j)))
         })
     }
@@ -289,7 +451,11 @@ impl<const W: usize> RequestMatrixN<W> {
         }
         self.col_len.fill(0);
         self.col_word_cnt.fill(0);
+        self.col_nz.fill(0);
+        self.row_len.fill(0);
         self.nonempty_cols.clear();
+        self.nonempty_rows.clear();
+        self.total = 0;
     }
 
     #[inline]
@@ -417,6 +583,88 @@ mod tests {
                 !m.col(op(j)).is_empty(),
                 "nonempty bit {j}"
             );
+        }
+    }
+
+    #[test]
+    fn active_set_caches_track_mutations() {
+        let mut rng = Xoshiro256::seed_from(19);
+        let mut m = WideRequestMatrix::random(300, 0.08, &mut rng);
+        // Churn: clear every request of a third of the rows, re-add a few.
+        for i in (0..300).step_by(3) {
+            for j in 0..300 {
+                m.clear(ip(i), op(j));
+            }
+        }
+        m.set(ip(0), op(299));
+        m.clear(ip(0), op(299));
+        m.set(ip(3), op(70));
+        let mut total = 0;
+        for i in 0..300 {
+            let row = m.row(ip(i));
+            total += row.len();
+            assert_eq!(
+                m.nonempty_rows().contains(i),
+                !row.is_empty(),
+                "nonempty row bit {i}"
+            );
+        }
+        assert_eq!(m.len(), total, "incremental total");
+        assert_eq!(m.is_empty(), total == 0);
+        // Per-column nonzero-word bitmaps match the actual column words.
+        for j in 0..300 {
+            let words = m.col(op(j)).words();
+            for (w, &word) in words.iter().enumerate() {
+                assert_eq!(
+                    m.col_nz[j] >> w & 1 == 1,
+                    word != 0,
+                    "col {j} word {w} nz bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn col_first_at_or_after_in_matches_dense_reference() {
+        let mut rng = Xoshiro256::seed_from(23);
+        for trial in 0..40 {
+            let n = [70, 130, 512, 1024][trial % 4];
+            let p = [0.0, 0.01, 0.1, 0.6][trial % 4];
+            let m = WideRequestMatrix::random(n, p, &mut rng);
+            // Random eligible sets, including empty and full.
+            let eligible: crate::port::WidePortSet = match trial % 3 {
+                0 => crate::port::PortSetN::all(n),
+                1 => (0..n).filter(|_| rng.bernoulli(0.5)).collect(),
+                _ => (0..n).filter(|_| rng.bernoulli(0.05)).collect(),
+            };
+            for j in (0..n).step_by(7) {
+                for start in [0, 1, 63, 64, n / 2, n - 1] {
+                    let dense = m
+                        .col(op(j))
+                        .intersection(&eligible)
+                        .first_at_or_after(start);
+                    let sparse = m.col_first_at_or_after_in(op(j), start, &eligible);
+                    assert_eq!(sparse, dense, "trial {trial} col {j} start {start}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_eligible_matches_dense_intersection() {
+        let mut rng = Xoshiro256::seed_from(29);
+        for trial in 0..40 {
+            let n = [70, 256, 700, 1024][trial % 4];
+            let p = [0.0, 0.02, 0.3, 0.9][trial % 4];
+            let m = WideRequestMatrix::random(n, p, &mut rng);
+            let eligible: crate::port::WidePortSet =
+                (0..n).filter(|_| rng.bernoulli(0.4)).collect();
+            for j in (0..n).step_by(11) {
+                let dense = m.col(op(j)).intersection(&eligible);
+                let (sparse, len) = m.col_eligible(op(j), &eligible);
+                assert_eq!(sparse, dense, "trial {trial} col {j}");
+                assert_eq!(len, dense.len(), "trial {trial} col {j} len");
+            }
         }
     }
 

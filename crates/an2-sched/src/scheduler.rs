@@ -209,6 +209,22 @@ pub trait Scheduler<const W: usize = 4> {
     fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         let _ = mask;
     }
+
+    /// Returns `true` if calling [`schedule`](Scheduler::schedule) with an
+    /// **empty** request matrix is a pure no-op for this scheduler: it
+    /// returns an empty matching, consumes no randomness, and moves no
+    /// pointer or other internal state.
+    ///
+    /// Engines use this to skip the scheduler call outright on idle slots
+    /// (the batch engine's sparse slot loop), so an incorrect `true` here
+    /// breaks bit-identity with unskipped runs. The default is the safe
+    /// `false`; stateless-when-idle schedulers (PIM, iSLIP/RRM, maximum
+    /// matching) opt in. Schedulers that advance state every call no
+    /// matter what — statistical matching's frame position — must keep the
+    /// default.
+    fn idle_slot_is_noop(&self) -> bool {
+        false
+    }
 }
 
 impl<const W: usize, S: Scheduler<W> + ?Sized> Scheduler<W> for Box<S> {
@@ -222,6 +238,10 @@ impl<const W: usize, S: Scheduler<W> + ?Sized> Scheduler<W> for Box<S> {
 
     fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         (**self).set_port_mask(mask);
+    }
+
+    fn idle_slot_is_noop(&self) -> bool {
+        (**self).idle_slot_is_noop()
     }
 }
 

@@ -262,3 +262,66 @@ fn pim_trace_records() {
     }
     assert_digest(d.0, 0x52c08599cb6f159c);
 }
+
+/// The wide (1024-port) kernels, pinned at the full radix across the
+/// density regimes the sparse active-pair walk specializes. The sparse
+/// path is the production `schedule`; the retained dense kernels
+/// (`schedule_dense`, PIM's tracked path) must land on the *same* digest,
+/// so one constant pins both and any sparse/dense divergence shows up as
+/// a digest mismatch rather than a silent drift.
+#[test]
+fn wide_sparse_kernels_are_pinned() {
+    use an2_sched::islip::WideRoundRobinMatching;
+    use an2_sched::{WideMatching, WidePim, WideRequestMatrix};
+
+    const WN: usize = 1024;
+    let mut gen = Xoshiro256::seed_from(0xD15C0);
+    let densities = [0.0001, 0.001, 0.01, 0.0];
+    let seq: Vec<WideRequestMatrix> = (0..24)
+        .map(|s| WideRequestMatrix::random(WN, densities[s % densities.len()], &mut gen))
+        .collect();
+    fn digest_of(
+        seq: &[WideRequestMatrix],
+        mut run: impl FnMut(&WideRequestMatrix) -> WideMatching,
+    ) -> u64 {
+        let mut d = Digest::new();
+        for reqs in seq {
+            let m = run(reqs);
+            assert!(m.respects(reqs));
+            for i in 0..m.n() {
+                d.u64(
+                    m.output_of(InputPort::new(i))
+                        .map_or(u64::MAX, |j| j.index() as u64),
+                );
+            }
+        }
+        d.0
+    }
+
+    let mut pim = WidePim::new(WN, 42);
+    assert_digest(
+        digest_of(&seq, |r| pim.schedule(r)),
+        0x8b6b3e121b269c02,
+    );
+    let mut pim_tracked = WidePim::new(WN, 42);
+    assert_digest(
+        digest_of(&seq, |r| pim_tracked.schedule_with_stats(r).0),
+        0x8b6b3e121b269c02,
+    );
+
+    let mut islip = WideRoundRobinMatching::islip(WN, 4);
+    assert_digest(digest_of(&seq, |r| islip.schedule(r)), 0x98901a9c12f643c8);
+    let mut islip_dense = WideRoundRobinMatching::islip(WN, 4);
+    assert_digest(
+        digest_of(&seq, |r| islip_dense.schedule_dense(r)),
+        0x98901a9c12f643c8,
+    );
+
+    let mut rrm = WideRoundRobinMatching::rrm(WN, 4);
+    assert_digest(digest_of(&seq, |r| rrm.schedule(r)), 0x5581f9175a1a3c52);
+    let mut rrm_dense = WideRoundRobinMatching::rrm(WN, 4);
+    assert_digest(
+        digest_of(&seq, |r| rrm_dense.schedule_dense(r)),
+        0x5581f9175a1a3c52,
+    );
+}

@@ -11,9 +11,12 @@
 //! test spuriously. Only allocations made by the thread driving the
 //! scheduler can be the scheduler's.
 
-use an2_sched::islip::RoundRobinMatching;
+use an2_sched::islip::{RoundRobinMatching, WideRoundRobinMatching};
 use an2_sched::maximum::MaximumMatching;
-use an2_sched::{AcceptPolicy, IterationLimit, Pim, PortMask, RequestMatrix, Scheduler};
+use an2_sched::{
+    AcceptPolicy, IterationLimit, Pim, PortMask, RequestMatrix, RequestMatrixN, Scheduler, WidePim,
+    WideRequestMatrix,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -66,7 +69,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn assert_zero_alloc<S: Scheduler>(sched: &mut S, reqs: &RequestMatrix, label: &str) {
+fn assert_zero_alloc<const W: usize, S: Scheduler<W>>(
+    sched: &mut S,
+    reqs: &RequestMatrixN<W>,
+    label: &str,
+) {
     for _ in 0..4 {
         let _ = sched.schedule(reqs);
     }
@@ -185,4 +192,26 @@ fn masked_schedulers_do_not_allocate_after_warmup() {
         0,
         "mask updates allocated on the hot path"
     );
+}
+
+/// The sparse active-pair path at the full wide radix: the pruned grant
+/// walk, the nonzero-word successor lookup and the hybrid eligible
+/// assembly all work in preallocated scratch, so a 1024-port scheduler
+/// stays allocation-free whether the matrix holds a handful of active
+/// pairs (the sparse branch) or a dense block (the word-parallel branch).
+#[test]
+fn wide_sparse_schedulers_do_not_allocate_after_warmup() {
+    let n = 1024;
+    // ~60 active pairs: the light-load regime the sparse walk targets.
+    let sparse = WideRequestMatrix::from_fn(n, |i, j| (i * 131 + j * 17) % 17000 == 0);
+    // Every pair active: forces the hybrid assembly's dense branch.
+    let dense = WideRequestMatrix::from_fn(n, |_, _| true);
+    for reqs in [&sparse, &dense] {
+        let mut pim = WidePim::new(n, 42);
+        assert_zero_alloc(&mut pim, reqs, "wide pim");
+        let mut islip = WideRoundRobinMatching::islip(n, 4);
+        assert_zero_alloc(&mut islip, reqs, "wide islip");
+        let mut rrm = WideRoundRobinMatching::rrm(n, 4);
+        assert_zero_alloc(&mut rrm, reqs, "wide rrm");
+    }
 }

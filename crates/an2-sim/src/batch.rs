@@ -42,7 +42,7 @@ use crate::cell::{Arrival, FlowId};
 use crate::fault::{DropCause, FaultKind, FaultLog, FaultPlan, PortSide};
 use crate::metrics::{DelayStats, QuantileSketch, SwitchReport};
 use crate::model::SwitchModel;
-use an2_sched::{PortMaskN, PortSetN, RequestMatrixN, Scheduler};
+use an2_sched::{MatchingN, PortMaskN, PortSetN, RequestMatrixN, Scheduler};
 
 /// Cells a [`PairQueue`] holds inline before spilling to a boxed ring.
 const QUEUE_INLINE: usize = 7;
@@ -323,6 +323,14 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
         &self.sketch
     }
 
+    /// Input–output pairs with at least one queued cell — the active-pair
+    /// count the sparse scheduling path sizes its work by. O(1): the
+    /// request matrix maintains the count incrementally on every
+    /// enqueue/drain transition.
+    pub fn active_pairs(&self) -> usize {
+        self.requests.len()
+    }
+
     /// Advances one cell slot: arrivals join their pair FIFOs, the
     /// scheduler computes a matching, matched pairs each transmit their
     /// head-of-queue cell.
@@ -482,7 +490,17 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
             self.slot += 1;
             return;
         }
-        let matching = self.scheduler.schedule(&self.requests);
+        // Idle-slot skip: with zero active pairs (O(1) from the request
+        // matrix's incremental counter) and a scheduler that declares the
+        // idle call a no-op, the slot's matching is known empty without
+        // invoking the scheduler at all. `step_faulted` funnels through
+        // here too, so masked/degraded slots take the same sparse path
+        // (the mask never adds requests, only removes candidates).
+        let matching = if self.requests.is_empty() && self.scheduler.idle_slot_is_noop() {
+            MatchingN::new(n)
+        } else {
+            self.scheduler.schedule(&self.requests)
+        };
         debug_assert!(
             matching.respects(&self.requests),
             "{} scheduled a pair with no queued cell",

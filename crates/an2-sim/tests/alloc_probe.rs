@@ -240,3 +240,42 @@ fn chaos_stepping_does_not_allocate_after_warmup() {
     let allocs = local_count() - before;
     assert_eq!(allocs, 0, "chaos stepping allocated {allocs} times");
 }
+
+/// The wide-radix sparse slot loop: a 1024-port engine under light
+/// uniform traffic runs the active-pair iSLIP walk (pruned grant columns,
+/// nonzero-word successor lookup) plus the idle-slot scheduler skip, and
+/// none of it may allocate once warm. This is the exact configuration of
+/// the perf harness's headline scaling rows.
+#[test]
+fn wide_sparse_batch_slot_loop_does_not_allocate_after_warmup() {
+    use an2_sched::islip::WideRoundRobinMatching;
+    let n = 1024usize;
+    let mut engine: BatchCrossbar<_, 16> =
+        BatchCrossbar::new(n, WideRoundRobinMatching::islip(n, 4));
+    let mut rng = Xoshiro256::seed_from(0xBA7D);
+    let mut buf: Vec<Arrival> = Vec::with_capacity(n);
+    let mut drive = |engine: &mut BatchCrossbar<WideRoundRobinMatching, 16>, slots: usize| {
+        for slot in 0..slots {
+            buf.clear();
+            // Mostly light load (~51 cells/slot); every 8th slot is idle so
+            // the idle-slot skip path is part of the measured region.
+            if slot % 8 != 7 {
+                for i in 0..n {
+                    if rng.bernoulli(0.05) {
+                        buf.push(Arrival::pair(
+                            n,
+                            InputPort::new(i),
+                            OutputPort::new(rng.index(n)),
+                        ));
+                    }
+                }
+            }
+            engine.step_slot(&buf);
+        }
+    };
+    drive(&mut engine, 300);
+    let before = local_count();
+    drive(&mut engine, 300);
+    let allocs = local_count() - before;
+    assert_eq!(allocs, 0, "wide sparse slot loop allocated {allocs} times");
+}

@@ -179,3 +179,49 @@ fn fifo_saturation_matches_karol_values() {
         );
     }
 }
+
+/// The sparse active-pair grant walk vs the retained dense kernels at the
+/// full wide radix. `schedule` prunes the grant phase to the outputs that
+/// actually hold requests (per-column nonzero-word successor lookup,
+/// hybrid eligible assembly); `schedule_dense` and PIM's tracked path are
+/// the original O(N·W) sweeps, kept precisely so this oracle can convict
+/// either side of any divergence — in matchings *and* in hidden state
+/// (round-robin pointers, per-port RNG streams), which is why the run is
+/// long and the schedulers are never reseeded mid-run.
+#[test]
+fn sparse_wide_kernels_equal_dense_oracles_exactly() {
+    use an2_sched::islip::WideRoundRobinMatching;
+    use an2_sched::{WidePim, WideRequestMatrix};
+
+    let n = 1024;
+    let mut islip_sparse = WideRoundRobinMatching::islip(n, 4);
+    let mut islip_dense = islip_sparse.clone();
+    let mut rrm_sparse = WideRoundRobinMatching::rrm(n, 4);
+    let mut rrm_dense = rrm_sparse.clone();
+    let mut pim_fast = WidePim::new(n, 0x5BA2_1992);
+    let mut pim_tracked = pim_fast.clone();
+    let mut traffic_rng = Xoshiro256::seed_from(0x5AC7);
+    // Sweep the density regimes the sparse path specializes: near-empty
+    // (active-set pruning dominates), light (the headline N=1024 operating
+    // point), and moderate (the hybrid assembly's dense branch).
+    let densities = [0.0, 0.0001, 0.001, 0.01, 0.2];
+    for slot in 0..40u64 {
+        let density = densities[(slot as usize) % densities.len()];
+        let reqs = WideRequestMatrix::random(n, density, &mut traffic_rng);
+        assert_eq!(
+            islip_sparse.schedule(&reqs),
+            islip_dense.schedule_dense(&reqs),
+            "islip diverged at slot {slot} density {density}"
+        );
+        assert_eq!(
+            rrm_sparse.schedule(&reqs),
+            rrm_dense.schedule_dense(&reqs),
+            "rrm diverged at slot {slot} density {density}"
+        );
+        assert_eq!(
+            pim_fast.schedule(&reqs),
+            pim_tracked.schedule_with_stats(&reqs).0,
+            "pim diverged at slot {slot} density {density}"
+        );
+    }
+}
