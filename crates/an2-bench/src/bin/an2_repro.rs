@@ -6,7 +6,7 @@
 //!
 //! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig67 fig8 fig9
 //! karol latency95 appendix-a appendix-b appendix-c ablate-sched
-//! ablate-rng all`.
+//! crossover ablate-rng all`.
 //!
 //! By default runs at `--quick` statistics (seconds per experiment) on
 //! all available cores; pass `--full` for paper-scale sample counts.
@@ -65,6 +65,7 @@ experiments:
   appendix-b   CBR latency/buffer bounds under clock drift
   appendix-c   statistical matching 63%/72% throughput
   ablate-sched PIM vs iSLIP vs RRM vs maximum matching
+  crossover    queue-aware MWM-LQF/OCF + SERENADE vs PIM(4)/iSLIP(4)
   ablate-rng   PIM sensitivity to RNG quality
   ablate-speedup  fabric speedup k (k-grant PIM + output buffers)
   stat-fairness   statistical matching repairing Figure 8's unfairness
@@ -202,6 +203,7 @@ fn main() {
         "appendix-b",
         "appendix-c",
         "ablate-sched",
+        "crossover",
         "ablate-rng",
         "ablate-speedup",
         "stat-fairness",
@@ -704,6 +706,7 @@ fn render_one(name: &str, effort: Effort, seed: u64, pool: &Pool) -> String {
         "appendix-b" => appendix_b::run(effort, s, pool).render(),
         "appendix-c" => appendix_c::run(effort, s, pool).render(),
         "ablate-sched" => delay_curves::ablate_schedulers(effort, s, pool).render(),
+        "crossover" => delay_curves::crossover(effort, s, pool).render(),
         "ablate-rng" => rng_ablation::run(effort, s, pool).render(),
         "ablate-speedup" => delay_curves::ablate_speedup(effort, s, pool).render(),
         "stat-fairness" => stat_fairness::run(effort, s, pool).render(),

@@ -61,8 +61,146 @@ pub fn check_experiment(
     // experiment stresses hardest.
     match name {
         "fig9" | "fig67" | "appendix-b" | "subframes" => network_probe(name, seed),
+        "crossover" => crossover_probe(seed),
         _ => scheduler_probe(name, seed, skew),
     }
+}
+
+/// The probe matched to the `crossover` experiment: the queue-aware
+/// schedulers it sweeps, re-verified from scratch.
+///
+/// Three invariant families, each over freshly seeded random instances:
+///
+/// * **MWM optimality** — for both LQF and OCF weights, the matching must
+///   be a legal *maximal* matching whose total Q-matrix weight equals the
+///   brute-force max-weight optimum from `an2-verify`'s subset DP.
+/// * **Masked MWM** — with failed ports installed the matching must avoid
+///   them entirely and stay maximal over the healthy remainder.
+/// * **SERENADE merge** — both random proposals must be maximal, and the
+///   merged matching must be legal with weight ≥ both proposals.
+///
+/// Violations are reported through the same [`Violation`] channel as the
+/// PIM probes; the emitted `replay.json` carries the default scheduler
+/// case annotated with the failure (the instances here are fully
+/// determined by the seed, so the annotation suffices to reproduce).
+fn crossover_probe(seed: u64) -> Result<CheckSummary, Box<CheckFailure>> {
+    use an2_sched::check::{matching_violations, Expectation};
+    use an2_sched::rng::{SelectRng, Xoshiro256};
+    use an2_sched::{Mwm, PortMask, RequestMatrix, Scheduler, Serenade, WeightPolicy};
+    use an2_verify::oracle::brute_force_max_weight_matching;
+
+    let probe = "mwm+serenade n=16 (optimality, masked maximality, merge)".to_owned();
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut checks = 0u64;
+    let n = 16;
+    let fail = |violations: Vec<Violation>, probe: String| {
+        let violation = violations.into_iter().next().expect("non-empty");
+        let mut case = ReplayCase::new(n, seed, 0.7, 128);
+        case.annotate(&violation);
+        Err(Box::new(CheckFailure {
+            probe,
+            case,
+            violation,
+        }))
+    };
+
+    for slot in 0..128u64 {
+        let density = rng.uniform_f64();
+        let reqs = RequestMatrix::random(n, density, &mut rng);
+        let weights: Vec<Vec<u32>> = (0..n)
+            .map(|_| (0..n).map(|_| 1 + rng.index(64) as u32).collect())
+            .collect();
+        let observe = |s: &mut dyn Scheduler<4>, policy: WeightPolicy| {
+            for (i, j) in reqs.pairs() {
+                let w = weights[i.index()][j.index()];
+                match policy {
+                    WeightPolicy::Lqf => s.observe_queue(i, j, w, 0),
+                    WeightPolicy::Ocf => s.observe_queue(i, j, 0, w - 1),
+                }
+            }
+        };
+
+        // MWM optimality, both weight policies.
+        for policy in [WeightPolicy::Lqf, WeightPolicy::Ocf] {
+            let mut mwm = Mwm::new(n, policy);
+            observe(&mut mwm, policy);
+            let m = mwm.schedule(&reqs);
+            matching_violations(slot, &reqs, &m, Expectation::Maximal, None, &mut violations);
+            let achieved: i64 = m
+                .pairs()
+                .map(|(i, j)| i64::from(weights[i.index()][j.index()]))
+                .sum();
+            let optimal = brute_force_max_weight_matching(&reqs, &|i, j| i64::from(weights[i][j]));
+            if achieved != optimal {
+                violations.push(Violation {
+                    slot,
+                    rule: "max-weight",
+                    detail: format!(
+                        "{}: matched weight {achieved}, brute-force optimum {optimal}",
+                        mwm.name()
+                    ),
+                });
+            }
+            checks += 2;
+            if !violations.is_empty() {
+                return fail(violations, probe);
+            }
+        }
+
+        // Masked MWM: failed ports must be avoided, maximality holds over
+        // the healthy remainder.
+        let mut mask = PortMask::all(n);
+        mask.fail_input(rng.index(n));
+        mask.fail_output(rng.index(n));
+        let mut masked = Mwm::lqf(n);
+        observe(&mut masked, WeightPolicy::Lqf);
+        masked.set_port_mask(mask);
+        let m = masked.schedule(&reqs);
+        matching_violations(
+            slot,
+            &reqs,
+            &m,
+            Expectation::Maximal,
+            Some(&mask),
+            &mut violations,
+        );
+        for (i, j) in m.pairs() {
+            if !mask.input_active(i.index()) || !mask.output_active(j.index()) {
+                violations.push(Violation {
+                    slot,
+                    rule: "mask",
+                    detail: format!("pair ({i}, {j}) uses a failed port"),
+                });
+            }
+        }
+        checks += 2;
+        if !violations.is_empty() {
+            return fail(violations, probe);
+        }
+
+        // SERENADE: maximal proposals, legal merge, weakly improving weight.
+        let mut ser = Serenade::new(n, seed ^ slot);
+        observe(&mut ser, WeightPolicy::Lqf);
+        let (a, b, merged) = ser.schedule_with_proposals(&reqs);
+        for p in [&a, &b] {
+            matching_violations(slot, &reqs, p, Expectation::Maximal, None, &mut violations);
+        }
+        matching_violations(slot, &reqs, &merged, Expectation::Legal, None, &mut violations);
+        let (wa, wb, wm) = (ser.weight_of(&a), ser.weight_of(&b), ser.weight_of(&merged));
+        if wm < wa.max(wb) {
+            violations.push(Violation {
+                slot,
+                rule: "merge-weight",
+                detail: format!("merged weight {wm} below max of proposals ({wa}, {wb})"),
+            });
+        }
+        checks += 4;
+        if !violations.is_empty() {
+            return fail(violations, probe);
+        }
+    }
+    Ok(CheckSummary { probe, checks })
 }
 
 /// Builds the probe case matched to experiment `name`.
@@ -214,6 +352,7 @@ mod tests {
             "appendix-b",
             "appendix-c",
             "ablate-sched",
+            "crossover",
             "ablate-rng",
             "ablate-speedup",
             "stat-fairness",

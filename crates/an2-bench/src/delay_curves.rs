@@ -13,7 +13,7 @@ use crate::Effort;
 use an2_sched::fifo::FifoPriority;
 use an2_sched::islip::RoundRobinMatching;
 use an2_sched::maximum::MaximumMatching;
-use an2_sched::{AcceptPolicy, IterationLimit, Pim};
+use an2_sched::{AcceptPolicy, IterationLimit, Mwm, Pim, Serenade};
 use an2_sim::experiment::{format_sweep, load_sweep, RunFactory, SweepPoint};
 use an2_sim::fifo_switch::FifoSwitch;
 use an2_sim::model::SwitchModel;
@@ -42,6 +42,12 @@ pub enum SwitchKind {
     Rrm(usize),
     /// k-grant PIM over a k-replicated fabric with output buffers (§3.1).
     Speedup(usize),
+    /// Max-weight matching, longest-queue-first weights.
+    MwmLqf,
+    /// Max-weight matching, oldest-cell-first weights.
+    MwmOcf,
+    /// SERENADE-style merge of two random maximal matchings.
+    Serenade,
 }
 
 impl SwitchKind {
@@ -56,6 +62,9 @@ impl SwitchKind {
             SwitchKind::Islip(k) => format!("islip{k}"),
             SwitchKind::Rrm(k) => format!("rrm{k}"),
             SwitchKind::Speedup(k) => format!("spdup{k}"),
+            SwitchKind::MwmLqf => "mwm-lqf".into(),
+            SwitchKind::MwmOcf => "mwm-ocf".into(),
+            SwitchKind::Serenade => "serenade".into(),
         }
     }
 
@@ -87,6 +96,9 @@ impl SwitchKind {
             SwitchKind::Speedup(k) => {
                 Box::new(an2_sim::speedup_switch::SpeedupSwitch::new(n, k, 4, seed))
             }
+            SwitchKind::MwmLqf => Box::new(CrossbarSwitch::new(Mwm::lqf(n))),
+            SwitchKind::MwmOcf => Box::new(CrossbarSwitch::new(Mwm::ocf(n))),
+            SwitchKind::Serenade => Box::new(CrossbarSwitch::new(Serenade::new(n, seed))),
         }
     }
 }
@@ -311,6 +323,35 @@ pub fn ablate_speedup(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
     )
 }
 
+/// Crossover study: queue-aware scheduling (MWM-LQF, MWM-OCF, SERENADE)
+/// against the paper's queue-oblivious family (PIM(4), iSLIP(4)).
+///
+/// At low load every maximal matcher looks alike; the interesting regime
+/// is the top of the load axis, where queue weights keep VOQs balanced
+/// and the delay curves cross. MWM is the quality ceiling for this
+/// family; SERENADE shows how much of that a two-proposal randomized
+/// merge recovers.
+pub fn crossover(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
+    sweep(
+        &SweepSpec {
+            title: "Crossover: MWM-LQF/OCF vs SERENADE vs PIM(4) vs iSLIP(4), uniform, 16x16",
+            n: 16,
+            kinds: &[
+            SwitchKind::Pim(4),
+            SwitchKind::Islip(4),
+            SwitchKind::MwmLqf,
+            SwitchKind::MwmOcf,
+            SwitchKind::Serenade,
+        ],
+            workload: Workload::Uniform,
+            loads: &default_loads(),
+        },
+        effort,
+        seed,
+        pool,
+    )
+}
+
 /// Ablation: PIM vs iSLIP vs RRM vs maximum matching, uniform workload.
 pub fn ablate_schedulers(effort: Effort, seed: u64, pool: &Pool) -> CurveSet {
     sweep(
@@ -446,6 +487,39 @@ mod tests {
     }
 
     #[test]
+    fn crossover_queue_aware_schedulers_sustain_high_load() {
+        let cs = sweep(
+            &SweepSpec {
+                title: "t",
+                n: 16,
+                kinds: &[
+                SwitchKind::Pim(4),
+                SwitchKind::MwmLqf,
+                SwitchKind::MwmOcf,
+                SwitchKind::Serenade,
+            ],
+                workload: Workload::Uniform,
+                loads: &[0.95],
+            },
+            Effort::Quick,
+            7,
+            &Pool::new(2),
+        );
+        let pim = cs.series("pim4").unwrap()[0].mean_delay();
+        for label in ["mwm-lqf", "mwm-ocf", "serenade"] {
+            let pt = &cs.series(label).unwrap()[0];
+            // Queue-aware maximal matchers must not collapse where PIM
+            // holds up: full utilization and a delay in PIM's ballpark.
+            assert!(pt.utilization > 0.90, "{label} utilization {}", pt.utilization);
+            assert!(
+                pt.mean_delay() < 4.0 * pim + 20.0,
+                "{label} delay {} vs pim {pim}",
+                pt.mean_delay()
+            );
+        }
+    }
+
+    #[test]
     fn labels_are_unique() {
         let kinds = [
             SwitchKind::Fifo,
@@ -456,6 +530,9 @@ mod tests {
             SwitchKind::Maximum,
             SwitchKind::Islip(4),
             SwitchKind::Rrm(4),
+            SwitchKind::MwmLqf,
+            SwitchKind::MwmOcf,
+            SwitchKind::Serenade,
         ];
         let labels: std::collections::HashSet<String> =
             kinds.iter().map(|k| k.label()).collect();

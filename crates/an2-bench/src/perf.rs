@@ -31,8 +31,8 @@ use an2_net::shard::{run_shard_net, ShardNetConfig};
 use an2_sched::islip::{RoundRobinMatching, WideRoundRobinMatching};
 use an2_sched::maximum::MaximumMatching;
 use an2_sched::rng::Xoshiro256;
-use an2_sched::{AcceptPolicy, IterationLimit, Pim, RequestMatrix, Scheduler};
-use an2_sched::{WidePim, WideRequestMatrix};
+use an2_sched::{AcceptPolicy, IterationLimit, Mwm, Pim, RequestMatrix, Scheduler, Serenade};
+use an2_sched::{WidePim, WideRequestMatrix, WideSerenade};
 use an2_sim::batch::BatchCrossbar;
 use an2_sim::traffic::{SparseUniformTraffic, Traffic};
 use an2_sim::SwitchModel;
@@ -47,10 +47,12 @@ pub const SIZES: [usize; 3] = [16, 64, 256];
 /// the 16-word (1024-port) scheduler kernels.
 pub const WIDE_SIZE: usize = 1024;
 
-/// Schedulers measured at [`WIDE_SIZE`]. `pim` (run-to-completion) and
-/// `maximum` are excluded: dense 1024-port maximum matching costs seconds
-/// per slot, which would dwarf the grid without informing the hot path.
-pub const WIDE_SCHEDULERS: [&str; 3] = ["pim4", "islip4", "rrm4"];
+/// Schedulers measured at [`WIDE_SIZE`]. `pim` (run-to-completion),
+/// `maximum` and the MWM kernels are excluded: dense 1024-port exact
+/// matching costs seconds per slot, which would dwarf the grid without
+/// informing the hot path. SERENADE's merge is near-linear, so it runs at
+/// full radix.
+pub const WIDE_SCHEDULERS: [&str; 4] = ["pim4", "islip4", "rrm4", "serenade"];
 
 /// Switch sizes of the simulation-engine scaling curve (the `scaling`
 /// section of the v3 schema): full [`BatchCrossbar`] slots — traffic
@@ -81,8 +83,20 @@ pub const LOADS: [f64; 3] = [0.5, 0.9, 1.0];
 
 /// Scheduler configurations measured, by name: 4-iteration PIM (the
 /// paper's hardware budget), run-to-completion PIM, 4-iteration iSLIP and
-/// RRM, and Hopcroft–Karp maximum matching as the upper-bound comparator.
-pub const SCHEDULERS: [&str; 5] = ["pim4", "pim", "islip4", "rrm4", "maximum"];
+/// RRM, Hopcroft–Karp maximum matching as the upper-bound comparator, the
+/// queue-aware MWM kernels (unit weights here — the kernel grid has no
+/// queue state, so they measure the augmenting-path machinery itself) and
+/// the SERENADE two-proposal merge.
+pub const SCHEDULERS: [&str; 8] = [
+    "pim4", "pim", "islip4", "rrm4", "maximum", "mwm-lqf", "mwm-ocf", "serenade",
+];
+
+/// Largest radix the MWM kernels run at in the grid. Exact max-weight
+/// matching over a dense 256-port request matrix costs tens of seconds
+/// per *slot* (successive Bellman–Ford augmentations are O(V·E) each), so
+/// rows above this size would dominate the grid's wall clock while
+/// measuring nothing the 64-port rows don't already show.
+pub const MWM_MAX_SIZE: usize = 64;
 
 /// How many distinct request matrices each case cycles through, so the
 /// timed loop sees varied inputs without regenerating matrices per slot.
@@ -156,6 +170,9 @@ fn make_scheduler(name: &str, n: usize, seed: u64) -> Box<dyn Scheduler> {
         "islip4" => Box::new(RoundRobinMatching::islip(n, 4)),
         "rrm4" => Box::new(RoundRobinMatching::rrm(n, 4)),
         "maximum" => Box::new(MaximumMatching::new()),
+        "mwm-lqf" => Box::new(Mwm::lqf(n)),
+        "mwm-ocf" => Box::new(Mwm::ocf(n)),
+        "serenade" => Box::new(Serenade::new(n, seed)),
         other => unreachable!("unknown scheduler {other}"),
     }
 }
@@ -165,6 +182,7 @@ fn make_wide_scheduler(name: &str, n: usize, seed: u64) -> Box<dyn Scheduler<16>
         "pim4" => Box::new(WidePim::new(n, seed)),
         "islip4" => Box::new(WideRoundRobinMatching::islip(n, 4)),
         "rrm4" => Box::new(WideRoundRobinMatching::rrm(n, 4)),
+        "serenade" => Box::new(WideSerenade::new(n, seed)),
         other => unreachable!("unknown wide scheduler {other}"),
     }
 }
@@ -339,6 +357,9 @@ pub fn run(effort: Effort, seed: u64, pool: &Pool) -> PerfReport {
     let mut specs: Vec<(&'static str, usize, f64, u64, u64)> = Vec::new();
     for &scheduler in &SCHEDULERS {
         for &n in &SIZES {
+            if scheduler.starts_with("mwm-") && n > MWM_MAX_SIZE {
+                continue;
+            }
             for &load in &LOADS {
                 let case_seed = task_seed(seed, &format!("perf/{scheduler}/n{n}/load{load}"));
                 specs.push((scheduler, n, load, slots_for(effort, n), case_seed));
@@ -958,9 +979,17 @@ mod tests {
     fn run_produces_the_full_grid() {
         let pool = Pool::new(2);
         let r = run(Effort::Quick, 5, &pool);
+        // The exact-MWM rows stop at MWM_MAX_SIZE, so each mwm-* scheduler
+        // skips the sizes above it.
+        let mwm_skipped = SCHEDULERS
+            .iter()
+            .filter(|s| s.starts_with("mwm-"))
+            .count()
+            * SIZES.iter().filter(|&&n| n > MWM_MAX_SIZE).count();
         assert_eq!(
             r.cases.len(),
-            (SCHEDULERS.len() * SIZES.len() + WIDE_SCHEDULERS.len()) * LOADS.len()
+            (SCHEDULERS.len() * SIZES.len() - mwm_skipped + WIDE_SCHEDULERS.len())
+                * LOADS.len()
         );
         assert_eq!(
             r.scaling.len(),

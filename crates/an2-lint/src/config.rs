@@ -83,6 +83,11 @@ impl Config {
                 // the faulted slot loops; the log's record paths are cold
                 // (they grow the forensic event list, not the slot loop).
                 "crates/an2-sim/src/fault.rs",
+                // The queue-aware schedulers: MWM's augmenting-path solve
+                // and SERENADE's propose/merge both run per slot, with the
+                // Q-matrix observe feed on the same loop.
+                "crates/an2-sched/src/mwm.rs",
+                "crates/an2-sched/src/serenade.rs",
             ]
             .map(String::from)
             .to_vec(),

@@ -330,6 +330,22 @@ impl<const W: usize, S: Scheduler<W>> Scheduler<W> for CheckedScheduler<S, W> {
         // unchecked runs stay bit-identical either way.
         false
     }
+
+    fn wants_queue_observations(&self) -> bool {
+        self.inner.wants_queue_observations()
+    }
+
+    fn observe_queue(
+        &mut self,
+        i: crate::port::InputPort,
+        j: crate::port::OutputPort,
+        depth: u32,
+        age: u32,
+    ) {
+        // Transparent pass-through: observations carry no invariants of
+        // their own (they only shape the inner scheduler's weights).
+        self.inner.observe_queue(i, j, depth, age);
+    }
 }
 
 #[cfg(test)]

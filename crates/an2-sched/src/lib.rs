@@ -57,6 +57,7 @@ pub mod kgrant;
 mod matching;
 pub mod maximum;
 pub mod multicast;
+pub mod mwm;
 pub mod pim;
 // The one module permitted to contain `unsafe`: the runtime-dispatched
 // BMI2 fast path. See lint/unsafe-allowlist.txt.
@@ -65,16 +66,19 @@ mod port;
 mod requests;
 pub mod rng;
 mod scheduler;
+pub mod serenade;
 pub mod stat;
 pub mod subframe;
 
 pub use check::{checking_enabled, CheckedScheduler, Violation};
 pub use frame::{FrameSchedule, ReservationError};
 pub use matching::{Matching, MatchingN, PairConflict, WideMatching};
+pub use mwm::{Mwm, MwmN, WeightPolicy, WideMwm};
 pub use pim::{AcceptPolicy, IterationLimit, Pim, PimN, PimStats, WidePim};
 pub use port::{
     InputPort, OutputPort, PortSet, PortSetN, WidePortSet, MAX_PORTS, MAX_WIDE_PORTS, WIDE_WORDS,
 };
 pub use requests::{RequestMatrix, RequestMatrixN, WideRequestMatrix};
 pub use scheduler::{PortMask, PortMaskN, Scheduler, WidePortMask};
+pub use serenade::{Serenade, SerenadeN, WideSerenade};
 pub use stat::{ReservationTable, StatisticalMatcher};

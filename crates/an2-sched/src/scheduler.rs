@@ -225,6 +225,41 @@ pub trait Scheduler<const W: usize = 4> {
     fn idle_slot_is_noop(&self) -> bool {
         false
     }
+
+    /// Returns `true` if this scheduler wants per-pair queue observations
+    /// ([`observe_queue`](Scheduler::observe_queue)) fed to it before each
+    /// [`schedule`](Scheduler::schedule) call.
+    ///
+    /// Queue-aware schedulers (MWM with LQF/OCF weight policies, SERENADE's
+    /// weighted merge) opt in; the engine then walks the active request
+    /// pairs and reports each pair's VOQ depth and head-of-line cell age.
+    /// Queue-oblivious schedulers keep the default `false` and the engine
+    /// skips the walk entirely, so the binary-request fast path is
+    /// untouched.
+    fn wants_queue_observations(&self) -> bool {
+        false
+    }
+
+    /// Reports the queue state behind one active request pair: `depth`
+    /// cells are buffered from input `i` to output `j`, and the
+    /// head-of-line cell has waited `age` slots.
+    ///
+    /// Called once per active pair between slots, before
+    /// [`schedule`](Scheduler::schedule), and only when
+    /// [`wants_queue_observations`](Scheduler::wants_queue_observations)
+    /// returns `true`. Pairs not reported since the last `schedule` call
+    /// default to weight 1 (pure connectivity), so a queue-aware scheduler
+    /// driven without observations degrades to maximum-cardinality
+    /// behaviour instead of misbehaving.
+    fn observe_queue(
+        &mut self,
+        i: crate::port::InputPort,
+        j: crate::port::OutputPort,
+        depth: u32,
+        age: u32,
+    ) {
+        let _ = (i, j, depth, age);
+    }
 }
 
 impl<const W: usize, S: Scheduler<W> + ?Sized> Scheduler<W> for Box<S> {
@@ -242,6 +277,20 @@ impl<const W: usize, S: Scheduler<W> + ?Sized> Scheduler<W> for Box<S> {
 
     fn idle_slot_is_noop(&self) -> bool {
         (**self).idle_slot_is_noop()
+    }
+
+    fn wants_queue_observations(&self) -> bool {
+        (**self).wants_queue_observations()
+    }
+
+    fn observe_queue(
+        &mut self,
+        i: crate::port::InputPort,
+        j: crate::port::OutputPort,
+        depth: u32,
+        age: u32,
+    ) {
+        (**self).observe_queue(i, j, depth, age);
     }
 }
 

@@ -156,6 +156,109 @@ fn kgrant_pim_speedup2() {
     assert_digest(d.0, 0xad737cbfd822d37f);
 }
 
+/// Deterministic synthetic queue state for the queue-aware schedulers:
+/// depth and age are fixed functions of (slot, input, output), so the
+/// digest pins the whole observe → weigh → match pipeline without
+/// needing a simulator in the loop.
+fn feed_observations<const W: usize>(
+    sched: &mut impl Scheduler<W>,
+    reqs: &an2_sched::RequestMatrixN<W>,
+    slot: usize,
+) {
+    for (i, j) in reqs.pairs() {
+        let depth = ((i.index() * 7 + j.index() * 13 + slot * 31) % 32) as u32;
+        let age = ((i.index() * 5 + j.index() * 3 + slot * 11) % 64) as u32;
+        sched.observe_queue(i, j, depth, age);
+    }
+}
+
+fn queue_aware_digest(mut sched: impl Scheduler) -> u64 {
+    let mut d = Digest::new();
+    for (slot, reqs) in request_sequence().iter().enumerate() {
+        feed_observations(&mut sched, reqs, slot);
+        let m = sched.schedule(reqs);
+        assert!(m.respects(reqs));
+        d.matching(&m);
+    }
+    d.0
+}
+
+#[test]
+fn mwm_lqf_pinned() {
+    assert_digest(
+        queue_aware_digest(an2_sched::Mwm::lqf(N)),
+        0xf946b8c69625e825,
+    );
+}
+
+#[test]
+fn mwm_ocf_pinned() {
+    assert_digest(
+        queue_aware_digest(an2_sched::Mwm::ocf(N)),
+        0xdcacc94eed8b2f68,
+    );
+}
+
+#[test]
+fn serenade_pinned() {
+    assert_digest(
+        queue_aware_digest(an2_sched::Serenade::new(N, 42)),
+        0x3aa94e204e0226a6,
+    );
+}
+
+/// SERENADE's staged (pool-parallel) component weighing must land on the
+/// serial digest at every thread count — the merge decisions are a pure
+/// function of the proposals, so the work-stealing schedule cannot leak
+/// into the matchings.
+#[test]
+fn serenade_staged_digest_is_thread_count_invariant() {
+    use an2_task::Pool;
+    let serial = queue_aware_digest(an2_sched::Serenade::new(N, 42));
+    for threads in [1, 4] {
+        let pool = Pool::new(threads);
+        let mut sched = an2_sched::Serenade::new(N, 42);
+        let mut d = Digest::new();
+        for (slot, reqs) in request_sequence().iter().enumerate() {
+            feed_observations(&mut sched, reqs, slot);
+            let m = sched.schedule_staged(reqs, &pool);
+            assert!(m.respects(reqs));
+            d.matching(&m);
+        }
+        assert_digest(d.0, serial);
+    }
+}
+
+/// The wide (1024-port) MWM kernel, pinned across the sparse density
+/// regimes. Fewer slots and lighter densities than the other wide pins:
+/// successive augmentation is the costliest kernel in the crate, and the
+/// sparse regime is the one the wide engine actually schedules.
+#[test]
+fn wide_mwm_pinned() {
+    use an2_sched::{WideMwm, WideRequestMatrix};
+
+    const WN: usize = 1024;
+    let mut gen = Xoshiro256::seed_from(0xD15C0);
+    let densities = [0.0001, 0.001, 0.0];
+    let seq: Vec<WideRequestMatrix> = (0..12)
+        .map(|s| WideRequestMatrix::random(WN, densities[s % densities.len()], &mut gen))
+        .collect();
+    let mut lqf = WideMwm::lqf(WN);
+    let mut d = Digest::new();
+    for (slot, reqs) in seq.iter().enumerate() {
+        feed_observations(&mut lqf, reqs, slot);
+        let m = lqf.schedule(reqs);
+        assert!(m.respects(reqs));
+        assert!(m.is_maximal(reqs));
+        for (i, j) in m.pairs() {
+            d.u64(i.index() as u64);
+            d.u64(j.index() as u64);
+        }
+        d.byte(0xFE);
+    }
+    assert_digest(d.0, 0xb358d259556333ea);
+}
+
 /// The invariant checker must be a pure observer: wrapping a scheduler in
 /// [`CheckedScheduler`] (checks enabled or not) must reproduce the exact
 /// pinned digests — the checker draws no randomness and alters no

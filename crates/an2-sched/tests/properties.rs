@@ -433,3 +433,248 @@ fn select_nth_word_boundaries() {
     assert_eq!(full.select_nth(255), Some(255));
     assert_eq!(full.select_nth(256), None);
 }
+
+// ---------------------------------------------------------------------------
+// Queue-aware schedulers: MWM (LQF/OCF) and the SERENADE merge.
+// ---------------------------------------------------------------------------
+
+/// Reference optimum by skip-or-match recursion over rows — exponential,
+/// fine for the `n <= 8` radii these properties run at.
+fn brute_force_weight(reqs: &RequestMatrix, weights: &[Vec<u32>]) -> i64 {
+    fn go(reqs: &RequestMatrix, weights: &[Vec<u32>], row: usize, used: &mut Vec<bool>) -> i64 {
+        if row == reqs.n() {
+            return 0;
+        }
+        // Skip this input entirely...
+        let mut best = go(reqs, weights, row + 1, used);
+        // ...or match it to any free requested output.
+        for j in 0..reqs.n() {
+            if !used[j] && reqs.has(InputPort::new(row), OutputPort::new(j)) {
+                used[j] = true;
+                let w = i64::from(weights[row][j]) + go(reqs, weights, row + 1, used);
+                used[j] = false;
+                best = best.max(w);
+            }
+        }
+        best
+    }
+    go(reqs, weights, 0, &mut vec![false; reqs.n()])
+}
+
+/// Weights pinned to what the scheduler's Q-matrix derives from an
+/// observation stream: every weight >= 1, LQF weighs depth, OCF age + 1.
+fn observed_weights(n: usize, seed: u64) -> Vec<Vec<u32>> {
+    use an2_sched::rng::SelectRng;
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..n)
+        .map(|_| (0..n).map(|_| 1 + rng.index(31) as u32).collect())
+        .collect()
+}
+
+fn observe_all(
+    sched: &mut impl Scheduler,
+    reqs: &RequestMatrix,
+    weights: &[Vec<u32>],
+    policy: an2_sched::WeightPolicy,
+) {
+    for (i, j) in reqs.pairs() {
+        let w = weights[i.index()][j.index()];
+        match policy {
+            an2_sched::WeightPolicy::Lqf => sched.observe_queue(i, j, w, 0),
+            an2_sched::WeightPolicy::Ocf => sched.observe_queue(i, j, 0, w - 1),
+        }
+    }
+}
+
+proptest! {
+    /// MWM achieves *exactly* the brute-force max-weight optimum on every
+    /// instance up to n = 8, under both weight policies, and its matching
+    /// is maximal over the requests.
+    #[test]
+    fn mwm_achieves_the_brute_force_optimum(
+        reqs in request_matrix(8),
+        seed in any::<u64>(),
+        lqf in proptest::bool::ANY,
+    ) {
+        let n = reqs.n();
+        let policy = if lqf { an2_sched::WeightPolicy::Lqf } else { an2_sched::WeightPolicy::Ocf };
+        let weights = observed_weights(n, seed);
+        let mut sched = an2_sched::Mwm::new(n, policy);
+        observe_all(&mut sched, &reqs, &weights, policy);
+        let m = sched.schedule(&reqs);
+        prop_assert!(m.respects(&reqs));
+        prop_assert!(m.is_maximal(&reqs));
+        let achieved: i64 = m.pairs()
+            .map(|(i, j)| i64::from(weights[i.index()][j.index()]))
+            .sum();
+        prop_assert_eq!(achieved, brute_force_weight(&reqs, &weights));
+    }
+
+    /// MWM is a pure function of the *final* queue state: replaying the
+    /// same observations in any shuffled order — including stale values
+    /// later overwritten — yields the identical matching. This is the
+    /// tie-break determinism bar: ties are broken by port index, never by
+    /// observation arrival order.
+    #[test]
+    fn mwm_tie_breaks_ignore_observation_order(
+        reqs in request_matrix(8),
+        seed in any::<u64>(),
+        lqf in proptest::bool::ANY,
+    ) {
+        use an2_sched::rng::SelectRng;
+        let n = reqs.n();
+        let policy = if lqf { an2_sched::WeightPolicy::Lqf } else { an2_sched::WeightPolicy::Ocf };
+        let weights = observed_weights(n, seed);
+        let mut obs: Vec<(InputPort, OutputPort)> = reqs.pairs().collect();
+
+        let mut reference = an2_sched::Mwm::new(n, policy);
+        observe_all(&mut reference, &reqs, &weights, policy);
+        let want = reference.schedule(&reqs);
+
+        let mut rng = Xoshiro256::seed_from(seed ^ 0x005A_FF1E);
+        for _ in 0..3 {
+            // Fisher–Yates shuffle of the insertion order.
+            for k in (1..obs.len()).rev() {
+                obs.swap(k, rng.index(k + 1));
+            }
+            let mut shuffled = an2_sched::Mwm::new(n, policy);
+            // A pass of stale observations first: the Q-matrix keeps the
+            // latest value per pair, so these must be invisible.
+            for &(i, j) in &obs {
+                shuffled.observe_queue(i, j, 7, 7);
+            }
+            for &(i, j) in &obs {
+                let w = weights[i.index()][j.index()];
+                match policy {
+                    an2_sched::WeightPolicy::Lqf => shuffled.observe_queue(i, j, w, 0),
+                    an2_sched::WeightPolicy::Ocf => shuffled.observe_queue(i, j, 0, w - 1),
+                }
+            }
+            let got = shuffled.schedule(&reqs);
+            prop_assert_eq!(
+                got.pairs().collect::<Vec<_>>(),
+                want.pairs().collect::<Vec<_>>(),
+                "matching depends on observation insertion order"
+            );
+        }
+    }
+
+    /// SERENADE: both proposals are valid maximal matchings, the merge is
+    /// a valid matching, and the merged weight weakly improves on both
+    /// proposals.
+    #[test]
+    fn serenade_merge_is_valid_and_weakly_improving(
+        reqs in request_matrix(32),
+        seed in any::<u64>(),
+    ) {
+        let n = reqs.n();
+        let weights = observed_weights(n, seed);
+        let mut sched = an2_sched::Serenade::new(n, seed);
+        observe_all(&mut sched, &reqs, &weights, an2_sched::WeightPolicy::Lqf);
+        let (a, b, merged) = sched.schedule_with_proposals(&reqs);
+        prop_assert!(a.respects(&reqs) && a.is_maximal(&reqs));
+        prop_assert!(b.respects(&reqs) && b.is_maximal(&reqs));
+        prop_assert!(merged.respects(&reqs));
+        let (wa, wb, wm) = (sched.weight_of(&a), sched.weight_of(&b), sched.weight_of(&merged));
+        prop_assert!(wm >= wa.max(wb), "merged {} < max({}, {})", wm, wa, wb);
+    }
+
+    /// The chaos engine's degraded-mask contract, extended to the
+    /// queue-aware family: masked MWM must never touch a failed port and
+    /// must stay *maximal* over the healthy sub-switch; masked SERENADE
+    /// must never touch a failed port and both its proposals must stay
+    /// maximal over the healthy sub-switch.
+    #[test]
+    fn masked_queue_aware_schedulers_respect_the_mask(
+        reqs in request_matrix(32),
+        seed in any::<u64>(),
+        fail_in in proptest::collection::btree_set(0usize..32, 0..8),
+        fail_out in proptest::collection::btree_set(0usize..32, 0..8),
+        lqf in proptest::bool::ANY,
+    ) {
+        let n = reqs.n();
+        let policy = if lqf { an2_sched::WeightPolicy::Lqf } else { an2_sched::WeightPolicy::Ocf };
+        let weights = observed_weights(n, seed);
+        let mut mask = PortMask::all(n);
+        for &i in fail_in.iter().filter(|&&i| i < n) {
+            mask.fail_input(i);
+        }
+        for &j in fail_out.iter().filter(|&&j| j < n) {
+            mask.fail_output(j);
+        }
+        let healthy = RequestMatrix::from_fn(n, |i, j| {
+            reqs.has(InputPort::new(i), OutputPort::new(j))
+                && mask.input_active(i)
+                && mask.output_active(j)
+        });
+
+        let mut mwm = an2_sched::Mwm::new(n, policy);
+        observe_all(&mut mwm, &reqs, &weights, policy);
+        mwm.set_port_mask(mask);
+        let m = mwm.schedule(&reqs);
+        prop_assert!(m.respects(&reqs));
+        for (i, j) in m.pairs() {
+            prop_assert!(mask.input_active(i.index()), "mwm matched failed input {}", i);
+            prop_assert!(mask.output_active(j.index()), "mwm matched failed output {}", j);
+        }
+        prop_assert!(m.is_maximal(&healthy), "masked mwm left an augmenting healthy pair");
+
+        let mut ser = an2_sched::Serenade::new(n, seed);
+        observe_all(&mut ser, &reqs, &weights, an2_sched::WeightPolicy::Lqf);
+        ser.set_port_mask(mask);
+        let (a, b, merged) = ser.schedule_with_proposals(&reqs);
+        for p in [&a, &b] {
+            prop_assert!(p.respects(&reqs));
+            prop_assert!(p.is_maximal(&healthy), "masked serenade proposal not maximal");
+        }
+        prop_assert!(merged.respects(&reqs));
+        for (i, j) in merged.pairs() {
+            prop_assert!(mask.input_active(i.index()), "serenade matched failed input {}", i);
+            prop_assert!(mask.output_active(j.index()), "serenade matched failed output {}", j);
+        }
+    }
+
+    /// The same degraded-mask bar at the wide radices the chaos engine
+    /// schedules (N up to 1024, sparse edges).
+    #[test]
+    fn masked_wide_mwm_is_maximal_over_unmasked_ports(
+        n in prop_oneof![Just(64usize), Just(256), Just(1024)],
+        edges in proptest::collection::vec((0usize..1024, 0usize..1024), 1..160),
+        seed in any::<u64>(),
+        fails in proptest::collection::btree_set((0usize..1024, proptest::bool::ANY), 0..12),
+    ) {
+        use an2_sched::rng::SelectRng;
+        use an2_sched::{WideMwm, WidePortMask, WideRequestMatrix};
+        let mut reqs = WideRequestMatrix::new(n);
+        for &(i, j) in edges.iter().filter(|&&(i, j)| i < n && j < n) {
+            reqs.set(InputPort::new(i), OutputPort::new(j));
+        }
+        let mut mask = WidePortMask::all(n);
+        for &(p, input_side) in fails.iter().filter(|&&(p, _)| p < n) {
+            if input_side {
+                mask.fail_input(p);
+            } else {
+                mask.fail_output(p);
+            }
+        }
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut mwm = WideMwm::lqf(n);
+        for (i, j) in reqs.pairs() {
+            mwm.observe_queue(i, j, 1 + rng.index(31) as u32, 0);
+        }
+        mwm.set_port_mask(mask);
+        let m = mwm.schedule(&reqs);
+        prop_assert!(m.respects(&reqs));
+        for (i, j) in m.pairs() {
+            prop_assert!(mask.input_active(i.index()), "wide mwm matched failed input {}", i);
+            prop_assert!(mask.output_active(j.index()), "wide mwm matched failed output {}", j);
+        }
+        let mut healthy = WideRequestMatrix::new(n);
+        for (i, j) in reqs.pairs() {
+            if mask.input_active(i.index()) && mask.output_active(j.index()) {
+                healthy.set(i, j);
+            }
+        }
+        prop_assert!(m.is_maximal(&healthy), "masked wide mwm left an augmenting healthy pair");
+    }
+}

@@ -109,6 +109,82 @@ fn schedulers_do_not_allocate_after_warmup() {
     }
 }
 
+/// Like [`assert_zero_alloc`], but drives the queue-observation feed each
+/// slot the way the simulation engine does — the observe → weigh → match
+/// pipeline is the steady-state loop for the queue-aware schedulers, so
+/// the whole of it must stay allocation-free.
+fn assert_zero_alloc_observed<const W: usize, S: Scheduler<W>>(
+    sched: &mut S,
+    reqs: &RequestMatrixN<W>,
+    label: &str,
+) {
+    let feed = |sched: &mut S, slot: u32| {
+        for (i, j) in reqs.pairs() {
+            let depth = (i.index() as u32 + slot) % 9;
+            let age = (j.index() as u32 + slot) % 17;
+            sched.observe_queue(i, j, depth, age);
+        }
+    };
+    for slot in 0..4 {
+        feed(sched, slot);
+        let _ = sched.schedule(reqs);
+    }
+    let before = local_count();
+    for slot in 4..36 {
+        feed(sched, slot);
+        let m = sched.schedule(reqs);
+        assert!(m.respects(reqs), "{label} broke the request contract");
+    }
+    let allocs = local_count() - before;
+    assert_eq!(allocs, 0, "{label} allocated {allocs} times on the hot path");
+}
+
+/// The queue-aware schedulers: MWM under both weight policies and the
+/// SERENADE merge, with and without a degraded-port mask, across sparse
+/// and dense request shapes.
+#[test]
+fn queue_aware_schedulers_do_not_allocate_after_warmup() {
+    use an2_sched::{Mwm, Serenade};
+    for n in [16usize, 64] {
+        let dense = RequestMatrix::from_fn(n, |_, _| true);
+        let sparse = RequestMatrix::from_fn(n, |i, j| (i * 7 + j) % 5 == 0);
+        for reqs in [&dense, &sparse] {
+            assert_zero_alloc_observed(&mut Mwm::lqf(n), reqs, "mwm-lqf");
+            assert_zero_alloc_observed(&mut Mwm::ocf(n), reqs, "mwm-ocf");
+            assert_zero_alloc_observed(&mut Serenade::new(n, 42), reqs, "serenade");
+        }
+    }
+    // Degraded operation: failed ports masked out mid-run.
+    let n = 16;
+    let dense = RequestMatrix::from_fn(n, |_, _| true);
+    let mut mask = PortMask::all(n);
+    mask.fail_input(3);
+    mask.fail_output(7);
+    let mut mwm = Mwm::lqf(n);
+    mwm.set_port_mask(mask);
+    assert_zero_alloc_observed(&mut mwm, &dense, "masked mwm");
+    let mut ser = Serenade::new(n, 42);
+    ser.set_port_mask(mask);
+    assert_zero_alloc_observed(&mut ser, &dense, "masked serenade");
+}
+
+/// The wide (1024-port) queue-aware kernels in the sparse regime the wide
+/// engine schedules. Dense wide MWM is excluded: exact augmentation over
+/// a dense 1024-port matrix costs tens of seconds per slot, and the
+/// scratch-arena reuse it would exercise is identical to the sparse case.
+#[test]
+fn wide_queue_aware_schedulers_do_not_allocate_after_warmup() {
+    use an2_sched::{WideMwm, WideSerenade};
+    let n = 1024;
+    let sparse = WideRequestMatrix::from_fn(n, |i, j| (i * 131 + j * 17) % 17000 == 0);
+    let dense = WideRequestMatrix::from_fn(n, |_, _| true);
+    assert_zero_alloc_observed(&mut WideMwm::lqf(n), &sparse, "wide mwm-lqf");
+    assert_zero_alloc_observed(&mut WideMwm::ocf(n), &sparse, "wide mwm-ocf");
+    for reqs in [&sparse, &dense] {
+        assert_zero_alloc_observed(&mut WideSerenade::new(n, 42), reqs, "wide serenade");
+    }
+}
+
 /// The parallel experiment engine moves the hot loop onto pool worker
 /// threads, and the allocation counter is thread-local — so the serial
 /// test above proves nothing about where the experiments actually run.

@@ -245,6 +245,29 @@ impl VoqBuffers {
         self.flows.get(&flow).map_or(0, VecDeque::len)
     }
 
+    /// The arrival slot of the pair's head-of-line cell — the oldest cell
+    /// that a matching of `(i, j)` would serve next — or `None` when the
+    /// pair has nothing queued. Queue-aware schedulers (MWM-OCF) turn
+    /// this into a cell age; the oldest head across the pair's eligible
+    /// flows is the right notion under both service disciplines, since
+    /// Fifo serves exactly that cell and RoundRobin will not serve an
+    /// older one (there is none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is out of range.
+    pub fn pair_head_arrival(&self, i: InputPort, j: OutputPort) -> Option<u64> {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "pair ({i},{j}) outside switch"
+        );
+        self.eligible[i.index()][j.index()]
+            .iter()
+            .filter_map(|flow| self.flows[flow].front())
+            .min_by_key(|&&(seq, _)| seq)
+            .map(|&(_, cell)| cell.arrival_slot)
+    }
+
     /// Enqueues an arrived cell, or drops it (drop-tail) if the pair's VOQ
     /// is at its configured capacity.
     ///

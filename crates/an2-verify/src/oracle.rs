@@ -269,6 +269,62 @@ pub fn frame_demand_feasible(demand: &[Vec<usize>], frame_len: usize) -> bool {
     .place(0)
 }
 
+/// Exact maximum-weight matching value by dynamic programming over
+/// subsets of the **active** output columns — `O(R · 2^C · C)` for `R`
+/// nonempty rows and `C` nonempty columns, factorial-free.
+///
+/// The differential oracle for the MWM scheduler family: the optimised
+/// augmenting-path solver must achieve exactly this total weight on
+/// every instance (the matchings themselves may legitimately differ when
+/// several are optimal). `weight(i, j)` is consulted only for requested
+/// pairs and must be positive, mirroring the scheduler's ≥ 1 clamp.
+///
+/// Subsets are taken over the *distinct requested columns* rather than
+/// all `N` outputs, so sparse wide instances (say 32 ports but 10
+/// requested outputs) stay cheap; generate oracle instances with a
+/// bounded column footprint rather than a bounded radix.
+///
+/// # Panics
+///
+/// Panics if more than 20 distinct columns hold requests (the DP table
+/// would exceed a million entries — shrink the instance instead).
+pub fn brute_force_max_weight_matching<const W: usize>(
+    requests: &an2_sched::RequestMatrixN<W>,
+    weight: &dyn Fn(usize, usize) -> i64,
+) -> i64 {
+    use an2_sched::{InputPort, OutputPort};
+    let cols: Vec<usize> = requests.nonempty_cols().iter().collect();
+    let c = cols.len();
+    assert!(
+        c <= 20,
+        "brute-force max-weight DP supports at most 20 active columns, got {c}"
+    );
+    const UNREACHED: i64 = i64::MIN;
+    // dp[mask] = best total weight of any matching that uses exactly the
+    // columns in `mask`, over the rows processed so far.
+    let mut dp = vec![UNREACHED; 1 << c];
+    dp[0] = 0;
+    for i in requests.nonempty_rows().iter() {
+        let prev = dp.clone();
+        for (mask, &base) in prev.iter().enumerate() {
+            if base == UNREACHED {
+                continue;
+            }
+            for (bit, &j) in cols.iter().enumerate() {
+                if mask & (1 << bit) == 0
+                    && requests.has(InputPort::new(i), OutputPort::new(j))
+                {
+                    let extended = base + weight(i, j);
+                    if extended > dp[mask | (1 << bit)] {
+                        dp[mask | (1 << bit)] = extended;
+                    }
+                }
+            }
+        }
+    }
+    dp.into_iter().max().expect("dp table is never empty")
+}
+
 /// Whether `measured` agrees with an analytic `predicted` value within
 /// `rel_tol` relative error (plus `abs_tol` slack for near-zero targets).
 ///
@@ -300,6 +356,65 @@ mod tests {
         // One output overloaded: infeasible.
         let over = vec![vec![2, 0, 0], vec![2, 0, 0], vec![0, 0, 0]];
         assert!(!frame_demand_feasible(&over, 3));
+    }
+
+    #[test]
+    fn max_weight_dp_on_known_instances() {
+        // Diagonal wins over the heavier single edge plus nothing.
+        let reqs = RequestMatrix::from_pairs(3, [(0, 0), (0, 1), (1, 0), (2, 2)]);
+        let w = |i: usize, j: usize| -> i64 { [[5, 9, 1], [8, 1, 1], [1, 1, 3]][i][j] };
+        // Options: {0-1, 1-0, 2-2} = 9 + 8 + 3 = 20 is optimal.
+        assert_eq!(brute_force_max_weight_matching(&reqs, &w), 20);
+        // Empty matrix: the empty matching.
+        assert_eq!(
+            brute_force_max_weight_matching(&RequestMatrix::new(4), &|_, _| 1),
+            0
+        );
+    }
+
+    #[test]
+    fn max_weight_dp_matches_naive_recursion() {
+        // Cross-check the subset DP against a transparent skip-or-match
+        // recursion on tiny random instances.
+        fn naive(reqs: &RequestMatrix, w: &dyn Fn(usize, usize) -> i64) -> i64 {
+            fn go(
+                reqs: &RequestMatrix,
+                w: &dyn Fn(usize, usize) -> i64,
+                i: usize,
+                used: &mut Vec<bool>,
+            ) -> i64 {
+                if i == reqs.n() {
+                    return 0;
+                }
+                let mut best = go(reqs, w, i + 1, used);
+                for j in 0..reqs.n() {
+                    if !used[j]
+                        && reqs.has(
+                            an2_sched::InputPort::new(i),
+                            an2_sched::OutputPort::new(j),
+                        )
+                    {
+                        used[j] = true;
+                        best = best.max(w(i, j) + go(reqs, w, i + 1, used));
+                        used[j] = false;
+                    }
+                }
+                best
+            }
+            go(reqs, w, 0, &mut vec![false; reqs.n()])
+        }
+        let mut rng = Xoshiro256::seed_from(0xD0);
+        for _ in 0..100 {
+            let n = 1 + rng.index(6);
+            let density = rng.uniform_f64();
+            let reqs = RequestMatrix::from_fn(n, |_, _| rng.bernoulli(density));
+            let weights: Vec<i64> = (0..n * n).map(|_| 1 + rng.index(9) as i64).collect();
+            let w = |i: usize, j: usize| weights[i * n + j];
+            assert_eq!(
+                brute_force_max_weight_matching(&reqs, &w),
+                naive(&reqs, &w)
+            );
+        }
     }
 
     #[test]
