@@ -37,6 +37,29 @@ pub struct FnItem {
     /// Whether a `// an2-lint: cold` comment excludes this fn from the
     /// hot-path closure.
     pub cold_annotated: bool,
+    /// Rules suppressed for this fn's *whole body* by a full-line
+    /// `// an2-lint: allow(…) reason` comment directly above the fn.
+    /// Only the fn-granular rules (panic-freedom, overflow-discipline)
+    /// consult this; the line-granular rules ignore it.
+    pub fn_allows: Vec<AllowEntry>,
+}
+
+/// One rule named by an `// an2-lint: allow(…)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The suppressed rule's name.
+    pub rule: String,
+    /// Whether justification text follows the closing `)` — the
+    /// panic-freedom and overflow-discipline rules require the invariant
+    /// to be named, so an unreasoned allow does not suppress them.
+    pub reasoned: bool,
+}
+
+impl FnItem {
+    /// Is `rule` suppressed (with justification) for this fn's whole body?
+    pub fn allows_for_body(&self, rule: &str) -> bool {
+        self.fn_allows.iter().any(|e| e.rule == rule && e.reasoned)
+    }
 }
 
 /// Everything the rules need to know about one file.
@@ -56,7 +79,7 @@ pub struct FileAnalysis {
     /// All `fn` items in the file.
     pub fns: Vec<FnItem>,
     /// Lines on which a given rule is suppressed by `// an2-lint: allow(…)`.
-    pub allows: BTreeMap<u32, Vec<String>>,
+    pub allows: BTreeMap<u32, Vec<AllowEntry>>,
     /// Concatenated comment text per source line (for `SAFETY:` lookups).
     pub comment_on_line: BTreeMap<u32, String>,
 }
@@ -71,19 +94,28 @@ impl FileAnalysis {
         let test_ranges = find_test_ranges(&toks, &match_of);
 
         let mut comment_on_line: BTreeMap<u32, String> = BTreeMap::new();
-        let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        let mut allows: BTreeMap<u32, Vec<AllowEntry>> = BTreeMap::new();
         let mut hot_lines = Vec::new();
         let mut cold_lines = Vec::new();
+        // Full-line allow comments (nothing but the comment on the line):
+        // candidates for fn-scope suppression when a fn follows directly.
+        let mut fn_allow_lines: Vec<(u32, Vec<AllowEntry>)> = Vec::new();
         for c in &lexed.comments {
             for l in c.line..=c.end_line {
                 comment_on_line.entry(l).or_default().push_str(&c.text);
             }
-            if let Some(rules) = parse_allow(&c.text) {
+            if let Some(entries) = parse_allow(&c.text) {
                 // A trailing comment suppresses its own line; a comment on
                 // its own line suppresses the next one.
-                for rule in rules {
-                    allows.entry(c.line).or_default().push(rule.clone());
-                    allows.entry(c.end_line + 1).or_default().push(rule);
+                for e in &entries {
+                    allows.entry(c.line).or_default().push(e.clone());
+                    allows.entry(c.end_line + 1).or_default().push(e.clone());
+                }
+                let own_line = lines
+                    .get(c.line as usize - 1)
+                    .is_some_and(|l| l.trim_start().starts_with("//"));
+                if own_line {
+                    fn_allow_lines.push((c.end_line, entries));
                 }
             }
             if c.text.contains("an2-lint: hot") {
@@ -100,6 +132,9 @@ impl FileAnalysis {
         }
         for &l in &cold_lines {
             mark_next_fn(&mut fns, l, false);
+        }
+        for (l, entries) in fn_allow_lines {
+            attach_fn_allows(&mut fns, l, entries);
         }
 
         Self {
@@ -123,7 +158,16 @@ impl FileAnalysis {
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
         self.allows
             .get(&line)
-            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+            .is_some_and(|rs| rs.iter().any(|r| r.rule == rule))
+    }
+
+    /// Like [`FileAnalysis::allowed`], but the allow must carry
+    /// justification text after the `)` — required by the rules whose
+    /// escapes must name an invariant.
+    pub fn allowed_reasoned(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rs| rs.iter().any(|r| r.rule == rule && r.reasoned))
     }
 
     /// The trimmed source text of a 1-based line, truncated for reports.
@@ -176,16 +220,22 @@ impl FileAnalysis {
     }
 }
 
-/// Extracts rule names from an `// an2-lint: allow(rule, rule)` comment.
-fn parse_allow(text: &str) -> Option<Vec<String>> {
+/// Extracts rule names (and whether a justification follows) from an
+/// `// an2-lint: allow(rule, rule) why it is sound` comment.
+fn parse_allow(text: &str) -> Option<Vec<AllowEntry>> {
     let at = text.find("an2-lint: allow(")?;
     let rest = &text[at + "an2-lint: allow(".len()..];
     let close = rest.find(')')?;
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '-', '—', ':'])
+        .trim();
+    let reasoned = !reason.is_empty();
     Some(
         rest[..close]
             .split(',')
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
+            .map(|rule| AllowEntry { rule, reasoned })
             .collect(),
     )
 }
@@ -204,6 +254,21 @@ fn mark_next_fn(fns: &mut [FnItem], line: u32, hot: bool) {
         } else {
             f.cold_annotated = true;
         }
+    }
+}
+
+/// Attaches a full-line allow comment at `line` to the fn that directly
+/// follows it (same proximity window as hot/cold annotations), suppressing
+/// the named rules across the fn's whole body. The fn-granular rules use
+/// this for per-fn invariants ("all indices < n, debug_assert-guarded at
+/// entry") that would otherwise need a comment on every line.
+fn attach_fn_allows(fns: &mut [FnItem], line: u32, entries: Vec<AllowEntry>) {
+    if let Some(f) = fns
+        .iter_mut()
+        .filter(|f| f.line >= line && f.line <= line + 8)
+        .min_by_key(|f| f.line)
+    {
+        f.fn_allows.extend(entries);
     }
 }
 
@@ -351,6 +416,7 @@ fn find_fns(toks: &[Tok], match_of: &[usize], test_ranges: &[(usize, usize)]) ->
                 in_test: in_test(i),
                 hot_annotated: false,
                 cold_annotated: false,
+                fn_allows: Vec::new(),
             });
         }
         i += 1;

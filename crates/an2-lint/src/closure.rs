@@ -1,0 +1,527 @@
+//! The cross-crate hot-path call graph.
+//!
+//! PR 5's closure stopped at `Config::hot_files`: a call from `pim.rs` into
+//! `voq.rs` simply fell off the edge of the analyzed world, so per-slot code
+//! outside the hand-listed file set ran outside every hot-path rule. This
+//! module builds the call graph over the *whole workspace* and resolves
+//! calls the way Rust name resolution would, approximately and
+//! conservatively:
+//!
+//! * **Method calls** `x.f(…)` resolve by name to every `impl` fn named `f`
+//!   in any crate (the lexer cannot type `x`, so the closure
+//!   over-approximates — sound for a rule that must not miss hot code).
+//! * **Qualified calls** `Type::f(…)`, `crate::m::f(…)`, `an2_sched::m::f(…)`
+//!   walk the full `::` path: an uppercase qualifier matches `impl Type`
+//!   blocks, a crate-or-module qualifier matches free fns of that crate.
+//! * **Free calls** `f(…)` resolve to free fns of the caller's own crate
+//!   plus any `use`-imported fn of that name (imports are parsed per file,
+//!   including `{…}` groups and `as` renames) — unqualified names cannot
+//!   reach farther than that in real Rust either.
+//!
+//! Traversal starts from the seeds ([`Config::hot_files`] × `hot_seed_fns`,
+//! plus `// an2-lint: hot` annotations anywhere) and stops at
+//! `// an2-lint: cold` cuts and test code. The PR 5 per-file closure is
+//! still computed (same resolution, domain restricted to the original file
+//! list) so `results/LINT.json` can report how much hot code the old linter
+//! never saw.
+
+use crate::analyze::{FileAnalysis, FnItem};
+use crate::config::Config;
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One candidate node of the call graph: a non-test fn with a body.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Index into the analyses slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub item: usize,
+}
+
+/// A call site extracted from a fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Call {
+    /// `x.f(…)` — a method, resolved by name across every crate.
+    Method(String),
+    /// `f(…)` — a free fn, resolved within the caller's crate + imports.
+    Free(String),
+    /// A `::`-qualified call: full path segments, last one is the fn.
+    Path(Vec<String>),
+}
+
+/// The workspace call graph plus the indexes needed to resolve calls.
+#[derive(Debug)]
+pub struct CallGraph<'a> {
+    analyses: &'a [FileAnalysis],
+    /// All candidate fns, in (file, item) order.
+    pub nodes: Vec<Node>,
+    /// Crate name (underscored) per file index; empty when the file is
+    /// outside `crates/` (workspace-root `src/`, `tests/`, …).
+    crate_of_file: Vec<String>,
+    /// Extracted call sites per node (same indexing as `nodes`).
+    calls: Vec<Vec<Call>>,
+    /// `impl` fns by name, across every crate.
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// `impl Type` fns by (type, name).
+    type_fns: BTreeMap<(String, String), Vec<usize>>,
+    /// Free fns by (crate, name).
+    free_by_crate: BTreeMap<(String, String), Vec<usize>>,
+    /// Per file: imported leaf name (or `as` alias) → (crate, original
+    /// name) for every `use` declaration that names an in-workspace crate
+    /// or a `crate`/`self`/`super` path.
+    imports: Vec<BTreeMap<String, (String, String)>>,
+}
+
+/// A computed hot-fn closure with its reachability metadata.
+#[derive(Debug)]
+pub struct Closure {
+    /// Node indexes (into [`CallGraph::nodes`]) in the closure.
+    pub hot: BTreeSet<usize>,
+    /// Resolved call edges followed while building the closure.
+    pub edges: usize,
+    /// First-discovery parent per non-seed member: why is this fn hot?
+    pub parents: BTreeMap<usize, usize>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Builds the graph over every analyzed file.
+    pub fn build(analyses: &'a [FileAnalysis]) -> Self {
+        let crate_of_file: Vec<String> = analyses.iter().map(|a| crate_of(&a.path)).collect();
+        let mut nodes = Vec::new();
+        for (fi, a) in analyses.iter().enumerate() {
+            for (ii, f) in a.fns.iter().enumerate() {
+                if !f.in_test && f.body.is_some() {
+                    nodes.push(Node { file: fi, item: ii });
+                }
+            }
+        }
+
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut type_fns: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (idx, n) in nodes.iter().enumerate() {
+            let f = item(analyses, n);
+            methods_by_name.entry(f.name.clone()).or_default().push(idx);
+            match &f.impl_type {
+                Some(ty) => type_fns
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx),
+                None => free_by_crate
+                    .entry((crate_of_file[n.file].clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx),
+            }
+        }
+
+        let known_crates: BTreeSet<String> =
+            crate_of_file.iter().filter(|c| !c.is_empty()).cloned().collect();
+        let imports = analyses
+            .iter()
+            .enumerate()
+            .map(|(fi, a)| parse_imports(a, &crate_of_file[fi], &known_crates))
+            .collect();
+
+        let calls = nodes
+            .iter()
+            .map(|n| body_calls(&analyses[n.file], item(analyses, n)))
+            .collect();
+
+        Self {
+            analyses,
+            nodes,
+            crate_of_file,
+            calls,
+            methods_by_name,
+            type_fns,
+            free_by_crate,
+            imports,
+        }
+    }
+
+    /// The [`FnItem`] behind a node index.
+    pub fn fn_of(&self, idx: usize) -> &FnItem {
+        item(self.analyses, &self.nodes[idx])
+    }
+
+    /// The [`FileAnalysis`] behind a node index.
+    pub fn file_of(&self, idx: usize) -> &FileAnalysis {
+        &self.analyses[self.nodes[idx].file]
+    }
+
+    /// Computes the hot closure. `seed_files` scopes the `hot_seed_fns`
+    /// seeds; `domain` (when given) restricts traversal to fns in those
+    /// files — the PR 5 per-file behavior, kept for the v1/v2 comparison.
+    pub fn closure(&self, cfg: &Config, seed_files: &[String], domain: Option<&[String]>) -> Closure {
+        let in_domain = |idx: usize| -> bool {
+            let path = &self.analyses[self.nodes[idx].file].path;
+            if !cfg
+                .hot_domain_prefixes
+                .iter()
+                .any(|p| path.starts_with(p.as_str()))
+            {
+                return false;
+            }
+            match domain {
+                None => true,
+                Some(files) => files.contains(path),
+            }
+        };
+        let mut hot: BTreeSet<usize> = BTreeSet::new();
+        let mut work: Vec<usize> = Vec::new();
+        for (idx, n) in self.nodes.iter().enumerate() {
+            let f = item(self.analyses, n);
+            if f.cold_annotated || !in_domain(idx) {
+                continue;
+            }
+            let seeded = (cfg.hot_seed_fns.contains(&f.name)
+                && seed_files.contains(&self.analyses[n.file].path))
+                || f.hot_annotated;
+            if seeded && hot.insert(idx) {
+                work.push(idx);
+            }
+        }
+        let mut edges = 0usize;
+        let mut parents: BTreeMap<usize, usize> = BTreeMap::new();
+        while let Some(idx) = work.pop() {
+            for call in &self.calls[idx] {
+                for t in self.resolve(idx, call) {
+                    let f = self.fn_of(t);
+                    if f.cold_annotated || !in_domain(t) {
+                        continue;
+                    }
+                    edges += 1;
+                    if hot.insert(t) {
+                        parents.insert(t, idx);
+                        work.push(t);
+                    }
+                }
+            }
+        }
+        Closure { hot, edges, parents }
+    }
+
+    /// Resolves one call site from `caller` to candidate nodes.
+    fn resolve(&self, caller: usize, call: &Call) -> Vec<usize> {
+        let caller_node = &self.nodes[caller];
+        let caller_crate = &self.crate_of_file[caller_node.file];
+        match call {
+            Call::Method(name) => self
+                .methods_by_name
+                .get(name)
+                .cloned()
+                .unwrap_or_default(),
+            Call::Free(name) => {
+                let mut out = self.free_in_crate(caller_crate, name);
+                if let Some((krate, orig)) = self.imports[caller_node.file].get(name) {
+                    out.extend(self.free_in_crate(krate, orig));
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Call::Path(segs) => self.resolve_path(caller, segs),
+        }
+    }
+
+    /// Resolves a `::`-qualified call path.
+    fn resolve_path(&self, caller: usize, segs: &[String]) -> Vec<usize> {
+        let caller_node = &self.nodes[caller];
+        let caller_crate = &self.crate_of_file[caller_node.file];
+        let name = segs.last().expect("paths have a final segment");
+        let qualifier = &segs[..segs.len() - 1];
+        let Some(q_last) = qualifier.last() else {
+            return Vec::new();
+        };
+
+        // `Self::f` — the caller's own impl type.
+        if q_last == "Self" {
+            let ty = item(self.analyses, caller_node)
+                .impl_type
+                .clone()
+                .unwrap_or_else(|| "Self".to_string());
+            return self.type_or_free(&ty, name, caller_crate);
+        }
+        // Uppercase last qualifier: an associated fn on a type, wherever
+        // the type's impls live (types travel by `use`, so crate-global).
+        if starts_upper(q_last) {
+            return self.type_or_free(q_last, name, caller_crate);
+        }
+        // Module path: figure out which crate it lands in.
+        let first = &segs[0];
+        let krate = if first == "crate" || first == "self" || first == "super" {
+            caller_crate.clone()
+        } else if self.free_by_crate.keys().any(|(c, _)| c == first)
+            || self.crate_of_file.iter().any(|c| c == first)
+        {
+            first.clone()
+        } else if let Some((krate, _)) = self.imports[caller_node.file].get(q_last) {
+            // `use an2_sched::rng; … rng::index(…)` — module alias.
+            krate.clone()
+        } else if first == "std" || first == "core" || first == "alloc" {
+            return Vec::new();
+        } else {
+            // Unknown module qualifier (`m::f` for a submodule): stay in
+            // the caller's crate.
+            caller_crate.clone()
+        };
+        self.free_in_crate(&krate, name)
+    }
+
+    /// `Type::f` lookup, falling back to free fns of the caller's crate
+    /// when no impl matches (module constants/paths mistaken for types).
+    fn type_or_free(&self, ty: &str, name: &str, caller_crate: &str) -> Vec<usize> {
+        match self.type_fns.get(&(ty.to_string(), name.to_string())) {
+            Some(v) => v.clone(),
+            None => self.free_in_crate(caller_crate, name),
+        }
+    }
+
+    fn free_in_crate(&self, krate: &str, name: &str) -> Vec<usize> {
+        self.free_by_crate
+            .get(&(krate.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+fn item<'a>(analyses: &'a [FileAnalysis], n: &Node) -> &'a FnItem {
+    &analyses[n.file].fns[n.item]
+}
+
+/// The crate a workspace-relative path belongs to, with `-` mapped to `_`
+/// as in Rust paths (`crates/an2-sched/src/pim.rs` → `an2_sched`).
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.replace('-', "_");
+        }
+    }
+    String::new()
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct(c)
+}
+
+/// Finds the matching `<` for the `>` at `gt`, walking backwards. Returns
+/// `None` when nesting never closes within the body (a comparison operator,
+/// not a generic-argument group).
+fn angle_open(toks: &[Tok], open: usize, gt: usize) -> Option<usize> {
+    let mut depth = 1i32;
+    let mut k = gt;
+    while k > open {
+        k -= 1;
+        match toks[k].kind {
+            TokKind::Punct('>') => depth += 1,
+            TokKind::Punct('<') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            // A `;` or `{` cannot appear inside generic arguments: this
+            // `>` was a comparison after all.
+            TokKind::Punct(';') | TokKind::Punct('{') => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the call sites of a fn body, walking full `::` paths including
+/// turbofish segments (`PortSetN::<W>::new(…)`, `iter.collect::<V>(…)`).
+fn body_calls(a: &FileAnalysis, f: &FnItem) -> Vec<Call> {
+    let (open, close) = f.body.expect("graph nodes all have bodies");
+    let toks = &a.toks;
+    let mut calls = Vec::new();
+    for i in open + 1..close {
+        if !is_punct(&toks[i], '(') {
+            continue;
+        }
+        // Locate the callee name just before this `(`: either `name(` or a
+        // turbofish `name::<…>(`.
+        let callee = if i >= 1 && toks[i - 1].kind == TokKind::Ident {
+            i - 1
+        } else if i >= 1 && is_punct(&toks[i - 1], '>') {
+            match angle_open(toks, open, i - 1) {
+                Some(k)
+                    if k >= 3
+                        && is_punct(&toks[k - 1], ':')
+                        && is_punct(&toks[k - 2], ':')
+                        && toks[k - 3].kind == TokKind::Ident =>
+                {
+                    k - 3
+                }
+                _ => continue,
+            }
+        } else {
+            continue;
+        };
+        let name = toks[callee].text.clone();
+        // Walk the `::` chain backwards from the callee: plain segments
+        // (`a::b::name`) and generic ones (`Type::<W>::name`).
+        let mut segs = vec![name.clone()];
+        let mut j = callee;
+        let mut opaque_qualifier = false;
+        while j >= 3 && is_punct(&toks[j - 1], ':') && is_punct(&toks[j - 2], ':') {
+            if toks[j - 3].kind == TokKind::Ident {
+                segs.insert(0, toks[j - 3].text.clone());
+                j -= 3;
+            } else if is_punct(&toks[j - 3], '>') {
+                match angle_open(toks, open, j - 3) {
+                    // `Type::<W>::name` — skip the turbofish segment.
+                    Some(k)
+                        if k >= 3
+                            && is_punct(&toks[k - 1], ':')
+                            && is_punct(&toks[k - 2], ':')
+                            && toks[k - 3].kind == TokKind::Ident =>
+                    {
+                        segs.insert(0, toks[k - 3].text.clone());
+                        j = k - 3;
+                    }
+                    // `<T as Trait>::name` — a qualified path whose type
+                    // expression the lexer flattened.
+                    _ => {
+                        opaque_qualifier = true;
+                        break;
+                    }
+                }
+            } else {
+                opaque_qualifier = true;
+                break;
+            }
+        }
+        if segs.len() > 1 && !opaque_qualifier {
+            calls.push(Call::Path(segs));
+        } else if opaque_qualifier || (j >= 1 && is_punct(&toks[j - 1], '.')) {
+            // Opaque qualifiers resolve like methods: by name.
+            calls.push(Call::Method(name));
+        } else if segs.len() == 1 {
+            calls.push(Call::Free(name));
+        }
+    }
+    calls
+}
+
+/// Parses every `use` declaration of a file into leaf-name → (crate,
+/// original name) entries. Only paths rooted in an in-workspace crate (or
+/// `crate`/`self`/`super`, which mean the file's own crate) produce
+/// entries; `std`/external roots resolve to nothing anyway.
+fn parse_imports(
+    a: &FileAnalysis,
+    own_crate: &str,
+    known_crates: &BTreeSet<String>,
+) -> BTreeMap<String, (String, String)> {
+    let mut out = BTreeMap::new();
+    let toks = &a.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "use" {
+            let start = i + 1;
+            let mut end = start;
+            while end < toks.len() && !is_punct(&toks[end], ';') {
+                end += 1;
+            }
+            parse_use_tree(&toks[start..end], &mut Vec::new(), own_crate, known_crates, &mut out);
+            i = end;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Recursively parses one use-tree token slice, accumulating the current
+/// path prefix. Handles `a::b::c`, `{x, y::z}` groups, `as` renames, and
+/// `self` leaves; `*` globs are ignored (no single name to bind).
+fn parse_use_tree(
+    toks: &[Tok],
+    prefix: &mut Vec<String>,
+    own_crate: &str,
+    known_crates: &BTreeSet<String>,
+    out: &mut BTreeMap<String, (String, String)>,
+) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = 0;
+    let flush =
+        |segs: &[String], alias: Option<&str>, prefix: &[String], out: &mut BTreeMap<String, (String, String)>| {
+            let full: Vec<&String> = prefix.iter().chain(segs.iter()).collect();
+            let Some(&leaf) = full.last() else { return };
+            let Some(root) = full.first() else { return };
+            let krate = if *root == "crate" || *root == "self" || *root == "super" {
+                own_crate.to_string()
+            } else if known_crates.contains(root.as_str()) {
+                (*root).clone()
+            } else {
+                return;
+            };
+            // A `self` leaf (`use a::b::{self}`) imports the module `b`.
+            let (name, default_alias) = if leaf == "self" {
+                match full.get(full.len().wrapping_sub(2)) {
+                    Some(&module) => (module.clone(), module.clone()),
+                    None => return,
+                }
+            } else {
+                (leaf.clone(), leaf.clone())
+            };
+            out.insert(alias.map_or(default_alias, str::to_string), (krate, name));
+        };
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident if t.text == "as" => {
+                // `path as alias`
+                if let Some(alias_tok) = toks.get(i + 1) {
+                    if alias_tok.kind == TokKind::Ident {
+                        flush(&segs, Some(&alias_tok.text), prefix, out);
+                        segs.clear();
+                        i += 2;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident => {
+                segs.push(t.text.clone());
+                i += 1;
+            }
+            TokKind::Punct(':') => i += 1,
+            TokKind::Punct(',') => {
+                if !segs.is_empty() {
+                    flush(&segs, None, prefix, out);
+                    segs.clear();
+                }
+                i += 1;
+            }
+            TokKind::Punct('{') => {
+                // Find the matching close within this slice.
+                let mut depth = 1usize;
+                let mut j = i + 1;
+                while j < toks.len() && depth > 0 {
+                    match toks[j].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let inner_end = j.saturating_sub(1);
+                let before = prefix.len();
+                prefix.append(&mut segs);
+                parse_use_tree(&toks[i + 1..inner_end], prefix, own_crate, known_crates, out);
+                prefix.truncate(before);
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    if !segs.is_empty() {
+        flush(&segs, None, prefix, out);
+    }
+}

@@ -14,6 +14,26 @@
 
 use std::path::Path;
 
+/// The PR 5 per-file hot scope, kept verbatim for the v1 closure metric.
+/// Do not extend this list — new hot files go in [`Config::base`]'s
+/// `hot_files`; this one exists so the v2/v1 ratio stays meaningful.
+const LEGACY_HOT_FILES: [&str; 14] = [
+    "crates/an2-sched/src/pim.rs",
+    "crates/an2-sched/src/islip.rs",
+    "crates/an2-sched/src/stat.rs",
+    "crates/an2-sched/src/maximum.rs",
+    "crates/an2-sched/src/matching.rs",
+    "crates/an2-sched/src/port.rs",
+    "crates/an2-sched/src/requests.rs",
+    "crates/an2-sched/src/rng.rs",
+    "crates/an2-sched/src/scheduler.rs",
+    "crates/an2-sim/src/batch.rs",
+    "crates/an2-net/src/shard.rs",
+    "crates/an2-sim/src/fault.rs",
+    "crates/an2-sched/src/mwm.rs",
+    "crates/an2-sched/src/serenade.rs",
+];
+
 /// A violation identity as stored in the baseline file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BaselineEntry {
@@ -30,8 +50,18 @@ pub struct BaselineEntry {
 pub struct Config {
     /// Files whose `fn`s participate in the hot-path allocation closure.
     pub hot_files: Vec<String>,
+    /// The PR 5 hot-file list, frozen. The v1 closure metric in
+    /// `results/LINT.json` is computed over exactly these files (seeds and
+    /// traversal domain both), so the v2/v1 ratio measures what the
+    /// cross-crate closure actually gained.
+    pub legacy_hot_files: Vec<String>,
     /// Function names that seed the hot-path closure in every hot file.
     pub hot_seed_fns: Vec<String>,
+    /// Path prefixes the hot closure may traverse into. Name-resolved call
+    /// edges stop at this boundary: vendored test stand-ins (criterion,
+    /// proptest), integration tests and examples share fn names with
+    /// product code but never run on the per-slot path.
+    pub hot_domain_prefixes: Vec<String>,
     /// Crate directory prefixes whose code must be deterministic.
     pub det_prefixes: Vec<String>,
     /// Files exempt from the determinism rule (the deterministic-hasher
@@ -88,10 +118,24 @@ impl Config {
                 // Q-matrix observe feed on the same loop.
                 "crates/an2-sched/src/mwm.rs",
                 "crates/an2-sched/src/serenade.rs",
+                // PR 10: the per-slot code the old closure missed — the
+                // VOQ buffer's push/pop/observe feed and the crossbar
+                // switch's slot loop both run on every cell time.
+                "crates/an2-sim/src/voq.rs",
+                "crates/an2-sim/src/switch.rs",
             ]
             .map(String::from)
             .to_vec(),
+            legacy_hot_files: LEGACY_HOT_FILES.map(String::from).to_vec(),
             hot_seed_fns: vec!["schedule".to_string()],
+            hot_domain_prefixes: [
+                "crates/an2-sched/",
+                "crates/an2-sim/",
+                "crates/an2-net/",
+                "crates/an2-task/",
+            ]
+            .map(String::from)
+            .to_vec(),
             det_prefixes: [
                 "crates/an2-sched/",
                 "crates/an2-sim/",

@@ -12,30 +12,39 @@
 //! engine:
 //!
 //! 1. [`rules::RULE_HOT_ALLOC`] — no allocating calls in functions reachable
-//!    from `schedule()` in the hot scheduler modules, via a name-resolved
-//!    call-graph closure seeded by `fn schedule` and `// an2-lint: hot`
+//!    from `schedule()`, via the cross-crate call-graph closure in
+//!    [`closure`] seeded by `fn schedule` and `// an2-lint: hot`
 //!    annotations.
-//! 2. [`rules::RULE_DETERMINISM`] — no wall clocks, random-state hash
+//! 2. [`rules::RULE_PANIC`] — no `unwrap`/`expect`/panic-family macros/raw
+//!    `x[i]` indexing in hot fns: a degraded-input slot must degrade, not
+//!    abort (`debug_assert!` stays legal — it compiles out of release).
+//! 3. [`rules::RULE_OVERFLOW`] — counter arithmetic in hot fns must be
+//!    `wrapping_*`/`saturating_*`/`checked_*` or justified, so debug
+//!    (abort-on-overflow) and release (silent wrap) builds agree.
+//! 4. [`rules::RULE_DETERMINISM`] — no wall clocks, random-state hash
 //!    collections, env reads or foreign RNGs in the deterministic crates.
-//! 3. [`rules::RULE_UNSAFE`] — `unsafe` only in files listed in
+//! 5. [`rules::RULE_UNSAFE`] — `unsafe` only in files listed in
 //!    `lint/unsafe-allowlist.txt`, each occurrence with a `// SAFETY:`
 //!    rationale.
-//! 4. [`rules::RULE_STDOUT`] — `println!`/`print!`/`dbg!` only in bin
+//! 6. [`rules::RULE_STDOUT`] — `println!`/`print!`/`dbg!` only in bin
 //!    targets (protects the `--check` byte-identity contract).
-//! 5. [`rules::RULE_DEPS`] — `Cargo.lock` may only contain crates listed in
+//! 7. [`rules::RULE_DEPS`] — `Cargo.lock` may only contain crates listed in
 //!    `lint/deps-allowlist.txt`.
 //!
 //! Run with `cargo run -p an2-lint`; the outcome is also written to
-//! `results/LINT.json`. `--fix-baseline` records current violations in
-//! `lint/baseline.txt` so a rule can be introduced before its last
-//! violations are purged (the committed baseline is empty and should stay
-//! that way).
+//! `results/LINT.json` (v2: per-rule counts plus closure-size metrics).
+//! `--sarif <path>` additionally emits SARIF 2.1.0 for PR-diff annotation;
+//! `--dump-closure` prints every hot fn with the file and line it lives at.
+//! `--fix-baseline` records current violations in `lint/baseline.txt` so a
+//! rule can be introduced before its last violations are purged (the
+//! committed baseline is empty and should stay that way).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analyze;
+pub mod closure;
 pub mod config;
 pub mod lexer;
 pub mod report;
@@ -43,7 +52,7 @@ pub mod rules;
 
 pub use analyze::SourceFile;
 pub use config::{BaselineEntry, Config};
-pub use rules::{lint_files, lint_lockfile, Violation};
+pub use rules::{lint_files, lint_files_full, lint_lockfile, ClosureMetrics, LintOutcome, Violation};
 
 use std::io;
 use std::path::{Path, PathBuf};

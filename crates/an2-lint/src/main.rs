@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! cargo run -p an2-lint [-- --root PATH] [--fix-baseline] [--quiet]
+//!                       [--sarif PATH] [--dump-closure]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations, 2 = configuration/usage error.
-//! The machine-readable report always lands in `results/LINT.json`.
+//! The machine-readable report always lands in `results/LINT.json` (v2:
+//! per-rule counts plus closure metrics); `--sarif PATH` also writes a
+//! SARIF 2.1.0 log and `--dump-closure` prints every hot fn.
 
 use an2_lint::{
-    apply_baseline, collect_files, config::baseline_line, default_root, lint_files,
+    apply_baseline, collect_files, config::baseline_line, default_root, lint_files_full,
     lint_lockfile, report, Config,
 };
 use std::path::PathBuf;
@@ -18,6 +21,8 @@ struct Args {
     root: PathBuf,
     fix_baseline: bool,
     quiet: bool,
+    sarif: Option<PathBuf>,
+    dump_closure: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +30,8 @@ fn parse_args() -> Result<Args, String> {
         root: default_root(),
         fix_baseline: false,
         quiet: false,
+        sarif: None,
+        dump_closure: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -35,8 +42,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fix-baseline" => args.fix_baseline = true,
             "--quiet" => args.quiet = true,
+            "--sarif" => {
+                let v = it.next().ok_or("--sarif needs a path")?;
+                args.sarif = Some(PathBuf::from(v));
+            }
+            "--dump-closure" => args.dump_closure = true,
             "--help" | "-h" => {
-                return Err("usage: an2-lint [--root PATH] [--fix-baseline] [--quiet]".into())
+                return Err(
+                    "usage: an2-lint [--root PATH] [--fix-baseline] [--quiet] \
+                     [--sarif PATH] [--dump-closure]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -73,7 +89,24 @@ fn run(args: &Args) -> Result<bool, String> {
 
     let files = collect_files(root, &cfg).map_err(|e| format!("walking {}: {e}", root.display()))?;
     let files_scanned = files.len();
-    let mut violations = lint_files(&files, &cfg);
+    let outcome = lint_files_full(&files, &cfg);
+    let closure = outcome.closure;
+    let mut violations = outcome.violations;
+
+    if args.dump_closure {
+        println!(
+            "an2-lint: hot closure — {} fn(s) across {} file(s), {} edge(s) \
+             (v1 per-file closure: {} fn(s), ratio {:.2})",
+            closure.v2_fns,
+            closure.v2_files,
+            closure.edges,
+            closure.v1_fns,
+            closure.ratio(),
+        );
+        for (file, line, name, via) in &closure.hot_fns {
+            println!("  {file}:{line}  {name}  (via {via})");
+        }
+    }
 
     let lock_path = root.join("Cargo.lock");
     let lock = std::fs::read_to_string(&lock_path)
@@ -102,13 +135,25 @@ fn run(args: &Args) -> Result<bool, String> {
 
     let (violations, suppressed) = apply_baseline(violations, &cfg.baseline);
 
-    let json = report::to_json(&violations, files_scanned, suppressed);
+    let json = report::to_json(&violations, files_scanned, suppressed, &closure);
     let results_dir = root.join("results");
     std::fs::create_dir_all(&results_dir)
         .map_err(|e| format!("creating {}: {e}", results_dir.display()))?;
     let report_path = results_dir.join("LINT.json");
     std::fs::write(&report_path, json)
         .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+
+    if let Some(sarif_path) = &args.sarif {
+        let sarif = report::to_sarif(&violations);
+        if let Some(dir) = sarif_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(sarif_path, sarif)
+            .map_err(|e| format!("writing {}: {e}", sarif_path.display()))?;
+    }
 
     if !args.quiet {
         for v in &violations {

@@ -1,19 +1,42 @@
-//! Machine-readable report (`results/LINT.json`) and human diagnostics.
+//! Machine-readable reports (`results/LINT.json` v2, SARIF 2.1.0) and
+//! human diagnostics.
 
-use crate::rules::Violation;
+use crate::rules::{ClosureMetrics, Violation, ALL_RULES};
 use std::fmt::Write as _;
 
-/// Serializes the lint outcome as the `results/LINT.json` document
-/// (version 1 schema): rule, file, line, snippet and message per violation,
-/// plus scan counters. Violations must already be sorted; the writer
-/// preserves order so the report is byte-stable for a given tree.
-pub fn to_json(violations: &[Violation], files_scanned: usize, baseline_suppressed: usize) -> String {
+/// Serializes the lint outcome as the `results/LINT.json` document,
+/// version 2 schema: scan counters, **per-rule counts** over [`ALL_RULES`],
+/// **closure metrics** (v2/v1 fn counts, ratio, files, edges), and the
+/// violation list. Violations must already be sorted; the writer preserves
+/// order so the report is byte-stable for a given tree.
+pub fn to_json(
+    violations: &[Violation],
+    files_scanned: usize,
+    baseline_suppressed: usize,
+    closure: &ClosureMetrics,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"version\": 2,");
     let _ = writeln!(s, "  \"files_scanned\": {files_scanned},");
     let _ = writeln!(s, "  \"baseline_suppressed\": {baseline_suppressed},");
     let _ = writeln!(s, "  \"violation_count\": {},", violations.len());
+    s.push_str("  \"rule_counts\": {");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let n = violations.iter().filter(|v| v.rule == *rule).count();
+        let _ = write!(s, "\n    \"{}\": {n}", esc(rule));
+    }
+    s.push_str("\n  },\n");
+    s.push_str("  \"closure\": {");
+    let _ = write!(s, "\n    \"v2_fns\": {},", closure.v2_fns);
+    let _ = write!(s, "\n    \"v1_fns\": {},", closure.v1_fns);
+    let _ = write!(s, "\n    \"v2_over_v1_ratio\": {:.3},", closure.ratio());
+    let _ = write!(s, "\n    \"v2_files\": {},", closure.v2_files);
+    let _ = write!(s, "\n    \"edges\": {}", closure.edges);
+    s.push_str("\n  },\n");
     s.push_str("  \"violations\": [");
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
@@ -31,6 +54,101 @@ pub fn to_json(violations: &[Violation], files_scanned: usize, baseline_suppress
         s.push_str("\n  ");
     }
     s.push_str("]\n}\n");
+    s
+}
+
+/// Short SARIF rule descriptions, aligned with [`ALL_RULES`] order.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "alloc-in-hot-path" => {
+            "No allocating calls in functions reachable from schedule(): the \
+             scheduler must decide every cell slot in bounded time."
+        }
+        "panic-freedom" => {
+            "No unwrap/expect/panic-family macros/raw indexing in hot \
+             functions: a degraded-input slot must degrade, not abort."
+        }
+        "overflow-discipline" => {
+            "Counter arithmetic in hot functions must be wrapping, \
+             saturating or checked so debug and release agree on overflow."
+        }
+        "determinism" => {
+            "No wall clocks, random-state hashers, env reads or foreign \
+             RNGs in the deterministic crates."
+        }
+        "unsafe-hygiene" => {
+            "unsafe only in allowlisted files, each occurrence with a \
+             SAFETY rationale."
+        }
+        "stdout-purity" => {
+            "stdout belongs to bin targets only (protects --check \
+             byte-identity)."
+        }
+        "dependency-audit" => "Cargo.lock may only contain allowlisted crates.",
+        _ => "an2-lint rule.",
+    }
+}
+
+/// Serializes violations as a SARIF 2.1.0 log (one run, one tool driver,
+/// every rule in the rule table, one `result` per violation with a
+/// `physicalLocation` region at the offending line). GitHub code scanning
+/// and most SARIF viewers can annotate PR diffs from this directly.
+pub fn to_sarif(violations: &[Violation]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","
+    );
+    let _ = writeln!(s, "  \"version\": \"2.1.0\",");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    let _ = writeln!(s, "          \"name\": \"an2-lint\",");
+    let _ = writeln!(
+        s,
+        "          \"informationUri\": \"https://github.com/an2-repro/an2-repro\","
+    );
+    s.push_str("          \"rules\": [");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n            {");
+        let _ = write!(s, "\"id\": \"{}\", ", esc(rule));
+        let _ = write!(
+            s,
+            "\"shortDescription\": {{\"text\": \"{}\"}}",
+            esc(rule_description(rule))
+        );
+        s.push('}');
+    }
+    s.push_str("\n          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n        {\n");
+        let _ = writeln!(s, "          \"ruleId\": \"{}\",", esc(v.rule));
+        let _ = writeln!(s, "          \"level\": \"error\",");
+        let _ = writeln!(
+            s,
+            "          \"message\": {{\"text\": \"{}\"}},",
+            esc(&v.message)
+        );
+        s.push_str("          \"locations\": [{\"physicalLocation\": {");
+        let _ = write!(
+            s,
+            "\"artifactLocation\": {{\"uri\": \"{}\"}}, ",
+            esc(&v.file)
+        );
+        let _ = write!(s, "\"region\": {{\"startLine\": {}}}", v.line);
+        s.push_str("}}]\n        }");
+    }
+    if !violations.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
     s
 }
 
@@ -65,21 +183,44 @@ mod tests {
     use super::*;
     use crate::rules::RULE_STDOUT;
 
-    #[test]
-    fn json_escapes_and_counts() {
-        let v = Violation {
+    fn sample() -> Violation {
+        Violation {
             rule: RULE_STDOUT,
             file: "crates/x/src/lib.rs".into(),
             line: 3,
             snippet: "println!(\"hi\\there\")".into(),
             message: "no \"stdout\"".into(),
-        };
-        let json = to_json(&[v], 10, 0);
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = to_json(&[sample()], 10, 0, &ClosureMetrics::default());
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"violation_count\": 1"));
         assert!(json.contains("\\\"hi\\\\there\\\""));
         assert!(json.contains("\"files_scanned\": 10"));
-        let empty = to_json(&[], 2, 1);
+        assert!(json.contains("\"stdout-purity\": 1"));
+        assert!(json.contains("\"alloc-in-hot-path\": 0"));
+        let empty = to_json(&[], 2, 1, &ClosureMetrics::default());
         assert!(empty.contains("\"violations\": []"));
         assert!(empty.contains("\"baseline_suppressed\": 1"));
+        assert!(empty.contains("\"v2_over_v1_ratio\": 0.000"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_result_locations() {
+        let sarif = to_sarif(&[sample()]);
+        assert!(sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"an2-lint\""));
+        for rule in ALL_RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+        }
+        assert!(sarif.contains("\"ruleId\": \"stdout-purity\""));
+        assert!(sarif.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        let empty = to_sarif(&[]);
+        assert!(empty.contains("\"results\": []"));
     }
 }

@@ -1,16 +1,21 @@
-//! The five invariant rules.
+//! The seven invariant rules.
 //!
 //! Every rule reports [`Violation`]s with a stable rule name, the
 //! workspace-relative file, a 1-based line and the offending source line, so
 //! a failure in CI names exactly what to fix. Inline escapes use
 //! `// an2-lint: allow(<rule>) — reason` on the offending line or the line
 //! above; they are deliberately line-granular so each tolerated allocation
-//! or collection carries its own justification in the diff.
+//! or collection carries its own justification in the diff. The fn-granular
+//! rules (panic-freedom, overflow-discipline) additionally accept a
+//! full-line allow comment directly above a fn, covering its whole body
+//! with one named invariant — and for those two rules every allow *must*
+//! carry justification text, or it does not suppress.
 
-use crate::analyze::{FileAnalysis, FnItem, SourceFile};
+use crate::analyze::{FileAnalysis, SourceFile};
+use crate::closure::{CallGraph, Closure};
 use crate::config::Config;
 use crate::lexer::TokKind;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Rule: no allocating calls in functions reachable from `schedule()`.
 pub const RULE_HOT_ALLOC: &str = "alloc-in-hot-path";
@@ -24,6 +29,24 @@ pub const RULE_UNSAFE: &str = "unsafe-hygiene";
 pub const RULE_STDOUT: &str = "stdout-purity";
 /// Rule: `Cargo.lock` may only contain allowlisted crates.
 pub const RULE_DEPS: &str = "dependency-audit";
+/// Rule: no `unwrap`/`expect`/panic-family macros/raw indexing in hot fns —
+/// a degraded-input slot must degrade, not abort.
+pub const RULE_PANIC: &str = "panic-freedom";
+/// Rule: counter arithmetic in hot fns must be wrapping/saturating/checked
+/// (or justified) so debug and release builds agree on overflow.
+pub const RULE_OVERFLOW: &str = "overflow-discipline";
+
+/// Every source-level rule name, in report order (for per-rule counts and
+/// the SARIF rule table).
+pub const ALL_RULES: [&str; 7] = [
+    RULE_HOT_ALLOC,
+    RULE_PANIC,
+    RULE_OVERFLOW,
+    RULE_DETERMINISM,
+    RULE_UNSAFE,
+    RULE_STDOUT,
+    RULE_DEPS,
+];
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,10 +63,50 @@ pub struct Violation {
     pub message: String,
 }
 
-/// Runs the four source-level rules over `files` (the dependency audit runs
+/// Hot-closure size metrics for `results/LINT.json` and `--dump-closure`.
+#[derive(Debug, Default, Clone)]
+pub struct ClosureMetrics {
+    /// Fns in the cross-crate (v2) closure.
+    pub v2_fns: usize,
+    /// Fns the PR 5 per-file (v1) closure would have seen.
+    pub v1_fns: usize,
+    /// Distinct files contributing fns to the v2 closure.
+    pub v2_files: usize,
+    /// Call edges followed while building the v2 closure.
+    pub edges: usize,
+    /// The v2 closure members as (file, line, qualified name, reached-via),
+    /// sorted; `reached-via` names the first-discovery caller, or `seed`.
+    pub hot_fns: Vec<(String, u32, String, String)>,
+}
+
+impl ClosureMetrics {
+    /// v2-to-v1 fn-count ratio (how much hot code the old closure missed).
+    pub fn ratio(&self) -> f64 {
+        if self.v1_fns == 0 {
+            return 0.0;
+        }
+        self.v2_fns as f64 / self.v1_fns as f64
+    }
+}
+
+/// Everything one lint pass produces.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Sorted violations.
+    pub violations: Vec<Violation>,
+    /// Hot-closure metrics.
+    pub closure: ClosureMetrics,
+}
+
+/// Runs the source-level rules over `files` (the dependency audit runs
 /// separately via [`lint_lockfile`]). Results are sorted by file, line,
 /// rule.
 pub fn lint_files(files: &[SourceFile], cfg: &Config) -> Vec<Violation> {
+    lint_files_full(files, cfg).violations
+}
+
+/// Like [`lint_files`], also returning the hot-closure metrics.
+pub fn lint_files_full(files: &[SourceFile], cfg: &Config) -> LintOutcome {
     let analyses: Vec<FileAnalysis> = files.iter().map(FileAnalysis::new).collect();
     let mut out = Vec::new();
     for a in &analyses {
@@ -51,12 +114,55 @@ pub fn lint_files(files: &[SourceFile], cfg: &Config) -> Vec<Violation> {
         check_stdout(a, cfg, &mut out);
         check_determinism(a, cfg, &mut out);
     }
-    check_hot_alloc(&analyses, cfg, &mut out);
+
+    let graph = CallGraph::build(&analyses);
+    let v2 = graph.closure(cfg, &cfg.hot_files, None);
+    let v1 = graph.closure(
+        cfg,
+        &cfg.legacy_hot_files,
+        Some(&cfg.legacy_hot_files),
+    );
+    check_hot_alloc(&graph, &v2, &mut out);
+    check_panic_freedom(&graph, &v2, &mut out);
+    check_overflow_discipline(&graph, &v2, &mut out);
+
     out.sort_by(|x, y| {
         (&x.file, x.line, x.rule).cmp(&(&y.file, y.line, y.rule))
     });
     out.dedup();
-    out
+
+    let qualified = |idx: usize| {
+        let f = graph.fn_of(idx);
+        match &f.impl_type {
+            Some(ty) => format!("{ty}::{}", f.name),
+            None => f.name.clone(),
+        }
+    };
+    let mut hot_fns: Vec<(String, u32, String, String)> = v2
+        .hot
+        .iter()
+        .map(|&idx| {
+            let a = graph.file_of(idx);
+            let via = match v2.parents.get(&idx) {
+                Some(&p) => qualified(p),
+                None => "seed".to_string(),
+            };
+            (a.path.clone(), graph.fn_of(idx).line, qualified(idx), via)
+        })
+        .collect();
+    hot_fns.sort();
+    let v2_files: BTreeSet<&String> = hot_fns.iter().map(|(f, _, _, _)| f).collect();
+
+    LintOutcome {
+        violations: out,
+        closure: ClosureMetrics {
+            v2_fns: v2.hot.len(),
+            v1_fns: v1.hot.len(),
+            v2_files: v2_files.len(),
+            edges: v2.edges,
+            hot_fns,
+        },
+    }
 }
 
 /// Audits `Cargo.lock` against the dependency allowlist.
@@ -323,104 +429,10 @@ const ALLOC_METHODS: [&str; 12] = [
 /// Macros that allocate.
 const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
 
-/// A call site extracted from a fn body.
-#[derive(Debug)]
-enum Call {
-    /// `foo(…)` — a free function.
-    Free(String),
-    /// `Type::foo(…)` — an associated function (qualifier, name).
-    Qualified(String, String),
-    /// `x.foo(…)` — a method.
-    Method(String),
-}
-
-fn check_hot_alloc(analyses: &[FileAnalysis], cfg: &Config, out: &mut Vec<Violation>) {
-    // Domain: the configured hot files plus any file carrying a hot
-    // annotation.
-    let domain: Vec<&FileAnalysis> = analyses
-        .iter()
-        .filter(|a| {
-            cfg.hot_files.contains(&a.path)
-                || a.fns.iter().any(|f| f.hot_annotated)
-        })
-        .collect();
-    if domain.is_empty() {
-        return;
-    }
-
-    // Candidate fns: non-test, with a body, not marked cold.
-    let mut fns: Vec<(usize, &FnItem)> = Vec::new(); // (domain file idx, fn)
-    for (fi, a) in domain.iter().enumerate() {
-        for f in &a.fns {
-            if !f.in_test && f.body.is_some() && !f.cold_annotated {
-                fns.push((fi, f));
-            }
-        }
-    }
-
-    // Indexes for call resolution.
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut by_qualified: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    for (idx, (_, f)) in fns.iter().enumerate() {
-        by_name.entry(&f.name).or_default().push(idx);
-        match &f.impl_type {
-            Some(ty) => by_qualified
-                .entry((ty.as_str(), f.name.as_str()))
-                .or_default()
-                .push(idx),
-            None => free_by_name.entry(&f.name).or_default().push(idx),
-        }
-    }
-
-    // Seeds: `schedule()` in the configured hot files, plus annotations.
-    let mut hot: BTreeSet<usize> = BTreeSet::new();
-    let mut work: Vec<usize> = Vec::new();
-    for (idx, (fi, f)) in fns.iter().enumerate() {
-        let seeded = (cfg.hot_seed_fns.contains(&f.name)
-            && cfg.hot_files.iter().any(|p| *p == domain[*fi].path))
-            || f.hot_annotated;
-        if seeded && hot.insert(idx) {
-            work.push(idx);
-        }
-    }
-
-    // Reachability closure over the name-resolved call graph.
-    while let Some(idx) = work.pop() {
-        let (fi, f) = fns[idx];
-        let a = domain[fi];
-        for call in body_calls(a, f) {
-            let targets: Vec<usize> = match &call {
-                Call::Method(name) => by_name.get(name.as_str()).cloned().unwrap_or_default(),
-                Call::Free(name) => {
-                    free_by_name.get(name.as_str()).cloned().unwrap_or_default()
-                }
-                Call::Qualified(q, name) => {
-                    let q = if q == "Self" {
-                        f.impl_type.as_deref().unwrap_or("Self")
-                    } else {
-                        q.as_str()
-                    };
-                    match by_qualified.get(&(q, name.as_str())) {
-                        Some(v) => v.clone(),
-                        // An unmatched qualifier may be a module path
-                        // (`maximum::hopcroft_karp`); fall back to free fns.
-                        None => free_by_name.get(name.as_str()).cloned().unwrap_or_default(),
-                    }
-                }
-            };
-            for t in targets {
-                if hot.insert(t) {
-                    work.push(t);
-                }
-            }
-        }
-    }
-
-    // Scan every hot fn body for allocating constructs.
-    for &idx in &hot {
-        let (fi, f) = fns[idx];
-        let a = domain[fi];
+fn check_hot_alloc(graph: &CallGraph<'_>, closure: &Closure, out: &mut Vec<Violation>) {
+    for &idx in &closure.hot {
+        let a = graph.file_of(idx);
+        let f = graph.fn_of(idx);
         let (open, close) = f.body.expect("hot candidates all have bodies");
         let mut i = open + 1;
         while i < close {
@@ -473,38 +485,253 @@ fn check_hot_alloc(analyses: &[FileAnalysis], cfg: &Config, out: &mut Vec<Violat
     }
 }
 
-/// Extracts the call sites of a fn body.
-fn body_calls(a: &FileAnalysis, f: &FnItem) -> Vec<Call> {
-    let (open, close) = f.body.expect("caller checked body presence");
-    let mut calls = Vec::new();
-    for i in open + 1..close {
-        let t = &a.toks[i];
-        if t.kind != TokKind::Ident {
+// ---------------------------------------------------------------------------
+// Rule 6: panic-freedom
+// ---------------------------------------------------------------------------
+
+/// Macros that abort the slot instead of degrading it. `debug_assert!` and
+/// friends are deliberately absent: they compile out of release builds, so
+/// they are this workspace's sanctioned way to *document* an invariant the
+/// hot path relies on.
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that may directly precede `[` without the bracket being an
+/// index expression (`let [a, b] = …`, `return [x; 4]`, `&mut [T]`…).
+const NONINDEX_KEYWORDS: [&str; 16] = [
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "break",
+    "continue", "loop", "while", "for", "where",
+];
+
+fn check_panic_freedom(graph: &CallGraph<'_>, closure: &Closure, out: &mut Vec<Violation>) {
+    for &idx in &closure.hot {
+        let a = graph.file_of(idx);
+        let f = graph.fn_of(idx);
+        if f.allows_for_body(RULE_PANIC) {
             continue;
         }
-        let followed_by_paren = a
-            .toks
-            .get(i + 1)
-            .is_some_and(|n| n.kind == TokKind::Punct('('));
-        if !followed_by_paren {
-            continue;
-        }
-        let prev = |k: usize| a.toks.get(i.wrapping_sub(k));
-        if prev(1).is_some_and(|p| p.kind == TokKind::Punct('.')) {
-            calls.push(Call::Method(t.text.clone()));
-        } else if prev(1).is_some_and(|p| p.kind == TokKind::Punct(':'))
-            && prev(2).is_some_and(|p| p.kind == TokKind::Punct(':'))
-            && prev(3).is_some_and(|p| p.kind == TokKind::Ident)
-        {
-            calls.push(Call::Qualified(
-                prev(3).expect("checked").text.clone(),
-                t.text.clone(),
-            ));
-        } else {
-            calls.push(Call::Free(t.text.clone()));
+        let (open, close) = f.body.expect("hot candidates all have bodies");
+        let report = |out: &mut Vec<Violation>, line: u32, what: String| {
+            if !a.allowed_reasoned(RULE_PANIC, line) {
+                out.push(violation(
+                    RULE_PANIC,
+                    a,
+                    line,
+                    format!(
+                        "{what} inside hot fn `{}`: a degraded input would abort the \
+                         slot instead of degrading it; restructure (e.g. `get`-based \
+                         access), guard with a `debug_assert!`, or justify with \
+                         `// an2-lint: allow({RULE_PANIC}) <invariant>`",
+                        f.name
+                    ),
+                ));
+            }
+        };
+        for i in open + 1..close {
+            let t = &a.toks[i];
+            match t.kind {
+                TokKind::Ident => {
+                    let next = a.toks.get(i + 1);
+                    if PANIC_MACROS.contains(&t.text.as_str())
+                        && next.is_some_and(|n| n.kind == TokKind::Punct('!'))
+                    {
+                        report(out, t.line, format!("aborting macro `{}!`", t.text));
+                    } else if matches!(t.text.as_str(), "unwrap" | "expect")
+                        && next.is_some_and(|n| n.kind == TokKind::Punct('('))
+                        && i > open + 1
+                        && a.toks[i - 1].kind == TokKind::Punct('.')
+                    {
+                        report(out, t.line, format!("panicking call `.{}()`", t.text));
+                    }
+                }
+                TokKind::Punct('[') => {
+                    // Raw index/slice expressions panic out of bounds. The
+                    // bracket is an index expression iff it directly follows
+                    // a value: an identifier (not a keyword), a literal
+                    // (`tuple.0[i]`), `)` or `]`.
+                    let is_index = match a.toks.get(i.wrapping_sub(1)) {
+                        Some(p) if i > open + 1 => match p.kind {
+                            TokKind::Ident => !NONINDEX_KEYWORDS.contains(&p.text.as_str()),
+                            TokKind::Lit => true,
+                            TokKind::Punct(')') | TokKind::Punct(']') => true,
+                            _ => false,
+                        },
+                        _ => false,
+                    };
+                    if is_index {
+                        report(out, t.line, "raw `[…]` indexing".to_string());
+                    }
+                }
+                _ => {}
+            }
         }
     }
-    calls
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: overflow-discipline
+// ---------------------------------------------------------------------------
+
+/// Name fragments that mark an identifier as a counter — state that
+/// accumulates across slots, where debug overflow aborts while release
+/// silently wraps. Matched against `_`-separated pieces of the identifier.
+const COUNTER_WORDS: [&str; 30] = [
+    "count", "counts", "counter", "counters", "total", "totals", "seq", "slot", "slots",
+    "tick", "ticks", "drop", "drops", "dropped", "admitted", "departed", "injected",
+    "delivered", "arrival", "arrivals", "departure", "departures", "occupancy", "backlog",
+    "age", "ages", "depth", "depths", "credit", "credits",
+];
+
+fn is_counter_ident(name: &str) -> bool {
+    name.split('_').any(|piece| {
+        let lower = piece.to_ascii_lowercase();
+        COUNTER_WORDS.contains(&lower.as_str())
+    })
+}
+
+fn check_overflow_discipline(graph: &CallGraph<'_>, closure: &Closure, out: &mut Vec<Violation>) {
+    for &idx in &closure.hot {
+        let a = graph.file_of(idx);
+        let f = graph.fn_of(idx);
+        if f.allows_for_body(RULE_OVERFLOW) {
+            continue;
+        }
+        let (open, close) = f.body.expect("hot candidates all have bodies");
+        // Arithmetic inside `debug_assert*!`/panic-macro arguments is
+        // invariant documentation, not slot-loop state: skip those groups
+        // (the panic macros themselves are already panic-freedom findings).
+        let skip = macro_arg_ranges(a, open, close);
+        let in_skip = |i: usize| skip.iter().any(|&(s, e)| i > s && i < e);
+        let report = |out: &mut Vec<Violation>, line: u32, what: String| {
+            if !a.allowed_reasoned(RULE_OVERFLOW, line) {
+                out.push(violation(
+                    RULE_OVERFLOW,
+                    a,
+                    line,
+                    format!(
+                        "{what} inside hot fn `{}`: debug builds abort on overflow where \
+                         release silently wraps, so checked and unchecked runs can \
+                         diverge; use `wrapping_*`/`saturating_*`/`checked_*`, or \
+                         justify with `// an2-lint: allow({RULE_OVERFLOW}) <invariant>`",
+                        f.name
+                    ),
+                ));
+            }
+        };
+        for i in open + 1..close {
+            let op = match a.toks[i].kind {
+                TokKind::Punct(c @ ('+' | '-' | '*')) => c,
+                _ => continue,
+            };
+            if in_skip(i) {
+                continue;
+            }
+            let next = a.toks.get(i + 1);
+            // `->` is an arrow, not a subtraction.
+            if op == '-' && next.is_some_and(|n| n.kind == TokKind::Punct('>')) {
+                continue;
+            }
+            if next.is_some_and(|n| n.kind == TokKind::Punct('=')) {
+                // Compound assignment: accumulation by definition.
+                report(
+                    out,
+                    a.toks[i].line,
+                    format!("compound `{op}=` accumulation"),
+                );
+                continue;
+            }
+            // Bare binary operator: only when an adjacent operand is a
+            // counter-named identifier. A non-value predecessor means the
+            // token is unary (negation, deref, reference) — skip.
+            let prev_is_value = i > open + 1
+                && match &a.toks[i - 1].kind {
+                    TokKind::Ident => !NONINDEX_KEYWORDS.contains(&a.toks[i - 1].text.as_str()),
+                    TokKind::Lit => true,
+                    TokKind::Punct(')') | TokKind::Punct(']') => true,
+                    _ => false,
+                };
+            if !prev_is_value {
+                continue;
+            }
+            let left_counter = operand_ident_back(a, i).is_some_and(is_counter_ident);
+            let right_counter = operand_ident_fwd(a, i, close).is_some_and(is_counter_ident);
+            if left_counter || right_counter {
+                report(out, a.toks[i].line, format!("bare `{op}` on a counter"));
+            }
+        }
+    }
+}
+
+/// Token ranges `(open_paren, close_paren)` of `debug_assert*!`/panic-macro
+/// invocations within a body.
+fn macro_arg_ranges(a: &FileAnalysis, open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        let t = &a.toks[i];
+        let is_doc_macro = t.kind == TokKind::Ident
+            && (t.text.starts_with("debug_assert") || PANIC_MACROS.contains(&t.text.as_str()));
+        if is_doc_macro
+            && a.toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct('!'))
+        {
+            if let Some(d) = a.toks.get(i + 2) {
+                if matches!(d.kind, TokKind::Punct('(' | '[')) {
+                    let m = a.match_of[i + 2];
+                    if m != usize::MAX {
+                        out.push((i + 2, m));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The identifier naming the operand that ends just before token `i`
+/// (walking back over one `[…]` index group to the indexed name).
+fn operand_ident_back(a: &FileAnalysis, i: usize) -> Option<&str> {
+    let prev = a.toks.get(i.wrapping_sub(1))?;
+    match prev.kind {
+        TokKind::Ident => Some(&prev.text),
+        TokKind::Punct(']') => {
+            let open = a.match_of.get(i - 1).copied()?;
+            if open == usize::MAX {
+                return None;
+            }
+            let before = a.toks.get(open.wrapping_sub(1))?;
+            (before.kind == TokKind::Ident).then_some(before.text.as_str())
+        }
+        _ => None,
+    }
+}
+
+/// The identifier naming the operand that starts just after token `i`,
+/// following `a.b.c` field chains to the final field name.
+fn operand_ident_fwd(a: &FileAnalysis, i: usize, close: usize) -> Option<&str> {
+    let mut j = i + 1;
+    let mut last: Option<&str> = None;
+    while j < close {
+        match a.toks[j].kind {
+            TokKind::Ident => {
+                last = Some(&a.toks[j].text);
+                if a.toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Punct('.'))
+                    && a.toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                {
+                    j += 2;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    last
 }
 
 fn violation(rule: &'static str, a: &FileAnalysis, line: u32, message: String) -> Violation {

@@ -4,9 +4,10 @@
 //! files in test subdirectories, so deliberate violations are inert.
 
 use an2_lint::rules::{
-    RULE_DETERMINISM, RULE_DEPS, RULE_HOT_ALLOC, RULE_STDOUT, RULE_UNSAFE,
+    RULE_DETERMINISM, RULE_DEPS, RULE_HOT_ALLOC, RULE_OVERFLOW, RULE_PANIC, RULE_STDOUT,
+    RULE_UNSAFE,
 };
-use an2_lint::{lint_files, lint_lockfile, Config, SourceFile, Violation};
+use an2_lint::{lint_files, lint_files_full, lint_lockfile, Config, SourceFile, Violation};
 use std::path::Path;
 
 /// Loads a fixture and pretends it sits at `fake_path` in the workspace,
@@ -161,6 +162,115 @@ fn stdout_is_allowed_in_bins_stderr_strings_and_tests() {
     // The bad twin relocated into a bin target: also nothing.
     let v = lint_one(fixture("stdout_bad.rs", "crates/an2-bench/src/main.rs"), &cfg);
     assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn panic_freedom_fires_on_every_panic_class() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("panic_bad.rs", "crates/an2-sched/src/pim.rs"),
+        &cfg,
+    );
+    assert_eq!(
+        rules_of(&v),
+        [RULE_PANIC, RULE_PANIC, RULE_PANIC, RULE_PANIC, RULE_PANIC],
+        "{v:#?}"
+    );
+    let text = v
+        .iter()
+        .map(|v| format!("{} {}", v.message, v.snippet))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("assert"), "{text}");
+    assert!(text.contains("unwrap"), "{text}");
+    assert!(text.contains("expect"), "{text}");
+    assert!(text.contains("panic!"), "{text}");
+    assert!(text.contains("indexing"), "{text}");
+}
+
+#[test]
+fn panic_freedom_accepts_debug_assert_allow_and_cold_cuts() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("panic_good.rs", "crates/an2-sched/src/pim.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn panic_freedom_ignores_files_outside_the_hot_closure() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("panic_bad.rs", "crates/an2-bench/src/lib.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn overflow_discipline_fires_on_compound_and_bare_counter_arithmetic() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("overflow_bad.rs", "crates/an2-sched/src/pim.rs"),
+        &cfg,
+    );
+    assert_eq!(
+        rules_of(&v),
+        [RULE_OVERFLOW, RULE_OVERFLOW, RULE_OVERFLOW],
+        "{v:#?}"
+    );
+    let text = v
+        .iter()
+        .map(|v| v.snippet.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("count += 1"), "{text}");
+    assert!(text.contains("self.total + delta"), "{text}");
+    assert!(text.contains("drops -= 1"), "{text}");
+}
+
+#[test]
+fn overflow_discipline_accepts_wrapping_saturating_and_allows() {
+    let cfg = Config::base();
+    let v = lint_one(
+        fixture("overflow_good.rs", "crates/an2-sched/src/pim.rs"),
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn the_closure_crosses_crate_boundaries() {
+    let cfg = Config::base();
+    // The violation is in an2-sim, but only `schedule` in an2-sched makes
+    // it hot — the callee's fake path is NOT a per-file hot seed.
+    let entry = fixture("closure_entry.rs", "crates/an2-sched/src/scheduler.rs");
+    let callee = fixture("closure_callee.rs", "crates/an2-sim/src/helper.rs");
+    assert!(
+        !cfg.hot_files.contains(&callee.path),
+        "callee path must not be a seed for this test to prove reachability"
+    );
+    let out = lint_files_full(&[entry, callee], &cfg);
+    let alloc: Vec<_> = out
+        .violations
+        .iter()
+        .filter(|v| v.rule == RULE_HOT_ALLOC)
+        .collect();
+    assert_eq!(alloc.len(), 1, "{:#?}", out.violations);
+    assert_eq!(alloc[0].file, "crates/an2-sim/src/helper.rs");
+    assert!(alloc[0].message.contains("admit"), "{:#?}", alloc[0]);
+    // The closure metrics must record the cross-crate edge: `admit` is hot
+    // via `Sched::schedule`, not a seed of its own.
+    let admit = out
+        .closure
+        .hot_fns
+        .iter()
+        .find(|(file, _, name, _)| file.ends_with("helper.rs") && name.contains("admit"))
+        .expect("admit must be in the v2 closure");
+    assert!(admit.3.contains("schedule"), "{admit:?}");
+    // The per-file v1 closure cannot see it: v2 strictly dominates here.
+    assert!(out.closure.v2_fns > out.closure.v1_fns, "{:#?}", out.closure);
 }
 
 #[test]

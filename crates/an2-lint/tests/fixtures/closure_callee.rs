@@ -1,0 +1,13 @@
+//! Cross-crate closure fixture, callee side: `admit` allocates. It is hot
+//! only because `closure_entry.rs`'s `schedule` reaches it across the crate
+//! boundary.
+
+pub struct VoqBuffer {
+    cells: Vec<u64>,
+}
+
+impl VoqBuffer {
+    pub fn admit(&mut self, cell: u64) {
+        self.cells.push(cell);
+    }
+}

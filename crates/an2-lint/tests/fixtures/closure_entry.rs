@@ -1,0 +1,15 @@
+//! Cross-crate closure fixture, caller side: `schedule` lives in one crate
+//! and calls into a buffer type imported from another. The violation sits in
+//! the callee's crate — only the cross-crate (v2) call graph can reach it.
+
+use an2_sim::voq::VoqBuffer;
+
+pub struct Sched {
+    voq: VoqBuffer,
+}
+
+impl Sched {
+    pub fn schedule(&mut self) {
+        self.voq.admit(3);
+    }
+}

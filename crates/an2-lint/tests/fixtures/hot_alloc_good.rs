@@ -1,6 +1,7 @@
-//! Fixture (good): the same shape with a fixed-size buffer, a justified
-//! allocation behind an inline allow, and a `// an2-lint: cold` rebuild
-//! function that allocates but is excluded from the closure.
+//! Fixture (good): the same shape with a fixed-size buffer accessed via
+//! `get_mut`, wrapping counter arithmetic, a justified allocation behind an
+//! inline allow, and a `// an2-lint: cold` rebuild function that allocates
+//! but is excluded from the closure.
 
 pub struct Sched {
     buf: [u32; 8],
@@ -16,8 +17,10 @@ impl Sched {
     }
 
     fn fill(&mut self) {
-        self.buf[self.len] = 1;
-        self.len += 1;
+        if let Some(slot) = self.buf.get_mut(self.len) {
+            *slot = 1;
+        }
+        self.len = self.len.wrapping_add(1);
     }
 
     fn warm(&mut self) {

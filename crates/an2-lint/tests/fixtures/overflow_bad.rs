@@ -1,0 +1,16 @@
+//! Bad twin for the overflow-discipline rule: compound accumulation and a
+//! bare `+` on a counter inside the hot closure seeded at `schedule`.
+
+pub struct Sched {
+    count: u64,
+    total: u64,
+    drops: u64,
+}
+
+impl Sched {
+    pub fn schedule(&mut self, delta: u64) {
+        self.count += 1;
+        self.total = self.total + delta;
+        self.drops -= 1;
+    }
+}

@@ -1,0 +1,18 @@
+//! Good twin for the overflow-discipline rule: the same counters written
+//! with explicit wrapping/saturating arithmetic, plus one justified allow
+//! naming the boundedness invariant.
+
+pub struct Sched {
+    count: u64,
+    total: u64,
+    slots: u64,
+}
+
+impl Sched {
+    pub fn schedule(&mut self, delta: u64) {
+        self.count = self.count.wrapping_add(1);
+        self.total = self.total.saturating_add(delta);
+        // an2-lint: allow(overflow-discipline) slots is bounded by the run length; 2^64 slots is unreachable
+        self.slots += 1;
+    }
+}

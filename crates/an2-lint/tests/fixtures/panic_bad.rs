@@ -1,0 +1,18 @@
+//! Bad twin for the panic-freedom rule: one violation per class, all
+//! inside the hot closure seeded at `schedule`.
+
+pub struct Sched {
+    buf: [u64; 8],
+}
+
+impl Sched {
+    pub fn schedule(&mut self, i: usize) -> u64 {
+        assert!(i < 8, "out of range");
+        let x = self.buf.get(i).unwrap();
+        let y = self.buf.first().expect("empty");
+        if i > 8 {
+            panic!("impossible load");
+        }
+        self.buf[i]
+    }
+}

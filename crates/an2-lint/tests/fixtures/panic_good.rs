@@ -1,0 +1,24 @@
+//! Good twin for the panic-freedom rule: the same shape written with the
+//! sanctioned idioms — `debug_assert!` (compiles out of release), `get`-based
+//! access, a justified allow naming its invariant, and a `cold` cut for the
+//! asserting validator.
+
+pub struct Sched {
+    buf: [u64; 8],
+}
+
+impl Sched {
+    pub fn schedule(&mut self, i: usize) -> u64 {
+        debug_assert!(i < 8, "out of range");
+        let x = self.buf.get(i).copied().unwrap_or(0);
+        // an2-lint: allow(panic-freedom) the mask pins the index < 8, the array length
+        let y = self.buf[i & 7];
+        self.validate(i);
+        x.wrapping_add(y)
+    }
+
+    // an2-lint: cold — the validator is a debug observer, never on the slot loop
+    fn validate(&self, i: usize) {
+        assert!(i < 8, "cold validators may assert");
+    }
+}

@@ -1,8 +1,10 @@
 //! The committed tree must lint clean — this is the same check CI's `lint`
 //! job runs, wired into `cargo test` so a violation fails locally too.
 
-use an2_lint::rules::RULE_HOT_ALLOC;
-use an2_lint::{collect_files, default_root, lint_files, lint_lockfile, Config, SourceFile};
+use an2_lint::rules::{RULE_HOT_ALLOC, RULE_OVERFLOW, RULE_PANIC};
+use an2_lint::{
+    collect_files, default_root, lint_files, lint_files_full, lint_lockfile, Config, SourceFile,
+};
 
 fn render(violations: &[an2_lint::Violation]) -> String {
     violations
@@ -48,5 +50,57 @@ fn an_injected_violation_is_caught() {
         violations.iter().any(|v| v.rule == RULE_HOT_ALLOC),
         "injected hot-path allocation was not detected:\n{}",
         render(&violations)
+    );
+}
+
+#[test]
+fn injected_panic_and_overflow_violations_are_caught() {
+    let root = default_root();
+    let cfg = Config::load(&root).expect("lint/ allowlists must be present and readable");
+    let mut files = collect_files(&root, &cfg).expect("workspace walk failed");
+    // A synthetic hot file tripping both v2 rules: raw indexing plus an
+    // unwrap (panic-freedom) and a compound counter bump
+    // (overflow-discipline). If either stops firing, the empty baseline
+    // above proves nothing.
+    files.push(SourceFile {
+        path: "crates/an2-sched/src/islip.rs".to_string(),
+        src: "pub fn schedule(buf: &mut [u64], count: &mut u64) {\n\
+              \x20   buf[0] = buf.first().copied().unwrap();\n\
+              \x20   *count += 1;\n\
+              }\n"
+            .to_string(),
+    });
+    let violations = lint_files(&files, &cfg);
+    assert!(
+        violations.iter().any(|v| v.rule == RULE_PANIC),
+        "injected panic-freedom violation was not detected:\n{}",
+        render(&violations)
+    );
+    assert!(
+        violations.iter().any(|v| v.rule == RULE_OVERFLOW),
+        "injected overflow-discipline violation was not detected:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn the_cross_crate_closure_dominates_the_per_file_closure() {
+    let root = default_root();
+    let cfg = Config::load(&root).expect("lint/ allowlists must be present and readable");
+    let files = collect_files(&root, &cfg).expect("workspace walk failed");
+    let out = lint_files_full(&files, &cfg);
+    // PR 10's acceptance floor: the cross-crate (v2) closure must cover at
+    // least 1.5x the fns the old per-file (v1) closure saw.
+    let ratio = out.closure.v2_fns as f64 / out.closure.v1_fns.max(1) as f64;
+    assert!(
+        ratio >= 1.5,
+        "v2 closure ({} fns) must be >= 1.5x v1 ({} fns), got {ratio:.3}",
+        out.closure.v2_fns,
+        out.closure.v1_fns
+    );
+    assert!(
+        out.closure.v2_files >= 20,
+        "v2 closure should span the scheduling stack, saw {} files",
+        out.closure.v2_files
     );
 }

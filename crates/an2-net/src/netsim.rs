@@ -1310,6 +1310,7 @@ impl Network {
     /// the flow's output there. `injected_at` is preserved end-to-end for
     /// latency accounting. Arrival faults, missing routes, and full
     /// buffers all turn into counted drops.
+    // an2-lint: allow(panic-freedom) sw and port come from the topology's validated switch table and radix; both index arrays sized at build time
     fn enqueue(&mut self, sw: SwitchId, port: InputPort, flow: FlowId, injected_at: u64) {
         let now = self.slot;
         if let Some(&(_, _, cause)) = self
@@ -1326,6 +1327,7 @@ impl Network {
                 .record_drop(now, sw.0, port.index(), flow.0, DropCause::NoRoute);
             return;
         };
+        // an2-lint: allow(alloc-in-hot-path) delegates to VoqBuffer::push; its amortized deque growth is justified at the definition
         let outcome = node.voq.push(Cell {
             flow,
             input: port,

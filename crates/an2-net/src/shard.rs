@@ -60,6 +60,8 @@ struct Ring {
 
 impl Ring {
     #[inline]
+    // an2-lint: allow(overflow-discipline) grow() runs first, so len < capacity before the increment
+    // an2-lint: allow(panic-freedom) tail is masked by the power-of-two ring capacity
     fn enqueue(&mut self, v: u64) {
         if self.len as usize == self.buf.len() {
             self.grow();
@@ -71,6 +73,8 @@ impl Ring {
     }
 
     #[inline]
+    // an2-lint: allow(overflow-discipline) callers only dequeue VOQs the request matrix marks non-empty (the debug_assert pins len > 0)
+    // an2-lint: allow(panic-freedom) head is masked by the power-of-two ring capacity
     fn dequeue(&mut self) -> u64 {
         debug_assert!(self.len > 0, "dequeue from empty ring");
         let mask = self.buf.len() - 1;
@@ -262,6 +266,8 @@ impl SwitchShard {
     }
 
     #[inline]
+    // an2-lint: allow(overflow-discipline) queued counts resident cells, bounded by total ring capacity
+    // an2-lint: allow(panic-freedom) p = input * radix + output with both factors < radix, so p < rings.len()
     fn enqueue_cell(&mut self, input: usize, cell: u64) {
         let output = if dst_switch(cell) == self.k {
             dst_port(cell)
@@ -294,6 +300,7 @@ impl SwitchShard {
     /// slot is bit-identical to [`SwitchShard::step`] — the RNG draw order
     /// never depends on fault state.
     // an2-lint: hot
+    // an2-lint: allow(overflow-discipline) monotone u64 fault counters; slot >= down_since and backoff is clamped to MAX_BACKOFF, so the slot arithmetic cannot wrap
     fn step_faulted(&mut self, slot: u64) {
         let mut injected = PortSet::new();
         let mut corrupted = PortSet::new();
@@ -381,6 +388,8 @@ impl SwitchShard {
     /// arrival whether or not a fault consumes it, so masking and drops
     /// are draw-neutral.
     // an2-lint: hot
+    // an2-lint: allow(overflow-discipline) queued mirrors ring occupancy; slot >= inject_slot(cell) since cells are injected at or before the current slot; delivery counters are monotone u64
+    // an2-lint: allow(panic-freedom) matched pairs come from the scheduler, so i and j are < radix and p < rings.len()
     fn advance(&mut self, slot: u64, injected: &PortSet, corrupted: &PortSet, skip_schedule: bool) {
         if let Some(cell) = self.inbox.take() {
             if injected.contains(0) || corrupted.contains(0) {

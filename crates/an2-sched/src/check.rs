@@ -294,6 +294,9 @@ impl<const W: usize, S: Scheduler<W>> CheckedScheduler<S, W> {
 }
 
 impl<const W: usize, S: Scheduler<W>> Scheduler<W> for CheckedScheduler<S, W> {
+    // an2-lint: cold — the checking wrapper is a test/debug observer; it is
+    // never installed in production slot loops and is allowed to allocate
+    // and assert (see the module docs).
     fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         let matching = self.inner.schedule(requests);
         if checking_enabled() {

@@ -131,6 +131,7 @@ impl<R: SelectRng> FifoArbiter<R> {
     }
 }
 
+// an2-lint: allow(panic-freedom) the word index stays < W by the start-bound check, matching the backing array length
 fn first_at_or_after(set: &PortSet, start: usize, n: usize) -> usize {
     for off in 0..n {
         let i = (start + off) % n;

@@ -206,6 +206,7 @@ impl<const W: usize> RoundRobinMatchingN<W> {
 
 impl<const W: usize> Scheduler<W> for RoundRobinMatchingN<W> {
     // an2-lint: hot
+    // an2-lint: allow(panic-freedom) the leading assert_eq pins requests.n() == self.n (documented contract), so pointer and port indices stay < n
     fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         assert_eq!(
             requests.n(),
@@ -303,6 +304,7 @@ impl<const W: usize> Scheduler<W> for RoundRobinMatchingN<W> {
         true
     }
 
+    // an2-lint: allow(panic-freedom) a mis-sized mask is a harness bug, not degraded traffic; the Scheduler trait documents the panic
     fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         assert_eq!(
             mask.n(),

@@ -63,6 +63,7 @@ impl MultiMatching {
     /// # Panics
     ///
     /// Panics if `n == 0`, `n > MAX_PORTS`, or `k == 0`.
+    // an2-lint: allow(panic-freedom) the leading asserts are this constructor's documented `# Panics` contract
     pub fn new(n: usize, k: usize) -> Self {
         assert!(n > 0, "switch must have at least one port");
         assert!(n <= crate::MAX_PORTS, "switch size {n} out of range");
@@ -70,7 +71,9 @@ impl MultiMatching {
         Self {
             n,
             k,
+            // an2-lint: allow(alloc-in-hot-path) per-assignment buffers sized n, allocated once per construction on the scalar reference path
             input_to_output: vec![None; n],
+            // an2-lint: allow(alloc-in-hot-path) per-assignment buffers sized n, allocated once per construction on the scalar reference path
             inputs_of_output: vec![Vec::new(); n],
         }
     }
@@ -95,6 +98,7 @@ impl MultiMatching {
     /// # Panics
     ///
     /// Panics if either port index is `>= n`.
+    // an2-lint: allow(panic-freedom) both ports are validated < n before any indexing by the conflict check
     pub fn assign(&mut self, i: InputPort, j: OutputPort) -> Result<(), AssignConflict> {
         assert!(
             i.index() < self.n && j.index() < self.n,
@@ -110,17 +114,20 @@ impl MultiMatching {
             });
         }
         self.input_to_output[i.index()] = Some(j);
+        // an2-lint: allow(alloc-in-hot-path) inputs_of_output fanout push is bounded by k entries per output
         self.inputs_of_output[j.index()].push(i);
         Ok(())
     }
 
     /// The output input `i` delivers to, if assigned.
+    // an2-lint: allow(panic-freedom) the input index is < n by the port type's construction bound
     pub fn output_of(&self, i: InputPort) -> Option<OutputPort> {
         assert!(i.index() < self.n, "input {i} outside switch");
         self.input_to_output[i.index()]
     }
 
     /// Cells delivered to output `j` this slot.
+    // an2-lint: allow(panic-freedom) the output index is < n by the port type's construction bound
     pub fn output_load(&self, j: OutputPort) -> usize {
         assert!(j.index() < self.n, "output {j} outside switch");
         self.inputs_of_output[j.index()].len()
@@ -151,12 +158,14 @@ impl MultiMatching {
 
     /// Returns `true` if no unassigned input has a request for an output
     /// with spare fabric capacity (the k-grant analogue of maximality).
+    // an2-lint: allow(panic-freedom) indices iterate 0..n over per-port vectors sized n
     pub fn is_maximal(&self, requests: &RequestMatrix) -> bool {
         if self.n != requests.n() {
             return false;
         }
         let open_outputs: PortSet = (0..self.n)
             .filter(|&j| self.inputs_of_output[j].len() < self.k)
+            // an2-lint: allow(alloc-in-hot-path) PortSet's FromIterator fills a fixed-width bitset in place
             .collect();
         (0..self.n)
             .filter(|&i| self.input_to_output[i].is_none())
@@ -236,6 +245,7 @@ impl<R: SelectRng> KGrantPim<R> {
     /// # Panics
     ///
     /// Panics if `requests.n() != self.n()`.
+    // an2-lint: allow(panic-freedom) the size assert_eq pins requests.n() == self.n; drawn ports are < n by construction
     pub fn schedule(&mut self, requests: &RequestMatrix) -> MultiMatching {
         assert_eq!(
             requests.n(),

@@ -78,6 +78,7 @@ impl<const W: usize> MatchingN<W> {
     /// # Panics
     ///
     /// Panics if `n == 0` or `n` exceeds the width's capacity (`W * 64`).
+    // an2-lint: allow(panic-freedom) the size assert is this constructor's documented `# Panics` contract
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "switch must have at least one port");
         assert!(n <= PortSetN::<W>::CAPACITY, "switch size {n} out of range");
@@ -106,6 +107,7 @@ impl<const W: usize> MatchingN<W> {
     /// # Panics
     ///
     /// Panics if either port index is `>= n`.
+    // an2-lint: allow(panic-freedom) the leading asserts validate both ports; after them every index is < n
     pub fn pair(&mut self, i: InputPort, j: OutputPort) -> Result<(), PairConflict> {
         self.check(i, j);
         if self.matched_inputs.contains(i.index()) || self.matched_outputs.contains(j.index()) {
@@ -126,6 +128,7 @@ impl<const W: usize> MatchingN<W> {
     /// input `i` from the unmatched set and output `j` granted to exactly
     /// one input). Debug builds still assert the invariant.
     #[inline]
+    // an2-lint: allow(panic-freedom) the documented caller contract guarantees both ports < n (debug_asserts pin it)
     pub(crate) fn pair_unchecked(&mut self, i: InputPort, j: OutputPort) {
         debug_assert!(i.index() < self.n && j.index() < self.n);
         debug_assert!(
@@ -162,6 +165,7 @@ impl<const W: usize> MatchingN<W> {
     ///
     /// Panics if `i.index() >= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) the input index is < n by the port type's construction bound
     pub fn output_of(&self, i: InputPort) -> Option<OutputPort> {
         assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
         if self.matched_inputs.contains(i.index()) {
@@ -179,6 +183,7 @@ impl<const W: usize> MatchingN<W> {
     ///
     /// Panics if `j.index() >= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) the output index is < n by the port type's construction bound
     pub fn input_of(&self, j: OutputPort) -> Option<InputPort> {
         assert!(
             j.index() < self.n,
@@ -222,6 +227,7 @@ impl<const W: usize> MatchingN<W> {
     }
 
     /// Iterates over matched `(input, output)` pairs in input order.
+    // an2-lint: allow(panic-freedom) iterates indices 0..n over arrays sized n
     pub fn pairs(&self) -> impl Iterator<Item = (InputPort, OutputPort)> + '_ {
         self.matched_inputs.iter().map(|i| {
             (
@@ -283,6 +289,7 @@ impl<const W: usize> MatchingN<W> {
     }
 
     #[inline]
+    // an2-lint: allow(panic-freedom) check is the validation pass itself; its asserts are the documented contract
     fn check(&self, i: InputPort, j: OutputPort) {
         assert!(
             i.index() < self.n && j.index() < self.n,

@@ -66,6 +66,8 @@ struct HkScratch {
 /// to the unmasked algorithm (it is fully deterministic — no RNG alignment
 /// to worry about).
 // an2-lint: hot
+// an2-lint: allow(overflow-discipline) BFS level numbers are bounded by n per phase
+// an2-lint: allow(panic-freedom) BFS arrays are sized n and frontier indices come from the validated request matrix
 fn hopcroft_karp_masked<const W: usize>(
     requests: &RequestMatrixN<W>,
     active_inputs: &PortSetN<W>,
@@ -176,6 +178,7 @@ fn hopcroft_karp_masked<const W: usize>(
 }
 
 // an2-lint: hot
+// an2-lint: allow(panic-freedom) augmenting-path indices come from adjacency rows over validated ports < n
 fn try_augment<const W: usize>(
     requests: &RequestMatrixN<W>,
     i: usize,
@@ -255,6 +258,7 @@ impl<const W: usize> MaximumMatchingN<W> {
 }
 
 impl<const W: usize> Scheduler<W> for MaximumMatchingN<W> {
+    // an2-lint: allow(panic-freedom) the size assert_eq pins requests.n() == self.n
     fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         let n = requests.n();
         let full = PortSetN::all(n);

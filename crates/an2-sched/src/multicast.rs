@@ -47,6 +47,7 @@ impl FanoutRequests {
     /// # Panics
     ///
     /// Panics if `i.index() >= n` or the set contains an output `>= n`.
+    // an2-lint: allow(panic-freedom) the leading asserts validate the input port; fanout rows are sized n
     pub fn set(&mut self, i: InputPort, outputs: PortSet) {
         assert!(i.index() < self.n, "input {i} outside switch");
         assert!(
@@ -57,6 +58,7 @@ impl FanoutRequests {
     }
 
     /// Input `i`'s residual fanout.
+    // an2-lint: allow(panic-freedom) the input index is < n by the port type's construction bound
     pub fn fanout(&self, i: InputPort) -> &PortSet {
         assert!(i.index() < self.n, "input {i} outside switch");
         &self.fanout[i.index()]
@@ -86,7 +88,9 @@ impl MulticastMatching {
     fn new(n: usize) -> Self {
         Self {
             n,
+            // an2-lint: allow(alloc-in-hot-path) per-slot matching buffers sized n on the reference multicast path
             served: vec![PortSet::new(); n],
+            // an2-lint: allow(alloc-in-hot-path) per-slot matching buffers sized n on the reference multicast path
             output_owner: vec![None; n],
         }
     }
@@ -98,6 +102,7 @@ impl MulticastMatching {
     }
 
     /// The input driving output `j`, if any.
+    // an2-lint: allow(panic-freedom) the output index is < n by the port type's construction bound
     pub fn input_of(&self, j: OutputPort) -> Option<InputPort> {
         assert!(j.index() < self.n, "output {j} outside switch");
         self.output_owner[j.index()]
@@ -110,6 +115,7 @@ impl MulticastMatching {
 
     /// Returns `true` if every served pair was requested and no output is
     /// double-driven (the latter holds by construction).
+    // an2-lint: allow(panic-freedom) iterates indices 0..n over per-port arrays sized n
     pub fn respects(&self, requests: &FanoutRequests) -> bool {
         self.n == requests.n()
             && (0..self.n).all(|i| {
@@ -196,6 +202,7 @@ impl<R: SelectRng> McPim<R> {
     /// # Panics
     ///
     /// Panics if `requests.n() != self.n()`.
+    // an2-lint: allow(panic-freedom) the size assert_eq pins requests.n() == self.n; drawn requester ports are < n
     pub fn schedule(&mut self, requests: &FanoutRequests) -> MulticastMatching {
         assert_eq!(
             requests.n(),
@@ -209,6 +216,7 @@ impl<R: SelectRng> McPim<R> {
         for j in 0..n {
             let requesters: PortSet = (0..n)
                 .filter(|&i| requests.fanout(InputPort::new(i)).contains(j))
+                // an2-lint: allow(alloc-in-hot-path) the requesters bitset collect fills a fixed-width PortSet in place
                 .collect();
             if let Some(i) = self.output_rng[j].choose(&requesters) {
                 m.served[i].insert(j);

@@ -89,6 +89,7 @@ impl QMatrix {
 
     /// Records one observation; later observations of the same pair win.
     // an2-lint: hot
+    // an2-lint: allow(panic-freedom) matrix indices are i*n + j with both factors pinned < n by the size assert
     pub(crate) fn observe(&mut self, i: usize, j: usize, weight: u32) {
         debug_assert!(i < self.n && j < self.n, "pair outside switch");
         self.w[i * self.n + j] = weight;
@@ -97,6 +98,7 @@ impl QMatrix {
     /// The effective weight of serving pair `(i, j)`: the recorded
     /// observation, or 1 for a pair that requested without one.
     // an2-lint: hot
+    // an2-lint: allow(panic-freedom) matrix indices are i*n + j with both factors < n by the port types' bound
     pub(crate) fn weight(&self, i: usize, j: usize) -> i64 {
         i64::from(self.w[i * self.n + j].max(1))
     }
@@ -198,6 +200,7 @@ impl<const W: usize> MwmN<W> {
     /// Successive max-gain augmentation; see the module docs for the
     /// correctness argument. `active_inputs`/`active_outputs` restrict the
     /// graph to healthy ports.
+    // an2-lint: allow(panic-freedom) the Hungarian working arrays are sized n+1 and all labels/links stay within 0..=n
     fn solve(
         &mut self,
         requests: &RequestMatrixN<W>,
@@ -318,6 +321,7 @@ impl<const W: usize> MwmN<W> {
 }
 
 impl<const W: usize> Scheduler<W> for MwmN<W> {
+    // an2-lint: allow(panic-freedom) the size assert_eq pins requests.n() == self.n
     fn schedule(&mut self, requests: &RequestMatrixN<W>) -> MatchingN<W> {
         let n = requests.n();
         assert_eq!(n, self.n, "request matrix size {n} != scheduler size {}", self.n);

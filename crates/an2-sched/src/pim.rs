@@ -61,6 +61,7 @@ const GRANT_REJECT_CAP: usize = 8;
 /// paths route through this one helper, so results agree at every width and
 /// thread count.
 #[inline]
+// an2-lint: allow(panic-freedom) select_nth(k) succeeds because k < len == set popcount by the draw construction
 fn grant_draw<R: SelectRng, const W: usize>(
     rng: &mut R,
     set: &PortSetN<W>,
@@ -411,6 +412,7 @@ impl<R: SelectRng, const W: usize> PimN<R, W> {
     /// # Panics
     ///
     /// Panics if `requests.n()` or `initial.n()` differs from `self.n()`.
+    // an2-lint: allow(panic-freedom) the size assert is this API's documented "# Panics" contract
     pub fn schedule_from(
         &mut self,
         requests: &RequestMatrixN<W>,
@@ -472,6 +474,8 @@ impl<R: SelectRng, const W: usize> PimN<R, W> {
     /// stream, so the per-port RNG streams stay bit-aligned with the
     /// tracked paths.
     // an2-lint: hot
+    // an2-lint: allow(panic-freedom) the leading assert_eq pins requests.n() == self.n (documented contract), so every port index stays < n; rank-select expects hold because rank < len by the draw construction
+    // an2-lint: allow(overflow-discipline) iteration counters are bounded by max_iters <= n per call
     fn run_from(
         &mut self,
         requests: &RequestMatrixN<W>,
@@ -786,6 +790,7 @@ impl<R: SelectRng, const W: usize> Scheduler<W> for PimN<R, W> {
         true
     }
 
+    // an2-lint: allow(panic-freedom) a mis-sized mask is a harness bug, not degraded traffic; the Scheduler trait documents the panic
     fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         assert_eq!(
             mask.n(),

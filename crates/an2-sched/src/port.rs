@@ -84,6 +84,7 @@ macro_rules! port_impls {
             /// # Panics
             ///
             /// Panics if `n > MAX_WIDE_PORTS`.
+            // an2-lint: allow(panic-freedom) the size assert is this API's documented "# Panics" contract
             pub fn all(n: usize) -> impl Iterator<Item = Self> {
                 assert!(n <= MAX_WIDE_PORTS, "switch size {n} out of range");
                 (0..n).map(Self)
@@ -168,6 +169,7 @@ impl<const W: usize> PortSetN<W> {
     /// # Panics
     ///
     /// Panics if `n > Self::CAPACITY`.
+    // an2-lint: allow(panic-freedom) n <= CAPACITY asserted (documented contract); word index w < W by the loop bound
     pub fn all(n: usize) -> Self {
         assert!(n <= Self::CAPACITY, "switch size {n} out of range");
         let mut s = Self::new();
@@ -188,6 +190,7 @@ impl<const W: usize> PortSetN<W> {
     ///
     /// Panics if `index >= Self::CAPACITY`.
     #[inline]
+    // an2-lint: allow(panic-freedom) index < CAPACITY == 64*W asserted (documented contract), so index/64 < W
     pub fn contains(&self, index: usize) -> bool {
         assert!(index < Self::CAPACITY, "port index {index} out of range");
         self.words[index / 64] >> (index % 64) & 1 == 1
@@ -199,6 +202,7 @@ impl<const W: usize> PortSetN<W> {
     ///
     /// Panics if `index >= Self::CAPACITY`.
     #[inline]
+    // an2-lint: allow(panic-freedom) index < CAPACITY == 64*W asserted (documented contract), so index/64 < W
     pub fn insert(&mut self, index: usize) -> bool {
         assert!(index < Self::CAPACITY, "port index {index} out of range");
         let w = &mut self.words[index / 64];
@@ -214,6 +218,7 @@ impl<const W: usize> PortSetN<W> {
     ///
     /// Panics if `index >= Self::CAPACITY`.
     #[inline]
+    // an2-lint: allow(panic-freedom) index < CAPACITY == 64*W asserted (documented contract), so index/64 < W
     pub fn remove(&mut self, index: usize) -> bool {
         assert!(index < Self::CAPACITY, "port index {index} out of range");
         let w = &mut self.words[index / 64];
@@ -261,6 +266,7 @@ impl<const W: usize> PortSetN<W> {
 
     /// Set intersection.
     #[inline]
+    // an2-lint: allow(panic-freedom) w < W by the loop bound over the fixed-size word array
     pub fn intersection(&self, other: &Self) -> Self {
         let mut out = *self;
         for w in 0..W {
@@ -271,6 +277,7 @@ impl<const W: usize> PortSetN<W> {
 
     /// Set union.
     #[inline]
+    // an2-lint: allow(panic-freedom) w < W by the loop bound over the fixed-size word array
     pub fn union(&self, other: &Self) -> Self {
         let mut out = *self;
         for w in 0..W {
@@ -281,6 +288,7 @@ impl<const W: usize> PortSetN<W> {
 
     /// Set difference (`self \ other`).
     #[inline]
+    // an2-lint: allow(panic-freedom) w < W by the loop bound over the fixed-size word array
     pub fn difference(&self, other: &Self) -> Self {
         let mut out = *self;
         for w in 0..W {
@@ -335,6 +343,8 @@ impl<const W: usize> PortSetN<W> {
     /// selection primitive behind [`crate::rng::SelectRng::choose`] — at
     /// full load a wide request column has up to `W * 64` members, and the
     /// drop-lowest-bit loop of `nth` walks half of them on average.
+    // an2-lint: allow(panic-freedom) word/block indices are loop-bounded by W; the final word_idx < W is guaranteed by the early None return
+    // an2-lint: allow(overflow-discipline) prefix popcount accumulators are bounded by the set's 64*W bits, far below u32::MAX
     pub fn select_nth(&self, k: usize) -> Option<usize> {
         // Branchless prefix scan: an early-exit word loop mispredicts on
         // random ranks (the exit word depends on the random `k`), so the
@@ -394,6 +404,7 @@ impl<const W: usize> PortSetN<W> {
     /// Returns `true` if the two sets share at least one member, without
     /// materializing the intersection — one branchless AND/OR pass.
     #[inline]
+    // an2-lint: allow(panic-freedom) w < W by the loop bound over the fixed-size word array
     pub fn intersects(&self, other: &Self) -> bool {
         let mut acc = 0u64;
         for w in 0..W {
@@ -413,6 +424,7 @@ impl<const W: usize> PortSetN<W> {
     /// # Panics
     ///
     /// Panics if `start >= Self::CAPACITY`.
+    // an2-lint: allow(panic-freedom) start < CAPACITY asserted (documented contract), so start/64 < W; loop words stay < W
     pub fn first_at_or_after(&self, start: usize) -> Option<usize> {
         assert!(start < Self::CAPACITY, "port index {start} out of range");
         let w0 = start / 64;
@@ -475,6 +487,7 @@ unsafe fn select_in_word_bmi2(word: u64, k: u32) -> u32 {
 }
 
 #[inline]
+// an2-lint: allow(overflow-discipline) pos accumulates halving shifts summing to at most 63; k only decreases
 fn select_in_word_generic(word: u64, mut k: u32) -> u32 {
     let mut w = word;
     let mut pos = 0u32;

@@ -155,6 +155,7 @@ impl<const W: usize> RequestMatrixN<W> {
     ///
     /// Panics if either port index is `>= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) check(i, j) validates both ports < n (documented "# Panics" contract), so every row/col/cache index is in range
     pub fn has(&self, i: InputPort, j: OutputPort) -> bool {
         self.check(i, j);
         self.rows[i.index()].contains(j.index())
@@ -165,6 +166,8 @@ impl<const W: usize> RequestMatrixN<W> {
     /// # Panics
     ///
     /// Panics if either port index is `>= n`.
+    // an2-lint: allow(panic-freedom) check(i, j) validates both ports < n (documented "# Panics" contract), so every row/col/cache index is in range
+    // an2-lint: allow(overflow-discipline) occupancy counters are exact counts bounded by n*n pending requests
     pub fn set(&mut self, i: InputPort, j: OutputPort) -> bool {
         self.check(i, j);
         let added = self.cols[j.index()].insert(i.index());
@@ -188,6 +191,8 @@ impl<const W: usize> RequestMatrixN<W> {
     /// # Panics
     ///
     /// Panics if either port index is `>= n`.
+    // an2-lint: allow(panic-freedom) check(i, j) validates both ports < n (documented "# Panics" contract), so every row/col/cache index is in range
+    // an2-lint: allow(overflow-discipline) decrements are guarded by `removed`, so counts never pass zero
     pub fn clear(&mut self, i: InputPort, j: OutputPort) -> bool {
         self.check(i, j);
         let removed = self.cols[j.index()].remove(i.index());
@@ -216,6 +221,7 @@ impl<const W: usize> RequestMatrixN<W> {
     ///
     /// Panics if `i.index() >= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) check-validated i < n (documented "# Panics" contract) bounds the row index
     pub fn row(&self, i: InputPort) -> &PortSetN<W> {
         assert!(i.index() < self.n, "input {i} outside {0}x{0} switch", self.n);
         &self.rows[i.index()]
@@ -227,6 +233,7 @@ impl<const W: usize> RequestMatrixN<W> {
     ///
     /// Panics if `j.index() >= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) check-validated j < n (documented "# Panics" contract) bounds every column index
     pub fn col(&self, j: OutputPort) -> &PortSetN<W> {
         assert!(
             j.index() < self.n,
@@ -243,6 +250,7 @@ impl<const W: usize> RequestMatrixN<W> {
     ///
     /// Panics if `j.index() >= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) check-validated j < n (documented "# Panics" contract) bounds every column index
     pub fn col_len(&self, j: OutputPort) -> usize {
         assert!(
             j.index() < self.n,
@@ -281,6 +289,7 @@ impl<const W: usize> RequestMatrixN<W> {
     ///
     /// Panics if `j.index() >= n` or `start >= W * 64`.
     #[inline]
+    // an2-lint: allow(panic-freedom) asserted start < n and j < n (documented contract); word indices stay < W via index>>6
     pub fn col_first_at_or_after_in(
         &self,
         j: OutputPort,
@@ -349,6 +358,8 @@ impl<const W: usize> RequestMatrixN<W> {
     ///
     /// Panics if `j.index() >= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) asserted j < n (documented contract); nonzero-word indices come from col_nz bits < W
+    // an2-lint: allow(overflow-discipline) the popcount accumulator is bounded by the column's 64*W bits
     pub fn col_eligible(&self, j: OutputPort, eligible: &PortSetN<W>) -> (PortSetN<W>, usize) {
         assert!(
             j.index() < self.n,
@@ -391,6 +402,8 @@ impl<const W: usize> RequestMatrixN<W> {
     ///
     /// Panics if `j.index() >= n`.
     #[inline]
+    // an2-lint: allow(panic-freedom) asserted j < n (documented contract); word indices come from col_nz bits < W
+    // an2-lint: allow(overflow-discipline) prefix popcount accumulators are bounded by the column's 64*W bits
     pub fn col_select_nth(&self, j: OutputPort, k: usize) -> Option<usize> {
         assert!(
             j.index() < self.n,
@@ -433,6 +446,7 @@ impl<const W: usize> RequestMatrixN<W> {
 
     /// Iterates over all `(input, output)` request pairs in row-major order,
     /// visiting only the active rows.
+    // an2-lint: allow(panic-freedom) row indices iterate nonempty_rows, whose members are < n by construction
     pub fn pairs(&self) -> impl Iterator<Item = (InputPort, OutputPort)> + '_ {
         self.nonempty_rows.iter().flat_map(|i| {
             self.rows[i]
@@ -459,6 +473,7 @@ impl<const W: usize> RequestMatrixN<W> {
     }
 
     #[inline]
+    // an2-lint: allow(panic-freedom) this assert IS the validation point every accessor's documented "# Panics" contract delegates to
     fn check(&self, i: InputPort, j: OutputPort) {
         assert!(
             i.index() < self.n && j.index() < self.n,

@@ -38,6 +38,7 @@ pub trait SelectRng {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    // an2-lint: allow(panic-freedom) the n > 0 assert is this API's documented "# Panics" contract
     fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
         let n = n as u64;
@@ -181,6 +182,7 @@ impl Xoshiro256 {
 }
 
 impl SelectRng for Xoshiro256 {
+    // an2-lint: allow(panic-freedom) constant indices 0..=3 into the fixed [u64; 4] state
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
         let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -256,6 +258,7 @@ impl TableRng {
 }
 
 impl SelectRng for TableRng {
+    // an2-lint: allow(panic-freedom) pos is reduced mod 64 on the line above the [u64; 64] table read
     fn next_u64(&mut self) -> u64 {
         self.pos = (self.pos + 1) % 64;
         // A weak counter perturbation so different slots do not replay the

@@ -63,6 +63,7 @@ impl<const W: usize> PortMaskN<W> {
     /// # Panics
     ///
     /// Panics if `n == 0` or `n` exceeds the width's capacity (`W * 64`).
+    // an2-lint: allow(panic-freedom) the port-count assert is the documented contract; word indices derived from n stay < W
     pub fn all(n: usize) -> Self {
         assert!(n > 0, "switch must have at least one port");
         assert!(n <= PortSetN::<W>::CAPACITY, "switch size {n} out of range");
@@ -93,6 +94,7 @@ impl<const W: usize> PortMaskN<W> {
     /// # Panics
     ///
     /// Panics if `i >= n`.
+    // an2-lint: allow(panic-freedom) the port bound assert validates the index; the word index i/64 is then < W
     pub fn input_active(&self, i: usize) -> bool {
         assert!(i < self.n, "input {i} outside switch");
         self.inputs.contains(i)
@@ -103,6 +105,7 @@ impl<const W: usize> PortMaskN<W> {
     /// # Panics
     ///
     /// Panics if `j >= n`.
+    // an2-lint: allow(panic-freedom) the port bound assert validates the index; the word index j/64 is then < W
     pub fn output_active(&self, j: usize) -> bool {
         assert!(j < self.n, "output {j} outside switch");
         self.outputs.contains(j)
@@ -113,6 +116,7 @@ impl<const W: usize> PortMaskN<W> {
     /// # Panics
     ///
     /// Panics if `i >= n`.
+    // an2-lint: allow(panic-freedom) the port bound assert validates the index; the word index is then < W
     pub fn fail_input(&mut self, i: usize) -> bool {
         assert!(i < self.n, "input {i} outside switch");
         self.inputs.remove(i)
@@ -123,6 +127,7 @@ impl<const W: usize> PortMaskN<W> {
     /// # Panics
     ///
     /// Panics if `j >= n`.
+    // an2-lint: allow(panic-freedom) the port bound assert validates the index; the word index is then < W
     pub fn fail_output(&mut self, j: usize) -> bool {
         assert!(j < self.n, "output {j} outside switch");
         self.outputs.remove(j)
@@ -133,6 +138,7 @@ impl<const W: usize> PortMaskN<W> {
     /// # Panics
     ///
     /// Panics if `i >= n`.
+    // an2-lint: allow(panic-freedom) the port bound assert validates the index; the word index is then < W
     pub fn recover_input(&mut self, i: usize) -> bool {
         assert!(i < self.n, "input {i} outside switch");
         self.inputs.insert(i)
@@ -143,6 +149,7 @@ impl<const W: usize> PortMaskN<W> {
     /// # Panics
     ///
     /// Panics if `j >= n`.
+    // an2-lint: allow(panic-freedom) the port bound assert validates the index; the word index is then < W
     pub fn recover_output(&mut self, j: usize) -> bool {
         assert!(j < self.n, "output {j} outside switch");
         self.outputs.insert(j)

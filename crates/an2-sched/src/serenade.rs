@@ -176,6 +176,7 @@ impl<const W: usize> SerenadeN<W> {
         self.resolve_components(Some(&decisions))
     }
 
+    // an2-lint: allow(panic-freedom) pair indices come from the admitted sparse active list, all < n
     fn active_sets(&self, requests: &RequestMatrixN<W>) -> (PortSetN<W>, PortSetN<W>) {
         let n = requests.n();
         assert_eq!(n, self.n, "request matrix size {n} != scheduler size {}", self.n);
@@ -199,6 +200,7 @@ impl<const W: usize> SerenadeN<W> {
     /// outputs; an input always takes an output when one is available, so
     /// each proposal is maximal over the healthy sub-graph by
     /// construction (free outputs only ever get consumed).
+    // an2-lint: allow(panic-freedom) per-port proposal arrays are sized n and indexed by validated ports
     fn propose(
         &mut self,
         requests: &RequestMatrixN<W>,
@@ -238,6 +240,8 @@ impl<const W: usize> SerenadeN<W> {
     /// two neighbours, so each component is a simple path or an even
     /// cycle, and every output's A-owner and B-owner land in the same
     /// component — which is what makes per-component resolution safe.
+    // an2-lint: allow(overflow-discipline) component ids and sizes are bounded by n
+    // an2-lint: allow(panic-freedom) successor/visited arrays are sized n; union links stay within 0..n
     fn find_components(&mut self) {
         let scr = &mut self.scratch;
         scr.comp_arena.clear();
@@ -273,6 +277,7 @@ impl<const W: usize> SerenadeN<W> {
     /// `decisions`, when given, must hold one pre-computed keep-A flag per
     /// component in `comp_ranges` order; otherwise each component is
     /// weighed inline (the serial path).
+    // an2-lint: allow(panic-freedom) component-indexed arrays are sized by the component count <= n
     fn resolve_components(&self, decisions: Option<&[bool]>) -> MatchingN<W> {
         let scr = &self.scratch;
         let mut m = MatchingN::new(self.n);
@@ -301,6 +306,8 @@ impl<const W: usize> SerenadeN<W> {
 /// The Q-matrix weight of each proposal restricted to `members`. A pure
 /// function of its arguments — the property the staged path relies on.
 // an2-lint: hot
+// an2-lint: allow(overflow-discipline) weights sum u64 queue occupancies, bounded by total queued cells
+// an2-lint: allow(panic-freedom) weight slots are indexed by component id < n
 fn component_weights(q: &QMatrix, a_out: &[u32], b_out: &[u32], members: &[u32]) -> (i64, i64) {
     let mut wa = 0i64;
     let mut wb = 0i64;

@@ -176,6 +176,8 @@ impl ReservationTable {
     /// # Panics
     ///
     /// Panics if either index is `>= n`.
+    // an2-lint: allow(panic-freedom) i, j < n asserted (documented "# Panics" contract) bound every table index
+    // an2-lint: allow(overflow-discipline) unit totals are rejected above the X budget before being stored, so sums stay <= 2*X
     pub fn set(&mut self, i: usize, j: usize, units: usize) -> Result<(), UnitsExceeded> {
         assert!(i < self.n && j < self.n, "pair ({i},{j}) outside switch");
         let old = self.units[i][j];
@@ -435,6 +437,7 @@ impl<R: SelectRng> StatisticalMatcher<R> {
     /// Runs the configured number of rounds and returns the reserved-traffic
     /// matching for one time slot.
     // an2-lint: hot
+    // an2-lint: allow(panic-freedom) pair() cannot fail: both endpoints are checked unmatched on the line above
     pub fn next_match(&mut self) -> Matching {
         let n = self.table.n();
         let mut matching = Matching::new(n);
@@ -455,6 +458,8 @@ impl<R: SelectRng> StatisticalMatcher<R> {
 
     /// One independent grant/accept round.
     // an2-lint: hot
+    // an2-lint: allow(panic-freedom) j, i < n by the loop bounds; cdf indices come from partition_point over an n-sized table
+    // an2-lint: allow(overflow-discipline) cumulative-unit sums are bounded by the X budget per port
     fn one_round(&mut self) -> Matching {
         let n = self.table.n();
         let x = self.table.x();
@@ -564,6 +569,7 @@ impl<R: SelectRng> StatWithPimFill<R> {
 }
 
 impl<R: SelectRng> Scheduler for StatWithPimFill<R> {
+    // an2-lint: allow(panic-freedom) pair() is given a subset of a legal matching over healthy ports
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         let reserved = self.stat.next_match();
         // A reserved pair holds its slot only when a cell is queued for it —
@@ -586,6 +592,7 @@ impl<R: SelectRng> Scheduler for StatWithPimFill<R> {
         "stat+pim"
     }
 
+    // an2-lint: allow(panic-freedom) a mis-sized mask is a harness bug, not degraded traffic; the Scheduler trait documents the panic
     fn set_port_mask(&mut self, mask: PortMask) {
         assert_eq!(
             mask.n(),

@@ -81,6 +81,7 @@ impl SubframeSchedule {
     }
 
     /// The switch radix.
+    // an2-lint: allow(panic-freedom) indices are bounded by the constructor's validated dimensions
     pub fn n(&self) -> usize {
         self.subframes[0].n()
     }

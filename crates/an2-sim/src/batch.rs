@@ -82,6 +82,8 @@ struct PairQueue {
 
 impl PairQueue {
     #[inline]
+    // an2-lint: allow(overflow-discipline) occupancy counters are bounded by queue capacity; sequence counters are monotone u64
+    // an2-lint: allow(panic-freedom) lane and port indices are < LANES and < n by the SoA layout's construction bounds
     fn enqueue(&mut self, v: u32) {
         let len = self.len as usize;
         if !self.spill.is_empty() {
@@ -101,6 +103,8 @@ impl PairQueue {
     }
 
     #[inline]
+    // an2-lint: allow(overflow-discipline) occupancy decrements follow a non-empty check; delivery counters are monotone u64
+    // an2-lint: allow(panic-freedom) lane and port indices are < LANES and < n by the SoA layout's construction bounds
     fn dequeue(&mut self) -> u32 {
         debug_assert!(self.len > 0, "dequeue from empty pair queue");
         self.len -= 1;
@@ -235,6 +239,7 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
     }
 
     /// Installs a port health mask on the underlying scheduler.
+    // an2-lint: allow(panic-freedom) a mis-sized mask is a harness bug, not degraded traffic; the trait documents the panic
     pub fn set_port_mask(&mut self, mask: PortMaskN<W>) {
         assert_eq!(mask.n(), self.n, "mask size mismatch");
         self.mask = mask;
@@ -411,6 +416,8 @@ impl<const W: usize, S: Scheduler<W>> BatchCrossbar<S, W> {
     /// The per-slot engine shared by [`BatchCrossbar::step_slot`] (no
     /// faults) and [`BatchCrossbar::step_faulted`].
     // an2-lint: hot
+    // an2-lint: allow(overflow-discipline) slot and delivery counters are monotone u64; delays are slot - inject_slot >= 0 by injection order
+    // an2-lint: allow(panic-freedom) matched pairs come from the scheduler, so all indices are < n
     fn advance(
         &mut self,
         arrivals: &[Arrival],

